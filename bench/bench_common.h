@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table regeneration benches.
+ *
+ * Every bench binary prints the rows/series of its paper artifact to
+ * stdout and mirrors them into a CSV under ./bench_out/. Iteration
+ * counts are scaled down from the paper's 16k-30k (see EXPERIMENTS.md);
+ * the printed *shapes* (who wins, trends, crossovers) are the
+ * reproduction target.
+ */
+
+#ifndef TREEVQA_BENCH_BENCH_COMMON_H
+#define TREEVQA_BENCH_BENCH_COMMON_H
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/baseline.h"
+#include "core/tree_controller.h"
+
+namespace treevqa::bench {
+
+/** A CSV sink under ./bench_out/<name>.csv. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(const std::string &name)
+    {
+        std::filesystem::create_directories("bench_out");
+        file_.open("bench_out/" + name + ".csv");
+    }
+
+    void row(const std::string &line)
+    {
+        if (file_.is_open())
+            file_ << line << "\n";
+    }
+
+  private:
+    std::ofstream file_;
+};
+
+/** TreeVQA + baseline on the same task family and budgets. */
+struct ComparisonResult
+{
+    TreeVqaResult tree;
+    BaselineResult base;
+};
+
+/**
+ * Run both methods with the same ansatz/optimizer and an iteration cap
+ * (the shot budget is left effectively unlimited so both converge; the
+ * savings are read off the traces at fidelity thresholds).
+ */
+inline ComparisonResult
+runComparison(const std::vector<VqaTask> &tasks, const Ansatz &ansatz,
+              const IterativeOptimizer &proto, int tree_rounds,
+              int base_iters, std::uint64_t seed,
+              const EngineConfig &engine = EngineConfig{},
+              const ClusterConfig &cluster = ClusterConfig{},
+              const std::vector<double> &warm_start = {})
+{
+    ComparisonResult out;
+
+    TreeVqaConfig tcfg;
+    tcfg.shotBudget = std::numeric_limits<std::uint64_t>::max() / 2;
+    tcfg.maxRounds = tree_rounds;
+    tcfg.metricsInterval = 5;
+    tcfg.engine = engine;
+    tcfg.cluster = cluster;
+    tcfg.seed = seed;
+    TreeController controller(tasks, ansatz, proto, tcfg);
+    out.tree = controller.run();
+
+    BaselineConfig bcfg;
+    bcfg.shotBudget = std::numeric_limits<std::uint64_t>::max() / 2;
+    bcfg.maxIterationsPerTask = base_iters;
+    bcfg.metricsInterval = 5;
+    bcfg.engine = engine;
+    bcfg.seed = seed + 0x5eedull;
+    out.base = runBaseline(tasks, ansatz, proto, bcfg, warm_start);
+    return out;
+}
+
+/** Human formatting of a shot count (UINT64_MAX -> "not reached"). */
+inline std::string
+formatShots(std::uint64_t shots)
+{
+    if (shots == std::numeric_limits<std::uint64_t>::max())
+        return "not-reached";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3e",
+                  static_cast<double>(shots));
+    return buf;
+}
+
+/** Savings ratio baseline/tree at a fidelity threshold (0 if either
+ * side never reaches it). */
+inline double
+savingsAt(const Trace &tree_trace, const Trace &base_trace,
+          const std::vector<VqaTask> &tasks, double threshold)
+{
+    const std::uint64_t t =
+        shotsToReachFidelity(tree_trace, tasks, threshold);
+    const std::uint64_t b =
+        shotsToReachFidelity(base_trace, tasks, threshold);
+    const std::uint64_t never =
+        std::numeric_limits<std::uint64_t>::max();
+    if (t == never || b == never || t == 0)
+        return 0.0;
+    return static_cast<double>(b) / static_cast<double>(t);
+}
+
+/**
+ * Print the Fig. 6-style threshold ladder for one benchmark panel and
+ * return the savings at the highest commonly-reached threshold.
+ */
+inline double
+printShotReductionPanel(const std::string &name,
+                        const std::vector<VqaTask> &tasks,
+                        const ComparisonResult &cmp, CsvWriter &csv)
+{
+    const double tree_max = maxFidelity(cmp.tree.trace, tasks);
+    const double base_max = maxFidelity(cmp.base.trace, tasks);
+    const double top = std::min(tree_max, base_max);
+
+    std::printf("--- %s ---\n", name.c_str());
+    std::printf("  max fidelity: TreeVQA %.3f | baseline %.3f\n",
+                tree_max, base_max);
+    std::printf("  %-10s %-14s %-14s %-8s\n", "threshold",
+                "TreeVQA-shots", "baseline-shots", "savings");
+
+    double last_savings = 0.0;
+    for (double frac : {0.70, 0.80, 0.90, 0.95, 0.99, 1.0}) {
+        // Thresholds as fractions of the commonly-reached maximum.
+        const double threshold = top * frac;
+        const std::uint64_t ts =
+            shotsToReachFidelity(cmp.tree.trace, tasks, threshold);
+        const std::uint64_t bs =
+            shotsToReachFidelity(cmp.base.trace, tasks, threshold);
+        const double savings =
+            savingsAt(cmp.tree.trace, cmp.base.trace, tasks, threshold);
+        if (savings > 0.0)
+            last_savings = savings;
+        std::printf("  %-10.4f %-14s %-14s %6.1fx\n", threshold,
+                    formatShots(ts).c_str(), formatShots(bs).c_str(),
+                    savings);
+        char line[256];
+        std::snprintf(line, sizeof(line), "%s,%.5f,%" PRIu64
+                      ",%" PRIu64 ",%.3f",
+                      name.c_str(), threshold, ts, bs, savings);
+        csv.row(line);
+    }
+    std::printf("  Max VQE Fidelity: %.3f | Shot savings: %.1fx\n\n",
+                top, last_savings);
+    return last_savings;
+}
+
+} // namespace treevqa::bench
+
+#endif // TREEVQA_BENCH_BENCH_COMMON_H

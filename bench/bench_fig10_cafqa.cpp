@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Regenerates Fig. 10: TreeVQA combined with CAFQA classical
+ * initialization (Section 8.5).
+ *
+ * The paper uses a fine-precision LiH slice (0.01 A steps) where CAFQA
+ * reaches 95.5% fidelity and TreeVQA recovers 30% of the residual gap
+ * with 7.3x fewer shots. Substitution (DESIGN.md): our synthetic LiH
+ * family is nearly classical (its Clifford point is ~exact, leaving no
+ * gap), and hardware-efficient Clifford points on correlated systems
+ * are barren local minima no optimizer escapes; the *ab-initio*
+ * stretched H2 family at the same 0.01 A precision with the UCCSD
+ * ansatz reproduces the regime faithfully — CAFQA lands near the
+ * Hartree-Fock point below fidelity 1, and the residual gap is real
+ * correlation energy that iterative quantum execution then recovers.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bench_suites.h"
+#include "chem/molecule.h"
+#include "circuit/uccsd_min.h"
+#include "init/cafqa.h"
+#include "opt/spsa.h"
+
+using namespace treevqa;
+using namespace treevqa::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 10: TreeVQA with CAFQA initialization "
+                "(stretched H2, 0.01 A precision) ===\n\n");
+
+    // Ten geometries, 1.20-1.29 A: stretched bonds, larger correlation.
+    std::vector<VqaTask> tasks;
+    std::uint64_t hf_bits = 0;
+    for (int k = 0; k < 10; ++k) {
+        const MoleculeProblem mol = buildH2(1.20 + 0.01 * k);
+        VqaTask task;
+        task.name = "H2[" + std::to_string(k) + "]";
+        task.hamiltonian = mol.hamiltonian;
+        task.initialBits = mol.hartreeFockBits;
+        hf_bits = mol.hartreeFockBits;
+        tasks.push_back(std::move(task));
+    }
+    solveGroundEnergies(tasks);
+    const Ansatz ansatz = makeUccsdMinimalAnsatz();
+
+    // CAFQA: Clifford search on the mixed Hamiltonian (the shared
+    // initialization for the whole family).
+    std::vector<PauliSum> hams;
+    for (const auto &t : tasks)
+        hams.push_back(t.hamiltonian);
+    const PauliSum mixed = mixedHamiltonian(hams);
+    Rng rng(0xcafa);
+    const CafqaResult init = cafqaSearch(mixed, ansatz, rng, 3, 2);
+
+    double cafqa_fidelity = 0.0;
+    double mean_gap = 0.0;
+    std::vector<double> cafqa_energies;
+    {
+        EngineConfig exact;
+        exact.injectShotNoise = false;
+        ClusterObjective probe(hams, ansatz, exact);
+        cafqa_energies = probe.exactTaskEnergies(init.params);
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            cafqa_fidelity += energyFidelity(
+                cafqa_energies[i], tasks[i].groundEnergy)
+                / tasks.size();
+            mean_gap += (cafqa_energies[i] - tasks[i].groundEnergy)
+                / tasks.size();
+        }
+    }
+    std::printf("CAFQA fidelity: %.3f | residual gap %.4f Ha "
+                "(classical search, %d evaluations)\n\n",
+                cafqa_fidelity, mean_gap, init.evaluations);
+
+    // Both methods warm-started from the CAFQA parameters (folded into
+    // the circuit as offsets; TreeController seeds clusters at 0).
+    const Ansatz warm_ansatz(
+        ansatz.circuit().withParamOffsets(init.params), hf_bits);
+
+    SpsaConfig sc;
+    sc.a = 0.1;
+    sc.maxStepNorm = 0.3;
+    Spsa proto(sc, 0xca);
+
+    TreeVqaConfig tcfg;
+    tcfg.shotBudget = std::numeric_limits<std::uint64_t>::max() / 2;
+    tcfg.maxRounds = scaled(200);
+    tcfg.metricsInterval = 5;
+    tcfg.seed = 0xcb;
+    TreeController tree_controller(tasks, warm_ansatz, proto, tcfg);
+    const TreeVqaResult tr = tree_controller.run();
+
+    BaselineConfig bcfg;
+    bcfg.shotBudget = std::numeric_limits<std::uint64_t>::max() / 2;
+    bcfg.maxIterationsPerTask = scaled(200);
+    bcfg.metricsInterval = 5;
+    bcfg.seed = 0xcc;
+    const BaselineResult br =
+        runBaseline(tasks, warm_ansatz, proto, bcfg);
+
+    // Gap recovery read-out: % of the CAFQA->ground gap closed (mean
+    // over tasks) vs shots.
+    const auto recovered = [&](const TraceSample &s) {
+        double rec = 0.0;
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            const double gap0 =
+                cafqa_energies[i] - tasks[i].groundEnergy;
+            const double gap =
+                s.bestEnergies[i] - tasks[i].groundEnergy;
+            if (gap0 > 1e-12)
+                rec += std::clamp((gap0 - gap) / gap0, 0.0, 1.0)
+                    / tasks.size();
+        }
+        return 100.0 * rec;
+    };
+
+    CsvWriter csv("fig10_cafqa");
+    csv.row("gap_recovered_pct,tree_shots,base_shots,savings");
+    std::printf("%-18s %-14s %-14s %-8s\n", "gap recovered (%)",
+                "TreeVQA-shots", "baseline-shots", "savings");
+
+    double final_savings = 0.0;
+    for (double pct : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+        const auto first_reach = [&](const Trace &trace) {
+            for (const auto &s : trace)
+                if (recovered(s) >= pct)
+                    return s.shots;
+            return std::numeric_limits<std::uint64_t>::max();
+        };
+        const std::uint64_t ts = first_reach(tr.trace);
+        const std::uint64_t bs = first_reach(br.trace);
+        double savings = 0.0;
+        if (ts != std::numeric_limits<std::uint64_t>::max()
+            && bs != std::numeric_limits<std::uint64_t>::max()
+            && ts > 0) {
+            savings =
+                static_cast<double>(bs) / static_cast<double>(ts);
+            final_savings = savings;
+        }
+        std::printf("%-18.0f %-14s %-14s %6.1fx\n", pct,
+                    formatShots(ts).c_str(), formatShots(bs).c_str(),
+                    savings);
+        char line[200];
+        std::snprintf(line, sizeof(line), "%.0f,%llu,%llu,%.3f", pct,
+                      static_cast<unsigned long long>(ts),
+                      static_cast<unsigned long long>(bs), savings);
+        csv.row(line);
+    }
+    std::printf("\nCAFQA Fidelity: %.3f | Shot savings at deepest "
+                "common recovery: %.1fx (paper: 0.955, 7.3x)\n",
+                cafqa_fidelity, final_savings);
+    return 0;
+}

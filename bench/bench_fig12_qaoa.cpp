@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates Fig. 12: TreeVQA shot savings for QAOA MaxCut on the
+ * IEEE 14-bus system (Section 8.8).
+ *
+ * Three load-scale ranges (0.5:1.5 / 0.8:1.2 / 0.9:1.1) each produce
+ * 10 related weighted-graph instances; all 10 are solved jointly with
+ * one TreeVQA run using the multi-angle QAOA ansatz and a Red-QAOA
+ * style pooled initialization shared by baseline and TreeVQA. The
+ * figure's two series are the edge-weight variance (purple bars) and
+ * the shot savings (blue bars): savings grow as instances get more
+ * similar.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bench_suites.h"
+#include "circuit/ma_qaoa.h"
+#include "ham/ieee14.h"
+#include "init/warm_start.h"
+#include "opt/spsa.h"
+
+using namespace treevqa;
+using namespace treevqa::bench;
+
+int
+main()
+{
+    std::printf("=== Fig. 12: TreeVQA shot savings for QAOA "
+                "(IEEE 14-bus MaxCut) ===\n\n");
+    CsvWriter csv("fig12_qaoa");
+    csv.row("load_range,edge_variance,savings,tree_max_fidelity");
+
+    const struct
+    {
+        double lo, hi;
+        const char *label;
+    } ranges[] = {
+        {0.5, 1.5, "0.5:1.5"},
+        {0.8, 1.2, "0.8:1.2"},
+        {0.9, 1.1, "0.9:1.1"},
+    };
+
+    std::printf("%-10s %-15s %-10s %-12s\n", "range", "edge variance",
+                "savings", "max fidelity");
+
+    int idx = 0;
+    for (const auto &range : ranges) {
+        const auto family = ieee14LoadFamily(range.lo, range.hi, 10);
+        const double variance = edgeWeightVariance(family);
+
+        // Tasks: minimization-form MaxCut Hamiltonians; the exact
+        // optimum comes from brute force, giving true fidelities.
+        std::vector<PauliSum> hams;
+        for (const auto &g : family)
+            hams.push_back(maxcutHamiltonian(g));
+        auto tasks = makeTasks("ieee14", hams, 0);
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            tasks[i].groundEnergy = -family[i].maxCutBruteForce();
+
+        // Shared ma-QAOA ansatz (graphs are isomorphic: one clause
+        // structure). Weights differ per instance, so clauses use the
+        // mean graph weights; instance-specific costs live in the
+        // Hamiltonians.
+        const WeightedGraph pooled = meanGraph(family);
+        const Ansatz ansatz = makeMaQaoaAnsatz(
+            pooled.numNodes, maxcutClauses(pooled), 2, true);
+
+        // Red-QAOA pooled initialization, shared by both methods,
+        // folded into the circuit as offsets.
+        const auto init = pooledQaoaInit(family, 2, 12);
+        const Ansatz warm(ansatz.circuit().withParamOffsets(init), 0);
+
+        SpsaConfig sc;
+        sc.a = 0.15;
+        sc.maxStepNorm = 1.0;
+        Spsa proto(sc, 0x0a0a + idx);
+        const ComparisonResult cmp = runComparison(
+            tasks, warm, proto, scaled(150), scaled(150),
+            0x1212 + idx);
+
+        const double tree_max = maxFidelity(cmp.tree.trace, tasks);
+        const double base_max = maxFidelity(cmp.base.trace, tasks);
+        const double top = std::min(tree_max, base_max);
+        // Read savings near the fidelity ceiling, where the post-split
+        // refinement phase differentiates the load ranges.
+        const double savings = savingsAt(
+            cmp.tree.trace, cmp.base.trace, tasks, 0.995 * top);
+
+        std::printf("%-10s %-15.5f %8.1fx %-12.3f (%d splits)\n",
+                    range.label, variance, savings, tree_max,
+                    cmp.tree.splitCount);
+        char line[200];
+        std::snprintf(line, sizeof(line), "%s,%.6f,%.3f,%.4f",
+                      range.label, variance, savings, tree_max);
+        csv.row(line);
+        ++idx;
+    }
+    std::printf("\n(paper: >20x at the most-similar range, >10x even "
+                "at 0.5:1.5; variance anti-correlates with savings)\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot kernels underneath every
+ * experiment: gate application, batched Pauli expectations, the
+ * cluster objective evaluation and Pauli propagation. These are the
+ * knobs that determine how far the scaled-down figure benches can be
+ * pushed toward the paper's full 16k-30k iteration regime.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/hardware_efficient.h"
+#include "common/rng.h"
+#include "core/objective.h"
+#include "ham/spin_chains.h"
+#include "ham/synthetic_molecule.h"
+#include "paulprop/pauli_propagation.h"
+#include "sim/expectation.h"
+
+using namespace treevqa;
+
+namespace {
+
+void
+BM_StatevectorRotationLayer(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Statevector sv(n);
+    double angle = 0.01;
+    for (auto _ : state) {
+        for (int q = 0; q < n; ++q)
+            sv.applyRy(q, angle);
+        angle += 1e-4;
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StatevectorRotationLayer)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_StatevectorCxRing(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Statevector sv(n);
+    sv.applyH(0);
+    for (auto _ : state) {
+        for (int q = 0; q < n; ++q)
+            sv.applyCx(q, (q + 1) % n);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StatevectorCxRing)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_BatchedExpectations(benchmark::State &state)
+{
+    // The per-evaluation workhorse: all superset strings of the LiH
+    // family on a 12-qubit state.
+    const auto spec = syntheticLiH();
+    const PauliSum h =
+        buildSyntheticMolecule(spec, spec.eqBondAngstrom);
+    std::vector<PauliString> strings;
+    for (const auto &term : h.terms())
+        strings.push_back(term.string);
+
+    Rng rng(1);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(12, 2, 0);
+    std::vector<double> theta(ansatz.numParams());
+    for (auto &t : theta)
+        t = rng.uniform(-1, 1);
+    const Statevector sv = ansatz.prepare(theta);
+
+    for (auto _ : state) {
+        auto values = perStringExpectations(sv, strings);
+        benchmark::DoNotOptimize(values.data());
+    }
+    state.SetItemsProcessed(state.iterations() * strings.size());
+}
+BENCHMARK(BM_BatchedExpectations);
+
+void
+BM_ClusterObjectiveEvaluate(benchmark::State &state)
+{
+    // One full noisy evaluation of a 10-task LiH cluster objective.
+    const auto spec = syntheticLiH();
+    const auto fam = syntheticFamily(spec, familyBonds(spec, 10));
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(
+        12, 2, halfFillingBits(12));
+    ClusterObjective obj(fam, ansatz, EngineConfig{});
+    Rng rng(2);
+    std::vector<double> theta(ansatz.numParams(), 0.1);
+
+    for (auto _ : state) {
+        auto ev = obj.evaluate(theta, rng);
+        benchmark::DoNotOptimize(ev.mixedEnergy);
+    }
+}
+BENCHMARK(BM_ClusterObjectiveEvaluate);
+
+void
+BM_PauliPropagation25q(benchmark::State &state)
+{
+    // One truncated Heisenberg propagation on the 25-site Ising
+    // benchmark (the Fig. 9 substrate).
+    const PauliSum h = transverseFieldIsing(25, 1.0, 1.0);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(25, 2, 0);
+    Rng rng(3);
+    std::vector<double> theta(ansatz.numParams());
+    for (auto &t : theta)
+        t = rng.uniform(-0.3, 0.3);
+    PauliPropConfig cfg;
+    cfg.maxWeight = 8;
+    cfg.coefThreshold = 1e-6;
+    PauliPropagator prop(ansatz.circuit(), cfg);
+
+    for (auto _ : state) {
+        const double e = prop.expectation(theta, h, 0);
+        benchmark::DoNotOptimize(e);
+    }
+}
+BENCHMARK(BM_PauliPropagation25q);
+
+} // namespace
+
+BENCHMARK_MAIN();

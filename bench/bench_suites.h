@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The paper's six standard VQE benchmark applications (Section 7.1),
+ * packaged for the figure benches: HF, LiH, BeH2 (synthetic molecule
+ * families), XXZ and transverse-field Ising chains, and the ab-initio
+ * H2/UCCSD family.
+ *
+ * Iteration counts default to laptop-scale; set TREEVQA_BENCH_SCALE
+ * (e.g. 4 or 50) to stretch every run toward the paper's 16k-30k
+ * iteration regime.
+ */
+
+#ifndef TREEVQA_BENCH_BENCH_SUITES_H
+#define TREEVQA_BENCH_BENCH_SUITES_H
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chem/molecule.h"
+#include "circuit/hardware_efficient.h"
+#include "circuit/uccsd_min.h"
+#include "core/vqa_task.h"
+#include "ham/spin_chains.h"
+#include "ham/synthetic_molecule.h"
+
+namespace treevqa::bench {
+
+/** Global iteration multiplier from TREEVQA_BENCH_SCALE (default 1). */
+inline double
+benchScale()
+{
+    const char *s = std::getenv("TREEVQA_BENCH_SCALE");
+    const double v = s ? std::atof(s) : 1.0;
+    return v > 0.0 ? v : 1.0;
+}
+
+inline int
+scaled(int base_rounds)
+{
+    return static_cast<int>(base_rounds * benchScale());
+}
+
+/** One packaged benchmark application. */
+struct BenchmarkSuite
+{
+    std::string name;
+    std::vector<VqaTask> tasks;
+    Ansatz ansatz;
+    int treeRounds = 0;
+    int baseIters = 0;
+};
+
+/** Alternating Neel bits 0101... for antiferromagnetic chains. */
+inline std::uint64_t
+neelBits(int sites)
+{
+    std::uint64_t bits = 0;
+    for (int q = 0; q < sites; q += 2)
+        bits |= 1ull << q;
+    return bits;
+}
+
+inline BenchmarkSuite
+syntheticMoleculeSuite(const SyntheticMoleculeSpec &spec, int num_tasks,
+                       int tree_rounds, int base_iters)
+{
+    BenchmarkSuite suite;
+    suite.name = spec.name;
+    const std::uint64_t bits = halfFillingBits(spec.numQubits);
+    suite.tasks = makeTasks(
+        spec.name, syntheticFamily(spec, familyBonds(spec, num_tasks)),
+        bits);
+    solveGroundEnergies(suite.tasks);
+    suite.ansatz =
+        makeHardwareEfficientAnsatz(spec.numQubits, 2, bits);
+    suite.treeRounds = scaled(tree_rounds);
+    suite.baseIters = scaled(base_iters);
+    return suite;
+}
+
+inline BenchmarkSuite
+hfSuite()
+{
+    return syntheticMoleculeSuite(syntheticHF(), 10, 240, 240);
+}
+
+inline BenchmarkSuite
+lihSuite()
+{
+    return syntheticMoleculeSuite(syntheticLiH(), 10, 240, 240);
+}
+
+inline BenchmarkSuite
+beh2Suite()
+{
+    return syntheticMoleculeSuite(syntheticBeH2(), 10, 150, 150);
+}
+
+inline BenchmarkSuite
+xxzSuite()
+{
+    BenchmarkSuite suite;
+    suite.name = "XXZ";
+    const int sites = 10;
+    const std::uint64_t bits = neelBits(sites);
+    suite.tasks =
+        makeTasks("XXZ", xxzFamily(sites, 0.6, 1.4, 10), bits);
+    solveGroundEnergies(suite.tasks);
+    suite.ansatz = makeHardwareEfficientAnsatz(sites, 2, bits);
+    suite.treeRounds = scaled(200);
+    suite.baseIters = scaled(200);
+    return suite;
+}
+
+inline BenchmarkSuite
+tfimSuite()
+{
+    BenchmarkSuite suite;
+    suite.name = "TransverseField";
+    const int sites = 10;
+    suite.tasks =
+        makeTasks("TFIM", tfimFamily(sites, 0.6, 1.4, 10), 0);
+    solveGroundEnergies(suite.tasks);
+    suite.ansatz = makeHardwareEfficientAnsatz(sites, 2, 0);
+    suite.treeRounds = scaled(200);
+    suite.baseIters = scaled(200);
+    return suite;
+}
+
+inline BenchmarkSuite
+h2UccsdSuite()
+{
+    BenchmarkSuite suite;
+    suite.name = "H2-UCCSD";
+    std::vector<PauliSum> hams;
+    // Paper Table 1: bond range 0.74-0.83 A, 5 instances.
+    for (int k = 0; k < 5; ++k)
+        hams.push_back(
+            buildH2(0.74 + 0.0225 * k).hamiltonian);
+    suite.tasks = makeTasks("H2", hams, 0b0011);
+    solveGroundEnergies(suite.tasks);
+    suite.ansatz = makeUccsdMinimalAnsatz();
+    suite.treeRounds = scaled(120);
+    suite.baseIters = scaled(120);
+    return suite;
+}
+
+/** All six Fig. 6 / Fig. 7 panels in paper order. */
+inline std::vector<BenchmarkSuite>
+standardSuites()
+{
+    std::vector<BenchmarkSuite> suites;
+    suites.push_back(hfSuite());
+    suites.push_back(lihSuite());
+    suites.push_back(beh2Suite());
+    suites.push_back(xxzSuite());
+    suites.push_back(tfimSuite());
+    suites.push_back(h2UccsdSuite());
+    return suites;
+}
+
+} // namespace treevqa::bench
+
+#endif // TREEVQA_BENCH_BENCH_SUITES_H

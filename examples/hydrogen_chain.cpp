@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hydrogen-chain dissociation with the full ab-initio stack: H4 at a
+ * family of interatomic spacings, solved jointly by TreeVQA.
+ *
+ * Demonstrates that the chemistry substrate (STO-3G integrals,
+ * Hartree-Fock, Jordan-Wigner) generalizes beyond H2: H4 gives an
+ * 8-qubit, ~180-term Hamiltonian per geometry, a regime where the
+ * hardware-efficient ansatz and the adaptive tree execution both do
+ * real work.
+ *
+ *   $ ./hydrogen_chain
+ */
+
+#include <cstdio>
+
+#include "chem/molecule.h"
+#include "circuit/hardware_efficient.h"
+#include "core/tree_controller.h"
+#include "opt/spsa.h"
+
+using namespace treevqa;
+
+int
+main()
+{
+    // Six chain spacings around the H4 equilibrium.
+    std::vector<double> spacings;
+    for (int k = 0; k < 6; ++k)
+        spacings.push_back(0.75 + 0.08 * k);
+
+    std::vector<VqaTask> tasks;
+    std::vector<double> hf_energies;
+    std::uint64_t hf_bits = 0;
+    for (double d : spacings) {
+        const MoleculeProblem mol = buildHChain(4, d);
+        VqaTask task;
+        task.name = "H4@" + std::to_string(d).substr(0, 4);
+        task.hamiltonian = mol.hamiltonian;
+        task.initialBits = mol.hartreeFockBits;
+        hf_bits = mol.hartreeFockBits;
+        tasks.push_back(std::move(task));
+        hf_energies.push_back(mol.hartreeFockEnergy);
+    }
+    solveGroundEnergies(tasks);
+    std::printf("H4 chain: %d qubits, %zu Pauli terms per geometry\n\n",
+                tasks[0].hamiltonian.numQubits(),
+                tasks[0].hamiltonian.numTerms());
+
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(8, 2, hf_bits);
+    Spsa optimizer(SpsaConfig{}, 21);
+
+    TreeVqaConfig config;
+    config.shotBudget = 1ull << 62;
+    config.maxRounds = 260;
+    config.seed = 29;
+    TreeController controller(tasks, ansatz, optimizer, config);
+    const TreeVqaResult result = controller.run();
+
+    std::printf("%-8s %-12s %-12s %-12s %-10s\n", "d (A)", "E_HF",
+                "E_TreeVQA", "E_FCI", "fidelity");
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        std::printf("%-8.3f %-12.6f %-12.6f %-12.6f %-10.5f\n",
+                    spacings[i], hf_energies[i],
+                    result.outcomes[i].bestEnergy,
+                    tasks[i].groundEnergy,
+                    result.outcomes[i].fidelity);
+
+    std::printf("\ncorrelation energy captured at d = %.2f A: "
+                "%.4f of %.4f Ha\n",
+                spacings[0],
+                hf_energies[0] - result.outcomes[0].bestEnergy,
+                hf_energies[0] - tasks[0].groundEnergy);
+    std::printf("%d splits | %.3e shots across %zu geometries\n",
+                result.splitCount,
+                static_cast<double>(result.totalShots), tasks.size());
+    return 0;
+}

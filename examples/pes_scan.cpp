@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Potential-energy-surface scan of H2 — the paper's motivating
+ * application (Section 2.3): many VQA tasks, one per molecular
+ * geometry, whose ground energies form the PES.
+ *
+ * Everything here is ab initio and from this repository: STO-3G
+ * integrals, Hartree-Fock, Jordan-Wigner (src/chem), the minimal UCCSD
+ * ansatz, and TreeVQA execution. The printed table compares the
+ * Hartree-Fock reference, the TreeVQA/VQE energy and the exact (FCI)
+ * energy at every bond length.
+ *
+ *   $ ./pes_scan
+ */
+
+#include <cstdio>
+
+#include "chem/molecule.h"
+#include "circuit/uccsd_min.h"
+#include "core/tree_controller.h"
+#include "opt/spsa.h"
+
+using namespace treevqa;
+
+int
+main()
+{
+    // Geometry grid: 9 bond lengths through the equilibrium well.
+    std::vector<double> bonds;
+    for (int k = 0; k < 9; ++k)
+        bonds.push_back(0.50 + 0.15 * k);
+
+    std::vector<VqaTask> tasks;
+    std::vector<double> hf_energies;
+    for (double bond : bonds) {
+        const MoleculeProblem mol = buildH2(bond);
+        VqaTask task;
+        task.name = "H2@" + std::to_string(bond).substr(0, 4);
+        task.hamiltonian = mol.hamiltonian;
+        task.initialBits = mol.hartreeFockBits;
+        tasks.push_back(std::move(task));
+        hf_energies.push_back(mol.hartreeFockEnergy);
+    }
+    solveGroundEnergies(tasks); // FCI references via Lanczos
+
+    const Ansatz ansatz = makeUccsdMinimalAnsatz();
+    SpsaConfig sc;
+    sc.a = 0.1;
+    sc.maxStepNorm = 0.3;
+    Spsa optimizer(sc, 5);
+
+    TreeVqaConfig config;
+    config.shotBudget = 1ull << 62;
+    config.maxRounds = 200;
+    config.seed = 17;
+    TreeController controller(tasks, ansatz, optimizer, config);
+    const TreeVqaResult result = controller.run();
+
+    std::printf("H2 potential energy surface (STO-3G, Hartree)\n");
+    std::printf("%-8s %-12s %-12s %-12s %-10s\n", "R (A)", "E_HF",
+                "E_TreeVQA", "E_FCI", "fidelity");
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        std::printf("%-8.3f %-12.6f %-12.6f %-12.6f %-10.5f\n",
+                    bonds[i], hf_energies[i],
+                    result.outcomes[i].bestEnergy,
+                    tasks[i].groundEnergy,
+                    result.outcomes[i].fidelity);
+
+    // Locate the equilibrium bond from the VQE surface.
+    std::size_t min_idx = 0;
+    for (std::size_t i = 1; i < tasks.size(); ++i)
+        if (result.outcomes[i].bestEnergy
+            < result.outcomes[min_idx].bestEnergy)
+            min_idx = i;
+    std::printf("\nVQE equilibrium bond: %.3f A (literature 0.735 A "
+                "for STO-3G FCI)\n", bonds[min_idx]);
+    std::printf("total shots: %.3e across %zu geometries "
+                "(%d splits)\n",
+                static_cast<double>(result.totalShots), tasks.size(),
+                result.splitCount);
+    return 0;
+}

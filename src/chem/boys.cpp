@@ -1,0 +1,20 @@
+#include "chem/boys.h"
+
+#include <cmath>
+
+namespace treevqa {
+
+double
+boysF0(double t)
+{
+    if (t < 1e-12)
+        return 1.0;
+    if (t < 1e-3) {
+        // Taylor series: F0(t) = 1 - t/3 + t^2/10 - t^3/42 + ...
+        return 1.0 - t / 3.0 + t * t / 10.0 - t * t * t / 42.0;
+    }
+    const double st = std::sqrt(t);
+    return 0.5 * std::sqrt(M_PI / t) * std::erf(st);
+}
+
+} // namespace treevqa

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * The Boys function F0, the special function underlying all electron-
+ * repulsion and nuclear-attraction integrals over s-type Gaussians.
+ */
+
+#ifndef TREEVQA_CHEM_BOYS_H
+#define TREEVQA_CHEM_BOYS_H
+
+namespace treevqa {
+
+/**
+ * F0(t) = integral_0^1 exp(-t u^2) du
+ *       = (1/2) sqrt(pi/t) erf(sqrt(t)),  with F0(0) = 1.
+ *
+ * Implemented with a series expansion near zero (the closed form loses
+ * precision as t -> 0) and the erf form elsewhere.
+ */
+double boysF0(double t);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CHEM_BOYS_H

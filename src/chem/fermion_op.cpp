@@ -1,0 +1,79 @@
+#include "chem/fermion_op.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace treevqa {
+
+FermionOperator::FermionOperator(int num_modes)
+    : numModes_(num_modes)
+{
+}
+
+void
+FermionOperator::add(double coefficient, std::vector<LadderOp> ops)
+{
+    for ([[maybe_unused]] const auto &op : ops)
+        assert(op.mode >= 0 && op.mode < numModes_);
+    terms_.push_back(FermionTerm{coefficient, std::move(ops)});
+}
+
+void
+FermionOperator::addConstant(double value)
+{
+    constant_ += value;
+}
+
+FermionOperator
+molecularHamiltonian(const Matrix &mo_one_body, const EriTensor &mo_eri,
+                     double nuclear_repulsion, double drop_threshold)
+{
+    const std::size_t n_spatial = mo_one_body.rows();
+    const int n_modes = static_cast<int>(2 * n_spatial);
+    FermionOperator h(n_modes);
+    h.addConstant(nuclear_repulsion);
+
+    // One-body part: spin is conserved; interleaved mode layout.
+    for (std::size_t p = 0; p < n_spatial; ++p) {
+        for (std::size_t q = 0; q < n_spatial; ++q) {
+            const double hpq = mo_one_body(p, q);
+            if (std::fabs(hpq) < drop_threshold)
+                continue;
+            for (int spin = 0; spin < 2; ++spin) {
+                const int mp = static_cast<int>(2 * p) + spin;
+                const int mq = static_cast<int>(2 * q) + spin;
+                h.add(hpq, {LadderOp{mp, true}, LadderOp{mq, false}});
+            }
+        }
+    }
+
+    // Two-body part: physicist matrix element <pq|rs> = (pr|qs) with
+    // spin(p)=spin(r), spin(q)=spin(s). Factor 1/2 with the operator
+    // order a_p^dag a_q^dag a_s a_r.
+    for (std::size_t p = 0; p < n_spatial; ++p)
+        for (std::size_t q = 0; q < n_spatial; ++q)
+            for (std::size_t r = 0; r < n_spatial; ++r)
+                for (std::size_t s = 0; s < n_spatial; ++s) {
+                    const double g = mo_eri.at(p, r, q, s);
+                    if (std::fabs(g) < drop_threshold)
+                        continue;
+                    for (int sp = 0; sp < 2; ++sp) {
+                        for (int sq = 0; sq < 2; ++sq) {
+                            const int mp = static_cast<int>(2 * p) + sp;
+                            const int mq = static_cast<int>(2 * q) + sq;
+                            const int mr = static_cast<int>(2 * r) + sp;
+                            const int ms = static_cast<int>(2 * s) + sq;
+                            // a_p^dag a_q^dag vanishes for equal modes.
+                            if (mp == mq || mr == ms)
+                                continue;
+                            h.add(0.5 * g,
+                                  {LadderOp{mp, true}, LadderOp{mq, true},
+                                   LadderOp{ms, false},
+                                   LadderOp{mr, false}});
+                        }
+                    }
+                }
+    return h;
+}
+
+} // namespace treevqa

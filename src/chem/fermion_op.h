@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Second-quantized fermionic operators.
+ *
+ * A FermionOperator is a real-weighted sum of products of ladder
+ * operators on spin-orbital modes. The molecular electronic Hamiltonian
+ *
+ *   H = sum_pq h_pq a_p^dag a_q
+ *     + (1/2) sum_pqrs <pq|rs> a_p^dag a_q^dag a_s a_r  + E_nuc
+ *
+ * is assembled here from the MO-basis integrals produced by Hartree-Fock
+ * (spin orbitals interleaved: spatial orbital P spawns modes 2P (alpha)
+ * and 2P+1 (beta)), then mapped to qubits by the Jordan-Wigner transform
+ * in jordan_wigner.h.
+ */
+
+#ifndef TREEVQA_CHEM_FERMION_OP_H
+#define TREEVQA_CHEM_FERMION_OP_H
+
+#include <vector>
+
+#include "chem/hartree_fock.h"
+
+namespace treevqa {
+
+/** One ladder operator: creation (dagger) or annihilation on a mode. */
+struct LadderOp
+{
+    int mode = 0;
+    bool dagger = false;
+};
+
+/** A weighted product of ladder operators. */
+struct FermionTerm
+{
+    double coefficient = 0.0;
+    std::vector<LadderOp> ops;
+};
+
+/** Real-weighted sum of ladder-operator products. */
+class FermionOperator
+{
+  public:
+    explicit FermionOperator(int num_modes = 0);
+
+    int numModes() const { return numModes_; }
+    const std::vector<FermionTerm> &terms() const { return terms_; }
+    std::size_t numTerms() const { return terms_.size(); }
+
+    /** Append a term (no simplification; JW handles cancellation). */
+    void add(double coefficient, std::vector<LadderOp> ops);
+
+    /** Constant (identity) offset such as the nuclear repulsion. */
+    void addConstant(double value);
+    double constant() const { return constant_; }
+
+  private:
+    int numModes_;
+    double constant_ = 0.0;
+    std::vector<FermionTerm> terms_;
+};
+
+/**
+ * Assemble the interleaved-spin molecular Hamiltonian from MO integrals.
+ *
+ * @param mo_one_body h_pq over spatial MOs.
+ * @param mo_eri (pq|rs) chemist-notation ERIs over spatial MOs.
+ * @param nuclear_repulsion constant shift.
+ * @param drop_threshold integrals with |value| below this are skipped
+ *        (the "small integrals vanish" effect of Section 5.2.1).
+ */
+FermionOperator molecularHamiltonian(const Matrix &mo_one_body,
+                                     const EriTensor &mo_eri,
+                                     double nuclear_repulsion,
+                                     double drop_threshold = 1e-10);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CHEM_FERMION_OP_H

@@ -1,0 +1,190 @@
+#include "chem/gaussian_integrals.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "chem/boys.h"
+
+namespace treevqa {
+
+double
+distanceSquared(const Vec3 &a, const Vec3 &b)
+{
+    double s = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+namespace {
+
+/** Normalization constant of a primitive s Gaussian exp(-a r^2). */
+double
+primitiveNorm(double alpha)
+{
+    return std::pow(2.0 * alpha / M_PI, 0.75);
+}
+
+/** Gaussian product center P = (a A + b B) / (a + b). */
+Vec3
+productCenter(double a, const Vec3 &ca, double b, const Vec3 &cb)
+{
+    Vec3 p;
+    for (int i = 0; i < 3; ++i)
+        p[i] = (a * ca[i] + b * cb[i]) / (a + b);
+    return p;
+}
+
+/** Primitive overlap (unnormalized). */
+double
+primOverlap(double a, const Vec3 &ca, double b, const Vec3 &cb)
+{
+    const double p = a + b;
+    const double mu = a * b / p;
+    return std::pow(M_PI / p, 1.5)
+         * std::exp(-mu * distanceSquared(ca, cb));
+}
+
+/** Primitive kinetic (unnormalized). */
+double
+primKinetic(double a, const Vec3 &ca, double b, const Vec3 &cb)
+{
+    const double p = a + b;
+    const double mu = a * b / p;
+    const double r2 = distanceSquared(ca, cb);
+    return mu * (3.0 - 2.0 * mu * r2) * primOverlap(a, ca, b, cb);
+}
+
+/** Primitive nuclear attraction for unit charge (unnormalized,
+ * positive magnitude; caller applies -Z). */
+double
+primNuclear(double a, const Vec3 &ca, double b, const Vec3 &cb,
+            const Vec3 &nucleus)
+{
+    const double p = a + b;
+    const double mu = a * b / p;
+    const Vec3 pc = productCenter(a, ca, b, cb);
+    return 2.0 * M_PI / p * std::exp(-mu * distanceSquared(ca, cb))
+         * boysF0(p * distanceSquared(pc, nucleus));
+}
+
+/** Primitive ERI (ab|cd) (unnormalized). */
+double
+primEri(double a, const Vec3 &ca, double b, const Vec3 &cb, double c,
+        const Vec3 &cc, double d, const Vec3 &cd)
+{
+    const double p = a + b;
+    const double q = c + d;
+    const Vec3 pp = productCenter(a, ca, b, cb);
+    const Vec3 qq = productCenter(c, cc, d, cd);
+    const double pre = 2.0 * std::pow(M_PI, 2.5)
+                     / (p * q * std::sqrt(p + q));
+    const double eab =
+        std::exp(-a * b / p * distanceSquared(ca, cb));
+    const double ecd =
+        std::exp(-c * d / q * distanceSquared(cc, cd));
+    const double t = p * q / (p + q) * distanceSquared(pp, qq);
+    return pre * eab * ecd * boysF0(t);
+}
+
+} // namespace
+
+ContractedGaussian
+sto3gS(const Vec3 &center, double zeta)
+{
+    // STO-3G fit of a zeta=1 Slater 1s; exponents scale as zeta^2.
+    static const double kExp[3] = {2.227660584, 0.405771156, 0.109818};
+    static const double kCoef[3] = {0.154328967, 0.535328142,
+                                    0.444634542};
+    ContractedGaussian g;
+    g.center = center;
+    const double z2 = zeta * zeta;
+    for (int k = 0; k < 3; ++k) {
+        g.exponents.push_back(kExp[k] * z2);
+        g.coefficients.push_back(kCoef[k]);
+    }
+    return g;
+}
+
+ContractedGaussian
+sto3gHydrogen(const Vec3 &center)
+{
+    // The standard molecular-environment Slater exponent for H.
+    return sto3gS(center, 1.24);
+}
+
+double
+overlap(const ContractedGaussian &a, const ContractedGaussian &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.exponents.size(); ++i) {
+        for (std::size_t j = 0; j < b.exponents.size(); ++j) {
+            const double na = primitiveNorm(a.exponents[i]);
+            const double nb = primitiveNorm(b.exponents[j]);
+            s += a.coefficients[i] * b.coefficients[j] * na * nb
+               * primOverlap(a.exponents[i], a.center, b.exponents[j],
+                             b.center);
+        }
+    }
+    return s;
+}
+
+double
+kinetic(const ContractedGaussian &a, const ContractedGaussian &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.exponents.size(); ++i) {
+        for (std::size_t j = 0; j < b.exponents.size(); ++j) {
+            const double na = primitiveNorm(a.exponents[i]);
+            const double nb = primitiveNorm(b.exponents[j]);
+            s += a.coefficients[i] * b.coefficients[j] * na * nb
+               * primKinetic(a.exponents[i], a.center, b.exponents[j],
+                             b.center);
+        }
+    }
+    return s;
+}
+
+double
+nuclearAttraction(const ContractedGaussian &a, const ContractedGaussian &b,
+                  const Vec3 &nucleus, double charge)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.exponents.size(); ++i) {
+        for (std::size_t j = 0; j < b.exponents.size(); ++j) {
+            const double na = primitiveNorm(a.exponents[i]);
+            const double nb = primitiveNorm(b.exponents[j]);
+            s += a.coefficients[i] * b.coefficients[j] * na * nb
+               * primNuclear(a.exponents[i], a.center, b.exponents[j],
+                             b.center, nucleus);
+        }
+    }
+    return -charge * s;
+}
+
+double
+electronRepulsion(const ContractedGaussian &a, const ContractedGaussian &b,
+                  const ContractedGaussian &c, const ContractedGaussian &d)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.exponents.size(); ++i)
+        for (std::size_t j = 0; j < b.exponents.size(); ++j)
+            for (std::size_t k = 0; k < c.exponents.size(); ++k)
+                for (std::size_t l = 0; l < d.exponents.size(); ++l) {
+                    const double norm = primitiveNorm(a.exponents[i])
+                                      * primitiveNorm(b.exponents[j])
+                                      * primitiveNorm(c.exponents[k])
+                                      * primitiveNorm(d.exponents[l]);
+                    s += a.coefficients[i] * b.coefficients[j]
+                       * c.coefficients[k] * d.coefficients[l] * norm
+                       * primEri(a.exponents[i], a.center,
+                                 b.exponents[j], b.center,
+                                 c.exponents[k], c.center,
+                                 d.exponents[l], d.center);
+                }
+    return s;
+}
+
+} // namespace treevqa

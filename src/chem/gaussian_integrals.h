@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Molecular integrals over contracted s-type Gaussian basis functions.
+ *
+ * This is the electronic-structure substrate that replaces PySCF for the
+ * systems we treat ab initio (H2 and hydrogen chains in STO-3G). For
+ * s-type primitives every required integral — overlap, kinetic, nuclear
+ * attraction and the electron-repulsion integral (ERI) — has a closed
+ * form involving at most the Boys function F0, implemented here from the
+ * standard Gaussian-product-theorem expressions (Szabo & Ostlund,
+ * appendix A).
+ */
+
+#ifndef TREEVQA_CHEM_GAUSSIAN_INTEGRALS_H
+#define TREEVQA_CHEM_GAUSSIAN_INTEGRALS_H
+
+#include <array>
+#include <vector>
+
+namespace treevqa {
+
+/** A point in 3-space (Bohr units throughout the chem module). */
+using Vec3 = std::array<double, 3>;
+
+/** Squared Euclidean distance. */
+double distanceSquared(const Vec3 &a, const Vec3 &b);
+
+/** A contracted s-type Gaussian basis function centered at `center`. */
+struct ContractedGaussian
+{
+    Vec3 center{0.0, 0.0, 0.0};
+    /** Primitive exponents alpha_k. */
+    std::vector<double> exponents;
+    /** Contraction coefficients d_k (applied to *normalized*
+     * primitives). */
+    std::vector<double> coefficients;
+};
+
+/** The STO-3G hydrogen 1s function (zeta = 1.24) at `center`. */
+ContractedGaussian sto3gHydrogen(const Vec3 &center);
+
+/** An STO-3G 1s function with arbitrary Slater exponent zeta. */
+ContractedGaussian sto3gS(const Vec3 &center, double zeta);
+
+/** Overlap integral <a|b>. */
+double overlap(const ContractedGaussian &a, const ContractedGaussian &b);
+
+/** Kinetic energy integral <a| -nabla^2/2 |b>. */
+double kinetic(const ContractedGaussian &a, const ContractedGaussian &b);
+
+/** Nuclear attraction <a| -Z/|r - C| |b> for a nucleus of charge Z at
+ * C. */
+double nuclearAttraction(const ContractedGaussian &a,
+                         const ContractedGaussian &b, const Vec3 &nucleus,
+                         double charge);
+
+/** Two-electron repulsion integral (ab|cd) in chemist notation. */
+double electronRepulsion(const ContractedGaussian &a,
+                         const ContractedGaussian &b,
+                         const ContractedGaussian &c,
+                         const ContractedGaussian &d);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CHEM_GAUSSIAN_INTEGRALS_H

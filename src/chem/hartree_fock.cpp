@@ -1,0 +1,214 @@
+#include "chem/hartree_fock.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/jacobi.h"
+
+namespace treevqa {
+
+double
+MolecularSystem::nuclearRepulsion() const
+{
+    double e = 0.0;
+    for (std::size_t i = 0; i < nuclei.size(); ++i)
+        for (std::size_t j = i + 1; j < nuclei.size(); ++j)
+            e += nuclei[i].charge * nuclei[j].charge
+               / std::sqrt(distanceSquared(nuclei[i].position,
+                                           nuclei[j].position));
+    return e;
+}
+
+EriTensor::EriTensor(std::size_t n)
+    : n_(n), data_(n * n * n * n, 0.0)
+{
+}
+
+double &
+EriTensor::at(std::size_t i, std::size_t j, std::size_t k, std::size_t l)
+{
+    return data_[((i * n_ + j) * n_ + k) * n_ + l];
+}
+
+double
+EriTensor::at(std::size_t i, std::size_t j, std::size_t k,
+              std::size_t l) const
+{
+    return data_[((i * n_ + j) * n_ + k) * n_ + l];
+}
+
+namespace {
+
+/** MO transform of the one-electron integrals: h = C^T H C. */
+Matrix
+transformOneBody(const Matrix &h_ao, const Matrix &c)
+{
+    return c.transposed().multiply(h_ao).multiply(c);
+}
+
+/** Full 4-index MO transform (n^5 staged; n is tiny here). */
+EriTensor
+transformEri(const EriTensor &ao, const Matrix &c)
+{
+    const std::size_t n = ao.n();
+    // Stage through one index at a time.
+    EriTensor t1(n), t2(n), t3(n), mo(n);
+    for (std::size_t p = 0; p < n; ++p)
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t k = 0; k < n; ++k)
+                for (std::size_t l = 0; l < n; ++l) {
+                    double s = 0.0;
+                    for (std::size_t i = 0; i < n; ++i)
+                        s += c(i, p) * ao.at(i, j, k, l);
+                    t1.at(p, j, k, l) = s;
+                }
+    for (std::size_t p = 0; p < n; ++p)
+        for (std::size_t q = 0; q < n; ++q)
+            for (std::size_t k = 0; k < n; ++k)
+                for (std::size_t l = 0; l < n; ++l) {
+                    double s = 0.0;
+                    for (std::size_t j = 0; j < n; ++j)
+                        s += c(j, q) * t1.at(p, j, k, l);
+                    t2.at(p, q, k, l) = s;
+                }
+    for (std::size_t p = 0; p < n; ++p)
+        for (std::size_t q = 0; q < n; ++q)
+            for (std::size_t r = 0; r < n; ++r)
+                for (std::size_t l = 0; l < n; ++l) {
+                    double s = 0.0;
+                    for (std::size_t k = 0; k < n; ++k)
+                        s += c(k, r) * t2.at(p, q, k, l);
+                    t3.at(p, q, r, l) = s;
+                }
+    for (std::size_t p = 0; p < n; ++p)
+        for (std::size_t q = 0; q < n; ++q)
+            for (std::size_t r = 0; r < n; ++r)
+                for (std::size_t s_ = 0; s_ < n; ++s_) {
+                    double s = 0.0;
+                    for (std::size_t l = 0; l < n; ++l)
+                        s += c(l, s_) * t3.at(p, q, r, l);
+                    mo.at(p, q, r, s_) = s;
+                }
+    return mo;
+}
+
+} // namespace
+
+HartreeFockResult
+runHartreeFock(const MolecularSystem &system, int max_iterations,
+               double tol)
+{
+    assert(system.numElectrons % 2 == 0);
+    const std::size_t n = system.basis.size();
+    const std::size_t n_occ =
+        static_cast<std::size_t>(system.numElectrons / 2);
+    assert(n_occ <= n);
+
+    HartreeFockResult out;
+
+    // AO integrals.
+    Matrix s(n, n), t(n, n), v(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            s(i, j) = overlap(system.basis[i], system.basis[j]);
+            t(i, j) = kinetic(system.basis[i], system.basis[j]);
+            double attraction = 0.0;
+            for (const auto &nucleus : system.nuclei)
+                attraction += nuclearAttraction(
+                    system.basis[i], system.basis[j], nucleus.position,
+                    nucleus.charge);
+            v(i, j) = attraction;
+        }
+    }
+    Matrix h_core(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            h_core(i, j) = t(i, j) + v(i, j);
+
+    EriTensor eri(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t k = 0; k < n; ++k)
+                for (std::size_t l = 0; l < n; ++l)
+                    eri.at(i, j, k, l) = electronRepulsion(
+                        system.basis[i], system.basis[j],
+                        system.basis[k], system.basis[l]);
+
+    // SCF loop with density-damping for robustness.
+    Matrix density(n, n, 0.0);
+    Matrix coefficients(n, n, 0.0);
+    std::vector<double> orbital_energies(n, 0.0);
+    const double damping = 0.3;
+
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        // Fock build: F = H + G(P),
+        // G_ij = sum_kl P_kl [ (ij|kl) - (ik|jl)/2 ].
+        Matrix fock = h_core;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j) {
+                double g = 0.0;
+                for (std::size_t k = 0; k < n; ++k)
+                    for (std::size_t l = 0; l < n; ++l)
+                        g += density(k, l)
+                           * (eri.at(i, j, k, l)
+                              - 0.5 * eri.at(i, k, j, l));
+                fock(i, j) += g;
+            }
+
+        EigenDecomposition roothaan = generalizedEigen(fock, s);
+        coefficients = roothaan.vectors;
+        orbital_energies = roothaan.values;
+
+        Matrix new_density(n, n, 0.0);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j) {
+                double p = 0.0;
+                for (std::size_t o = 0; o < n_occ; ++o)
+                    p += 2.0 * coefficients(i, o) * coefficients(j, o);
+                new_density(i, j) = p;
+            }
+
+        const double delta = density.maxAbsDiff(new_density);
+        if (iter > 0) {
+            for (std::size_t i = 0; i < n; ++i)
+                for (std::size_t j = 0; j < n; ++j)
+                    new_density(i, j) = (1.0 - damping) * new_density(i, j)
+                                      + damping * density(i, j);
+        }
+        density = new_density;
+        out.iterations = iter + 1;
+        if (delta < tol) {
+            out.converged = true;
+            break;
+        }
+    }
+
+    // Final energy with the converged density (undamped Fock rebuild).
+    Matrix fock = h_core;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            double g = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                for (std::size_t l = 0; l < n; ++l)
+                    g += density(k, l)
+                       * (eri.at(i, j, k, l) - 0.5 * eri.at(i, k, j, l));
+            fock(i, j) += g;
+        }
+    double electronic = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            electronic += 0.5 * density(i, j)
+                        * (h_core(i, j) + fock(i, j));
+
+    out.energy = electronic + system.nuclearRepulsion();
+    out.orbitalEnergies = orbital_energies;
+    out.coefficients = coefficients;
+    out.coreHamiltonian = h_core;
+    out.overlapMatrix = s;
+    out.aoEri = eri;
+    out.moOneBody = transformOneBody(h_core, coefficients);
+    out.moEri = transformEri(eri, coefficients);
+    return out;
+}
+
+} // namespace treevqa

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Restricted Hartree-Fock SCF over an s-type Gaussian basis.
+ *
+ * Produces (a) the mean-field reference energy and orbitals used to
+ * initialize VQE (the paper starts all tasks from the Hartree-Fock
+ * state, Section 7.1), and (b) the MO-basis one- and two-electron
+ * integrals from which the second-quantized Hamiltonian is assembled.
+ */
+
+#ifndef TREEVQA_CHEM_HARTREE_FOCK_H
+#define TREEVQA_CHEM_HARTREE_FOCK_H
+
+#include <vector>
+
+#include "chem/gaussian_integrals.h"
+#include "linalg/matrix.h"
+
+namespace treevqa {
+
+/** A nucleus: position (Bohr) and charge. */
+struct Nucleus
+{
+    Vec3 position{0.0, 0.0, 0.0};
+    double charge = 1.0;
+};
+
+/** A molecular system: nuclei + contracted basis + electron count. */
+struct MolecularSystem
+{
+    std::vector<Nucleus> nuclei;
+    std::vector<ContractedGaussian> basis;
+    int numElectrons = 0;
+
+    /** Classical nuclear repulsion energy. */
+    double nuclearRepulsion() const;
+};
+
+/** Flat 4-index ERI tensor in chemist notation (ij|kl). */
+class EriTensor
+{
+  public:
+    explicit EriTensor(std::size_t n = 0);
+    std::size_t n() const { return n_; }
+    double &at(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+    double at(std::size_t i, std::size_t j, std::size_t k,
+              std::size_t l) const;
+
+  private:
+    std::size_t n_ = 0;
+    std::vector<double> data_;
+};
+
+/** Output of an SCF run. */
+struct HartreeFockResult
+{
+    bool converged = false;
+    int iterations = 0;
+    /** Total RHF energy incl. nuclear repulsion (Hartree). */
+    double energy = 0.0;
+    /** Orbital energies, ascending. */
+    std::vector<double> orbitalEnergies;
+    /** MO coefficient matrix C (AO x MO). */
+    Matrix coefficients;
+    /** Core Hamiltonian in the AO basis. */
+    Matrix coreHamiltonian;
+    /** Overlap matrix in the AO basis. */
+    Matrix overlapMatrix;
+    /** AO-basis ERIs (ij|kl). */
+    EriTensor aoEri;
+    /** MO-basis one-electron integrals h_pq. */
+    Matrix moOneBody;
+    /** MO-basis ERIs (pq|rs). */
+    EriTensor moEri;
+};
+
+/**
+ * Run restricted Hartree-Fock (closed shell; numElectrons must be even).
+ *
+ * @param system molecule + basis.
+ * @param max_iterations SCF cap.
+ * @param tol convergence threshold on the density-matrix change.
+ */
+HartreeFockResult runHartreeFock(const MolecularSystem &system,
+                                 int max_iterations = 200,
+                                 double tol = 1e-10);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CHEM_HARTREE_FOCK_H

@@ -1,0 +1,91 @@
+#include "chem/jordan_wigner.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace treevqa {
+
+namespace {
+
+/** Internal complex-weighted Pauli accumulator. */
+using ComplexSum =
+    std::unordered_map<PauliString, Complex, PauliStringHash>;
+
+/** The two-term JW image of one ladder operator. */
+ComplexSum
+ladderImage(const LadderOp &op, int num_qubits)
+{
+    // Z string on modes 0 .. p-1.
+    std::uint64_t zstring = (op.mode == 0)
+        ? 0ull
+        : ((1ull << op.mode) - 1ull);
+    const std::uint64_t site = 1ull << op.mode;
+
+    // X_p (x) Z-string and Y_p (x) Z-string.
+    PauliString x_part(num_qubits, site, zstring);
+    PauliString y_part(num_qubits, site, zstring | site);
+
+    const Complex half(0.5, 0.0);
+    // a: +i/2 Y; a^dag: -i/2 Y.
+    const Complex y_coef = op.dagger ? Complex(0.0, -0.5)
+                                     : Complex(0.0, 0.5);
+    ComplexSum sum;
+    sum.emplace(x_part, half);
+    sum.emplace(y_part, y_coef);
+    return sum;
+}
+
+/** Multiply accumulated sum by one ladder image. */
+ComplexSum
+multiplySums(const ComplexSum &lhs, const ComplexSum &rhs)
+{
+    ComplexSum out;
+    out.reserve(lhs.size() * rhs.size());
+    for (const auto &[pl, cl] : lhs) {
+        for (const auto &[pr, cr] : rhs) {
+            const PauliProduct prod = multiply(pl, pr);
+            out[prod.string] += cl * cr * prod.phase;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+PauliSum
+jordanWigner(const FermionOperator &op, double compress_threshold)
+{
+    const int n = op.numModes();
+    ComplexSum total;
+
+    // Constant shift -> identity string.
+    if (op.constant() != 0.0)
+        total[PauliString(n)] += Complex(op.constant(), 0.0);
+
+    for (const auto &term : op.terms()) {
+        if (term.ops.empty()) {
+            total[PauliString(n)] += Complex(term.coefficient, 0.0);
+            continue;
+        }
+        ComplexSum product = ladderImage(term.ops.front(), n);
+        for (std::size_t i = 1; i < term.ops.size(); ++i)
+            product = multiplySums(product, ladderImage(term.ops[i], n));
+        for (const auto &[string, coef] : product)
+            total[string] += term.coefficient * coef;
+    }
+
+    PauliSum out(n);
+    for (const auto &[string, coef] : total) {
+        if (std::fabs(coef.imag()) > 1e-8)
+            throw std::runtime_error(
+                "jordanWigner: non-Hermitian input (residual imaginary "
+                "coefficient)");
+        if (std::fabs(coef.real()) > compress_threshold)
+            out.add(coef.real(), string);
+    }
+    out.compress(compress_threshold);
+    return out;
+}
+
+} // namespace treevqa

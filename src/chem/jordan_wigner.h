@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Jordan-Wigner transform: fermionic modes -> qubits.
+ *
+ * a_p       -> (X_p + i Y_p)/2 (x) Z_{p-1} ... Z_0
+ * a_p^dag   -> (X_p - i Y_p)/2 (x) Z_{p-1} ... Z_0
+ *
+ * Products of ladder operators become products of two-term Pauli sums
+ * with complex coefficients; for a Hermitian fermionic input the
+ * imaginary parts cancel and the result is returned as a real PauliSum.
+ * This is the qubit-mapping step the paper performs with Qiskit's
+ * JordanWignerMapper (Section 7.1).
+ */
+
+#ifndef TREEVQA_CHEM_JORDAN_WIGNER_H
+#define TREEVQA_CHEM_JORDAN_WIGNER_H
+
+#include "chem/fermion_op.h"
+#include "pauli/pauli_sum.h"
+
+namespace treevqa {
+
+/**
+ * Map a Hermitian fermionic operator to a qubit PauliSum.
+ *
+ * @param op the fermionic operator; mode k maps to qubit k.
+ * @param compress_threshold terms with |coefficient| below this are
+ *        dropped after the transform.
+ * @throws std::runtime_error if a residual imaginary coefficient exceeds
+ *         1e-8 (non-Hermitian input).
+ */
+PauliSum jordanWigner(const FermionOperator &op,
+                      double compress_threshold = 1e-10);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CHEM_JORDAN_WIGNER_H

@@ -1,0 +1,68 @@
+#include "chem/molecule.h"
+
+#include <cassert>
+
+#include "chem/fermion_op.h"
+#include "chem/jordan_wigner.h"
+
+namespace treevqa {
+
+namespace {
+
+MoleculeProblem
+buildFromSystem(const MolecularSystem &system, std::string name,
+                double bond_length)
+{
+    const HartreeFockResult hf = runHartreeFock(system);
+
+    const FermionOperator fermionic = molecularHamiltonian(
+        hf.moOneBody, hf.moEri, system.nuclearRepulsion());
+
+    MoleculeProblem out;
+    out.name = std::move(name);
+    out.bondLengthAngstrom = bond_length;
+    out.hamiltonian = jordanWigner(fermionic);
+    out.numQubits = static_cast<int>(2 * system.basis.size());
+    out.hartreeFockEnergy = hf.energy;
+    out.nuclearRepulsion = system.nuclearRepulsion();
+
+    // Interleaved spins: electrons fill the lowest spatial orbitals, two
+    // spin modes each -> the lowest numElectrons bits.
+    out.hartreeFockBits =
+        (std::uint64_t{1} << system.numElectrons) - 1ull;
+    return out;
+}
+
+} // namespace
+
+MoleculeProblem
+buildH2(double bond_length_angstrom)
+{
+    const double r = bond_length_angstrom * kAngstromToBohr;
+    MolecularSystem system;
+    system.nuclei = {Nucleus{{0.0, 0.0, 0.0}, 1.0},
+                     Nucleus{{0.0, 0.0, r}, 1.0}};
+    system.basis = {sto3gHydrogen({0.0, 0.0, 0.0}),
+                    sto3gHydrogen({0.0, 0.0, r})};
+    system.numElectrons = 2;
+    return buildFromSystem(system, "H2", bond_length_angstrom);
+}
+
+MoleculeProblem
+buildHChain(int num_atoms, double spacing_angstrom)
+{
+    assert(num_atoms >= 2 && num_atoms % 2 == 0);
+    const double d = spacing_angstrom * kAngstromToBohr;
+    MolecularSystem system;
+    for (int k = 0; k < num_atoms; ++k) {
+        const Vec3 position{0.0, 0.0, k * d};
+        system.nuclei.push_back(Nucleus{position, 1.0});
+        system.basis.push_back(sto3gHydrogen(position));
+    }
+    system.numElectrons = num_atoms;
+    return buildFromSystem(system,
+                           std::string("H") + std::to_string(num_atoms),
+                           spacing_angstrom);
+}
+
+} // namespace treevqa

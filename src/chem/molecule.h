@@ -1,0 +1,59 @@
+/**
+ * @file
+ * End-to-end molecule builders: geometry -> STO-3G integrals ->
+ * Hartree-Fock -> second quantization -> Jordan-Wigner qubit
+ * Hamiltonian.
+ *
+ * These builders realize, ab initio and from scratch, the chemistry
+ * pipeline the paper drives through PySCF + Qiskit Nature for the
+ * hydrogen-like systems our s-orbital integral engine covers: H2
+ * (the paper's 4-qubit UCCSD benchmark) and hydrogen chains (used by
+ * extra examples). Heavier molecules (LiH, BeH2, HF, C2H2) need p
+ * orbitals and are provided as calibrated synthetic families in
+ * src/ham/synthetic_molecule.h — see DESIGN.md for the substitution
+ * argument.
+ */
+
+#ifndef TREEVQA_CHEM_MOLECULE_H
+#define TREEVQA_CHEM_MOLECULE_H
+
+#include <cstdint>
+#include <string>
+
+#include "chem/hartree_fock.h"
+#include "pauli/pauli_sum.h"
+
+namespace treevqa {
+
+/** Angstrom -> Bohr conversion used throughout the chem module. */
+inline constexpr double kAngstromToBohr = 1.8897259886;
+
+/** A fully-built molecular VQE problem. */
+struct MoleculeProblem
+{
+    std::string name;
+    double bondLengthAngstrom = 0.0;
+    /** Qubit Hamiltonian (Jordan-Wigner, interleaved spins). */
+    PauliSum hamiltonian;
+    /** Hartree-Fock occupation bits (the VQE initial state). */
+    std::uint64_t hartreeFockBits = 0;
+    /** Mean-field reference energy (Hartree). */
+    double hartreeFockEnergy = 0.0;
+    /** Nuclear repulsion (Hartree). */
+    double nuclearRepulsion = 0.0;
+    int numQubits = 0;
+};
+
+/** H2 in STO-3G at the given bond length (Angstrom): 4 qubits. */
+MoleculeProblem buildH2(double bond_length_angstrom);
+
+/**
+ * A linear chain of `num_atoms` hydrogens with uniform spacing
+ * (Angstrom): 2 * num_atoms qubits. num_atoms must be even (closed
+ * shell).
+ */
+MoleculeProblem buildHChain(int num_atoms, double spacing_angstrom);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CHEM_MOLECULE_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ansatz abstraction: a circuit plus its initial computational-basis
+ * state.
+ *
+ * Every VQA cluster evaluates |psi(theta)> = C(theta) |init>; bundling
+ * the pair keeps the TreeVQA core independent of which ansatz family a
+ * benchmark uses (plug-and-play requirement, contribution 3 of the
+ * paper).
+ */
+
+#ifndef TREEVQA_CIRCUIT_ANSATZ_H
+#define TREEVQA_CIRCUIT_ANSATZ_H
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+#include "sim/statevector.h"
+
+namespace treevqa {
+
+/** A parameterized state-preparation recipe. */
+class Ansatz
+{
+  public:
+    Ansatz() = default;
+
+    /**
+     * @param circuit the parameterized circuit.
+     * @param initial_bits computational-basis initial state (e.g. the
+     *        Hartree-Fock occupation).
+     */
+    Ansatz(Circuit circuit, std::uint64_t initial_bits = 0);
+
+    int numQubits() const { return circuit_.numQubits(); }
+    int numParams() const { return circuit_.numParams(); }
+    std::uint64_t initialBits() const { return initialBits_; }
+    const Circuit &circuit() const { return circuit_; }
+
+    /** Prepare |psi(theta)> from scratch. */
+    Statevector prepare(const std::vector<double> &theta) const;
+
+    /** Copy of this ansatz with a different initial basis state (used
+     * when root clusters are grouped by unique initial state). */
+    Ansatz withInitialBits(std::uint64_t bits) const
+    {
+        Ansatz copy(*this);
+        copy.initialBits_ = bits;
+        return copy;
+    }
+
+  private:
+    Circuit circuit_;
+    std::uint64_t initialBits_ = 0;
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_CIRCUIT_ANSATZ_H

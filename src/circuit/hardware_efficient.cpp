@@ -1,0 +1,59 @@
+#include "circuit/hardware_efficient.h"
+
+#include <cassert>
+
+namespace treevqa {
+
+namespace {
+
+/** Ansatz::prepare lives here to keep ansatz.h header-only friendly. */
+} // namespace
+
+Ansatz::Ansatz(Circuit circuit, std::uint64_t initial_bits)
+    : circuit_(std::move(circuit)), initialBits_(initial_bits)
+{
+}
+
+Statevector
+Ansatz::prepare(const std::vector<double> &theta) const
+{
+    Statevector state(circuit_.numQubits());
+    state.setBasisState(initialBits_);
+    circuit_.apply(state, theta);
+    return state;
+}
+
+Ansatz
+makeHardwareEfficientAnsatz(int num_qubits, int layers,
+                            std::uint64_t initial_bits)
+{
+    assert(num_qubits >= 1);
+    assert(layers >= 1);
+
+    Circuit c(num_qubits);
+
+    // Initial rotation layer.
+    for (int q = 0; q < num_qubits; ++q)
+        c.ryParam(q, c.addParam());
+    for (int q = 0; q < num_qubits; ++q)
+        c.rzParam(q, c.addParam());
+
+    for (int layer = 0; layer < layers; ++layer) {
+        // Circular CX entanglement: q -> q+1, wrapping n-1 -> 0.
+        for (int q = 0; q < num_qubits; ++q) {
+            const int target = (q + 1) % num_qubits;
+            if (num_qubits > 1 && target != q)
+                c.cx(q, target);
+        }
+        // Rotation layer.
+        for (int q = 0; q < num_qubits; ++q)
+            c.ryParam(q, c.addParam());
+        for (int q = 0; q < num_qubits; ++q)
+            c.rzParam(q, c.addParam());
+    }
+    c.setEntanglingLayers(layers);
+
+    return Ansatz(std::move(c), initial_bits);
+}
+
+} // namespace treevqa

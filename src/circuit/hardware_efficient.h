@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Hardware-Efficient Ansatz (HEA) builder.
+ *
+ * The paper's default ansatz (Section 7.4): alternating Ry/Rz rotation
+ * layers with circular CX entanglement, 2 layers for noiseless studies
+ * and 5 layers for the noisy Table 2 study. This mirrors Qiskit's
+ * EfficientSU2 with su2_gates=['ry','rz'] and circular entanglement.
+ *
+ * Parameter count: 2 * n * (layers + 1).
+ */
+
+#ifndef TREEVQA_CIRCUIT_HARDWARE_EFFICIENT_H
+#define TREEVQA_CIRCUIT_HARDWARE_EFFICIENT_H
+
+#include "circuit/ansatz.h"
+
+namespace treevqa {
+
+/**
+ * Build a hardware-efficient ansatz.
+ *
+ * @param num_qubits register width.
+ * @param layers number of entangling layers (paper: 2 noiseless / 5
+ *        noisy).
+ * @param initial_bits computational-basis initial state applied before
+ *        the variational layers (e.g. the Hartree-Fock occupation).
+ */
+Ansatz makeHardwareEfficientAnsatz(int num_qubits, int layers,
+                                   std::uint64_t initial_bits = 0);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CIRCUIT_HARDWARE_EFFICIENT_H

@@ -1,0 +1,45 @@
+#include "circuit/ma_qaoa.h"
+
+#include <cassert>
+
+namespace treevqa {
+
+Ansatz
+makeMaQaoaAnsatz(int num_qubits, const std::vector<QuboClause> &clauses,
+                 int layers, bool multi_angle)
+{
+    assert(num_qubits >= 1);
+    assert(layers >= 1);
+
+    Circuit c(num_qubits);
+
+    // |+>^n initial superposition.
+    for (int q = 0; q < num_qubits; ++q)
+        c.h(q);
+
+    for (int layer = 0; layer < layers; ++layer) {
+        // Phasing layer: exp(-i gamma C_a), C_a = (w/2)(I - Z_u Z_v)
+        // == Rzz(-w * gamma) up to a global phase.
+        int shared_gamma = -1;
+        if (!multi_angle)
+            shared_gamma = c.addParam();
+        for (const auto &clause : clauses) {
+            const int p =
+                multi_angle ? c.addParam() : shared_gamma;
+            c.rzzParam(clause.u, clause.v, p, -clause.weight);
+        }
+        // Mixing layer: exp(-i beta X_q) == Rx(2 beta).
+        int shared_beta = -1;
+        if (!multi_angle)
+            shared_beta = c.addParam();
+        for (int q = 0; q < num_qubits; ++q) {
+            const int p = multi_angle ? c.addParam() : shared_beta;
+            c.rxParam(q, p, 2.0);
+        }
+    }
+    c.setEntanglingLayers(layers);
+
+    return Ansatz(std::move(c), 0);
+}
+
+} // namespace treevqa

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Multi-angle QAOA (ma-QAOA) ansatz for QUBO problems (paper Section 6).
+ *
+ * Standard QAOA uses 2p parameters (one gamma and one beta per layer);
+ * ma-QAOA assigns an individual parameter to every clause of the cost
+ * operator and every qubit of the mixer, (m + n) * p parameters total.
+ * The paper adopts ma-QAOA so that TreeVQA has a parameter space rich
+ * enough to represent problem instances with shared structure, and so
+ * splitting has finer-grained knobs.
+ *
+ * Cost clauses here are the weighted ZZ edges (plus optional linear Z
+ * fields) of a QUBO/MaxCut Hamiltonian; each clause contributes
+ * exp(-i gamma_{l,a} C_a) with C_a = (w/2)(I - Z_i Z_j), which up to a
+ * global phase is Rzz(-w * gamma_{l,a}).
+ */
+
+#ifndef TREEVQA_CIRCUIT_MA_QAOA_H
+#define TREEVQA_CIRCUIT_MA_QAOA_H
+
+#include <vector>
+
+#include "circuit/ansatz.h"
+
+namespace treevqa {
+
+/** A weighted edge clause of a QUBO cost function. */
+struct QuboClause
+{
+    int u = 0;
+    int v = 0;
+    double weight = 1.0;
+};
+
+/**
+ * Build a p-layer ma-QAOA ansatz for the given clauses.
+ *
+ * @param num_qubits problem size n.
+ * @param clauses weighted edges (m clauses).
+ * @param layers QAOA depth p.
+ * @param multi_angle true: (m+n)*p parameters (ma-QAOA); false: standard
+ *        QAOA with 2*p parameters (all clauses of a layer share gamma_l).
+ *
+ * The initial state is |+>^n (H on every qubit).
+ */
+Ansatz makeMaQaoaAnsatz(int num_qubits,
+                        const std::vector<QuboClause> &clauses, int layers,
+                        bool multi_angle = true);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CIRCUIT_MA_QAOA_H

@@ -1,0 +1,122 @@
+#include "circuit/qasm_export.h"
+
+#include <sstream>
+
+namespace treevqa {
+
+namespace {
+
+void
+emit1(std::ostringstream &os, const char *gate, int q)
+{
+    os << gate << " q[" << q << "];\n";
+}
+
+void
+emitRot(std::ostringstream &os, const char *gate, int q, double angle)
+{
+    os.precision(17);
+    os << gate << "(" << angle << ") q[" << q << "];\n";
+}
+
+void
+emitCx(std::ostringstream &os, int c, int t)
+{
+    os << "cx q[" << c << "],q[" << t << "];\n";
+}
+
+void
+emitRzz(std::ostringstream &os, int a, int b, double angle)
+{
+    // exp(-i theta/2 Z_a Z_b) = CX(a,b); RZ(theta) on b; CX(a,b).
+    emitCx(os, a, b);
+    emitRot(os, "rz", b, angle);
+    emitCx(os, a, b);
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &circuit, const std::vector<double> &theta)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    os << "qreg q[" << circuit.numQubits() << "];\n";
+
+    for (const auto &g : circuit.gates()) {
+        const double angle = (g.paramIndex >= 0)
+            ? g.scale * theta[g.paramIndex] + g.offset
+            : g.offset;
+        switch (g.op) {
+          case GateOp::Rx:
+            emitRot(os, "rx", g.q0, angle);
+            break;
+          case GateOp::Ry:
+            emitRot(os, "ry", g.q0, angle);
+            break;
+          case GateOp::Rz:
+            emitRot(os, "rz", g.q0, angle);
+            break;
+          case GateOp::H:
+            emit1(os, "h", g.q0);
+            break;
+          case GateOp::X:
+            emit1(os, "x", g.q0);
+            break;
+          case GateOp::S:
+            emit1(os, "s", g.q0);
+            break;
+          case GateOp::Sdg:
+            emit1(os, "sdg", g.q0);
+            break;
+          case GateOp::Cx:
+            emitCx(os, g.q0, g.q1);
+            break;
+          case GateOp::Cz:
+            os << "cz q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            break;
+          case GateOp::Rzz:
+            emitRzz(os, g.q0, g.q1, angle);
+            break;
+          case GateOp::Rxx:
+            // Conjugate RZZ by H on both qubits.
+            emit1(os, "h", g.q0);
+            emit1(os, "h", g.q1);
+            emitRzz(os, g.q0, g.q1, angle);
+            emit1(os, "h", g.q0);
+            emit1(os, "h", g.q1);
+            break;
+          case GateOp::Ryy:
+            emit1(os, "sdg", g.q0);
+            emit1(os, "sdg", g.q1);
+            emit1(os, "h", g.q0);
+            emit1(os, "h", g.q1);
+            emitRzz(os, g.q0, g.q1, angle);
+            emit1(os, "h", g.q0);
+            emit1(os, "h", g.q1);
+            emit1(os, "s", g.q0);
+            emit1(os, "s", g.q1);
+            break;
+        }
+    }
+    return os.str();
+}
+
+std::string
+toQasm(const Ansatz &ansatz, const std::vector<double> &theta)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    os << "qreg q[" << ansatz.numQubits() << "];\n";
+    for (int q = 0; q < ansatz.numQubits(); ++q)
+        if ((ansatz.initialBits() >> q) & 1ull)
+            os << "x q[" << q << "];\n";
+
+    // Re-emit the circuit body without its own header.
+    const std::string body = toQasm(ansatz.circuit(), theta);
+    const std::size_t cut = body.find("];\n"); // end of qreg line
+    os << body.substr(cut + 3);
+    return os.str();
+}
+
+} // namespace treevqa

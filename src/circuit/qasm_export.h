@@ -1,0 +1,36 @@
+/**
+ * @file
+ * OpenQASM 2.0 export of parameterized circuits.
+ *
+ * TreeVQA is a wrapper meant to sit in front of real execution stacks;
+ * exporting a bound circuit lets a downstream user hand the exact
+ * state-preparation recipe of any cluster to a hardware toolchain
+ * (Qiskit, tket, ...) for actual device runs. Parameter binding is
+ * resolved at export time (QASM 2 has no symbolic parameters).
+ */
+
+#ifndef TREEVQA_CIRCUIT_QASM_EXPORT_H
+#define TREEVQA_CIRCUIT_QASM_EXPORT_H
+
+#include <string>
+
+#include "circuit/ansatz.h"
+#include "circuit/circuit.h"
+
+namespace treevqa {
+
+/**
+ * Render the circuit at the given parameter binding as OpenQASM 2.0.
+ * Two-qubit rotations (rzz/rxx/ryy) are expanded into their standard
+ * CX/H/S decompositions, matching the simulator's definitions.
+ */
+std::string toQasm(const Circuit &circuit,
+                   const std::vector<double> &theta);
+
+/** Render an ansatz (initial X gates for set bits + bound circuit). */
+std::string toQasm(const Ansatz &ansatz,
+                   const std::vector<double> &theta);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CIRCUIT_QASM_EXPORT_H

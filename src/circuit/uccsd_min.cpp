@@ -1,0 +1,43 @@
+#include "circuit/uccsd_min.h"
+
+namespace treevqa {
+
+Ansatz
+makeUccsdMinimalAnsatz()
+{
+    Circuit c(4);
+
+    // Single excitation 0 -> 2 under Jordan-Wigner:
+    //   a2^dag a0 - h.c.  ->  (i/2)(X0 Z1 Y2 - Y0 Z1 X2)
+    // exp(theta (a2^dag a0 - h.c.)) = prod of two Pauli exponentials.
+    const int t1 = c.addParam();
+    c.pauliExponential(PauliString::fromLabel("XZYI"), t1, 1.0);
+    c.pauliExponential(PauliString::fromLabel("YZXI"), t1, -1.0);
+
+    // Single excitation 1 -> 3.
+    const int t2 = c.addParam();
+    c.pauliExponential(PauliString::fromLabel("IXZY"), t2, 1.0);
+    c.pauliExponential(PauliString::fromLabel("IYZX"), t2, -1.0);
+
+    // Double excitation 01 -> 23. The standard JW expansion of
+    // a3^dag a2^dag a1 a0 - h.c. produces eight weight-4 strings with
+    // +/- 1/8 prefactors; we bind them all to one parameter with the
+    // conventional signs (see e.g. Whitfield et al. 2011).
+    const int t3 = c.addParam();
+    const double s = 0.25; // folded 2x from exp(-i theta/2 P) convention
+    c.pauliExponential(PauliString::fromLabel("XXXY"), t3, s);
+    c.pauliExponential(PauliString::fromLabel("XXYX"), t3, s);
+    c.pauliExponential(PauliString::fromLabel("XYXX"), t3, -s);
+    c.pauliExponential(PauliString::fromLabel("YXXX"), t3, -s);
+    c.pauliExponential(PauliString::fromLabel("YYYX"), t3, -s);
+    c.pauliExponential(PauliString::fromLabel("YYXY"), t3, -s);
+    c.pauliExponential(PauliString::fromLabel("YXYY"), t3, s);
+    c.pauliExponential(PauliString::fromLabel("XYYY"), t3, s);
+
+    c.setEntanglingLayers(2);
+
+    // Hartree-Fock reference: orbitals 0 and 1 occupied.
+    return Ansatz(std::move(c), 0b0011);
+}
+
+} // namespace treevqa

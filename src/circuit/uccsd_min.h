@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimal UCCSD-style ansatz for the 4-qubit H2 benchmark.
+ *
+ * The paper runs H2 with Qiskit's UCCSD ansatz (Section 7.1). For a
+ * 2-electron / 4-spin-orbital system UCCSD contains two single
+ * excitations (0->2, 1->3 in blocked spin ordering) and one double
+ * excitation (01->23); first-order Trotterization of
+ * exp(T - T^dagger) yields a 3-parameter circuit of Pauli exponentials
+ * acting on the Hartree-Fock state |0011>. This file builds exactly that
+ * circuit with our Pauli-exponential primitive.
+ */
+
+#ifndef TREEVQA_CIRCUIT_UCCSD_MIN_H
+#define TREEVQA_CIRCUIT_UCCSD_MIN_H
+
+#include "circuit/ansatz.h"
+
+namespace treevqa {
+
+/**
+ * The 3-parameter UCCSD circuit for 2 electrons in 4 spin orbitals.
+ * Qubit layout: spin orbitals 0..3 under Jordan-Wigner; the Hartree-Fock
+ * reference occupies orbitals 0 and 1 (bits 0 and 1 set).
+ */
+Ansatz makeUccsdMinimalAnsatz();
+
+} // namespace treevqa
+
+#endif // TREEVQA_CIRCUIT_UCCSD_MIN_H

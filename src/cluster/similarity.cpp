@@ -1,0 +1,75 @@
+#include "cluster/similarity.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace treevqa {
+
+Matrix
+distanceMatrix(const std::vector<PauliSum> &hamiltonians)
+{
+    const std::size_t n = hamiltonians.size();
+    const AlignedTerms aligned = alignTerms(hamiltonians);
+    Matrix d(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double dist = l1Distance(aligned, i, j);
+            d(i, j) = dist;
+            d(j, i) = dist;
+        }
+    return d;
+}
+
+double
+medianPairwiseDistance(const Matrix &distances)
+{
+    std::vector<double> positive;
+    for (std::size_t i = 0; i < distances.rows(); ++i)
+        for (std::size_t j = i + 1; j < distances.cols(); ++j)
+            if (distances(i, j) > 0.0)
+                positive.push_back(distances(i, j));
+    if (positive.empty())
+        return 1.0;
+    return median(std::move(positive));
+}
+
+Matrix
+rbfKernel(const Matrix &distances, double sigma)
+{
+    assert(distances.rows() == distances.cols());
+    if (sigma <= 0.0)
+        sigma = medianPairwiseDistance(distances);
+    const std::size_t n = distances.rows();
+    Matrix s(n, n, 0.0);
+    const double denom = 2.0 * sigma * sigma;
+    for (std::size_t i = 0; i < n; ++i) {
+        s(i, i) = 1.0;
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double v =
+                std::exp(-distances(i, j) * distances(i, j) / denom);
+            s(i, j) = v;
+            s(j, i) = v;
+        }
+    }
+    return s;
+}
+
+Matrix
+similarityMatrix(const std::vector<PauliSum> &hamiltonians)
+{
+    return rbfKernel(distanceMatrix(hamiltonians));
+}
+
+Matrix
+submatrix(const Matrix &m, const std::vector<std::size_t> &idx)
+{
+    Matrix out(idx.size(), idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        for (std::size_t j = 0; j < idx.size(); ++j)
+            out(i, j) = m(idx[i], idx[j]);
+    return out;
+}
+
+} // namespace treevqa

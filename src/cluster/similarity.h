@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Hamiltonian similarity (paper Section 5.2.4).
+ *
+ * Tasks are compared through the l1 distance between their padded Pauli
+ * coefficient vectors, d(H_i, H_j) = ||c_i - c_j||_1 — an upper bound on
+ * the operator-norm difference and hence (by perturbation theory) a
+ * proxy for ground-state proximity. Pairwise similarities come from a
+ * Gaussian (RBF) kernel with sigma set to the median pairwise distance:
+ *
+ *     S_ij = exp(-d(H_i, H_j)^2 / (2 sigma^2)).
+ */
+
+#ifndef TREEVQA_CLUSTER_SIMILARITY_H
+#define TREEVQA_CLUSTER_SIMILARITY_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "pauli/pauli_sum.h"
+
+namespace treevqa {
+
+/** Pairwise l1 distance matrix over the padded alignment. */
+Matrix distanceMatrix(const std::vector<PauliSum> &hamiltonians);
+
+/** Median of the strictly-positive pairwise distances (the paper's
+ * sigma). Falls back to 1 if all distances are zero. */
+double medianPairwiseDistance(const Matrix &distances);
+
+/** RBF similarity matrix from a distance matrix. sigma <= 0 selects the
+ * median heuristic. */
+Matrix rbfKernel(const Matrix &distances, double sigma = -1.0);
+
+/** Convenience: distances + median-sigma kernel in one call. */
+Matrix similarityMatrix(const std::vector<PauliSum> &hamiltonians);
+
+/** Restrict a similarity/distance matrix to a subset of indices. */
+Matrix submatrix(const Matrix &m, const std::vector<std::size_t> &idx);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CLUSTER_SIMILARITY_H

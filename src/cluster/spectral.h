@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Spectral clustering on the task-similarity matrix (paper
+ * Section 5.2.5, following von Luxburg's tutorial).
+ *
+ * When a VQA cluster's split condition fires, its members are
+ * partitioned by: (1) forming the symmetric normalized Laplacian
+ * L = I - D^{-1/2} S D^{-1/2} of the similarity matrix S; (2) taking
+ * the k leading (smallest-eigenvalue) eigenvectors as an embedding;
+ * (3) running k-means in that embedding. Children inherit the parent's
+ * parameters, so the partition only decides *who goes together*, never
+ * restarts optimization.
+ */
+
+#ifndef TREEVQA_CLUSTER_SPECTRAL_H
+#define TREEVQA_CLUSTER_SPECTRAL_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace treevqa {
+
+/** Result of a spectral split. */
+struct SpectralResult
+{
+    /** assignment[i] in [0, k). Guaranteed: every cluster non-empty when
+     * the input has >= k points. */
+    std::vector<int> assignment;
+    /** The Laplacian spectrum (ascending), useful diagnostics: a large
+     * eigengap after the k-th value indicates a natural k-way split. */
+    std::vector<double> laplacianEigenvalues;
+};
+
+/**
+ * Partition items by spectral clustering of a similarity matrix.
+ *
+ * @param similarity symmetric non-negative matrix with unit diagonal.
+ * @param k number of clusters (TreeVQA splits use k = 2).
+ * @param rng k-means seeding randomness.
+ */
+SpectralResult spectralCluster(const Matrix &similarity, std::size_t k,
+                               Rng &rng);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CLUSTER_SPECTRAL_H

@@ -1,0 +1,160 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace treevqa {
+
+namespace {
+
+/** SplitMix64 step, used for seed expansion. */
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the single word into four non-zero state words.
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa gives a uniform double in [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        const std::uint64_t r = nextU64();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box-Muller; u must be strictly positive for the log.
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    const double v = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u));
+    const double theta = 2.0 * M_PI * v;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::rademacher()
+{
+    return (nextU64() & 1ull) ? 1.0 : -1.0;
+}
+
+std::vector<double>
+Rng::rademacherVector(std::size_t n)
+{
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rademacher();
+    return v;
+}
+
+std::uint64_t
+Rng::binomial(std::uint64_t n, double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    // Normal approximation for large n, exact Bernoulli sum otherwise.
+    if (n > 256) {
+        const double mean = static_cast<double>(n) * p;
+        const double sd = std::sqrt(mean * (1.0 - p));
+        double x = std::round(normal(mean, sd));
+        if (x < 0.0)
+            x = 0.0;
+        if (x > static_cast<double>(n))
+            x = static_cast<double>(n);
+        return static_cast<std::uint64_t>(x);
+    }
+    std::uint64_t k = 0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        k += (uniform() < p) ? 1 : 0;
+    return k;
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = uniformInt(i);
+        std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(nextU64() ^ 0xdeadbeefcafef00dull);
+}
+
+} // namespace treevqa

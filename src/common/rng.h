@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for TreeVQA.
+ *
+ * Every stochastic component in the framework (SPSA perturbations,
+ * shot-noise injection, synthetic Hamiltonian generation, k-means seeding)
+ * draws from an explicitly seeded Rng so that all experiments are
+ * reproducible run-to-run. The generator is xoshiro256**, seeded through
+ * SplitMix64 as recommended by its authors.
+ */
+
+#ifndef TREEVQA_COMMON_RNG_H
+#define TREEVQA_COMMON_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace treevqa {
+
+/**
+ * Small, fast, high-quality PRNG (xoshiro256**).
+ *
+ * Not cryptographically secure; intended for simulation workloads. All
+ * methods are deterministic functions of the seed and the call sequence.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal variate (Box-Muller, cached second value). */
+    double normal();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Rademacher variate: +1 or -1 with probability 1/2 each. */
+    double rademacher();
+
+    /** Vector of n Rademacher variates (the SPSA perturbation shape). */
+    std::vector<double> rademacherVector(std::size_t n);
+
+    /** Binomial sample: number of successes in n trials with prob p. */
+    std::uint64_t binomial(std::uint64_t n, double p);
+
+    /** Fisher-Yates shuffle of indices [0, n). */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    /**
+     * Derive an independent child generator. Useful to hand each VQA
+     * cluster its own stream so cluster execution order cannot perturb
+     * the random sequence of siblings.
+     */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+    bool hasCachedNormal_ = false;
+    double cachedNormal_ = 0.0;
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_COMMON_RNG_H

@@ -1,0 +1,155 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace treevqa {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+linearRegressionSlope(const std::vector<double> &ys)
+{
+    const std::size_t n = ys.size();
+    if (n < 2)
+        return 0.0;
+    // x = 0..n-1, so sum(x) and sum(x^2) have closed forms.
+    const double nn = static_cast<double>(n);
+    const double sx = nn * (nn - 1.0) / 2.0;
+    const double sxx = (nn - 1.0) * nn * (2.0 * nn - 1.0) / 6.0;
+    double sy = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sy += ys[i];
+        sxy += static_cast<double>(i) * ys[i];
+    }
+    const double denom = nn * sxx - sx * sx;
+    if (denom == 0.0)
+        return 0.0;
+    return (nn * sxy - sx * sy) / denom;
+}
+
+double
+linearRegressionSlope(const std::vector<double> &xs,
+                      const std::vector<double> &ys)
+{
+    const std::size_t n = std::min(xs.size(), ys.size());
+    if (n < 2)
+        return 0.0;
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+    }
+    const double nn = static_cast<double>(n);
+    const double denom = nn * sxx - sx * sx;
+    if (denom == 0.0)
+        return 0.0;
+    return (nn * sxy - sx * sy) / denom;
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity)
+    : capacity_(capacity < 2 ? 2 : capacity)
+{
+}
+
+void
+SlidingWindow::push(double value)
+{
+    values_.push_back(value);
+    if (values_.size() > capacity_)
+        values_.pop_front();
+}
+
+double
+SlidingWindow::slope() const
+{
+    if (values_.size() < 2)
+        return 0.0;
+    std::vector<double> ys(values_.begin(), values_.end());
+    return linearRegressionSlope(ys);
+}
+
+double
+SlidingWindow::windowMean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values_)
+        s += v;
+    return s / static_cast<double>(values_.size());
+}
+
+void
+RunningStats::push(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const std::size_t mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+    double hi = xs[mid];
+    if (xs.size() % 2 == 1)
+        return hi;
+    const double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+    return 0.5 * (lo + hi);
+}
+
+} // namespace treevqa

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Shared scalar/vector aliases for quantum-state code.
+ */
+
+#ifndef TREEVQA_COMMON_TYPES_H
+#define TREEVQA_COMMON_TYPES_H
+
+#include <complex>
+#include <vector>
+
+namespace treevqa {
+
+/** Complex amplitude type used by all simulators. */
+using Complex = std::complex<double>;
+
+/** Dense complex vector (a raw statevector or Krylov vector). */
+using CVector = std::vector<Complex>;
+
+} // namespace treevqa
+
+#endif // TREEVQA_COMMON_TYPES_H

@@ -1,0 +1,124 @@
+#include "core/baseline.h"
+
+#include <cassert>
+#include <limits>
+
+namespace treevqa {
+
+namespace {
+
+/** Per-task independent VQE state. */
+struct TaskRunner
+{
+    std::unique_ptr<ClusterObjective> objective;
+    std::unique_ptr<IterativeOptimizer> optimizer;
+    Rng rng{0};
+    std::uint64_t shotsUsed = 0;
+    int iterations = 0;
+    bool exhausted = false;
+};
+
+} // namespace
+
+BaselineResult
+runBaseline(const std::vector<VqaTask> &tasks, const Ansatz &ansatz,
+            const IterativeOptimizer &optimizer_prototype,
+            const BaselineConfig &config,
+            const std::vector<double> &initial_params)
+{
+    assert(!tasks.empty());
+    const std::size_t n = tasks.size();
+    const std::uint64_t per_task_budget = config.shotBudget / n;
+
+    Rng root_rng(config.seed);
+    std::vector<double> start = initial_params;
+    if (start.empty())
+        start.assign(static_cast<std::size_t>(ansatz.numParams()), 0.0);
+
+    std::vector<TaskRunner> runners(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        runners[i].objective = std::make_unique<ClusterObjective>(
+            std::vector<PauliSum>{tasks[i].hamiltonian},
+            ansatz.withInitialBits(tasks[i].initialBits), config.engine);
+        runners[i].optimizer = optimizer_prototype.cloneConfig();
+        runners[i].optimizer->reset(start);
+        runners[i].rng = root_rng.split();
+    }
+
+    std::vector<double> best_energies(
+        n, std::numeric_limits<double>::infinity());
+
+    BaselineResult result;
+    ShotLedger ledger;
+    int round = 0;
+
+    const auto record = [&](int at_round) {
+        TraceSample sample;
+        sample.shots = ledger.total();
+        sample.iteration = at_round;
+        sample.numClusters = n;
+        sample.bestEnergies = best_energies;
+        result.trace.push_back(std::move(sample));
+    };
+
+    bool any_active = true;
+    while (any_active) {
+        ++round;
+        any_active = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            TaskRunner &runner = runners[i];
+            if (runner.exhausted)
+                continue;
+            if (runner.shotsUsed >= per_task_budget
+                || (config.maxIterationsPerTask > 0
+                    && runner.iterations
+                           >= config.maxIterationsPerTask)) {
+                runner.exhausted = true;
+                continue;
+            }
+            any_active = true;
+
+            const Objective f = [&](const std::vector<double> &theta) {
+                const ClusterEvaluation ev =
+                    runner.objective->evaluate(theta, runner.rng);
+                runner.shotsUsed += ev.shotsUsed;
+                ledger.charge(ev.shotsUsed);
+                return ev.mixedEnergy;
+            };
+            runner.optimizer->step(f);
+            ++runner.iterations;
+
+            if (round % config.metricsInterval == 0) {
+                const double energy = runner.objective->exactTaskEnergy(
+                    0, runner.optimizer->params());
+                if (energy < best_energies[i])
+                    best_energies[i] = energy;
+            }
+        }
+        if (round % config.metricsInterval == 0)
+            record(round);
+    }
+
+    // Final exact evaluation for every task.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double energy = runners[i].objective->exactTaskEnergy(
+            0, runners[i].optimizer->params());
+        if (energy < best_energies[i])
+            best_energies[i] = energy;
+    }
+    record(round);
+
+    result.totalShots = ledger.total();
+    result.rounds = round;
+    result.outcomes.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        result.outcomes[i].bestEnergy = best_energies[i];
+        result.outcomes[i].bestClusterId = static_cast<int>(i);
+        if (tasks[i].hasGroundEnergy())
+            result.outcomes[i].fidelity = energyFidelity(
+                best_energies[i], tasks[i].groundEnergy);
+    }
+    return result;
+}
+
+} // namespace treevqa

@@ -1,0 +1,86 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace treevqa {
+
+double
+energyFidelity(double energy, double ground_energy)
+{
+    assert(ground_energy == ground_energy); // not NaN
+    const double denom = std::fabs(ground_energy) > 1e-300
+        ? std::fabs(ground_energy)
+        : 1e-300;
+    return 1.0 - std::fabs(ground_energy - energy) / denom;
+}
+
+std::vector<double>
+sampleFidelities(const TraceSample &sample,
+                 const std::vector<VqaTask> &tasks)
+{
+    assert(sample.bestEnergies.size() == tasks.size());
+    std::vector<double> f(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        f[i] = energyFidelity(sample.bestEnergies[i],
+                              tasks[i].groundEnergy);
+    return f;
+}
+
+double
+minFidelity(const TraceSample &sample, const std::vector<VqaTask> &tasks)
+{
+    const std::vector<double> f = sampleFidelities(sample, tasks);
+    return *std::min_element(f.begin(), f.end());
+}
+
+std::uint64_t
+shotsToReachFidelity(const Trace &trace,
+                     const std::vector<VqaTask> &tasks, double threshold)
+{
+    if (trace.empty())
+        return 0;
+    for (const auto &sample : trace)
+        if (minFidelity(sample, tasks) >= threshold)
+            return sample.shots;
+    return std::numeric_limits<std::uint64_t>::max();
+}
+
+double
+fidelityAtBudget(const Trace &trace, const std::vector<VqaTask> &tasks,
+                 std::uint64_t budget)
+{
+    double best = 0.0;
+    for (const auto &sample : trace) {
+        if (sample.shots > budget)
+            break;
+        best = std::max(best, minFidelity(sample, tasks));
+    }
+    return best;
+}
+
+double
+maxFidelity(const Trace &trace, const std::vector<VqaTask> &tasks)
+{
+    double best = 0.0;
+    for (const auto &sample : trace)
+        best = std::max(best, minFidelity(sample, tasks));
+    return best;
+}
+
+double
+meanErrorPercent(const TraceSample &sample,
+                 const std::vector<VqaTask> &tasks)
+{
+    assert(sample.bestEnergies.size() == tasks.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const double gs = tasks[i].groundEnergy;
+        s += std::fabs((gs - sample.bestEnergies[i]) / gs);
+    }
+    return 100.0 * s / static_cast<double>(tasks.size());
+}
+
+} // namespace treevqa

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Evaluation metrics (paper Section 7.2) and experiment traces.
+ *
+ * Error:    eps_i = |(E_gs,i - E_i) / E_gs,i|
+ * Fidelity: F_i   = 1 - eps_i
+ * An application meets fidelity threshold T when every task satisfies
+ * F_i >= T.
+ *
+ * Experiments record a Trace: a time series of (cumulative shots,
+ * best-energy-so-far per task). Figures 6 and 7 are two read-outs of
+ * the same trace: shots to first reach a fidelity threshold, and the
+ * fidelity attained within a shot budget.
+ */
+
+#ifndef TREEVQA_CORE_METRICS_H
+#define TREEVQA_CORE_METRICS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/vqa_task.h"
+
+namespace treevqa {
+
+/** Energy fidelity F = 1 - |(E_gs - E)/E_gs|. */
+double energyFidelity(double energy, double ground_energy);
+
+/** Final per-task outcome of a run (TreeVQA or baseline). */
+struct TaskOutcome
+{
+    double bestEnergy = 0.0;
+    /** TreeVQA: id of the cluster whose state won post-processing;
+     * baseline: the task's own index. */
+    int bestClusterId = -1;
+    /** Fidelity vs the task's ground energy (NaN if unknown). */
+    double fidelity = std::numeric_limits<double>::quiet_NaN();
+};
+
+/** One point of an experiment trace. */
+struct TraceSample
+{
+    std::uint64_t shots = 0;      ///< cumulative shots at this point
+    int iteration = 0;            ///< controller rounds completed
+    std::size_t numClusters = 1;  ///< active clusters (TreeVQA only)
+    /** Best (lowest) energy found so far for each task. */
+    std::vector<double> bestEnergies;
+};
+
+/** A full experiment trace. */
+using Trace = std::vector<TraceSample>;
+
+/** Per-task fidelities of one sample. */
+std::vector<double> sampleFidelities(const TraceSample &sample,
+                                     const std::vector<VqaTask> &tasks);
+
+/** Minimum task fidelity of one sample (the application fidelity). */
+double minFidelity(const TraceSample &sample,
+                   const std::vector<VqaTask> &tasks);
+
+/**
+ * Shots needed until every task first reaches fidelity >= threshold.
+ * Returns 0 if the trace is empty; returns UINT64_MAX if the threshold
+ * is never reached.
+ */
+std::uint64_t shotsToReachFidelity(const Trace &trace,
+                                   const std::vector<VqaTask> &tasks,
+                                   double threshold);
+
+/** Best application (min-task) fidelity attained within `budget`
+ * shots. */
+double fidelityAtBudget(const Trace &trace,
+                        const std::vector<VqaTask> &tasks,
+                        std::uint64_t budget);
+
+/** Highest application fidelity in the whole trace. */
+double maxFidelity(const Trace &trace, const std::vector<VqaTask> &tasks);
+
+/** Mean (over tasks) relative error of the final best energies, in
+ * percent — the Fig. 13 y-axis. */
+double meanErrorPercent(const TraceSample &sample,
+                        const std::vector<VqaTask> &tasks);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CORE_METRICS_H

@@ -1,0 +1,186 @@
+#include "core/objective.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/expectation.h"
+
+namespace treevqa {
+
+ClusterObjective::ClusterObjective(
+    std::vector<PauliSum> task_hamiltonians, Ansatz ansatz,
+    EngineConfig config)
+    : taskHams_(std::move(task_hamiltonians)), ansatz_(std::move(ansatz)),
+      config_(config),
+      mixed_(taskHams_.empty() ? 0 : taskHams_.front().numQubits()),
+      estimator_(config.shotsPerTerm, config.injectShotNoise)
+{
+    assert(!taskHams_.empty());
+    aligned_ = alignTerms(taskHams_);
+
+    // Mixed coefficients: the average of the padded rows.
+    const std::size_t m = aligned_.strings.size();
+    mixedCoefs_.assign(m, 0.0);
+    const double inv = 1.0 / static_cast<double>(taskHams_.size());
+    for (const auto &row : aligned_.coefficients)
+        for (std::size_t k = 0; k < m; ++k)
+            mixedCoefs_[k] += inv * row[k];
+
+    for (std::size_t k = 0; k < m; ++k)
+        mixed_.add(mixedCoefs_[k], aligned_.strings[k]);
+
+    // Aggregate shot-noise scales for the propagation backend:
+    // variance of sum_k c_k <P_k>_est is bounded by sum_k c_k^2 / S.
+    for (const auto &row : aligned_.coefficients) {
+        double s2 = 0.0;
+        for (std::size_t k = 0; k < m; ++k)
+            if (!aligned_.strings[k].isIdentity())
+                s2 += row[k] * row[k];
+        aggregateNoiseScale_.push_back(std::sqrt(s2));
+    }
+    {
+        double s2 = 0.0;
+        for (std::size_t k = 0; k < m; ++k)
+            if (!aligned_.strings[k].isIdentity())
+                s2 += mixedCoefs_[k] * mixedCoefs_[k];
+        aggregateNoiseScale_.push_back(std::sqrt(s2));
+    }
+
+    if (config_.backend == Backend::PauliPropagation)
+        propagator_ = std::make_unique<PauliPropagator>(
+            ansatz_.circuit(), config_.propConfig);
+}
+
+std::uint64_t
+ClusterObjective::evalCost() const
+{
+    std::uint64_t measured = 0;
+    for (const auto &string : aligned_.strings)
+        if (!string.isIdentity())
+            ++measured;
+    return config_.shotsPerTerm * measured;
+}
+
+std::vector<double>
+ClusterObjective::statevectorTermExpectations(
+    const std::vector<double> &theta) const
+{
+    const Statevector state = ansatz_.prepare(theta);
+    return perStringExpectations(state, aligned_.strings);
+}
+
+ClusterEvaluation
+ClusterObjective::evaluate(const std::vector<double> &theta,
+                           Rng &rng) const
+{
+    ClusterEvaluation out;
+    out.shotsUsed = evalCost();
+
+    const int layers = ansatz_.circuit().entanglingLayers();
+
+    if (config_.backend == Backend::Statevector) {
+        std::vector<double> values = statevectorTermExpectations(theta);
+
+        // Device noise: per-term damping.
+        if (!config_.noise.isNoiseless()) {
+            for (std::size_t k = 0; k < values.size(); ++k)
+                values[k] *= config_.noise.dampingFactor(
+                    aligned_.strings[k], layers);
+        }
+        // Shot noise: exact asymptotic variance per term.
+        if (estimator_.injectsNoise()) {
+            const double inv_s =
+                1.0 / static_cast<double>(estimator_.shotsPerTerm());
+            for (std::size_t k = 0; k < values.size(); ++k) {
+                if (aligned_.strings[k].isIdentity())
+                    continue;
+                const double var =
+                    std::max(0.0, 1.0 - values[k] * values[k]) * inv_s;
+                values[k] = std::clamp(
+                    values[k] + rng.normal(0.0, std::sqrt(var)), -1.0,
+                    1.0);
+            }
+        }
+        // Classical recombination for the mixed and member energies.
+        out.mixedEnergy = recombine(mixedCoefs_, values);
+        out.taskEnergies.resize(taskHams_.size());
+        for (std::size_t i = 0; i < taskHams_.size(); ++i)
+            out.taskEnergies[i] =
+                recombine(aligned_.coefficients[i], values);
+        return out;
+    }
+
+    // PauliPropagation backend: joint propagation of members + mixed.
+    std::vector<PauliSum> observables = taskHams_;
+    observables.push_back(mixed_);
+    std::vector<double> energies = propagator_->expectations(
+        theta, observables, ansatz_.initialBits());
+
+    // Global-depolarizing deformation of the non-identity part.
+    if (!config_.noise.isNoiseless()) {
+        const double damp =
+            std::pow(config_.noise.gateFidelity(), layers);
+        for (std::size_t i = 0; i < taskHams_.size(); ++i) {
+            const double trace = taskHams_[i].normalizedTrace();
+            energies[i] = damp * (energies[i] - trace) + trace;
+        }
+        const double mixed_trace = mixed_.normalizedTrace();
+        energies.back() =
+            damp * (energies.back() - mixed_trace) + mixed_trace;
+    }
+    // Aggregate shot noise.
+    if (estimator_.injectsNoise()) {
+        const double inv_sqrt_s = 1.0
+            / std::sqrt(static_cast<double>(estimator_.shotsPerTerm()));
+        for (std::size_t i = 0; i < energies.size(); ++i)
+            energies[i] +=
+                rng.normal(0.0, aggregateNoiseScale_[i] * inv_sqrt_s);
+    }
+
+    out.mixedEnergy = energies.back();
+    out.taskEnergies.assign(energies.begin(), energies.end() - 1);
+    return out;
+}
+
+double
+ClusterObjective::exactTaskEnergy(std::size_t task_index,
+                                  const std::vector<double> &theta) const
+{
+    assert(task_index < taskHams_.size());
+    if (config_.backend == Backend::Statevector) {
+        const Statevector state = ansatz_.prepare(theta);
+        return expectation(state, taskHams_[task_index]);
+    }
+    return propagator_->expectation(theta, taskHams_[task_index],
+                                    ansatz_.initialBits());
+}
+
+std::vector<double>
+ClusterObjective::exactTaskEnergies(const std::vector<double> &theta) const
+{
+    if (config_.backend == Backend::Statevector) {
+        const std::vector<double> values =
+            statevectorTermExpectations(theta);
+        std::vector<double> energies(taskHams_.size());
+        for (std::size_t i = 0; i < taskHams_.size(); ++i)
+            energies[i] = recombine(aligned_.coefficients[i], values);
+        return energies;
+    }
+    return propagator_->expectations(theta, taskHams_,
+                                     ansatz_.initialBits());
+}
+
+double
+ClusterObjective::exactMixedEnergy(const std::vector<double> &theta) const
+{
+    if (config_.backend == Backend::Statevector) {
+        const std::vector<double> values =
+            statevectorTermExpectations(theta);
+        return recombine(mixedCoefs_, values);
+    }
+    return propagator_->expectation(theta, mixed_,
+                                    ansatz_.initialBits());
+}
+
+} // namespace treevqa

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cluster objective: the quantum-execution model of a VQA cluster.
+ *
+ * A cluster jointly optimizes its mixed Hamiltonian (Section 5.2.1) over
+ * the padded Pauli-term superset of its members. One objective
+ * evaluation corresponds to measuring every superset term with
+ * shots_per_term shots on the shared state |psi(theta)>; the *same*
+ * per-term estimates are then classically recombined with each member's
+ * coefficient vector, which is why tracking the individual losses of
+ * Algorithm 2 costs no extra quantum execution (Section 5.2.2) and why
+ * post-processing is a classical recombination (Section 5.3).
+ *
+ * Two backends realize the evaluation:
+ *  - Statevector: exact per-term expectations + per-term shot noise
+ *    (dense problems, <= ~20 qubits);
+ *  - PauliPropagation: joint Heisenberg propagation of all member
+ *    Hamiltonians + aggregate shot noise (the paper's large-scale
+ *    path, Section 8.4).
+ */
+
+#ifndef TREEVQA_CORE_OBJECTIVE_H
+#define TREEVQA_CORE_OBJECTIVE_H
+
+#include <memory>
+#include <vector>
+
+#include "circuit/ansatz.h"
+#include "common/rng.h"
+#include "pauli/pauli_sum.h"
+#include "paulprop/pauli_propagation.h"
+#include "sim/noise_model.h"
+#include "sim/shot_estimator.h"
+
+namespace treevqa {
+
+/** Simulation backend selector. */
+enum class Backend
+{
+    Statevector,
+    PauliPropagation
+};
+
+/** Quantum-execution configuration shared by all clusters of a run. */
+struct EngineConfig
+{
+    Backend backend = Backend::Statevector;
+    /** Shots per Pauli term per evaluation (paper: 4096). */
+    std::uint64_t shotsPerTerm = kDefaultShotsPerTerm;
+    /** False turns the objective into the exact expectation (shots are
+     * still accounted). */
+    bool injectShotNoise = true;
+    /** Device noise model (defaults to noiseless). */
+    NoiseModel noise;
+    /** Truncation knobs for the PauliPropagation backend. */
+    PauliPropConfig propConfig;
+};
+
+/** Result of one objective evaluation. */
+struct ClusterEvaluation
+{
+    /** Shot-noisy mixed-Hamiltonian energy (what the optimizer sees). */
+    double mixedEnergy = 0.0;
+    /** Shot-noisy member energies recombined from the same estimates. */
+    std::vector<double> taskEnergies;
+    /** Shots charged for this evaluation. */
+    std::uint64_t shotsUsed = 0;
+};
+
+/** The measurable objective of one VQA cluster. */
+class ClusterObjective
+{
+  public:
+    /**
+     * @param task_hamiltonians the cluster members' Hamiltonians.
+     * @param ansatz shared parameterized state preparation.
+     * @param config execution model.
+     */
+    ClusterObjective(std::vector<PauliSum> task_hamiltonians,
+                     Ansatz ansatz, EngineConfig config);
+
+    ClusterObjective(const ClusterObjective &) = delete;
+    ClusterObjective &operator=(const ClusterObjective &) = delete;
+
+    std::size_t numTasks() const { return taskHams_.size(); }
+    const PauliSum &mixed() const { return mixed_; }
+    const Ansatz &ansatz() const { return ansatz_; }
+    const EngineConfig &config() const { return config_; }
+
+    /** Shots one evaluation costs: shots_per_term x |superset|. */
+    std::uint64_t evalCost() const;
+
+    /** Noisy evaluation at theta (charges shotsUsed to the caller). */
+    ClusterEvaluation evaluate(const std::vector<double> &theta,
+                               Rng &rng) const;
+
+    /** Exact (noiseless, infinite-shot) member energy at theta. */
+    double exactTaskEnergy(std::size_t task_index,
+                           const std::vector<double> &theta) const;
+
+    /** All exact member energies at theta (one propagation/state). */
+    std::vector<double> exactTaskEnergies(
+        const std::vector<double> &theta) const;
+
+    /** Exact mixed-Hamiltonian energy at theta. */
+    double exactMixedEnergy(const std::vector<double> &theta) const;
+
+  private:
+    std::vector<double> statevectorTermExpectations(
+        const std::vector<double> &theta) const;
+
+    std::vector<PauliSum> taskHams_;
+    Ansatz ansatz_;
+    EngineConfig config_;
+    AlignedTerms aligned_;
+    /** Mixed coefficients aligned with aligned_.strings. */
+    std::vector<double> mixedCoefs_;
+    PauliSum mixed_;
+    ShotEstimator estimator_;
+    /** Shot-noise scale per observable for the propagation backend:
+     * sqrt(sum_k c_k^2) for each task, mixed last. */
+    std::vector<double> aggregateNoiseScale_;
+    std::unique_ptr<PauliPropagator> propagator_;
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_CORE_OBJECTIVE_H

@@ -1,0 +1,142 @@
+#include "core/report.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace treevqa {
+
+namespace {
+
+/** JSON-safe double: NaN/inf become null. */
+std::string
+jsonNumber(double x)
+{
+    if (!std::isfinite(x))
+        return "null";
+    std::ostringstream os;
+    os.precision(17);
+    os << x;
+    return os.str();
+}
+
+void
+appendOutcomes(std::ostringstream &os,
+               const std::vector<TaskOutcome> &outcomes,
+               const std::vector<VqaTask> &tasks)
+{
+    os << "\"tasks\":[";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "{\"name\":\"" << tasks[i].name << "\""
+           << ",\"best_energy\":" << jsonNumber(outcomes[i].bestEnergy)
+           << ",\"ground_energy\":"
+           << jsonNumber(tasks[i].groundEnergy)
+           << ",\"fidelity\":" << jsonNumber(outcomes[i].fidelity)
+           << ",\"best_cluster\":" << outcomes[i].bestClusterId
+           << "}";
+    }
+    os << "]";
+}
+
+void
+appendTrace(std::ostringstream &os, const Trace &trace)
+{
+    os << "\"trace\":[";
+    for (std::size_t s = 0; s < trace.size(); ++s) {
+        if (s)
+            os << ",";
+        os << "{\"shots\":" << trace[s].shots << ",\"round\":"
+           << trace[s].iteration << ",\"clusters\":"
+           << trace[s].numClusters << ",\"best_energies\":[";
+        for (std::size_t i = 0; i < trace[s].bestEnergies.size(); ++i) {
+            if (i)
+                os << ",";
+            os << jsonNumber(trace[s].bestEnergies[i]);
+        }
+        os << "]}";
+    }
+    os << "]";
+}
+
+} // namespace
+
+std::string
+summarize(const TreeVqaResult &result, const std::vector<VqaTask> &tasks)
+{
+    std::ostringstream os;
+    os << "TreeVQA run: " << result.rounds << " rounds, "
+       << result.totalShots << " shots, " << result.splitCount
+       << " splits, " << result.finalClusterCount
+       << " final clusters (max level " << result.maxTreeLevel
+       << ", critical depth "
+       << static_cast<int>(100.0 * result.criticalDepthFraction + 0.5)
+       << "% of iterations)\n";
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+        const TaskOutcome &o = result.outcomes[i];
+        os << "  " << tasks[i].name << ": E = " << o.bestEnergy;
+        if (std::isfinite(o.fidelity))
+            os << ", fidelity " << o.fidelity;
+        os << " (cluster " << o.bestClusterId << ")\n";
+    }
+    return os.str();
+}
+
+std::string
+summarize(const BaselineResult &result,
+          const std::vector<VqaTask> &tasks)
+{
+    std::ostringstream os;
+    os << "Baseline run: " << result.rounds << " rounds, "
+       << result.totalShots << " shots, " << tasks.size()
+       << " independent tasks\n";
+    for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+        const TaskOutcome &o = result.outcomes[i];
+        os << "  " << tasks[i].name << ": E = " << o.bestEnergy;
+        if (std::isfinite(o.fidelity))
+            os << ", fidelity " << o.fidelity;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+toJson(const TreeVqaResult &result, const std::vector<VqaTask> &tasks,
+       bool include_trace)
+{
+    std::ostringstream os;
+    os << "{\"method\":\"treevqa\""
+       << ",\"total_shots\":" << result.totalShots
+       << ",\"rounds\":" << result.rounds
+       << ",\"splits\":" << result.splitCount
+       << ",\"final_clusters\":" << result.finalClusterCount
+       << ",\"max_tree_level\":" << result.maxTreeLevel
+       << ",\"critical_depth_fraction\":"
+       << jsonNumber(result.criticalDepthFraction) << ",";
+    appendOutcomes(os, result.outcomes, tasks);
+    if (include_trace) {
+        os << ",";
+        appendTrace(os, result.trace);
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+toJson(const BaselineResult &result, const std::vector<VqaTask> &tasks,
+       bool include_trace)
+{
+    std::ostringstream os;
+    os << "{\"method\":\"baseline\""
+       << ",\"total_shots\":" << result.totalShots
+       << ",\"rounds\":" << result.rounds << ",";
+    appendOutcomes(os, result.outcomes, tasks);
+    if (include_trace) {
+        os << ",";
+        appendTrace(os, result.trace);
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace treevqa

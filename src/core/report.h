@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Run reporting: human-readable summaries and JSON export of TreeVQA
+ * and baseline results, for dashboards and post-hoc analysis.
+ *
+ * The JSON is hand-rolled (no third-party dependency) and covers the
+ * outcome table, the execution-tree statistics and the full trace.
+ */
+
+#ifndef TREEVQA_CORE_REPORT_H
+#define TREEVQA_CORE_REPORT_H
+
+#include <string>
+
+#include "core/baseline.h"
+#include "core/tree_controller.h"
+
+namespace treevqa {
+
+/** Multi-line human-readable summary of a TreeVQA run. */
+std::string summarize(const TreeVqaResult &result,
+                      const std::vector<VqaTask> &tasks);
+
+/** Multi-line human-readable summary of a baseline run. */
+std::string summarize(const BaselineResult &result,
+                      const std::vector<VqaTask> &tasks);
+
+/** JSON document for a TreeVQA run (outcomes, tree stats, trace). */
+std::string toJson(const TreeVqaResult &result,
+                   const std::vector<VqaTask> &tasks,
+                   bool include_trace = true);
+
+/** JSON document for a baseline run. */
+std::string toJson(const BaselineResult &result,
+                   const std::vector<VqaTask> &tasks,
+                   bool include_trace = true);
+
+} // namespace treevqa
+
+#endif // TREEVQA_CORE_REPORT_H

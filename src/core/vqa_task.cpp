@@ -1,0 +1,46 @@
+#include "core/vqa_task.h"
+
+#include "common/rng.h"
+#include "linalg/lanczos.h"
+
+namespace treevqa {
+
+std::vector<VqaTask>
+makeTasks(const std::string &name_prefix,
+          const std::vector<PauliSum> &hamiltonians,
+          std::uint64_t initial_bits)
+{
+    std::vector<VqaTask> tasks;
+    tasks.reserve(hamiltonians.size());
+    for (std::size_t i = 0; i < hamiltonians.size(); ++i) {
+        VqaTask task;
+        task.name = name_prefix;
+        task.name += '[';
+        task.name += std::to_string(i);
+        task.name += ']';
+        task.hamiltonian = hamiltonians[i];
+        task.initialBits = initial_bits;
+        tasks.push_back(std::move(task));
+    }
+    return tasks;
+}
+
+void
+solveGroundEnergies(std::vector<VqaTask> &tasks, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (auto &task : tasks) {
+        if (task.hasGroundEnergy())
+            continue;
+        const std::size_t dim =
+            std::size_t{1} << task.hamiltonian.numQubits();
+        const PauliSum &h = task.hamiltonian;
+        const MatVec matvec = [&h](const CVector &x, CVector &y) {
+            h.applyTo(x, y);
+        };
+        task.groundEnergy =
+            lanczosGroundState(dim, matvec, rng).eigenvalue;
+    }
+}
+
+} // namespace treevqa

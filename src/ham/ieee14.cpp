@@ -1,0 +1,81 @@
+#include "ham/ieee14.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treevqa {
+
+namespace {
+
+/** Branch list of the IEEE 14-bus system: from-bus, to-bus (0-indexed)
+ * and series reactance X (per unit, standard data). */
+struct Branch
+{
+    int from;
+    int to;
+    double reactance;
+};
+
+const Branch kBranches[kIeee14Branches] = {
+    {0, 1, 0.05917},  {0, 4, 0.22304},  {1, 2, 0.19797},
+    {1, 3, 0.17632},  {1, 4, 0.17388},  {2, 3, 0.17103},
+    {3, 4, 0.04211},  {3, 6, 0.20912},  {3, 8, 0.55618},
+    {4, 5, 0.25202},  {5, 10, 0.19890}, {5, 11, 0.25581},
+    {5, 12, 0.13027}, {6, 7, 0.17615},  {6, 8, 0.11001},
+    {8, 9, 0.08450},  {8, 13, 0.27038}, {9, 10, 0.19207},
+    {11, 12, 0.19988}, {12, 13, 0.34802},
+};
+
+/** Deterministic per-branch load sensitivity in [0.35, 1.0]: heavier
+ * (lower-reactance) corridors respond more strongly to system load. */
+double
+loadSensitivity(int branch_index)
+{
+    // Spread sensitivities over the branches with a fixed pattern; a
+    // golden-ratio stride decorrelates them from the topology order.
+    const double phase = std::fmod(0.6180339887 * (branch_index + 1), 1.0);
+    return 0.35 + 0.65 * phase;
+}
+
+} // namespace
+
+WeightedGraph
+ieee14BaseGraph()
+{
+    WeightedGraph g;
+    g.numNodes = kIeee14Buses;
+    double max_b = 0.0;
+    for (const auto &br : kBranches)
+        max_b = std::max(max_b, 1.0 / br.reactance);
+    for (const auto &br : kBranches) {
+        const double weight = (1.0 / br.reactance) / max_b;
+        g.edges.push_back(WeightedEdge{br.from, br.to, weight});
+    }
+    return g;
+}
+
+std::vector<WeightedGraph>
+ieee14LoadFamily(double scale_lo, double scale_hi, int count)
+{
+    assert(count >= 1);
+    const WeightedGraph base = ieee14BaseGraph();
+
+    std::vector<WeightedGraph> family;
+    family.reserve(count);
+    for (int k = 0; k < count; ++k) {
+        const double t = count == 1
+            ? 0.5
+            : static_cast<double>(k) / (count - 1);
+        const double scale = scale_lo + t * (scale_hi - scale_lo);
+        WeightedGraph g = base;
+        for (std::size_t e = 0; e < g.edges.size(); ++e) {
+            const double f = loadSensitivity(static_cast<int>(e));
+            g.edges[e].weight =
+                base.edges[e].weight * (1.0 + (scale - 1.0) * f);
+        }
+        family.push_back(std::move(g));
+    }
+    return family;
+}
+
+} // namespace treevqa

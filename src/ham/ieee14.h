@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The IEEE 14-bus test system as a MaxCut family (paper Sections 7.1 and
+ * 8.8).
+ *
+ * The canonical 14-bus network (14 buses, 20 branches) is hard-coded
+ * with its standard branch reactances; edge weights are derived from
+ * line susceptance (1/X, normalized) — a standard proxy for transfer
+ * capacity. Load scaling produces the task family: for a load scale s,
+ * each edge's weight is modulated by a per-branch load sensitivity so
+ * that instances at nearby scales are similar and instances across a
+ * wide scale range diverge, matching the paper's three regimes
+ * (0.5:1.5 extreme planning, 0.8:1.2 typical operation, 0.9:1.1
+ * forecasting error).
+ */
+
+#ifndef TREEVQA_HAM_IEEE14_H
+#define TREEVQA_HAM_IEEE14_H
+
+#include <vector>
+
+#include "ham/maxcut.h"
+
+namespace treevqa {
+
+/** Number of buses in the IEEE 14-bus system. */
+inline constexpr int kIeee14Buses = 14;
+/** Number of branches (lines + transformers). */
+inline constexpr int kIeee14Branches = 20;
+
+/** The base-load IEEE 14-bus graph (weights normalized to max 1). */
+WeightedGraph ieee14BaseGraph();
+
+/**
+ * A family of `count` load-scaled instances with scales equally spaced
+ * over [scale_lo, scale_hi].
+ *
+ * Edge e at scale s has weight w_e(s) = w_e * (1 + (s - 1) * f_e), where
+ * f_e in [0.35, 1.0] is a deterministic per-branch load sensitivity.
+ */
+std::vector<WeightedGraph> ieee14LoadFamily(double scale_lo,
+                                            double scale_hi, int count);
+
+} // namespace treevqa
+
+#endif // TREEVQA_HAM_IEEE14_H

@@ -1,0 +1,84 @@
+#include "ham/maxcut.h"
+
+#include <cassert>
+
+namespace treevqa {
+
+double
+WeightedGraph::cutValue(std::uint64_t assignment) const
+{
+    double cut = 0.0;
+    for (const auto &e : edges) {
+        const bool su = (assignment >> e.u) & 1ull;
+        const bool sv = (assignment >> e.v) & 1ull;
+        if (su != sv)
+            cut += e.weight;
+    }
+    return cut;
+}
+
+double
+WeightedGraph::maxCutBruteForce() const
+{
+    assert(numNodes >= 1 && numNodes <= 24);
+    double best = 0.0;
+    const std::uint64_t half = 1ull << (numNodes - 1);
+    // Fixing vertex n-1 in partition 0 halves the search space.
+    for (std::uint64_t a = 0; a < half; ++a)
+        best = std::max(best, cutValue(a));
+    return best;
+}
+
+PauliSum
+maxcutHamiltonian(const WeightedGraph &graph)
+{
+    PauliSum h(graph.numNodes);
+    for (const auto &e : graph.edges) {
+        assert(e.u != e.v);
+        assert(e.u >= 0 && e.u < graph.numNodes);
+        assert(e.v >= 0 && e.v < graph.numNodes);
+        PauliString zz(graph.numNodes);
+        zz.setOp(e.u, 'Z');
+        zz.setOp(e.v, 'Z');
+        h.add(0.5 * e.weight, zz);
+        h.add(-0.5 * e.weight, PauliString(graph.numNodes));
+    }
+    h.compress(0.0);
+    return h;
+}
+
+std::vector<QuboClause>
+maxcutClauses(const WeightedGraph &graph)
+{
+    std::vector<QuboClause> clauses;
+    clauses.reserve(graph.edges.size());
+    for (const auto &e : graph.edges)
+        clauses.push_back(QuboClause{e.u, e.v, e.weight});
+    return clauses;
+}
+
+double
+edgeWeightVariance(const std::vector<WeightedGraph> &graphs)
+{
+    if (graphs.empty())
+        return 0.0;
+    const std::size_t m = graphs.front().edges.size();
+    std::vector<double> mean(m, 0.0);
+    for (const auto &g : graphs) {
+        assert(g.edges.size() == m);
+        for (std::size_t e = 0; e < m; ++e)
+            mean[e] += g.edges[e].weight;
+    }
+    for (auto &w : mean)
+        w /= static_cast<double>(graphs.size());
+
+    double var = 0.0;
+    for (const auto &g : graphs)
+        for (std::size_t e = 0; e < m; ++e) {
+            const double d = g.edges[e].weight - mean[e];
+            var += d * d;
+        }
+    return var / static_cast<double>(graphs.size() * m);
+}
+
+} // namespace treevqa

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Weighted MaxCut as a QUBO / Ising Hamiltonian (paper Section 7.1).
+ *
+ * For a graph G with edge weights w_ij, the paper's cost Hamiltonian is
+ *   H_C = sum_{(i,j) in E} (w_ij / 2) (I - Z_i Z_j),
+ * whose maximum eigenvalue is the maximum cut. Since every optimizer in
+ * this repo minimizes, we expose the *minimization* form
+ *   H = -H_C = sum (w_ij / 2) (Z_i Z_j - I),
+ * whose ground-state energy equals minus the max-cut value.
+ */
+
+#ifndef TREEVQA_HAM_MAXCUT_H
+#define TREEVQA_HAM_MAXCUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/ma_qaoa.h"
+#include "pauli/pauli_sum.h"
+
+namespace treevqa {
+
+/** A weighted undirected edge. */
+struct WeightedEdge
+{
+    int u = 0;
+    int v = 0;
+    double weight = 1.0;
+};
+
+/** A weighted undirected graph. */
+struct WeightedGraph
+{
+    int numNodes = 0;
+    std::vector<WeightedEdge> edges;
+
+    /** Cut value of a vertex bipartition given as a bitmask. */
+    double cutValue(std::uint64_t assignment) const;
+
+    /** Exact maximum cut by exhaustive search (n <= ~24). */
+    double maxCutBruteForce() const;
+};
+
+/** Minimization-form MaxCut Hamiltonian (ground energy = -maxcut). */
+PauliSum maxcutHamiltonian(const WeightedGraph &graph);
+
+/** The graph's edges as QAOA clauses for makeMaQaoaAnsatz. */
+std::vector<QuboClause> maxcutClauses(const WeightedGraph &graph);
+
+/**
+ * Edge-weight variance across a family of aligned graphs: the average
+ * squared deviation of each graph's edge-weight vector from the mean
+ * graph (the purple bars of Figure 12).
+ */
+double edgeWeightVariance(const std::vector<WeightedGraph> &graphs);
+
+} // namespace treevqa
+
+#endif // TREEVQA_HAM_MAXCUT_H

@@ -1,0 +1,103 @@
+#include "ham/qubo.h"
+
+#include <cassert>
+
+namespace treevqa {
+
+Qubo::Qubo(std::size_t num_vars)
+    : q_(num_vars, num_vars, 0.0)
+{
+}
+
+void
+Qubo::set(std::size_t i, std::size_t j, double value)
+{
+    assert(i < numVars() && j < numVars());
+    q_(i, j) = value;
+    q_(j, i) = value;
+}
+
+double
+Qubo::evaluate(std::uint64_t assignment) const
+{
+    const std::size_t n = numVars();
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!((assignment >> i) & 1ull))
+            continue;
+        total += q_(i, i);
+        for (std::size_t j = i + 1; j < n; ++j)
+            if ((assignment >> j) & 1ull)
+                total += 2.0 * q_(i, j); // symmetric off-diagonal
+    }
+    return total;
+}
+
+double
+Qubo::minimumBruteForce() const
+{
+    const std::size_t n = numVars();
+    assert(n >= 1 && n <= 24);
+    double best = evaluate(0);
+    for (std::uint64_t a = 1; a < (1ull << n); ++a)
+        best = std::min(best, evaluate(a));
+    return best;
+}
+
+PauliSum
+Qubo::toHamiltonian() const
+{
+    // x_i = (1 - z_i)/2 with z_i = +/-1 the Z_i eigenvalue:
+    //   Q_ii x_i           -> Q_ii (1 - Z_i)/2
+    //   2 Q_ij x_i x_j     -> Q_ij (1 - Z_i)(1 - Z_j)/2
+    const std::size_t n = numVars();
+    const int nq = static_cast<int>(n);
+    PauliSum h(nq);
+
+    double constant = 0.0;
+    std::vector<double> fields(n, 0.0);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        constant += 0.5 * q_(i, i);
+        fields[i] -= 0.5 * q_(i, i);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double qij = q_(i, j);
+            if (qij == 0.0)
+                continue;
+            constant += 0.5 * qij;
+            fields[i] -= 0.5 * qij;
+            fields[j] -= 0.5 * qij;
+            PauliString zz(nq);
+            zz.setOp(static_cast<int>(i), 'Z');
+            zz.setOp(static_cast<int>(j), 'Z');
+            h.add(0.5 * qij, zz);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (fields[i] == 0.0)
+            continue;
+        PauliString z(nq);
+        z.setOp(static_cast<int>(i), 'Z');
+        h.add(fields[i], z);
+    }
+    if (constant != 0.0)
+        h.add(constant, PauliString(nq));
+    h.compress(0.0);
+    return h;
+}
+
+std::vector<QuboClause>
+Qubo::clauses() const
+{
+    std::vector<QuboClause> out;
+    const std::size_t n = numVars();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (q_(i, j) != 0.0)
+                out.push_back(QuboClause{static_cast<int>(i),
+                                         static_cast<int>(j),
+                                         q_(i, j)});
+    return out;
+}
+
+} // namespace treevqa

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * General QUBO support (paper Section 6: "This phasing step is
+ * applicable to any QUBO").
+ *
+ * A Quadratic Unconstrained Binary Optimization problem
+ *
+ *     minimize  x^T Q x,   x in {0,1}^n
+ *
+ * maps to an Ising Hamiltonian through x_i = (1 - z_i)/2, producing
+ * linear Z fields, ZZ couplings and a constant. This module performs
+ * the conversion, exposes the clauses the ma-QAOA ansatz needs, and
+ * evaluates assignments so tests can brute-force-verify the spectrum.
+ * MaxCut (ham/maxcut.h) is the special case the paper evaluates;
+ * arbitrary QUBOs let downstream users bring the optimization problems
+ * Section 2.3 enumerates (traffic, supply chain, scheduling...).
+ */
+
+#ifndef TREEVQA_HAM_QUBO_H
+#define TREEVQA_HAM_QUBO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/ma_qaoa.h"
+#include "linalg/matrix.h"
+#include "pauli/pauli_sum.h"
+
+namespace treevqa {
+
+/** A QUBO instance: symmetric cost matrix Q (upper triangle used). */
+class Qubo
+{
+  public:
+    explicit Qubo(std::size_t num_vars = 0);
+
+    std::size_t numVars() const { return q_.rows(); }
+
+    /** Access Q(i, j); the matrix is kept symmetric on write. */
+    void set(std::size_t i, std::size_t j, double value);
+    double get(std::size_t i, std::size_t j) const { return q_(i, j); }
+
+    /** Objective x^T Q x for a bit assignment. */
+    double evaluate(std::uint64_t assignment) const;
+
+    /** Exhaustive minimum (n <= ~24), for tests and small exact
+     * references. */
+    double minimumBruteForce() const;
+
+    /**
+     * Ising form: H = sum h_i Z_i + sum J_ij Z_i Z_j + c I with
+     * spec(H) = {objective values}. Ground energy == QUBO minimum.
+     */
+    PauliSum toHamiltonian() const;
+
+    /** ZZ clauses (+ the diagonal as 1-local clauses are folded into
+     * the phasing angles by weight) for makeMaQaoaAnsatz. */
+    std::vector<QuboClause> clauses() const;
+
+  private:
+    Matrix q_;
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_HAM_QUBO_H

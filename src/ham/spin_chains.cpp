@@ -1,0 +1,78 @@
+#include "ham/spin_chains.h"
+
+#include <cassert>
+
+namespace treevqa {
+
+PauliSum
+xxzChain(int num_sites, double j, double delta)
+{
+    assert(num_sites >= 2);
+    PauliSum h(num_sites);
+    for (int i = 0; i + 1 < num_sites; ++i) {
+        PauliString xx(num_sites), yy(num_sites), zz(num_sites);
+        xx.setOp(i, 'X');
+        xx.setOp(i + 1, 'X');
+        yy.setOp(i, 'Y');
+        yy.setOp(i + 1, 'Y');
+        zz.setOp(i, 'Z');
+        zz.setOp(i + 1, 'Z');
+        h.add(j, xx);
+        h.add(j, yy);
+        h.add(j * delta, zz);
+    }
+    return h;
+}
+
+PauliSum
+transverseFieldIsing(int num_sites, double j, double field)
+{
+    assert(num_sites >= 2);
+    PauliSum h(num_sites);
+    for (int i = 0; i + 1 < num_sites; ++i) {
+        PauliString zz(num_sites);
+        zz.setOp(i, 'Z');
+        zz.setOp(i + 1, 'Z');
+        h.add(-j, zz);
+    }
+    for (int i = 0; i < num_sites; ++i) {
+        PauliString x(num_sites);
+        x.setOp(i, 'X');
+        h.add(-field, x);
+    }
+    return h;
+}
+
+std::vector<PauliSum>
+xxzFamily(int num_sites, double delta_lo, double delta_hi, int count)
+{
+    assert(count >= 1);
+    std::vector<PauliSum> family;
+    family.reserve(count);
+    for (int k = 0; k < count; ++k) {
+        const double t = count == 1
+            ? 0.0
+            : static_cast<double>(k) / (count - 1);
+        family.push_back(
+            xxzChain(num_sites, 1.0, delta_lo + t * (delta_hi - delta_lo)));
+    }
+    return family;
+}
+
+std::vector<PauliSum>
+tfimFamily(int num_sites, double h_lo, double h_hi, int count)
+{
+    assert(count >= 1);
+    std::vector<PauliSum> family;
+    family.reserve(count);
+    for (int k = 0; k < count; ++k) {
+        const double t = count == 1
+            ? 0.0
+            : static_cast<double>(k) / (count - 1);
+        family.push_back(transverseFieldIsing(
+            num_sites, 1.0, h_lo + t * (h_hi - h_lo)));
+    }
+    return family;
+}
+
+} // namespace treevqa

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Spin-1/2 chain Hamiltonians: the paper's physics benchmarks
+ * (Section 7.1).
+ *
+ *  - Heisenberg XXZ chain:
+ *      H = J sum_i (X_i X_{i+1} + Y_i Y_{i+1} + Delta Z_i Z_{i+1}),
+ *    with the anisotropy Delta driving the gapless (|Delta| < 1) to
+ *    gapped transition (BKT point at Delta = 1). A TreeVQA application
+ *    is a family of tasks at different Delta values.
+ *
+ *  - Transverse-field Ising model:
+ *      H = -J sum_i Z_i Z_{i+1} - h sum_i X_i,
+ *    quantum phase transition at h = J. A family of tasks sweeps h.
+ */
+
+#ifndef TREEVQA_HAM_SPIN_CHAINS_H
+#define TREEVQA_HAM_SPIN_CHAINS_H
+
+#include <vector>
+
+#include "pauli/pauli_sum.h"
+
+namespace treevqa {
+
+/** Open-boundary XXZ chain on `num_sites` spins. */
+PauliSum xxzChain(int num_sites, double j, double delta);
+
+/** Open-boundary transverse-field Ising chain. */
+PauliSum transverseFieldIsing(int num_sites, double j, double h);
+
+/** A family of XXZ tasks sweeping Delta over [lo, hi] in `count` equal
+ * steps (J = 1). */
+std::vector<PauliSum> xxzFamily(int num_sites, double delta_lo,
+                                double delta_hi, int count);
+
+/** A family of TFIM tasks sweeping h over [lo, hi] (J = 1). */
+std::vector<PauliSum> tfimFamily(int num_sites, double h_lo, double h_hi,
+                                 int count);
+
+} // namespace treevqa
+
+#endif // TREEVQA_HAM_SPIN_CHAINS_H

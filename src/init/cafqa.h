@@ -1,0 +1,53 @@
+/**
+ * @file
+ * CAFQA-style classical initialization (paper Section 8.5).
+ *
+ * CAFQA (Ravi et al., ASPLOS 2023) searches the Clifford subspace of an
+ * ansatz — rotation angles restricted to multiples of pi/2 — for the
+ * lowest-energy classically-simulable starting point, then hands those
+ * parameters to VQE as a warm start. We reproduce the search as
+ * coordinate descent over the discrete angle grid {0, pi/2, pi, 3pi/2}
+ * with random restarts.
+ *
+ * Substitution note (DESIGN.md): CAFQA evaluates candidates with a
+ * stabilizer simulator; we evaluate with the dense statevector engine.
+ * The *search result* is identical — at Clifford points both simulators
+ * are exact — only the (classical, un-accounted) evaluation cost
+ * differs, and classical cost is outside the paper's shot metric.
+ */
+
+#ifndef TREEVQA_INIT_CAFQA_H
+#define TREEVQA_INIT_CAFQA_H
+
+#include <vector>
+
+#include "circuit/ansatz.h"
+#include "common/rng.h"
+#include "pauli/pauli_sum.h"
+
+namespace treevqa {
+
+/** Result of a Clifford-space initialization search. */
+struct CafqaResult
+{
+    /** Best Clifford-point parameters found. */
+    std::vector<double> params;
+    /** Exact energy at those parameters. */
+    double energy = 0.0;
+    /** Number of candidate evaluations performed (classical cost). */
+    int evaluations = 0;
+};
+
+/**
+ * Search the Clifford angle grid for the lowest energy of `hamiltonian`
+ * under `ansatz`.
+ *
+ * @param sweeps coordinate-descent sweeps per restart.
+ * @param restarts random-restart count (first restart starts at 0).
+ */
+CafqaResult cafqaSearch(const PauliSum &hamiltonian, const Ansatz &ansatz,
+                        Rng &rng, int sweeps = 3, int restarts = 2);
+
+} // namespace treevqa
+
+#endif // TREEVQA_INIT_CAFQA_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Red-QAOA-style pooled initialization for MaxCut families (paper
+ * Section 8.8).
+ *
+ * Red-QAOA (Wang et al., ASPLOS 2024) derives QAOA initial parameters
+ * from a reduced/pooled version of the problem graph. For TreeVQA's
+ * IEEE-14 load families the graphs are isomorphic and differ only in
+ * edge weights, so the pooled instance is simply the mean graph; we
+ * grid-search the standard 2p-parameter QAOA angles on the mean graph
+ * with the exact simulator and broadcast them to the (m+n)p parameters
+ * of the multi-angle ansatz. Exactly as in the paper, the resulting
+ * initial state is shared by all instances of a family.
+ */
+
+#ifndef TREEVQA_INIT_WARM_START_H
+#define TREEVQA_INIT_WARM_START_H
+
+#include <vector>
+
+#include "ham/maxcut.h"
+
+namespace treevqa {
+
+/** Elementwise mean graph of an aligned family (graph pooling). */
+WeightedGraph meanGraph(const std::vector<WeightedGraph> &graphs);
+
+/**
+ * Pooled QAOA initialization: grid-search (gamma_l, beta_l) layer by
+ * layer on the mean graph, then expand to ma-QAOA parameter layout.
+ *
+ * @param graphs the task family (aligned edge lists).
+ * @param layers QAOA depth p.
+ * @param grid_resolution grid points per angle axis.
+ * @return parameter vector sized (m + n) * p for makeMaQaoaAnsatz of
+ *         the family's graphs.
+ */
+std::vector<double> pooledQaoaInit(
+    const std::vector<WeightedGraph> &graphs, int layers,
+    int grid_resolution = 16);
+
+} // namespace treevqa
+
+#endif // TREEVQA_INIT_WARM_START_H

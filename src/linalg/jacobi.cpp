@@ -1,0 +1,142 @@
+#include "linalg/jacobi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace treevqa {
+
+namespace {
+
+/** Frobenius norm of the strict upper triangle. */
+double
+offDiagonalNorm(const Matrix &a)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = i + 1; j < a.cols(); ++j)
+            s += a(i, j) * a(i, j);
+    return std::sqrt(s);
+}
+
+} // namespace
+
+EigenDecomposition
+jacobiEigen(const Matrix &a_in, double tol, int max_sweeps)
+{
+    assert(a_in.rows() == a_in.cols());
+    assert(a_in.isSymmetric(1e-9));
+
+    const std::size_t n = a_in.rows();
+    Matrix a = a_in;
+    Matrix v = Matrix::identity(n);
+
+    EigenDecomposition out;
+    out.converged = false;
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (offDiagonalNorm(a) < tol) {
+            out.converged = true;
+            out.sweeps = sweep;
+            break;
+        }
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                const double app = a(p, p);
+                const double aqq = a(q, q);
+                const double theta = (aqq - app) / (2.0 * apq);
+                // Stable tangent of the rotation angle.
+                const double t = (theta >= 0.0)
+                    ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                    : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+        out.sweeps = sweep + 1;
+    }
+    if (!out.converged && offDiagonalNorm(a) < tol)
+        out.converged = true;
+
+    // Sort eigenpairs ascending.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+        return a(i, i) < a(j, j);
+    });
+
+    out.values.resize(n);
+    out.vectors = Matrix(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        out.values[j] = a(order[j], order[j]);
+        for (std::size_t i = 0; i < n; ++i)
+            out.vectors(i, j) = v(i, order[j]);
+    }
+    return out;
+}
+
+EigenDecomposition
+generalizedEigen(const Matrix &a, const Matrix &b, double tol)
+{
+    assert(a.rows() == a.cols() && b.rows() == b.cols());
+    assert(a.rows() == b.rows());
+    const std::size_t n = a.rows();
+
+    // B = U diag(w) U^T  ->  X = U diag(w^{-1/2}) U^T (symmetric
+    // orthogonalization). Requires all w > 0.
+    EigenDecomposition bd = jacobiEigen(b, tol);
+    Matrix x(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            for (std::size_t k = 0; k < n; ++k) {
+                assert(bd.values[k] > 0.0);
+                s += bd.vectors(i, k) * bd.vectors(j, k)
+                   / std::sqrt(bd.values[k]);
+            }
+            x(i, j) = s;
+        }
+    }
+
+    // A' = X^T A X is symmetric; its eigenvectors map back via C = X V'.
+    Matrix ap = x.transposed().multiply(a).multiply(x);
+    // Symmetrize to clean numerical asymmetry before Jacobi.
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double m = 0.5 * (ap(i, j) + ap(j, i));
+            ap(i, j) = ap(j, i) = m;
+        }
+    EigenDecomposition ad = jacobiEigen(ap, tol);
+
+    EigenDecomposition out;
+    out.values = ad.values;
+    out.vectors = x.multiply(ad.vectors);
+    out.sweeps = ad.sweeps;
+    out.converged = ad.converged && bd.converged;
+    return out;
+}
+
+} // namespace treevqa

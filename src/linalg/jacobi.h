@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cyclic Jacobi eigensolver for dense real symmetric matrices.
+ *
+ * Used for the small classical eigenproblems in TreeVQA: the normalized
+ * graph Laplacian of the task-similarity matrix (spectral clustering,
+ * Section 5.2.5) and the Fock/overlap matrices in the Hartree-Fock
+ * substrate. Matrix orders are tens at most, where Jacobi is simple,
+ * robust and plenty fast.
+ */
+
+#ifndef TREEVQA_LINALG_JACOBI_H
+#define TREEVQA_LINALG_JACOBI_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace treevqa {
+
+/** Result of a symmetric eigendecomposition A = V diag(w) V^T. */
+struct EigenDecomposition
+{
+    /** Eigenvalues in ascending order. */
+    std::vector<double> values;
+    /** Column j of `vectors` is the eigenvector for values[j]. */
+    Matrix vectors;
+    /** Number of Jacobi sweeps performed. */
+    int sweeps = 0;
+    /** True if the off-diagonal norm converged below tolerance. */
+    bool converged = false;
+};
+
+/**
+ * Full eigendecomposition of a symmetric matrix via cyclic Jacobi.
+ *
+ * @param a symmetric input matrix (symmetry is asserted in debug builds).
+ * @param tol convergence threshold on the off-diagonal Frobenius norm.
+ * @param max_sweeps hard cap on full sweeps.
+ */
+EigenDecomposition jacobiEigen(const Matrix &a, double tol = 1e-12,
+                               int max_sweeps = 100);
+
+/**
+ * Solve the symmetric generalized eigenproblem A x = lambda B x with B
+ * symmetric positive definite, via B^{-1/2} canonical orthogonalization.
+ * Needed by the Hartree-Fock Roothaan equations F C = S C e.
+ */
+EigenDecomposition generalizedEigen(const Matrix &a, const Matrix &b,
+                                    double tol = 1e-12);
+
+} // namespace treevqa
+
+#endif // TREEVQA_LINALG_JACOBI_H

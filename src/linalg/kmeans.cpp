@@ -1,0 +1,160 @@
+#include "linalg/kmeans.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace treevqa {
+
+namespace {
+
+double
+sqDist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+/** k-means++ seeding: points chosen with probability prop. to D^2. */
+std::vector<std::vector<double>>
+seedPlusPlus(const std::vector<std::vector<double>> &points, std::size_t k,
+             Rng &rng)
+{
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(k);
+    centroids.push_back(points[rng.uniformInt(points.size())]);
+
+    std::vector<double> d2(points.size(),
+                           std::numeric_limits<double>::max());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            d2[i] = std::min(d2[i], sqDist(points[i], centroids.back()));
+            total += d2[i];
+        }
+        if (total <= 0.0) {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push_back(points[rng.uniformInt(points.size())]);
+            continue;
+        }
+        double r = rng.uniform() * total;
+        std::size_t chosen = points.size() - 1;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            r -= d2[i];
+            if (r <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+    return centroids;
+}
+
+KMeansResult
+lloydOnce(const std::vector<std::vector<double>> &points, std::size_t k,
+          Rng &rng, int max_iters)
+{
+    const std::size_t n = points.size();
+    const std::size_t dim = points[0].size();
+
+    KMeansResult res;
+    res.centroids = seedPlusPlus(points, k, rng);
+    res.assignment.assign(n, -1);
+
+    for (int iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        // Assignment step.
+        for (std::size_t i = 0; i < n; ++i) {
+            int best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d = sqDist(points[i], res.centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = static_cast<int>(c);
+                }
+            }
+            if (res.assignment[i] != best) {
+                res.assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        std::vector<std::vector<double>> sums(
+            k, std::vector<double>(dim, 0.0));
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const int c = res.assignment[i];
+            ++counts[c];
+            for (std::size_t d = 0; d < dim; ++d)
+                sums[c][d] += points[i][d];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster from the point farthest from
+                // its centroid, which guarantees non-empty partitions.
+                std::size_t far = 0;
+                double far_d = -1.0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double d = sqDist(
+                        points[i],
+                        res.centroids[res.assignment[i]]);
+                    if (d > far_d) {
+                        far_d = d;
+                        far = i;
+                    }
+                }
+                res.centroids[c] = points[far];
+                res.assignment[far] = static_cast<int>(c);
+                continue;
+            }
+            for (std::size_t d = 0; d < dim; ++d)
+                res.centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+        }
+        res.iterations = iter + 1;
+        if (!changed)
+            break;
+    }
+
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        res.inertia += sqDist(points[i], res.centroids[res.assignment[i]]);
+    return res;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const std::vector<std::vector<double>> &points, std::size_t k,
+       Rng &rng, int max_iters, int restarts)
+{
+    assert(!points.empty());
+    assert(k >= 1);
+    if (k >= points.size()) {
+        // Trivial: one point per cluster.
+        KMeansResult res;
+        res.assignment.resize(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            res.assignment[i] = static_cast<int>(i);
+            res.centroids.push_back(points[i]);
+        }
+        return res;
+    }
+
+    KMeansResult best;
+    best.inertia = std::numeric_limits<double>::max();
+    for (int r = 0; r < restarts; ++r) {
+        KMeansResult res = lloydOnce(points, k, rng, max_iters);
+        if (res.inertia < best.inertia)
+            best = std::move(res);
+    }
+    return best;
+}
+
+} // namespace treevqa

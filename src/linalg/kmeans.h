@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Lloyd's k-means with k-means++ seeding.
+ *
+ * Spectral clustering (Section 5.2.5) embeds the N Hamiltonians into the
+ * leading eigenvectors of the normalized Laplacian and then k-means
+ * partitions the embedded points into child clusters (k = 2 for a split).
+ */
+
+#ifndef TREEVQA_LINALG_KMEANS_H
+#define TREEVQA_LINALG_KMEANS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace treevqa {
+
+/** Result of a k-means run. */
+struct KMeansResult
+{
+    /** assignment[i] in [0, k) for each input point. */
+    std::vector<int> assignment;
+    /** Final centroids, k rows of dim doubles. */
+    std::vector<std::vector<double>> centroids;
+    /** Sum of squared distances to assigned centroids. */
+    double inertia = 0.0;
+    /** Lloyd iterations executed. */
+    int iterations = 0;
+};
+
+/**
+ * Cluster `points` into k groups.
+ *
+ * Runs `restarts` independent k-means++ initializations and keeps the
+ * lowest-inertia solution. Guarantees every cluster is non-empty as long
+ * as there are at least k distinct points (empty clusters are re-seeded
+ * from the farthest point).
+ */
+KMeansResult kmeans(const std::vector<std::vector<double>> &points,
+                    std::size_t k, Rng &rng, int max_iters = 100,
+                    int restarts = 8);
+
+} // namespace treevqa
+
+#endif // TREEVQA_LINALG_KMEANS_H

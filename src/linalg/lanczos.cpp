@@ -1,0 +1,148 @@
+#include "linalg/lanczos.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/jacobi.h"
+
+namespace treevqa {
+
+namespace {
+
+double
+cnorm(const CVector &v)
+{
+    double s = 0.0;
+    for (const auto &z : v)
+        s += std::norm(z);
+    return std::sqrt(s);
+}
+
+Complex
+cdot(const CVector &a, const CVector &b)
+{
+    Complex s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += std::conj(a[i]) * b[i];
+    return s;
+}
+
+void
+normalize(CVector &v)
+{
+    const double n = cnorm(v);
+    if (n == 0.0)
+        return;
+    for (auto &z : v)
+        z /= n;
+}
+
+/**
+ * One Lanczos pass starting from `start`; returns the best Ritz pair.
+ * Full reorthogonalization against all previous Krylov vectors.
+ */
+LanczosResult
+lanczosPass(std::size_t dim, const MatVec &matvec, const CVector &start,
+            int max_krylov, double tol)
+{
+    std::vector<CVector> basis;
+    std::vector<double> alpha;
+    std::vector<double> beta; // beta[j] couples basis[j] and basis[j+1]
+
+    CVector q = start;
+    normalize(q);
+    basis.push_back(q);
+
+    CVector w(dim);
+    LanczosResult out;
+
+    for (int j = 0; j < max_krylov; ++j) {
+        matvec(basis[j], w);
+        const double a = std::real(cdot(basis[j], w));
+        alpha.push_back(a);
+
+        // w -= alpha_j q_j + beta_{j-1} q_{j-1}; then full reorth.
+        for (std::size_t i = 0; i < dim; ++i)
+            w[i] -= a * basis[j][i];
+        if (j > 0)
+            for (std::size_t i = 0; i < dim; ++i)
+                w[i] -= beta[j - 1] * basis[j - 1][i];
+        for (const auto &qk : basis) {
+            const Complex c = cdot(qk, w);
+            if (std::abs(c) > 1e-14)
+                for (std::size_t i = 0; i < dim; ++i)
+                    w[i] -= c * qk[i];
+        }
+
+        const double b = cnorm(w);
+        if (b < 1e-12 || j == max_krylov - 1) {
+            // Krylov space exhausted (invariant subspace) or cap hit.
+            break;
+        }
+        beta.push_back(b);
+        CVector next(dim);
+        for (std::size_t i = 0; i < dim; ++i)
+            next[i] = w[i] / b;
+        basis.push_back(std::move(next));
+    }
+
+    const std::size_t m = alpha.size();
+    out.krylovDim = static_cast<int>(m);
+
+    // Diagonalize the tridiagonal Rayleigh matrix with the dense Jacobi
+    // solver; m is small so this is negligible.
+    Matrix t(m, m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        t(i, i) = alpha[i];
+        if (i + 1 < m) {
+            t(i, i + 1) = beta[i];
+            t(i + 1, i) = beta[i];
+        }
+    }
+    EigenDecomposition ed = jacobiEigen(t);
+    out.eigenvalue = ed.values[0];
+
+    out.eigenvector.assign(dim, Complex(0.0, 0.0));
+    for (std::size_t j = 0; j < m; ++j) {
+        const double coef = ed.vectors(j, 0);
+        for (std::size_t i = 0; i < dim; ++i)
+            out.eigenvector[i] += coef * basis[j][i];
+    }
+    normalize(out.eigenvector);
+
+    matvec(out.eigenvector, w);
+    for (std::size_t i = 0; i < dim; ++i)
+        w[i] -= out.eigenvalue * out.eigenvector[i];
+    out.residual = cnorm(w);
+    out.converged = out.residual < tol;
+    return out;
+}
+
+} // namespace
+
+LanczosResult
+lanczosGroundState(std::size_t dim, const MatVec &matvec, Rng &rng,
+                   int max_krylov, double tol, int restarts)
+{
+    assert(dim > 0);
+
+    CVector start(dim);
+    for (auto &z : start)
+        z = Complex(rng.normal(), rng.normal());
+
+    LanczosResult best = lanczosPass(dim, matvec, start, max_krylov, tol);
+    for (int r = 0; r < restarts && !best.converged; ++r) {
+        // Implicit restart: new pass seeded from the current Ritz vector,
+        // lightly perturbed so a locked-in invariant subspace can escape.
+        CVector seed = best.eigenvector;
+        for (auto &z : seed)
+            z += 1e-6 * Complex(rng.normal(), rng.normal());
+        LanczosResult next =
+            lanczosPass(dim, matvec, seed, max_krylov, tol);
+        if (next.eigenvalue <= best.eigenvalue || next.converged)
+            best = std::move(next);
+    }
+    return best;
+}
+
+} // namespace treevqa

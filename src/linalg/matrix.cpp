@@ -1,0 +1,159 @@
+#include "linalg/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace treevqa {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::multiply(const Matrix &rhs) const
+{
+    assert(cols_ == rhs.rows_);
+    Matrix out(rows_, rhs.cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0)
+                continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                out(i, j) += aik * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+std::vector<double>
+Matrix::apply(const std::vector<double> &v) const
+{
+    assert(v.size() == cols_);
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j)
+            s += (*this)(i, j) * v[j];
+        out[i] = s;
+    }
+    return out;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &rhs) const
+{
+    assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    double m = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::fabs(data_[i] - rhs.data_[i]));
+    return m;
+}
+
+bool
+Matrix::isSymmetric(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = i + 1; j < cols_; ++j)
+            if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol)
+                return false;
+    return true;
+}
+
+std::vector<double>
+solveLinearSystem(Matrix a, std::vector<double> b)
+{
+    assert(a.rows() == a.cols());
+    assert(b.size() == a.rows());
+    const std::size_t n = a.rows();
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::fabs(a(r, col)) > std::fabs(a(pivot, col)))
+                pivot = r;
+        if (std::fabs(a(pivot, col)) < 1e-14)
+            return {};
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a(col, c), a(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a(r, col) / a(col, col);
+            if (f == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a(r, c) -= f * a(col, c);
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            s -= a(i, c) * x[c];
+        x[i] = s / a(i, i);
+    }
+    return x;
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+double
+norm2(const std::vector<double> &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+std::vector<double>
+axpy(const std::vector<double> &a, double s, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + s * b[i];
+    return out;
+}
+
+void
+scale(std::vector<double> &v, double s)
+{
+    for (auto &x : v)
+        x *= s;
+}
+
+} // namespace treevqa

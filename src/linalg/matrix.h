@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal dense real matrix used by the classical side of TreeVQA.
+ *
+ * The quantum state itself lives in sim/Statevector; this matrix type only
+ * serves the small classical problems: similarity matrices over N tasks,
+ * graph Laplacians for spectral clustering, and the Hartree-Fock SCF
+ * matrices of the chemistry substrate (a handful of basis functions).
+ */
+
+#ifndef TREEVQA_LINALG_MATRIX_H
+#define TREEVQA_LINALG_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace treevqa {
+
+/** Dense row-major real matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix filled with `fill`. */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Square identity matrix of order n. */
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Matrix product this * rhs; dimensions must agree. */
+    Matrix multiply(const Matrix &rhs) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /** Matrix-vector product. */
+    std::vector<double> apply(const std::vector<double> &v) const;
+
+    /** Elementwise maximum absolute difference against another matrix. */
+    double maxAbsDiff(const Matrix &rhs) const;
+
+    /** True if |a_ij - a_ji| <= tol for all entries (square only). */
+    bool isSymmetric(double tol = 1e-12) const;
+
+    /** Raw storage access (row-major). */
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the dense linear system A x = b by Gaussian elimination with
+ * partial pivoting. Returns an empty vector if A is (numerically)
+ * singular. Used by the COBYLA linear-model fit.
+ */
+std::vector<double> solveLinearSystem(Matrix a, std::vector<double> b);
+
+/** Dot product; sizes must agree. */
+double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Euclidean norm. */
+double norm2(const std::vector<double> &v);
+
+/** a + s * b, elementwise. */
+std::vector<double> axpy(const std::vector<double> &a, double s,
+                         const std::vector<double> &b);
+
+/** In-place scale. */
+void scale(std::vector<double> &v, double s);
+
+} // namespace treevqa
+
+#endif // TREEVQA_LINALG_MATRIX_H

@@ -1,0 +1,144 @@
+#include "opt/cobyla.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "linalg/matrix.h"
+
+namespace treevqa {
+
+Cobyla::Cobyla(CobylaConfig config)
+    : config_(config), rho_(config.rhoBegin)
+{
+}
+
+void
+Cobyla::reset(const std::vector<double> &x0)
+{
+    best_ = x0;
+    bestValue_ = 0.0;
+    rho_ = config_.rhoBegin;
+    points_.clear();
+    values_.clear();
+    simplexBuilt_ = false;
+    k_ = 0;
+    lastEvals_ = 0;
+}
+
+void
+Cobyla::buildSimplex(const Objective &objective)
+{
+    const std::size_t n = best_.size();
+    points_.clear();
+    values_.clear();
+    points_.reserve(n + 1);
+
+    points_.push_back(best_);
+    values_.push_back(objective(best_));
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> p = best_;
+        p[i] += rho_;
+        points_.push_back(std::move(p));
+        values_.push_back(objective(points_.back()));
+    }
+    lastEvals_ = static_cast<int>(n + 1);
+
+    const auto best_it = std::min_element(values_.begin(), values_.end());
+    bestValue_ = *best_it;
+    best_ = points_[static_cast<std::size_t>(
+        std::distance(values_.begin(), best_it))];
+    simplexBuilt_ = true;
+}
+
+std::vector<double>
+Cobyla::fitGradient() const
+{
+    // Linear model L(x) = f0 + g . (x - x0) through the n+1 points:
+    // solve (p_i - p_0) . g = f_i - f_0 for i = 1..n.
+    const std::size_t n = best_.size();
+    Matrix a(n, n);
+    std::vector<double> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            a(i, j) = points_[i + 1][j] - points_[0][j];
+        b[i] = values_[i + 1] - values_[0];
+    }
+    return solveLinearSystem(std::move(a), std::move(b));
+}
+
+double
+Cobyla::step(const Objective &objective)
+{
+    assert(!best_.empty());
+    lastEvals_ = 0;
+
+    if (!simplexBuilt_) {
+        buildSimplex(objective);
+        ++k_;
+        return bestValue_;
+    }
+    if (converged()) {
+        ++k_;
+        return bestValue_;
+    }
+
+    std::vector<double> g = fitGradient();
+    double gnorm = 0.0;
+    for (double gi : g)
+        gnorm += gi * gi;
+    gnorm = std::sqrt(gnorm);
+
+    if (g.empty() || gnorm < 1e-14) {
+        // Degenerate simplex: rebuild at a smaller radius.
+        rho_ = std::max(config_.rhoEnd, rho_ * config_.shrink);
+        buildSimplex(objective);
+        ++k_;
+        return bestValue_;
+    }
+
+    // Trust-region step of length rho against the linear model.
+    const std::size_t n = best_.size();
+    std::vector<double> trial = points_[0];
+    // Anchor the step at the simplex base point (the model's origin).
+    for (std::size_t i = 0; i < n; ++i)
+        trial[i] -= rho_ * g[i] / gnorm;
+    const double f_trial = objective(trial);
+    lastEvals_ = 1;
+    ++k_;
+
+    if (f_trial < bestValue_) {
+        bestValue_ = f_trial;
+        best_ = trial;
+    }
+
+    // Replace the worst simplex point with the trial if it improves it;
+    // otherwise the linear model failed at this radius -> shrink.
+    const auto worst_it = std::max_element(values_.begin(), values_.end());
+    const std::size_t worst =
+        static_cast<std::size_t>(std::distance(values_.begin(), worst_it));
+    if (f_trial < *worst_it) {
+        points_[worst] = std::move(trial);
+        values_[worst] = f_trial;
+        // Keep the base point (index 0) the best vertex so the model is
+        // centered where it is most accurate.
+        const auto b_it = std::min_element(values_.begin(), values_.end());
+        const std::size_t b =
+            static_cast<std::size_t>(std::distance(values_.begin(), b_it));
+        if (b != 0) {
+            std::swap(points_[0], points_[b]);
+            std::swap(values_[0], values_[b]);
+        }
+    } else {
+        rho_ = std::max(config_.rhoEnd, rho_ * config_.shrink);
+    }
+    return bestValue_;
+}
+
+std::unique_ptr<IterativeOptimizer>
+Cobyla::cloneConfig() const
+{
+    return std::make_unique<Cobyla>(config_);
+}
+
+} // namespace treevqa

@@ -1,0 +1,109 @@
+#include "opt/implicit_filtering.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace treevqa {
+
+ImplicitFiltering::ImplicitFiltering(ImplicitFilteringConfig config)
+    : config_(config), h_(config.initialStencil)
+{
+}
+
+void
+ImplicitFiltering::reset(const std::vector<double> &x0)
+{
+    x_ = x0;
+    h_ = config_.initialStencil;
+    haveFx_ = false;
+    k_ = 0;
+    lastEvals_ = 0;
+}
+
+double
+ImplicitFiltering::step(const Objective &objective)
+{
+    assert(!x_.empty());
+    lastEvals_ = 0;
+    const std::size_t n = x_.size();
+
+    if (!haveFx_) {
+        fx_ = objective(x_);
+        ++lastEvals_;
+        haveFx_ = true;
+    }
+    if (converged()) {
+        ++k_;
+        return fx_;
+    }
+
+    // Central-difference gradient on the current stencil; also track
+    // the best stencil point (classic implicit-filtering safeguard).
+    std::vector<double> gradient(n, 0.0);
+    double stencil_best = fx_;
+    std::vector<double> stencil_best_x = x_;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> xp = x_, xm = x_;
+        xp[i] += h_;
+        xm[i] -= h_;
+        const double fp = objective(xp);
+        const double fm = objective(xm);
+        lastEvals_ += 2;
+        gradient[i] = (fp - fm) / (2.0 * h_);
+        if (fp < stencil_best) {
+            stencil_best = fp;
+            stencil_best_x = xp;
+        }
+        if (fm < stencil_best) {
+            stencil_best = fm;
+            stencil_best_x = xm;
+        }
+    }
+
+    double gnorm = 0.0;
+    for (double g : gradient)
+        gnorm += g * g;
+    gnorm = std::sqrt(gnorm);
+
+    bool improved = false;
+    if (gnorm > 1e-14) {
+        // Backtracking line search along -gradient, starting at a step
+        // that moves h along the steepest coordinate.
+        double step_size = h_ / gnorm * std::sqrt(n);
+        for (int probe = 0; probe < config_.lineSearchSteps; ++probe) {
+            std::vector<double> trial = x_;
+            for (std::size_t i = 0; i < n; ++i)
+                trial[i] -= step_size * gradient[i];
+            const double ft = objective(trial);
+            ++lastEvals_;
+            if (ft < fx_) {
+                x_ = std::move(trial);
+                fx_ = ft;
+                improved = true;
+                break;
+            }
+            step_size *= 0.5;
+        }
+    }
+    if (!improved && stencil_best < fx_) {
+        // The stencil itself found descent the model missed.
+        x_ = std::move(stencil_best_x);
+        fx_ = stencil_best;
+        improved = true;
+    }
+    if (!improved) {
+        // Stencil failure: refine the filter scale.
+        h_ = std::max(config_.minStencil, h_ * config_.shrink);
+    }
+
+    ++k_;
+    return fx_;
+}
+
+std::unique_ptr<IterativeOptimizer>
+ImplicitFiltering::cloneConfig() const
+{
+    return std::make_unique<ImplicitFiltering>(config_);
+}
+
+} // namespace treevqa

@@ -1,0 +1,156 @@
+#include "opt/nelder_mead.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace treevqa {
+
+NelderMead::NelderMead(NelderMeadConfig config)
+    : config_(config)
+{
+}
+
+void
+NelderMead::reset(const std::vector<double> &x0)
+{
+    best_ = x0;
+    points_.clear();
+    values_.clear();
+    simplexBuilt_ = false;
+    k_ = 0;
+    lastEvals_ = 0;
+}
+
+void
+NelderMead::buildSimplex(const Objective &objective)
+{
+    const std::size_t n = best_.size();
+    points_.clear();
+    values_.clear();
+    points_.push_back(best_);
+    values_.push_back(objective(best_));
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> p = best_;
+        p[i] += config_.initialStep;
+        points_.push_back(std::move(p));
+        values_.push_back(objective(points_.back()));
+    }
+    lastEvals_ = static_cast<int>(n + 1);
+    simplexBuilt_ = true;
+    sortSimplex();
+}
+
+void
+NelderMead::sortSimplex()
+{
+    std::vector<std::size_t> order(points_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return values_[a] < values_[b];
+    });
+    std::vector<std::vector<double>> pts;
+    std::vector<double> vals;
+    pts.reserve(points_.size());
+    vals.reserve(values_.size());
+    for (std::size_t i : order) {
+        pts.push_back(std::move(points_[i]));
+        vals.push_back(values_[i]);
+    }
+    points_ = std::move(pts);
+    values_ = std::move(vals);
+    best_ = points_.front();
+}
+
+double
+NelderMead::simplexSpread() const
+{
+    if (values_.empty())
+        return 0.0;
+    return values_.back() - values_.front();
+}
+
+double
+NelderMead::step(const Objective &objective)
+{
+    assert(!best_.empty());
+    lastEvals_ = 0;
+
+    if (!simplexBuilt_) {
+        buildSimplex(objective);
+        ++k_;
+        return values_.front();
+    }
+
+    const std::size_t n = best_.size();
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            centroid[j] += points_[i][j];
+    for (auto &c : centroid)
+        c /= static_cast<double>(n);
+
+    const std::vector<double> &worst = points_.back();
+    std::vector<double> reflected(n);
+    for (std::size_t j = 0; j < n; ++j)
+        reflected[j] =
+            centroid[j] + config_.alpha * (centroid[j] - worst[j]);
+    const double f_r = objective(reflected);
+    ++lastEvals_;
+
+    if (f_r < values_.front()) {
+        // Try expansion.
+        std::vector<double> expanded(n);
+        for (std::size_t j = 0; j < n; ++j)
+            expanded[j] =
+                centroid[j] + config_.gamma * (reflected[j] - centroid[j]);
+        const double f_e = objective(expanded);
+        ++lastEvals_;
+        if (f_e < f_r) {
+            points_.back() = std::move(expanded);
+            values_.back() = f_e;
+        } else {
+            points_.back() = std::move(reflected);
+            values_.back() = f_r;
+        }
+    } else if (f_r < values_[values_.size() - 2]) {
+        points_.back() = std::move(reflected);
+        values_.back() = f_r;
+    } else {
+        // Contraction toward the centroid.
+        std::vector<double> contracted(n);
+        for (std::size_t j = 0; j < n; ++j)
+            contracted[j] =
+                centroid[j] + config_.rho * (worst[j] - centroid[j]);
+        const double f_c = objective(contracted);
+        ++lastEvals_;
+        if (f_c < values_.back()) {
+            points_.back() = std::move(contracted);
+            values_.back() = f_c;
+        } else {
+            // Shrink toward the best vertex.
+            for (std::size_t i = 1; i < points_.size(); ++i) {
+                for (std::size_t j = 0; j < n; ++j)
+                    points_[i][j] = points_[0][j]
+                        + config_.sigma * (points_[i][j] - points_[0][j]);
+                values_[i] = objective(points_[i]);
+                ++lastEvals_;
+            }
+        }
+    }
+
+    sortSimplex();
+    ++k_;
+    return values_.front();
+}
+
+std::unique_ptr<IterativeOptimizer>
+NelderMead::cloneConfig() const
+{
+    return std::make_unique<NelderMead>(config_);
+}
+
+} // namespace treevqa

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Iterative optimizer interface.
+ *
+ * TreeVQA drives optimizers one iteration at a time (Algorithm 2: each
+ * VQA-Cluster-Step optimizes, records losses, checks split conditions),
+ * so the interface is a stateful stepper rather than a run-to-convergence
+ * minimizer. Implementations report how many objective evaluations a step
+ * costs, which the caller converts to shots.
+ *
+ * The framework treats optimizers as black boxes that only need objective
+ * values — the paper's plug-and-play claim (Sections 5.2.2, 8.6, 9.2) —
+ * and ships SPSA (primary), COBYLA (alternate) and Nelder-Mead (extra).
+ */
+
+#ifndef TREEVQA_OPT_OPTIMIZER_H
+#define TREEVQA_OPT_OPTIMIZER_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace treevqa {
+
+/** Objective callback: loss value at a parameter vector. */
+using Objective = std::function<double(const std::vector<double> &)>;
+
+/** Stateful one-iteration-at-a-time minimizer. */
+class IterativeOptimizer
+{
+  public:
+    virtual ~IterativeOptimizer() = default;
+
+    /** (Re)start from the given parameter vector. */
+    virtual void reset(const std::vector<double> &x0) = 0;
+
+    /**
+     * Perform one optimizer iteration against `objective`.
+     * @return the iteration's loss estimate (implementation-defined; for
+     *         SPSA the mean of the two perturbed evaluations).
+     */
+    virtual double step(const Objective &objective) = 0;
+
+    /** Current parameter iterate. */
+    virtual const std::vector<double> &params() const = 0;
+
+    /** Objective evaluations consumed by the *last* step() call. */
+    virtual int lastStepEvals() const = 0;
+
+    /** Typical evaluations per iteration (SPSA: 2; COBYLA: ~1). */
+    virtual int evalsPerIteration() const = 0;
+
+    /** Iterations executed since reset. */
+    virtual int iteration() const = 0;
+
+    /** Human-readable optimizer name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Deep copy preserving the optimizer's configuration but NOT its
+     * iterate (children re-reset with inherited parameters). */
+    virtual std::unique_ptr<IterativeOptimizer> cloneConfig() const = 0;
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_OPT_OPTIMIZER_H

@@ -1,0 +1,84 @@
+#include "opt/spsa.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace treevqa {
+
+Spsa::Spsa(SpsaConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed), seed_(seed)
+{
+}
+
+void
+Spsa::reset(const std::vector<double> &x0)
+{
+    x_ = x0;
+    k_ = 0;
+}
+
+double
+Spsa::currentLearningRate() const
+{
+    return config_.a
+         / std::pow(config_.bigA + k_ + 1.0, config_.alpha);
+}
+
+double
+Spsa::currentPerturbation() const
+{
+    return config_.c / std::pow(k_ + 1.0, config_.gamma);
+}
+
+double
+Spsa::step(const Objective &objective)
+{
+    assert(!x_.empty());
+    const std::size_t n = x_.size();
+    const double ak = currentLearningRate();
+    const double ck = currentPerturbation();
+
+    const std::vector<double> delta = rng_.rademacherVector(n);
+
+    std::vector<double> xp = x_;
+    std::vector<double> xm = x_;
+    for (std::size_t i = 0; i < n; ++i) {
+        xp[i] += ck * delta[i];
+        xm[i] -= ck * delta[i];
+    }
+    const double lp = objective(xp);
+    const double lm = objective(xm);
+    const double diff = (lp - lm) / (2.0 * ck);
+
+    // g_i = diff / delta_i; for Rademacher, 1/delta_i == delta_i.
+    std::vector<double> update(n);
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        update[i] = ak * diff * delta[i];
+        norm_sq += update[i] * update[i];
+    }
+    // Optional trust clip to keep early noisy steps from exploding.
+    if (config_.maxStepNorm > 0.0) {
+        const double norm = std::sqrt(norm_sq);
+        if (norm > config_.maxStepNorm) {
+            const double scale = config_.maxStepNorm / norm;
+            for (auto &u : update)
+                u *= scale;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        x_[i] -= update[i];
+
+    ++k_;
+    return 0.5 * (lp + lm);
+}
+
+std::unique_ptr<IterativeOptimizer>
+Spsa::cloneConfig() const
+{
+    // Child optimizers get a decorrelated stream derived from the seed.
+    return std::make_unique<Spsa>(
+        config_, seed_ * 0x9e3779b97f4a7c15ull + 0x1234567ull + k_);
+}
+
+} // namespace treevqa

@@ -1,0 +1,69 @@
+#include "pauli/grouping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace treevqa {
+
+namespace {
+
+/** Merge `term` into the group's basis string (assumes QWC holds). */
+void
+mergeIntoBasis(PauliString &basis, const PauliString &term)
+{
+    basis = PauliString(basis.numQubits(), basis.xMask() | term.xMask(),
+                        basis.zMask() | term.zMask());
+}
+
+} // namespace
+
+std::vector<MeasurementGroup>
+groupQubitWise(const PauliSum &hamiltonian)
+{
+    const auto &terms = hamiltonian.terms();
+
+    // Sort non-identity term indices by descending |coefficient| so the
+    // heaviest terms anchor groups.
+    std::vector<std::size_t> order;
+    order.reserve(terms.size());
+    for (std::size_t i = 0; i < terms.size(); ++i)
+        if (!terms[i].string.isIdentity())
+            order.push_back(i);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return std::fabs(terms[a].coefficient)
+                       > std::fabs(terms[b].coefficient);
+              });
+
+    std::vector<MeasurementGroup> groups;
+    for (std::size_t idx : order) {
+        const PauliString &p = terms[idx].string;
+        bool placed = false;
+        for (auto &group : groups) {
+            // QWC against the group's merged basis is equivalent to QWC
+            // against every member: the basis carries the union support.
+            if (p.qubitWiseCommutesWith(group.basis)) {
+                group.termIndices.push_back(idx);
+                mergeIntoBasis(group.basis, p);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            MeasurementGroup group;
+            group.termIndices.push_back(idx);
+            group.basis = p;
+            groups.push_back(std::move(group));
+        }
+    }
+    return groups;
+}
+
+std::size_t
+numMeasurementCircuits(const PauliSum &hamiltonian)
+{
+    return groupQubitWise(hamiltonian).size();
+}
+
+} // namespace treevqa

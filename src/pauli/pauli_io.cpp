@@ -1,0 +1,93 @@
+#include "pauli/pauli_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace treevqa {
+
+std::string
+toText(const PauliSum &hamiltonian)
+{
+    // Deterministic order: compress() sorts by string.
+    PauliSum sorted = hamiltonian;
+    sorted.compress(0.0);
+
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto &term : sorted.terms())
+        os << term.coefficient << " " << term.string.toLabel() << "\n";
+    return os.str();
+}
+
+PauliSum
+pauliSumFromText(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    int num_qubits = -1;
+    std::vector<std::pair<double, std::string>> parsed;
+
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        // Strip comments and whitespace-only lines.
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        double coefficient = 0.0;
+        std::string label;
+        if (!(ls >> coefficient))
+            continue; // blank line
+        if (!(ls >> label))
+            throw std::invalid_argument(
+                "pauliSumFromText: missing label on line "
+                + std::to_string(line_no));
+        std::string trailing;
+        if (ls >> trailing)
+            throw std::invalid_argument(
+                "pauliSumFromText: trailing tokens on line "
+                + std::to_string(line_no));
+        if (num_qubits < 0)
+            num_qubits = static_cast<int>(label.size());
+        else if (static_cast<int>(label.size()) != num_qubits)
+            throw std::invalid_argument(
+                "pauliSumFromText: inconsistent qubit count on line "
+                + std::to_string(line_no));
+        parsed.emplace_back(coefficient, std::move(label));
+    }
+    if (parsed.empty())
+        throw std::invalid_argument("pauliSumFromText: no terms");
+
+    PauliSum h(num_qubits);
+    for (const auto &[coefficient, label] : parsed)
+        h.add(coefficient, PauliString::fromLabel(label));
+    h.compress(0.0);
+    return h;
+}
+
+bool
+saveToFile(const PauliSum &hamiltonian, const std::string &path)
+{
+    std::ofstream file(path);
+    if (!file.is_open())
+        return false;
+    file << "# treevqa PauliSum: " << hamiltonian.numQubits()
+         << " qubits, " << hamiltonian.numTerms() << " terms\n";
+    file << toText(hamiltonian);
+    return static_cast<bool>(file);
+}
+
+PauliSum
+loadFromFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file.is_open())
+        throw std::runtime_error("loadFromFile: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return pauliSumFromText(buffer.str());
+}
+
+} // namespace treevqa

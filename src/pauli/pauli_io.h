@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Text serialization of Pauli-sum Hamiltonians.
+ *
+ * Downstream users bring their own Hamiltonians (from PySCF, OpenFermion
+ * dumps, etc.); this module reads and writes the ubiquitous line format
+ *
+ *     # optional comments
+ *     -0.8105479805 IIII
+ *     +0.1721839326 ZIII
+ *     0.12091263    XXYY
+ *
+ * one term per line: coefficient then label (I/X/Y/Z, character k acts
+ * on qubit k). All terms must agree on qubit count; duplicates merge.
+ */
+
+#ifndef TREEVQA_PAULI_PAULI_IO_H
+#define TREEVQA_PAULI_PAULI_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "pauli/pauli_sum.h"
+
+namespace treevqa {
+
+/** Serialize to the line format (deterministic term order). */
+std::string toText(const PauliSum &hamiltonian);
+
+/**
+ * Parse the line format.
+ * @throws std::invalid_argument on malformed lines, inconsistent qubit
+ *         counts, or empty input.
+ */
+PauliSum pauliSumFromText(const std::string &text);
+
+/** Write the line format to a file. @return false on I/O failure. */
+bool saveToFile(const PauliSum &hamiltonian, const std::string &path);
+
+/** Read the line format from a file.
+ * @throws std::runtime_error if the file cannot be read. */
+PauliSum loadFromFile(const std::string &path);
+
+} // namespace treevqa
+
+#endif // TREEVQA_PAULI_PAULI_IO_H

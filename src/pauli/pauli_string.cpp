@@ -1,0 +1,164 @@
+#include "pauli/pauli_string.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace treevqa {
+
+PauliString::PauliString(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    assert(num_qubits >= 0 && num_qubits <= kMaxQubits);
+}
+
+PauliString::PauliString(int num_qubits, std::uint64_t x_mask,
+                         std::uint64_t z_mask)
+    : numQubits_(num_qubits), xMask_(x_mask), zMask_(z_mask)
+{
+    assert(num_qubits >= 0 && num_qubits <= kMaxQubits);
+    if (num_qubits < kMaxQubits) {
+        const std::uint64_t valid = (1ull << num_qubits) - 1;
+        assert((x_mask & ~valid) == 0 && (z_mask & ~valid) == 0);
+    }
+}
+
+PauliString
+PauliString::fromLabel(const std::string &label)
+{
+    if (label.size() > static_cast<std::size_t>(kMaxQubits))
+        throw std::invalid_argument("Pauli label longer than 64 qubits");
+    PauliString p(static_cast<int>(label.size()));
+    for (std::size_t q = 0; q < label.size(); ++q)
+        p.setOp(static_cast<int>(q), label[q]);
+    return p;
+}
+
+char
+PauliString::opAt(int q) const
+{
+    assert(q >= 0 && q < numQubits_);
+    const bool x = (xMask_ >> q) & 1ull;
+    const bool z = (zMask_ >> q) & 1ull;
+    if (x && z)
+        return 'Y';
+    if (x)
+        return 'X';
+    if (z)
+        return 'Z';
+    return 'I';
+}
+
+void
+PauliString::setOp(int q, char op)
+{
+    assert(q >= 0 && q < numQubits_);
+    const std::uint64_t bit = 1ull << q;
+    xMask_ &= ~bit;
+    zMask_ &= ~bit;
+    switch (op) {
+      case 'I':
+        break;
+      case 'X':
+        xMask_ |= bit;
+        break;
+      case 'Y':
+        xMask_ |= bit;
+        zMask_ |= bit;
+        break;
+      case 'Z':
+        zMask_ |= bit;
+        break;
+      default:
+        throw std::invalid_argument("invalid Pauli character");
+    }
+}
+
+int
+PauliString::weight() const
+{
+    return std::popcount(xMask_ | zMask_);
+}
+
+int
+PauliString::yCount() const
+{
+    return std::popcount(xMask_ & zMask_);
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    // Symplectic inner product: parity of x1.z2 + z1.x2.
+    const int s = std::popcount(xMask_ & other.zMask_)
+                + std::popcount(zMask_ & other.xMask_);
+    return (s % 2) == 0;
+}
+
+bool
+PauliString::qubitWiseCommutesWith(const PauliString &other) const
+{
+    // On each qubit the two single-qubit Paulis must commute, i.e. be
+    // equal or have at least one identity. Conflicts occur exactly where
+    // both are non-identity and their (x,z) bits differ.
+    const std::uint64_t support_a = xMask_ | zMask_;
+    const std::uint64_t support_b = other.xMask_ | other.zMask_;
+    const std::uint64_t both = support_a & support_b;
+    const std::uint64_t diff =
+        (xMask_ ^ other.xMask_) | (zMask_ ^ other.zMask_);
+    return (both & diff) == 0;
+}
+
+std::string
+PauliString::toLabel() const
+{
+    std::string label(static_cast<std::size_t>(numQubits_), 'I');
+    for (int q = 0; q < numQubits_; ++q)
+        label[static_cast<std::size_t>(q)] = opAt(q);
+    return label;
+}
+
+bool
+PauliString::operator<(const PauliString &other) const
+{
+    if (zMask_ != other.zMask_)
+        return zMask_ < other.zMask_;
+    if (xMask_ != other.xMask_)
+        return xMask_ < other.xMask_;
+    return numQubits_ < other.numQubits_;
+}
+
+std::size_t
+PauliString::hash() const
+{
+    // Mix the two masks with a Fibonacci-style multiplier.
+    std::uint64_t h = xMask_ * 0x9e3779b97f4a7c15ull;
+    h ^= zMask_ + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+}
+
+PauliProduct
+multiply(const PauliString &a, const PauliString &b)
+{
+    assert(a.numQubits() == b.numQubits());
+    const std::uint64_t x3 = a.xMask() ^ b.xMask();
+    const std::uint64_t z3 = a.zMask() ^ b.zMask();
+
+    // a = i^{ka} X^{xa} Z^{za}, b likewise; X^{xa}Z^{za} X^{xb}Z^{zb}
+    // = (-1)^{za.xb} X^{x3} Z^{z3}. Recanonicalize with k3 Y's.
+    const int ka = a.yCount();
+    const int kb = b.yCount();
+    const int k3 = std::popcount(x3 & z3);
+    const int swaps = std::popcount(a.zMask() & b.xMask());
+    int exponent = (ka + kb - k3 + 2 * swaps) % 4;
+    if (exponent < 0)
+        exponent += 4;
+
+    static const Complex kPhases[4] = {
+        Complex(1, 0), Complex(0, 1), Complex(-1, 0), Complex(0, -1)};
+
+    return PauliProduct{kPhases[exponent],
+                        PauliString(a.numQubits(), x3, z3)};
+}
+
+} // namespace treevqa

@@ -1,0 +1,139 @@
+#include "sim/expectation.h"
+
+#include <bit>
+#include <cassert>
+#include <unordered_map>
+
+namespace treevqa {
+
+double
+expectation(const Statevector &state, const PauliString &string)
+{
+    assert(string.numQubits() == state.numQubits());
+    const CVector &amps = state.amplitudes();
+    const std::uint64_t xm = string.xMask();
+    const std::uint64_t zm = string.zMask();
+
+    static const Complex kPhases[4] = {
+        Complex(1, 0), Complex(0, 1), Complex(-1, 0), Complex(0, -1)};
+    const Complex base = kPhases[string.yCount() % 4];
+
+    Complex acc(0.0, 0.0);
+    if (xm == 0) {
+        // Diagonal string: real sum of signed probabilities.
+        double s = 0.0;
+        for (std::size_t b = 0; b < amps.size(); ++b) {
+            const int sign = std::popcount(b & zm) & 1 ? -1 : 1;
+            s += sign * std::norm(amps[b]);
+        }
+        return s;
+    }
+    for (std::size_t b = 0; b < amps.size(); ++b) {
+        const int sign = std::popcount(b & zm) & 1 ? -1 : 1;
+        acc += std::conj(amps[b ^ xm]) * static_cast<double>(sign)
+             * amps[b];
+    }
+    return std::real(base * acc);
+}
+
+double
+expectation(const Statevector &state, const PauliSum &hamiltonian)
+{
+    double total = 0.0;
+    for (const auto &term : hamiltonian.terms()) {
+        if (term.string.isIdentity()) {
+            total += term.coefficient;
+            continue;
+        }
+        total += term.coefficient * expectation(state, term.string);
+    }
+    return total;
+}
+
+std::vector<double>
+perTermExpectations(const Statevector &state, const PauliSum &hamiltonian)
+{
+    std::vector<double> out;
+    out.reserve(hamiltonian.numTerms());
+    for (const auto &term : hamiltonian.terms()) {
+        if (term.string.isIdentity())
+            out.push_back(1.0);
+        else
+            out.push_back(expectation(state, term.string));
+    }
+    return out;
+}
+
+std::vector<double>
+perStringExpectations(const Statevector &state,
+                      const std::vector<PauliString> &strings)
+{
+    static const Complex kPhases[4] = {
+        Complex(1, 0), Complex(0, 1), Complex(-1, 0), Complex(0, -1)};
+
+    const CVector &amps = state.amplitudes();
+    const std::size_t dim = amps.size();
+    std::vector<double> out(strings.size(), 0.0);
+
+    // Group string indices by X mask.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+    groups.reserve(strings.size());
+    for (std::size_t k = 0; k < strings.size(); ++k)
+        groups[strings[k].xMask()].push_back(k);
+
+    std::vector<Complex> acc;
+    for (const auto &[xm, members] : groups) {
+        acc.assign(members.size(), Complex(0.0, 0.0));
+        if (xm == 0) {
+            // Diagonal block: one probability pass serves all members.
+            for (std::size_t b = 0; b < dim; ++b) {
+                const double p = std::norm(amps[b]);
+                if (p == 0.0)
+                    continue;
+                for (std::size_t m = 0; m < members.size(); ++m) {
+                    const std::uint64_t zm =
+                        strings[members[m]].zMask();
+                    const int sign =
+                        std::popcount(b & zm) & 1 ? -1 : 1;
+                    acc[m] += sign * p;
+                }
+            }
+        } else {
+            for (std::size_t b = 0; b < dim; ++b) {
+                const Complex t = std::conj(amps[b ^ xm]) * amps[b];
+                if (t == Complex(0.0, 0.0))
+                    continue;
+                for (std::size_t m = 0; m < members.size(); ++m) {
+                    const std::uint64_t zm =
+                        strings[members[m]].zMask();
+                    const int sign =
+                        std::popcount(b & zm) & 1 ? -1 : 1;
+                    acc[m] += static_cast<double>(sign) * t;
+                }
+            }
+        }
+        for (std::size_t m = 0; m < members.size(); ++m) {
+            const PauliString &s = strings[members[m]];
+            if (s.isIdentity()) {
+                out[members[m]] = 1.0;
+                continue;
+            }
+            out[members[m]] =
+                std::real(kPhases[s.yCount() % 4] * acc[m]);
+        }
+    }
+    return out;
+}
+
+double
+recombine(const std::vector<double> &coefficients,
+          const std::vector<double> &term_expectations)
+{
+    assert(coefficients.size() == term_expectations.size());
+    double s = 0.0;
+    for (std::size_t k = 0; k < coefficients.size(); ++k)
+        s += coefficients[k] * term_expectations[k];
+    return s;
+}
+
+} // namespace treevqa

@@ -1,0 +1,68 @@
+#include "sim/noise_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace treevqa {
+
+NoiseModel::NoiseModel(double gate_fidelity, double readout_fidelity,
+                       std::string name)
+    : gateFidelity_(gate_fidelity), readoutFidelity_(readout_fidelity),
+      name_(std::move(name))
+{
+    assert(gate_fidelity > 0.0 && gate_fidelity <= 1.0);
+    assert(readout_fidelity > 0.0 && readout_fidelity <= 1.0);
+}
+
+bool
+NoiseModel::isNoiseless() const
+{
+    return gateFidelity_ >= 1.0 && readoutFidelity_ >= 1.0;
+}
+
+double
+NoiseModel::dampingFactor(const PauliString &string, int layers) const
+{
+    if (string.isIdentity())
+        return 1.0;
+    const double gate = std::pow(gateFidelity_, layers);
+    const double readout =
+        std::pow(readoutFidelity_, string.weight());
+    return gate * readout;
+}
+
+std::vector<double>
+NoiseModel::applyToTerms(const PauliSum &hamiltonian,
+                         const std::vector<double> &exact,
+                         int layers) const
+{
+    assert(exact.size() == hamiltonian.numTerms());
+    std::vector<double> out(exact.size());
+    const auto &terms = hamiltonian.terms();
+    for (std::size_t j = 0; j < exact.size(); ++j)
+        out[j] = exact[j] * dampingFactor(terms[j].string, layers);
+    return out;
+}
+
+std::vector<NoiseModel>
+NoiseModel::ibmLikeBackends()
+{
+    // Per-layer process fidelity and readout damping chosen so the
+    // backend quality ordering matches the published average CX /
+    // readout error rates of the corresponding 27-qubit IBM devices.
+    return {
+        NoiseModel(0.9930, 0.9890, "Hanoi"),
+        NoiseModel(0.9935, 0.9900, "Cairo"),
+        NoiseModel(0.9905, 0.9840, "Mumbai"),
+        NoiseModel(0.9880, 0.9800, "Kolkata"),
+        NoiseModel(0.9895, 0.9825, "Auckland"),
+    };
+}
+
+NoiseModel
+NoiseModel::depolarizing1pct()
+{
+    return NoiseModel(0.99, 1.0, "depolarizing-1pct");
+}
+
+} // namespace treevqa

@@ -1,0 +1,104 @@
+#include "sim/sampling.h"
+
+#include <bit>
+#include <cassert>
+
+namespace treevqa {
+
+namespace {
+
+/**
+ * Rotate `state` so that measuring in the computational basis reads
+ * out the given basis string: H for X positions, Sdg-then-H for Y.
+ */
+void
+rotateToBasis(Statevector &state, const PauliString &basis)
+{
+    for (int q = 0; q < basis.numQubits(); ++q) {
+        switch (basis.opAt(q)) {
+          case 'X':
+            state.applyH(q);
+            break;
+          case 'Y':
+            state.applySdg(q);
+            state.applyH(q);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+/** Empirical mean of (-1)^{popcount(sample & support)} over samples. */
+double
+empiricalMean(const std::vector<std::uint64_t> &samples,
+              std::uint64_t support)
+{
+    if (samples.empty())
+        return 0.0;
+    long sum = 0;
+    for (std::uint64_t s : samples)
+        sum += (std::popcount(s & support) & 1) ? -1 : 1;
+    return static_cast<double>(sum)
+         / static_cast<double>(samples.size());
+}
+
+} // namespace
+
+double
+sampledExpectation(const Statevector &state, const PauliString &string,
+                   std::uint64_t shots, Rng &rng)
+{
+    assert(shots > 0);
+    if (string.isIdentity())
+        return 1.0;
+    Statevector rotated = state;
+    rotateToBasis(rotated, string);
+    const std::uint64_t support = string.xMask() | string.zMask();
+    std::vector<std::uint64_t> samples;
+    samples.reserve(shots);
+    for (std::uint64_t s = 0; s < shots; ++s)
+        samples.push_back(rotated.sample(rng));
+    return empiricalMean(samples, support);
+}
+
+SampledEstimate
+sampledHamiltonianEstimate(const Statevector &state,
+                           const PauliSum &hamiltonian,
+                           std::uint64_t shots_per_group, Rng &rng)
+{
+    assert(shots_per_group > 0);
+    const auto groups = groupQubitWise(hamiltonian);
+
+    SampledEstimate out;
+    out.termEstimates.assign(hamiltonian.numTerms(), 0.0);
+    out.circuitsUsed = groups.size();
+
+    // Identity terms are exact.
+    for (std::size_t k = 0; k < hamiltonian.numTerms(); ++k)
+        if (hamiltonian.terms()[k].string.isIdentity()) {
+            out.termEstimates[k] = 1.0;
+            out.energy += hamiltonian.terms()[k].coefficient;
+        }
+
+    for (const auto &group : groups) {
+        Statevector rotated = state;
+        rotateToBasis(rotated, group.basis);
+        std::vector<std::uint64_t> samples;
+        samples.reserve(shots_per_group);
+        for (std::uint64_t s = 0; s < shots_per_group; ++s)
+            samples.push_back(rotated.sample(rng));
+        out.shotsUsed += shots_per_group;
+
+        for (std::size_t idx : group.termIndices) {
+            const PauliString &p = hamiltonian.terms()[idx].string;
+            const std::uint64_t support = p.xMask() | p.zMask();
+            const double mean = empiricalMean(samples, support);
+            out.termEstimates[idx] = mean;
+            out.energy += hamiltonian.terms()[idx].coefficient * mean;
+        }
+    }
+    return out;
+}
+
+} // namespace treevqa

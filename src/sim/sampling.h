@@ -1,0 +1,63 @@
+/**
+ * @file
+ * True measurement-based estimation: rotate to each QWC group's basis,
+ * draw bitstring samples, and form the empirical per-term means.
+ *
+ * The framework's production path (ShotEstimator) injects Gaussian
+ * noise with the exact asymptotic variance instead of sampling — that
+ * is what makes the paper's billion-shot experiments simulable. This
+ * module provides the *ground-truth* sampling estimator for small
+ * systems so that the Gaussian model can be validated against real
+ * multinomial statistics (see tests/test_sampling.cpp), and so that
+ * downstream users can run fully-sampled experiments when they want
+ * them.
+ */
+
+#ifndef TREEVQA_SIM_SAMPLING_H
+#define TREEVQA_SIM_SAMPLING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "pauli/grouping.h"
+#include "sim/statevector.h"
+
+namespace treevqa {
+
+/** Result of a sampled Hamiltonian estimation. */
+struct SampledEstimate
+{
+    /** Empirical energy estimate. */
+    double energy = 0.0;
+    /** Empirical per-term expectation estimates (term order; identity
+     * entries = 1). */
+    std::vector<double> termEstimates;
+    /** Total shots drawn = shots_per_group x #groups. */
+    std::uint64_t shotsUsed = 0;
+    /** Number of measurement circuits (QWC groups) executed. */
+    std::size_t circuitsUsed = 0;
+};
+
+/**
+ * Estimate <psi|P|psi> for one string by sampling `shots` measurement
+ * outcomes in P's own basis.
+ */
+double sampledExpectation(const Statevector &state,
+                          const PauliString &string,
+                          std::uint64_t shots, Rng &rng);
+
+/**
+ * Estimate <psi|H|psi> by measuring each QWC group of H with
+ * `shots_per_group` samples: one basis rotation per group, every
+ * member term read off the same samples (the standard hardware
+ * protocol).
+ */
+SampledEstimate sampledHamiltonianEstimate(const Statevector &state,
+                                           const PauliSum &hamiltonian,
+                                           std::uint64_t shots_per_group,
+                                           Rng &rng);
+
+} // namespace treevqa
+
+#endif // TREEVQA_SIM_SAMPLING_H

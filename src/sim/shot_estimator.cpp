@@ -1,0 +1,53 @@
+#include "sim/shot_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace treevqa {
+
+ShotEstimator::ShotEstimator(std::uint64_t shots_per_term,
+                             bool inject_noise)
+    : shotsPerTerm_(shots_per_term == 0 ? kDefaultShotsPerTerm
+                                        : shots_per_term),
+      injectNoise_(inject_noise && shots_per_term != 0)
+{
+}
+
+ShotEstimate
+ShotEstimator::estimate(const PauliSum &hamiltonian,
+                        const std::vector<double> &exact_terms,
+                        Rng &rng) const
+{
+    const auto &terms = hamiltonian.terms();
+    assert(exact_terms.size() == terms.size());
+
+    ShotEstimate out;
+    out.termEstimates.resize(terms.size());
+    const double inv_s = 1.0 / static_cast<double>(shotsPerTerm_);
+
+    for (std::size_t j = 0; j < terms.size(); ++j) {
+        double est = exact_terms[j];
+        if (injectNoise_ && !terms[j].string.isIdentity()) {
+            const double var =
+                std::max(0.0, 1.0 - est * est) * inv_s;
+            est += rng.normal(0.0, std::sqrt(var));
+            est = std::clamp(est, -1.0, 1.0);
+        }
+        out.termEstimates[j] = est;
+        out.energy += terms[j].coefficient * est;
+    }
+    out.shotsUsed = evalCost(hamiltonian);
+    return out;
+}
+
+std::uint64_t
+ShotEstimator::evalCost(const PauliSum &hamiltonian) const
+{
+    // The paper charges 4096 shots per Pauli term per evaluation
+    // (Section 7.3); identity terms need no circuit and are free.
+    return shotsPerTerm_
+         * static_cast<std::uint64_t>(hamiltonian.numMeasuredTerms());
+}
+
+} // namespace treevqa

@@ -1,0 +1,234 @@
+#include "sim/statevector.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace treevqa {
+
+Statevector::Statevector(int num_qubits)
+    : numQubits_(num_qubits),
+      amps_(std::size_t{1} << num_qubits, Complex(0.0, 0.0))
+{
+    assert(num_qubits >= 1 && num_qubits <= 30);
+    amps_[0] = Complex(1.0, 0.0);
+}
+
+void
+Statevector::setBasisState(std::uint64_t bits)
+{
+    assert(bits < amps_.size());
+    std::fill(amps_.begin(), amps_.end(), Complex(0.0, 0.0));
+    amps_[bits] = Complex(1.0, 0.0);
+}
+
+double
+Statevector::normSquared() const
+{
+    double s = 0.0;
+    for (const auto &a : amps_)
+        s += std::norm(a);
+    return s;
+}
+
+void
+Statevector::normalize()
+{
+    const double n = std::sqrt(normSquared());
+    if (n <= 0.0)
+        return;
+    for (auto &a : amps_)
+        a /= n;
+}
+
+double
+Statevector::probability(std::uint64_t bits) const
+{
+    assert(bits < amps_.size());
+    return std::norm(amps_[bits]);
+}
+
+double
+Statevector::overlapSquared(const Statevector &other) const
+{
+    assert(other.amps_.size() == amps_.size());
+    Complex s(0.0, 0.0);
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        s += std::conj(amps_[i]) * other.amps_[i];
+    return std::norm(s);
+}
+
+void
+Statevector::applyGate1(int q, const Gate1q &gate)
+{
+    assert(q >= 0 && q < numQubits_);
+    const std::size_t stride = std::size_t{1} << q;
+    const std::size_t dim = amps_.size();
+    // Iterate over pairs (i, i + stride) with bit q clear in i.
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t offset = 0; offset < stride; ++offset) {
+            const std::size_t i0 = base + offset;
+            const std::size_t i1 = i0 + stride;
+            const Complex a0 = amps_[i0];
+            const Complex a1 = amps_[i1];
+            amps_[i0] = gate.m00 * a0 + gate.m01 * a1;
+            amps_[i1] = gate.m10 * a0 + gate.m11 * a1;
+        }
+    }
+}
+
+void
+Statevector::applyRx(int q, double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    applyGate1(q, Gate1q{Complex(c, 0), Complex(0, -s),
+                         Complex(0, -s), Complex(c, 0)});
+}
+
+void
+Statevector::applyRy(int q, double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    applyGate1(q, Gate1q{Complex(c, 0), Complex(-s, 0),
+                         Complex(s, 0), Complex(c, 0)});
+}
+
+void
+Statevector::applyRz(int q, double theta)
+{
+    const Complex e_neg = std::polar(1.0, -theta / 2.0);
+    const Complex e_pos = std::polar(1.0, theta / 2.0);
+    // Diagonal: touch each amplitude once.
+    const std::size_t bit = std::size_t{1} << q;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        amps_[i] *= (i & bit) ? e_pos : e_neg;
+}
+
+void
+Statevector::applyH(int q)
+{
+    const double r = 1.0 / std::sqrt(2.0);
+    applyGate1(q, Gate1q{Complex(r, 0), Complex(r, 0),
+                         Complex(r, 0), Complex(-r, 0)});
+}
+
+void
+Statevector::applyX(int q)
+{
+    const std::size_t bit = std::size_t{1} << q;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        if (!(i & bit))
+            std::swap(amps_[i], amps_[i | bit]);
+}
+
+void
+Statevector::applyY(int q)
+{
+    applyGate1(q, Gate1q{Complex(0, 0), Complex(0, -1),
+                         Complex(0, 1), Complex(0, 0)});
+}
+
+void
+Statevector::applyZ(int q)
+{
+    const std::size_t bit = std::size_t{1} << q;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            amps_[i] = -amps_[i];
+}
+
+void
+Statevector::applyS(int q)
+{
+    const std::size_t bit = std::size_t{1} << q;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            amps_[i] *= Complex(0, 1);
+}
+
+void
+Statevector::applySdg(int q)
+{
+    const std::size_t bit = std::size_t{1} << q;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            amps_[i] *= Complex(0, -1);
+}
+
+void
+Statevector::applyCx(int control, int target)
+{
+    assert(control != target);
+    const std::size_t cbit = std::size_t{1} << control;
+    const std::size_t tbit = std::size_t{1} << target;
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        if ((i & cbit) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+}
+
+void
+Statevector::applyCz(int a, int b)
+{
+    assert(a != b);
+    const std::size_t mask =
+        (std::size_t{1} << a) | (std::size_t{1} << b);
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        if ((i & mask) == mask)
+            amps_[i] = -amps_[i];
+}
+
+void
+Statevector::applyRzz(int a, int b, double theta)
+{
+    assert(a != b);
+    const Complex e_neg = std::polar(1.0, -theta / 2.0);
+    const Complex e_pos = std::polar(1.0, theta / 2.0);
+    const std::size_t abit = std::size_t{1} << a;
+    const std::size_t bbit = std::size_t{1} << b;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        const bool za = i & abit;
+        const bool zb = i & bbit;
+        amps_[i] *= (za == zb) ? e_neg : e_pos;
+    }
+}
+
+void
+Statevector::applyRxx(int a, int b, double theta)
+{
+    // Conjugate RZZ by H on both qubits: XX = (H x H) ZZ (H x H).
+    applyH(a);
+    applyH(b);
+    applyRzz(a, b, theta);
+    applyH(a);
+    applyH(b);
+}
+
+void
+Statevector::applyRyy(int a, int b, double theta)
+{
+    // YY = (S H x S H) ZZ (H Sdg x H Sdg) basis change.
+    applySdg(a);
+    applySdg(b);
+    applyH(a);
+    applyH(b);
+    applyRzz(a, b, theta);
+    applyH(a);
+    applyH(b);
+    applyS(a);
+    applyS(b);
+}
+
+std::uint64_t
+Statevector::sample(Rng &rng) const
+{
+    double r = rng.uniform();
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        r -= std::norm(amps_[i]);
+        if (r <= 0.0)
+            return i;
+    }
+    return amps_.size() - 1;
+}
+
+} // namespace treevqa

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * This is the repo's stand-in for Qiskit's AerSimulator/Statevector
+ * backend (paper Section 7.4): it stores the full 2^n complex amplitude
+ * vector and applies gates in place. Exact expectations of Pauli sums are
+ * computed directly from the amplitudes (see expectation.h); finite-shot
+ * statistics are layered on top by the ShotEstimator.
+ *
+ * Practical range on one core: up to ~20 qubits. The paper's large-scale
+ * benchmarks (25-site Ising, 28-qubit C2H2) use the Pauli-propagation
+ * engine in src/paulprop instead, exactly as the paper does.
+ */
+
+#ifndef TREEVQA_SIM_STATEVECTOR_H
+#define TREEVQA_SIM_STATEVECTOR_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace treevqa {
+
+/** A 2x2 complex matrix in row-major order (single-qubit gate). */
+struct Gate1q
+{
+    Complex m00, m01, m10, m11;
+};
+
+/** Dense n-qubit quantum state. */
+class Statevector
+{
+  public:
+    /** |0...0> on `num_qubits` qubits. */
+    explicit Statevector(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t dim() const { return amps_.size(); }
+
+    const CVector &amplitudes() const { return amps_; }
+    CVector &amplitudes() { return amps_; }
+
+    /** Reset to the computational basis state |bits>. */
+    void setBasisState(std::uint64_t bits);
+
+    /** Squared norm (should stay 1 under unitary evolution). */
+    double normSquared() const;
+
+    /** Renormalize to unit norm (defensive; gates preserve norm). */
+    void normalize();
+
+    /** Probability of measuring basis state `bits`. */
+    double probability(std::uint64_t bits) const;
+
+    /** |<this|other>|^2 state fidelity. */
+    double overlapSquared(const Statevector &other) const;
+
+    /** Apply an arbitrary single-qubit gate on qubit q. */
+    void applyGate1(int q, const Gate1q &gate);
+
+    /** Rotation gates. */
+    void applyRx(int q, double theta);
+    void applyRy(int q, double theta);
+    void applyRz(int q, double theta);
+
+    /** Fixed gates. */
+    void applyH(int q);
+    void applyX(int q);
+    void applyY(int q);
+    void applyZ(int q);
+    void applySdg(int q);
+    void applyS(int q);
+
+    /** Two-qubit gates. */
+    void applyCx(int control, int target);
+    void applyCz(int a, int b);
+    /** exp(-i theta/2 Z_a Z_b): the QAOA phasing primitive. */
+    void applyRzz(int a, int b, double theta);
+    /** exp(-i theta/2 X_a X_b) and exp(-i theta/2 Y_a Y_b). */
+    void applyRxx(int a, int b, double theta);
+    void applyRyy(int a, int b, double theta);
+
+    /** Sample one measurement outcome (all qubits, Z basis). */
+    std::uint64_t sample(Rng &rng) const;
+
+  private:
+    int numQubits_;
+    CVector amps_;
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_SIM_STATEVECTOR_H

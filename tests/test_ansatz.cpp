@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the ansatz builders: hardware-efficient, minimal UCCSD and
+ * multi-angle QAOA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/hardware_efficient.h"
+#include "circuit/ma_qaoa.h"
+#include "circuit/uccsd_min.h"
+#include "common/rng.h"
+#include "sim/expectation.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Hea, ParameterCountFormula)
+{
+    for (int n : {2, 4, 7}) {
+        for (int layers : {1, 2, 5}) {
+            const Ansatz a = makeHardwareEfficientAnsatz(n, layers, 0);
+            EXPECT_EQ(a.numParams(), 2 * n * (layers + 1))
+                << n << " qubits " << layers << " layers";
+            EXPECT_EQ(a.circuit().entanglingLayers(), layers);
+        }
+    }
+}
+
+TEST(Hea, PreparesNormalizedState)
+{
+    Rng rng(1);
+    const Ansatz a = makeHardwareEfficientAnsatz(5, 2, 0b10101);
+    std::vector<double> theta(a.numParams());
+    for (auto &t : theta)
+        t = rng.uniform(-2, 2);
+    const Statevector s = a.prepare(theta);
+    EXPECT_NEAR(s.normSquared(), 1.0, 1e-10);
+}
+
+TEST(Hea, InitialBitsEnterTheCircuit)
+{
+    // At theta = 0 only the CX layers act, which map a basis state to a
+    // basis state: the result must be deterministic and depend on bits.
+    const Ansatz a = makeHardwareEfficientAnsatz(4, 2, 0b0011);
+    const Ansatz b = makeHardwareEfficientAnsatz(4, 2, 0b0000);
+    const std::vector<double> zeros(a.numParams(), 0.0);
+    const Statevector sa = a.prepare(zeros);
+    const Statevector sb = b.prepare(zeros);
+    EXPECT_LT(sa.overlapSquared(sb), 0.5);
+    // |0...0> is a CX fixed point.
+    EXPECT_NEAR(sb.probability(0), 1.0, 1e-12);
+}
+
+TEST(Hea, WithInitialBitsRebinds)
+{
+    const Ansatz a = makeHardwareEfficientAnsatz(3, 1, 0);
+    const Ansatz b = a.withInitialBits(0b111);
+    EXPECT_EQ(b.initialBits(), 0b111u);
+    EXPECT_EQ(b.numParams(), a.numParams());
+}
+
+TEST(Uccsd, ShapeAndReference)
+{
+    const Ansatz a = makeUccsdMinimalAnsatz();
+    EXPECT_EQ(a.numQubits(), 4);
+    EXPECT_EQ(a.numParams(), 3);
+    EXPECT_EQ(a.initialBits(), 0b0011u);
+    // theta = 0 leaves the Hartree-Fock state untouched (all gates are
+    // Pauli exponentials).
+    const Statevector s = a.prepare({0.0, 0.0, 0.0});
+    EXPECT_NEAR(s.probability(0b0011), 1.0, 1e-12);
+}
+
+TEST(Uccsd, ConservesParticleNumber)
+{
+    // The total number operator N = sum_q (I - Z_q)/2 must stay 2 for
+    // any parameters (UCCSD excitations conserve particle number).
+    const Ansatz a = makeUccsdMinimalAnsatz();
+    PauliSum number(4);
+    for (int q = 0; q < 4; ++q) {
+        number.add(0.5, PauliString(4));
+        PauliString z(4);
+        z.setOp(q, 'Z');
+        number.add(-0.5, z);
+    }
+    Rng rng(5);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::vector<double> theta = {
+            rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        const Statevector s = a.prepare(theta);
+        EXPECT_NEAR(expectation(s, number), 2.0, 1e-9);
+    }
+}
+
+TEST(MaQaoa, ParameterCounts)
+{
+    const std::vector<QuboClause> clauses = {
+        {0, 1, 1.0}, {1, 2, 0.5}, {0, 2, 2.0}};
+    const int n = 3;
+    for (int p : {1, 2, 3}) {
+        const Ansatz ma = makeMaQaoaAnsatz(n, clauses, p, true);
+        EXPECT_EQ(ma.numParams(),
+                  p * (static_cast<int>(clauses.size()) + n));
+        const Ansatz std_qaoa = makeMaQaoaAnsatz(n, clauses, p, false);
+        EXPECT_EQ(std_qaoa.numParams(), 2 * p);
+    }
+}
+
+TEST(MaQaoa, ZeroAnglesGiveUniformSuperposition)
+{
+    const std::vector<QuboClause> clauses = {{0, 1, 1.0}};
+    const Ansatz a = makeMaQaoaAnsatz(2, clauses, 1, true);
+    const std::vector<double> zeros(a.numParams(), 0.0);
+    const Statevector s = a.prepare(zeros);
+    for (std::uint64_t b = 0; b < 4; ++b)
+        EXPECT_NEAR(s.probability(b), 0.25, 1e-12);
+}
+
+TEST(MaQaoa, StandardIsSpecialCaseOfMultiAngle)
+{
+    // Standard QAOA with (gamma, beta) equals ma-QAOA with all clause
+    // params = gamma and all mixer params = beta (Section 6).
+    const std::vector<QuboClause> clauses = {
+        {0, 1, 1.0}, {1, 2, 0.7}, {0, 2, 0.4}};
+    const int n = 3;
+    const double gamma = 0.53, beta = 0.21;
+
+    const Ansatz std_qaoa = makeMaQaoaAnsatz(n, clauses, 1, false);
+    const Statevector s_std = std_qaoa.prepare({gamma, beta});
+
+    const Ansatz ma = makeMaQaoaAnsatz(n, clauses, 1, true);
+    std::vector<double> theta;
+    for (std::size_t a = 0; a < clauses.size(); ++a)
+        theta.push_back(gamma);
+    for (int q = 0; q < n; ++q)
+        theta.push_back(beta);
+    const Statevector s_ma = ma.prepare(theta);
+
+    EXPECT_NEAR(s_std.overlapSquared(s_ma), 1.0, 1e-10);
+}
+
+TEST(MaQaoa, PhasingRespectsWeights)
+{
+    // A clause of weight w phases Rzz by -w * gamma: two graphs with
+    // different weights must differ for the same gamma.
+    const Ansatz a1 =
+        makeMaQaoaAnsatz(2, {{0, 1, 1.0}}, 1, true);
+    const Ansatz a2 =
+        makeMaQaoaAnsatz(2, {{0, 1, 2.0}}, 1, true);
+    const std::vector<double> theta = {0.4, 0.0, 0.0};
+    const Statevector s1 = a1.prepare(theta);
+    const Statevector s2 = a2.prepare(theta);
+    EXPECT_LT(s1.overlapSquared(s2), 1.0 - 1e-6);
+}
+
+} // namespace
+} // namespace treevqa

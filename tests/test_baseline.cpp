@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the conventional-VQA baseline runner (Section 7.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/hardware_efficient.h"
+#include "core/baseline.h"
+#include "ham/spin_chains.h"
+#include "opt/spsa.h"
+
+namespace treevqa {
+namespace {
+
+std::vector<VqaTask>
+tfimTasks(int sites, int count)
+{
+    auto tasks =
+        makeTasks("tfim", tfimFamily(sites, 0.5, 1.5, count), 0);
+    solveGroundEnergies(tasks);
+    return tasks;
+}
+
+BaselineConfig
+quickConfig(std::uint64_t budget, int iters)
+{
+    BaselineConfig cfg;
+    cfg.shotBudget = budget;
+    cfg.maxIterationsPerTask = iters;
+    cfg.metricsInterval = 5;
+    cfg.seed = 21;
+    return cfg;
+}
+
+TEST(Baseline, SharesBudgetEqually)
+{
+    const auto tasks = tfimTasks(4, 4);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 1);
+
+    const std::uint64_t budget = 60'000'000ull;
+    const BaselineResult res =
+        runBaseline(tasks, ansatz, proto, quickConfig(budget, 100000));
+    // Total close to the budget (each task stops at its share).
+    EXPECT_LE(res.totalShots, budget + budget / 4);
+    EXPECT_GT(res.totalShots, budget / 2);
+}
+
+TEST(Baseline, IterationCapRespected)
+{
+    const auto tasks = tfimTasks(3, 3);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 2, 0);
+    Spsa proto(SpsaConfig{}, 2);
+    const BaselineResult res =
+        runBaseline(tasks, ansatz, proto, quickConfig(1ull << 62, 40));
+    // 3 tasks x 40 iterations x 2 evals x terms x 4096.
+    const std::uint64_t per_eval =
+        4096ull * tasks[0].hamiltonian.numMeasuredTerms();
+    EXPECT_EQ(res.totalShots, 3ull * 40ull * 2ull * per_eval);
+}
+
+TEST(Baseline, OutcomesPerTask)
+{
+    const auto tasks = tfimTasks(4, 5);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 3);
+    const BaselineResult res =
+        runBaseline(tasks, ansatz, proto, quickConfig(1ull << 62, 60));
+    ASSERT_EQ(res.outcomes.size(), tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(res.outcomes[i].bestEnergy));
+        EXPECT_GE(res.outcomes[i].bestEnergy,
+                  tasks[i].groundEnergy - 1e-8);
+        EXPECT_LE(res.outcomes[i].fidelity, 1.0 + 1e-12);
+    }
+}
+
+TEST(Baseline, ImprovesOverIterations)
+{
+    const auto tasks = tfimTasks(4, 3);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 4);
+    const BaselineResult res =
+        runBaseline(tasks, ansatz, proto, quickConfig(1ull << 62, 150));
+    ASSERT_GE(res.trace.size(), 3u);
+    const double early = minFidelity(res.trace.front(), tasks);
+    const double late = minFidelity(res.trace.back(), tasks);
+    EXPECT_GT(late, early);
+}
+
+TEST(Baseline, WarmStartParametersApplied)
+{
+    // With zero iterations of improvement allowed, the warm start
+    // determines the outcome; verify the trace reflects it.
+    const auto tasks = tfimTasks(3, 2);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 2, 0);
+    Spsa proto(SpsaConfig{}, 5);
+    BaselineConfig cfg = quickConfig(1ull << 62, 3);
+
+    const std::vector<double> warm(ansatz.numParams(), 0.3);
+    const BaselineResult res =
+        runBaseline(tasks, ansatz, proto, cfg, warm);
+    EXPECT_EQ(res.outcomes.size(), tasks.size());
+    // No crash and valid energies is the contract here.
+    for (const auto &o : res.outcomes)
+        EXPECT_TRUE(std::isfinite(o.bestEnergy));
+}
+
+TEST(Baseline, TraceMonotone)
+{
+    const auto tasks = tfimTasks(3, 3);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 2, 0);
+    Spsa proto(SpsaConfig{}, 6);
+    const BaselineResult res =
+        runBaseline(tasks, ansatz, proto, quickConfig(1ull << 62, 60));
+    for (std::size_t s = 1; s < res.trace.size(); ++s) {
+        EXPECT_GE(res.trace[s].shots, res.trace[s - 1].shots);
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            EXPECT_LE(res.trace[s].bestEnergies[i],
+                      res.trace[s - 1].bestEnergies[i] + 1e-12);
+    }
+}
+
+TEST(Baseline, DeterministicForSameSeed)
+{
+    const auto tasks = tfimTasks(3, 2);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 2, 0);
+    Spsa proto(SpsaConfig{}, 7);
+    const BaselineResult a =
+        runBaseline(tasks, ansatz, proto, quickConfig(1ull << 62, 30));
+    const BaselineResult b =
+        runBaseline(tasks, ansatz, proto, quickConfig(1ull << 62, 30));
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.outcomes[i].bestEnergy,
+                         b.outcomes[i].bestEnergy);
+}
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the ab-initio chemistry substrate: Boys function, Gaussian
+ * integrals, Hartree-Fock, Jordan-Wigner — validated against published
+ * H2/STO-3G reference values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/boys.h"
+#include "chem/jordan_wigner.h"
+#include "chem/molecule.h"
+#include "common/rng.h"
+#include "linalg/lanczos.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Boys, LimitsAndKnownValues)
+{
+    EXPECT_DOUBLE_EQ(boysF0(0.0), 1.0);
+    // F0(t) -> (1/2) sqrt(pi/t) for large t.
+    EXPECT_NEAR(boysF0(100.0), 0.5 * std::sqrt(M_PI / 100.0), 1e-10);
+    // Continuity across the series/erf switch at t = 1e-3: both
+    // branches agree at the boundary to high precision.
+    EXPECT_NEAR(boysF0(1e-3 - 1e-12), boysF0(1e-3 + 1e-12), 1e-10);
+    // Monotone decreasing.
+    EXPECT_GT(boysF0(0.1), boysF0(0.2));
+}
+
+TEST(Gaussian, NormalizedSelfOverlap)
+{
+    const ContractedGaussian g = sto3gHydrogen({0, 0, 0});
+    EXPECT_NEAR(overlap(g, g), 1.0, 1e-6);
+}
+
+TEST(Gaussian, OverlapDecaysWithDistance)
+{
+    const ContractedGaussian a = sto3gHydrogen({0, 0, 0});
+    const ContractedGaussian b = sto3gHydrogen({0, 0, 1.0});
+    const ContractedGaussian c = sto3gHydrogen({0, 0, 3.0});
+    EXPECT_GT(overlap(a, b), overlap(a, c));
+    EXPECT_GT(overlap(a, b), 0.0);
+    EXPECT_LT(overlap(a, b), 1.0);
+}
+
+TEST(Gaussian, SzaboOstlundH2ReferenceIntegrals)
+{
+    // Szabo & Ostlund table 3.5-ish values for H2 at R = 1.4 Bohr in
+    // STO-3G (zeta = 1.24): S12 ~ 0.6593, T11 ~ 0.7600, V11 (one
+    // nucleus) ~ -1.2266.
+    const Vec3 r1{0, 0, 0}, r2{0, 0, 1.4};
+    const ContractedGaussian g1 = sto3gHydrogen(r1);
+    const ContractedGaussian g2 = sto3gHydrogen(r2);
+    EXPECT_NEAR(overlap(g1, g2), 0.6593, 2e-3);
+    EXPECT_NEAR(kinetic(g1, g1), 0.7600, 2e-3);
+    EXPECT_NEAR(nuclearAttraction(g1, g1, r1, 1.0), -1.2266, 2e-3);
+    // (11|11) ~ 0.7746.
+    EXPECT_NEAR(electronRepulsion(g1, g1, g1, g1), 0.7746, 2e-3);
+}
+
+TEST(HartreeFock, H2EquilibriumEnergy)
+{
+    // RHF/STO-3G H2 at 0.7414 A: E ~ -1.1167 Hartree.
+    const MoleculeProblem p = buildH2(0.7414);
+    EXPECT_NEAR(p.hartreeFockEnergy, -1.1167, 2e-3);
+    EXPECT_EQ(p.numQubits, 4);
+    EXPECT_EQ(p.hartreeFockBits, 0b0011u);
+}
+
+TEST(HartreeFock, NuclearRepulsionKnown)
+{
+    const MoleculeProblem p = buildH2(0.7414);
+    // E_nuc = 1 / R = 1 / (0.7414 * 1.8897...) ~ 0.7137 Hartree.
+    EXPECT_NEAR(p.nuclearRepulsion,
+                1.0 / (0.7414 * kAngstromToBohr), 1e-10);
+}
+
+TEST(JordanWigner, H2TermCountMatchesTable1)
+{
+    const MoleculeProblem p = buildH2(0.74);
+    EXPECT_EQ(p.hamiltonian.numTerms(), 15u); // paper Table 1
+}
+
+TEST(JordanWigner, H2FciEnergy)
+{
+    // FCI/STO-3G H2 at 0.7414 A: E ~ -1.1373 Hartree (the 4-qubit
+    // Hamiltonian's exact ground energy).
+    const MoleculeProblem p = buildH2(0.7414);
+    Rng rng(1);
+    const PauliSum &h = p.hamiltonian;
+    const MatVec matvec = [&](const CVector &x, CVector &y) {
+        h.applyTo(x, y);
+    };
+    const LanczosResult gs = lanczosGroundState(16, matvec, rng);
+    EXPECT_NEAR(gs.eigenvalue, -1.1373, 2e-3);
+    // Correlation energy is negative: FCI below HF.
+    EXPECT_LT(gs.eigenvalue, p.hartreeFockEnergy);
+}
+
+TEST(JordanWigner, NumberOperatorImage)
+{
+    // a_0^dag a_0 -> (I - Z_0)/2.
+    FermionOperator n_op(2);
+    n_op.add(1.0, {LadderOp{0, true}, LadderOp{0, false}});
+    const PauliSum q = jordanWigner(n_op);
+    EXPECT_NEAR(q.coefficientOf(PauliString::fromLabel("II")), 0.5,
+                1e-12);
+    EXPECT_NEAR(q.coefficientOf(PauliString::fromLabel("ZI")), -0.5,
+                1e-12);
+    EXPECT_EQ(q.numTerms(), 2u);
+}
+
+TEST(JordanWigner, HoppingImageHasParityString)
+{
+    // a_0^dag a_2 + a_2^dag a_0 -> (X Z X + Y Z Y)/2.
+    FermionOperator hop(3);
+    hop.add(1.0, {LadderOp{0, true}, LadderOp{2, false}});
+    hop.add(1.0, {LadderOp{2, true}, LadderOp{0, false}});
+    const PauliSum q = jordanWigner(hop);
+    EXPECT_NEAR(q.coefficientOf(PauliString::fromLabel("XZX")), 0.5,
+                1e-12);
+    EXPECT_NEAR(q.coefficientOf(PauliString::fromLabel("YZY")), 0.5,
+                1e-12);
+}
+
+TEST(JordanWigner, NonHermitianInputThrows)
+{
+    FermionOperator bad(2);
+    bad.add(1.0, {LadderOp{0, true}, LadderOp{1, false}}); // no h.c.
+    EXPECT_THROW(jordanWigner(bad), std::runtime_error);
+}
+
+TEST(Molecule, DissociationCurveShape)
+{
+    // Energy has a minimum near the equilibrium bond length.
+    Rng rng(2);
+    auto fci = [&](double bond) {
+        const MoleculeProblem p = buildH2(bond);
+        const PauliSum &h = p.hamiltonian;
+        const MatVec matvec = [&](const CVector &x, CVector &y) {
+            h.applyTo(x, y);
+        };
+        return lanczosGroundState(16, matvec, rng).eigenvalue;
+    };
+    const double e_short = fci(0.45);
+    const double e_eq = fci(0.74);
+    const double e_long = fci(2.2);
+    EXPECT_GT(e_short, e_eq);
+    EXPECT_GT(e_long, e_eq);
+}
+
+TEST(Molecule, NeighboringBondsSimilarHamiltonians)
+{
+    // Fig. 4c premise: l1 distance grows with bond-length separation.
+    const PauliSum h1 = buildH2(0.74).hamiltonian;
+    const PauliSum h2 = buildH2(0.77).hamiltonian;
+    const PauliSum h3 = buildH2(1.10).hamiltonian;
+    EXPECT_LT(l1Distance(h1, h2), l1Distance(h1, h3));
+}
+
+TEST(Molecule, HChainBuildsAndIsHermitianSized)
+{
+    const MoleculeProblem p = buildHChain(4, 0.9);
+    EXPECT_EQ(p.numQubits, 8);
+    EXPECT_EQ(p.hartreeFockBits, 0b1111u);
+    EXPECT_GT(p.hamiltonian.numTerms(), 50u);
+    // HF energy must be finite and below zero for a bound chain.
+    EXPECT_LT(p.hartreeFockEnergy, 0.0);
+    EXPECT_TRUE(std::isfinite(p.hartreeFockEnergy));
+}
+
+/** Bond sweep: HF energy is smooth (no SCF blowups) over the paper's
+ * H2 range. */
+class H2BondSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(H2BondSweep, ScfConvergesAndEnergiesSane)
+{
+    const MoleculeProblem p = buildH2(GetParam());
+    EXPECT_TRUE(std::isfinite(p.hartreeFockEnergy));
+    EXPECT_LT(p.hartreeFockEnergy, -0.5);
+    EXPECT_GT(p.hartreeFockEnergy, -1.3);
+    EXPECT_EQ(p.hamiltonian.numTerms(), 15u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bonds, H2BondSweep,
+                         ::testing::Values(0.60, 0.74, 0.78, 0.83, 1.0,
+                                           1.5));
+
+} // namespace
+} // namespace treevqa

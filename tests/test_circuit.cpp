@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the circuit IR, parameter binding and the Pauli-exponential
+ * primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "pauli/pauli_sum.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Circuit, ParamAllocation)
+{
+    Circuit c(2);
+    EXPECT_EQ(c.addParam(), 0);
+    EXPECT_EQ(c.addParam(), 1);
+    EXPECT_EQ(c.numParams(), 2);
+}
+
+TEST(Circuit, FixedAngleRotation)
+{
+    Circuit c(1);
+    c.rx(0, 1.234);
+    Statevector s(1);
+    c.apply(s, {});
+    Statevector ref(1);
+    ref.applyRx(0, 1.234);
+    EXPECT_NEAR(s.overlapSquared(ref), 1.0, 1e-12);
+}
+
+TEST(Circuit, ParamBindingWithScaleAndDefault)
+{
+    Circuit c(1);
+    const int p = c.addParam();
+    c.ryParam(0, p, 2.0); // angle = 2 * theta
+    Statevector s(1);
+    c.apply(s, {0.4});
+    Statevector ref(1);
+    ref.applyRy(0, 0.8);
+    EXPECT_NEAR(s.overlapSquared(ref), 1.0, 1e-12);
+}
+
+TEST(Circuit, SharedParamAcrossGates)
+{
+    Circuit c(2);
+    const int p = c.addParam();
+    c.rxParam(0, p);
+    c.rxParam(1, p);
+    Statevector s(2);
+    c.apply(s, {0.7});
+    Statevector ref(2);
+    ref.applyRx(0, 0.7);
+    ref.applyRx(1, 0.7);
+    EXPECT_NEAR(s.overlapSquared(ref), 1.0, 1e-12);
+}
+
+TEST(Circuit, TwoQubitGateCounting)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cz(1, 2);
+    c.rzz(0, 2, 0.1);
+    EXPECT_EQ(c.numTwoQubitGates(), 3u);
+    EXPECT_EQ(c.numGates(), 4u);
+}
+
+TEST(Circuit, SummaryMentionsCounts)
+{
+    Circuit c(3);
+    c.h(0);
+    const std::string s = c.summary();
+    EXPECT_NE(s.find("3q"), std::string::npos);
+    EXPECT_NE(s.find("1 gates"), std::string::npos);
+}
+
+/**
+ * The Pauli-exponential identity: exp(-i a/2 P)|psi> =
+ * cos(a/2)|psi> - i sin(a/2) P|psi>, verifiable with the PauliSum
+ * applyTo machinery for any string P.
+ */
+void
+checkPauliExponential(const std::string &label, double angle,
+                      std::uint64_t seed)
+{
+    const int n = static_cast<int>(label.size());
+    const PauliString p = PauliString::fromLabel(label);
+
+    // Random product-ish start state via rotations.
+    Rng rng(seed);
+    Statevector psi(n);
+    for (int q = 0; q < n; ++q) {
+        psi.applyRy(q, rng.uniform(-2, 2));
+        psi.applyRz(q, rng.uniform(-2, 2));
+    }
+
+    // Circuit route.
+    Circuit c(n);
+    const int param = c.addParam();
+    c.pauliExponential(p, param);
+    Statevector circuit_state = psi;
+    c.apply(circuit_state, {angle});
+
+    // Analytic route.
+    PauliSum ps(n);
+    ps.add(1.0, p);
+    CVector p_psi;
+    ps.applyTo(psi.amplitudes(), p_psi);
+    const Complex cos_part(std::cos(angle / 2), 0.0);
+    const Complex sin_part(0.0, -std::sin(angle / 2));
+    CVector expected(psi.dim());
+    for (std::size_t i = 0; i < psi.dim(); ++i)
+        expected[i] =
+            cos_part * psi.amplitudes()[i] + sin_part * p_psi[i];
+
+    for (std::size_t i = 0; i < psi.dim(); ++i)
+        EXPECT_NEAR(std::abs(circuit_state.amplitudes()[i]
+                             - expected[i]), 0.0, 1e-10)
+            << label << " angle " << angle;
+}
+
+TEST(PauliExponential, SingleZIsRz)
+{
+    checkPauliExponential("Z", 0.77, 1);
+}
+
+TEST(PauliExponential, SingleXAndY)
+{
+    checkPauliExponential("X", -1.3, 2);
+    checkPauliExponential("Y", 0.45, 3);
+}
+
+TEST(PauliExponential, TwoQubitStrings)
+{
+    checkPauliExponential("XX", 0.6, 4);
+    checkPauliExponential("YZ", -0.9, 5);
+    checkPauliExponential("ZY", 1.7, 6);
+}
+
+TEST(PauliExponential, WeightFourChemistryString)
+{
+    checkPauliExponential("XXYY", 0.35, 7);
+    checkPauliExponential("YXYX", -0.8, 8);
+}
+
+TEST(PauliExponential, StringWithIdentityGaps)
+{
+    checkPauliExponential("XIZIY", 0.52, 9);
+}
+
+TEST(PauliExponential, IdentityStringIsNoOp)
+{
+    Circuit c(2);
+    const int p = c.addParam();
+    c.pauliExponential(PauliString(2), p);
+    EXPECT_EQ(c.numGates(), 0u);
+}
+
+/** Angle sweep on a weight-3 string. */
+class ExponentialAngleSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ExponentialAngleSweep, MatchesAnalyticForm)
+{
+    checkPauliExponential("XZY", GetParam(), 42);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, ExponentialAngleSweep,
+                         ::testing::Values(-3.0, -1.0, 0.0, 0.3, 1.6,
+                                           3.1));
+
+} // namespace
+} // namespace treevqa

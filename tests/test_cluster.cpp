@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for task similarity (Section 5.2.4) and spectral clustering
+ * (Section 5.2.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/similarity.h"
+#include "cluster/spectral.h"
+#include "ham/spin_chains.h"
+#include "ham/synthetic_molecule.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Similarity, DistanceMatrixSymmetricZeroDiagonal)
+{
+    const auto fam = tfimFamily(4, 0.5, 1.5, 5);
+    const Matrix d = distanceMatrix(fam);
+    ASSERT_EQ(d.rows(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+        for (std::size_t j = 0; j < 5; ++j)
+            EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+    }
+}
+
+TEST(Similarity, MedianHeuristic)
+{
+    Matrix d(3, 3, 0.0);
+    d(0, 1) = d(1, 0) = 1.0;
+    d(0, 2) = d(2, 0) = 2.0;
+    d(1, 2) = d(2, 1) = 3.0;
+    EXPECT_DOUBLE_EQ(medianPairwiseDistance(d), 2.0);
+    // All-zero distances: fallback sigma.
+    const Matrix z(3, 3, 0.0);
+    EXPECT_DOUBLE_EQ(medianPairwiseDistance(z), 1.0);
+}
+
+TEST(Similarity, RbfKernelRangeAndDiagonal)
+{
+    const auto fam = xxzFamily(4, 0.2, 1.8, 6);
+    const Matrix s = similarityMatrix(fam);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_DOUBLE_EQ(s(i, i), 1.0);
+        for (std::size_t j = 0; j < 6; ++j) {
+            EXPECT_GT(s(i, j), 0.0);
+            EXPECT_LE(s(i, j), 1.0);
+        }
+    }
+}
+
+TEST(Similarity, NeighborsMoreSimilarThanExtremes)
+{
+    const auto spec = syntheticLiH();
+    const auto fam = syntheticFamily(spec, familyBonds(spec, 8));
+    const Matrix s = similarityMatrix(fam);
+    EXPECT_GT(s(0, 1), s(0, 7));
+    EXPECT_GT(s(3, 4), s(0, 7));
+}
+
+TEST(Similarity, SubmatrixSelectsBlock)
+{
+    Matrix m(4, 4, 0.0);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            m(i, j) = static_cast<double>(10 * i + j);
+    const Matrix sub = submatrix(m, {1, 3});
+    EXPECT_DOUBLE_EQ(sub(0, 0), 11.0);
+    EXPECT_DOUBLE_EQ(sub(0, 1), 13.0);
+    EXPECT_DOUBLE_EQ(sub(1, 0), 31.0);
+}
+
+TEST(Spectral, SeparatesTwoBlocks)
+{
+    // Block-diagonal similarity: {0,1,2} vs {3,4,5}.
+    const std::size_t n = 6;
+    Matrix s(n, n, 0.02);
+    for (std::size_t i = 0; i < n; ++i)
+        s(i, i) = 1.0;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            if (i != j) {
+                s(i, j) = 0.9;
+                s(i + 3, j + 3) = 0.9;
+            }
+    Rng rng(1);
+    const SpectralResult res = spectralCluster(s, 2, rng);
+    EXPECT_EQ(res.assignment[0], res.assignment[1]);
+    EXPECT_EQ(res.assignment[1], res.assignment[2]);
+    EXPECT_EQ(res.assignment[3], res.assignment[4]);
+    EXPECT_EQ(res.assignment[4], res.assignment[5]);
+    EXPECT_NE(res.assignment[0], res.assignment[3]);
+}
+
+TEST(Spectral, LaplacianSpectrumDiagnostics)
+{
+    Matrix s(4, 4, 0.01);
+    for (std::size_t i = 0; i < 4; ++i)
+        s(i, i) = 1.0;
+    s(0, 1) = s(1, 0) = 0.95;
+    s(2, 3) = s(3, 2) = 0.95;
+    Rng rng(2);
+    const SpectralResult res = spectralCluster(s, 2, rng);
+    ASSERT_EQ(res.laplacianEigenvalues.size(), 4u);
+    // Two near-zero eigenvalues for two connected blocks.
+    EXPECT_LT(res.laplacianEigenvalues[0], 0.1);
+    EXPECT_LT(res.laplacianEigenvalues[1], 0.2);
+    EXPECT_GT(res.laplacianEigenvalues[2], 0.5);
+}
+
+TEST(Spectral, TinyInputsHandled)
+{
+    Matrix s(2, 2, 1.0);
+    Rng rng(3);
+    const SpectralResult res = spectralCluster(s, 2, rng);
+    ASSERT_EQ(res.assignment.size(), 2u);
+    EXPECT_NE(res.assignment[0], res.assignment[1]);
+}
+
+TEST(Spectral, ChainFamilySplitsContiguously)
+{
+    // A smooth 1-D family should split into two contiguous halves.
+    const auto spec = syntheticHF();
+    const auto fam = syntheticFamily(spec, familyBonds(spec, 8));
+    const Matrix s = similarityMatrix(fam);
+    Rng rng(4);
+    const SpectralResult res = spectralCluster(s, 2, rng);
+    // Contiguity: the assignment sequence changes label exactly once.
+    int changes = 0;
+    for (std::size_t i = 1; i < 8; ++i)
+        changes += res.assignment[i] != res.assignment[i - 1];
+    EXPECT_EQ(changes, 1);
+}
+
+/** k sweep on a three-block similarity structure. */
+class SpectralKSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SpectralKSweep, NonEmptyClusters)
+{
+    const std::size_t k = GetParam();
+    const std::size_t n = 9;
+    Matrix s(n, n, 0.05);
+    for (std::size_t i = 0; i < n; ++i)
+        s(i, i) = 1.0;
+    for (std::size_t blk = 0; blk < 3; ++blk)
+        for (std::size_t i = 0; i < 3; ++i)
+            for (std::size_t j = 0; j < 3; ++j)
+                if (i != j)
+                    s(3 * blk + i, 3 * blk + j) = 0.9;
+    Rng rng(5);
+    const SpectralResult res = spectralCluster(s, k, rng);
+    std::vector<int> counts(k, 0);
+    for (int a : res.assignment)
+        ++counts[a];
+    for (std::size_t c = 0; c < k; ++c)
+        EXPECT_GT(counts[c], 0) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, SpectralKSweep,
+                         ::testing::Values(2u, 3u));
+
+} // namespace
+} // namespace treevqa

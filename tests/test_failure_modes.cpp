@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Failure-injection and edge-case tests: degenerate inputs, zero
+ * budgets, single-task applications, identical Hamiltonians — the
+ * paths a downstream user will hit first when misusing the API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/hardware_efficient.h"
+#include "cluster/similarity.h"
+#include "cluster/spectral.h"
+#include "core/baseline.h"
+#include "core/tree_controller.h"
+#include "ham/spin_chains.h"
+#include "opt/spsa.h"
+
+namespace treevqa {
+namespace {
+
+TEST(FailureModes, ZeroShotBudgetStopsImmediately)
+{
+    auto tasks = makeTasks("t", tfimFamily(3, 0.8, 1.2, 3), 0);
+    solveGroundEnergies(tasks);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 1, 0);
+    Spsa proto(SpsaConfig{}, 1);
+
+    TreeVqaConfig cfg;
+    cfg.shotBudget = 0;
+    cfg.maxRounds = 1000;
+    TreeController controller(tasks, ansatz, proto, cfg);
+    const TreeVqaResult res = controller.run();
+    EXPECT_EQ(res.rounds, 0);
+    // Post-processing still yields a valid energy for every task
+    // (the zero-parameter state).
+    for (const auto &o : res.outcomes)
+        EXPECT_TRUE(std::isfinite(o.bestEnergy));
+}
+
+TEST(FailureModes, SingleTaskApplicationNeverSplits)
+{
+    auto tasks = makeTasks("t", tfimFamily(3, 1.0, 1.0, 1), 0);
+    solveGroundEnergies(tasks);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 1, 0);
+    Spsa proto(SpsaConfig{}, 2);
+
+    TreeVqaConfig cfg;
+    cfg.shotBudget = 1ull << 62;
+    cfg.maxRounds = 150;
+    // Aggressive triggers: a lone task must re-arm, not split.
+    cfg.cluster.warmupIterations = 5;
+    cfg.cluster.epsSplit = 0.5;
+    TreeController controller(tasks, ansatz, proto, cfg);
+    const TreeVqaResult res = controller.run();
+    EXPECT_EQ(res.splitCount, 0);
+    EXPECT_EQ(res.finalClusterCount, 1u);
+    EXPECT_EQ(res.maxTreeLevel, 1);
+}
+
+TEST(FailureModes, IdenticalTasksSplitSafely)
+{
+    // All-zero pairwise distances: median heuristic falls back, the
+    // spectral split still bisects, nothing divides by zero.
+    const PauliSum h = transverseFieldIsing(3, 1.0, 1.0);
+    auto tasks = makeTasks("same", {h, h, h, h}, 0);
+    solveGroundEnergies(tasks);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 1, 0);
+    Spsa proto(SpsaConfig{}, 3);
+
+    TreeVqaConfig cfg;
+    cfg.shotBudget = 1ull << 62;
+    cfg.maxRounds = 250;
+    cfg.cluster.warmupIterations = 10;
+    cfg.cluster.windowSize = 8;
+    cfg.cluster.epsSplit = 0.3; // force early splits
+    TreeController controller(tasks, ansatz, proto, cfg);
+    const TreeVqaResult res = controller.run();
+    for (const auto &o : res.outcomes)
+        EXPECT_TRUE(std::isfinite(o.bestEnergy));
+}
+
+TEST(FailureModes, BaselineZeroBudget)
+{
+    auto tasks = makeTasks("t", tfimFamily(3, 0.8, 1.2, 2), 0);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 1, 0);
+    Spsa proto(SpsaConfig{}, 4);
+    BaselineConfig cfg;
+    cfg.shotBudget = 0;
+    const BaselineResult res =
+        runBaseline(tasks, ansatz, proto, cfg);
+    EXPECT_EQ(res.outcomes.size(), 2u);
+    for (const auto &o : res.outcomes)
+        EXPECT_TRUE(std::isfinite(o.bestEnergy));
+}
+
+TEST(FailureModes, MedianDistanceFallbackOnIdenticalInputs)
+{
+    const PauliSum h = transverseFieldIsing(3, 1.0, 0.5);
+    const Matrix d = distanceMatrix({h, h, h});
+    EXPECT_DOUBLE_EQ(medianPairwiseDistance(d), 1.0); // fallback
+    const Matrix s = rbfKernel(d);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(s(i, j), 1.0);
+}
+
+TEST(FailureModes, SpectralClusterMorePartitionsThanPoints)
+{
+    Matrix s(2, 2, 1.0);
+    Rng rng(5);
+    const SpectralResult res = spectralCluster(s, 4, rng);
+    EXPECT_EQ(res.assignment.size(), 2u);
+}
+
+TEST(FailureModes, SolveGroundEnergiesIsIdempotent)
+{
+    auto tasks = makeTasks("t", tfimFamily(3, 0.8, 1.2, 2), 0);
+    solveGroundEnergies(tasks);
+    const double first = tasks[0].groundEnergy;
+    tasks[0].groundEnergy = -123.0; // pretend externally supplied
+    solveGroundEnergies(tasks);     // must not overwrite
+    EXPECT_DOUBLE_EQ(tasks[0].groundEnergy, -123.0);
+    EXPECT_NE(first, -123.0);
+}
+
+TEST(FailureModes, FidelityWithTinyGroundEnergy)
+{
+    // Near-zero ground energies must not divide by zero.
+    const double f = energyFidelity(0.5, 1e-308);
+    EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(FailureModes, EmptyTraceReadouts)
+{
+    std::vector<VqaTask> tasks(1);
+    tasks[0].groundEnergy = -1.0;
+    EXPECT_EQ(shotsToReachFidelity({}, tasks, 0.5), 0u);
+    EXPECT_DOUBLE_EQ(fidelityAtBudget({}, tasks, 100), 0.0);
+    EXPECT_DOUBLE_EQ(maxFidelity({}, tasks), 0.0);
+}
+
+TEST(FailureModes, ControllerWithMaxRoundsZeroUnlimitedGuard)
+{
+    // maxRounds <= 0 means "budget-only"; a small budget must still
+    // terminate the run.
+    auto tasks = makeTasks("t", tfimFamily(3, 0.9, 1.1, 2), 0);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 1, 0);
+    Spsa proto(SpsaConfig{}, 6);
+    TreeVqaConfig cfg;
+    cfg.shotBudget = 1'000'000;
+    cfg.maxRounds = 0;
+    TreeController controller(tasks, ansatz, proto, cfg);
+    const TreeVqaResult res = controller.run();
+    EXPECT_GE(res.totalShots, cfg.shotBudget);
+    EXPECT_GT(res.rounds, 0);
+}
+
+TEST(FailureModes, ClusterConfigExtremeWindows)
+{
+    // Degenerate window sizes are clamped, never crash.
+    auto tasks = makeTasks("t", tfimFamily(3, 0.8, 1.2, 3), 0);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 1, 0);
+    Spsa proto(SpsaConfig{}, 7);
+    TreeVqaConfig cfg;
+    cfg.shotBudget = 1ull << 62;
+    cfg.maxRounds = 60;
+    cfg.cluster.windowSize = 0; // clamps to 2
+    cfg.cluster.warmupIterations = 0;
+    TreeController controller(tasks, ansatz, proto, cfg);
+    const TreeVqaResult res = controller.run();
+    EXPECT_EQ(res.outcomes.size(), 3u);
+}
+
+TEST(FailureModes, NoiseModelExtremeDamping)
+{
+    // A pathologically deep circuit: damping must stay in (0, 1].
+    NoiseModel m(0.99, 0.99, "x");
+    const double d =
+        m.dampingFactor(PauliString::fromLabel("XYZXYZ"), 10000);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+}
+
+} // namespace
+} // namespace treevqa

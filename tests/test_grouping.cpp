@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for qubit-wise-commuting measurement grouping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ham/spin_chains.h"
+#include "pauli/grouping.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Grouping, TfimNeedsTwoCircuits)
+{
+    // All ZZ terms are mutually QWC; all X terms are mutually QWC; the
+    // two families conflict -> exactly 2 measurement circuits.
+    const PauliSum h = transverseFieldIsing(5, 1.0, 0.8);
+    EXPECT_EQ(numMeasurementCircuits(h), 2u);
+}
+
+TEST(Grouping, XxzNeedsThreeCircuits)
+{
+    // XX, YY and ZZ bond families are pairwise incompatible.
+    const PauliSum h = xxzChain(5, 1.0, 0.5);
+    EXPECT_EQ(numMeasurementCircuits(h), 3u);
+}
+
+TEST(Grouping, EveryTermCoveredExactlyOnce)
+{
+    const PauliSum h = xxzChain(6, 1.0, 1.3);
+    const auto groups = groupQubitWise(h);
+    std::vector<int> seen(h.numTerms(), 0);
+    for (const auto &g : groups)
+        for (std::size_t idx : g.termIndices)
+            ++seen[idx];
+    for (std::size_t i = 0; i < h.numTerms(); ++i) {
+        EXPECT_EQ(seen[i], h.terms()[i].string.isIdentity() ? 0 : 1);
+    }
+}
+
+TEST(Grouping, MembersPairwiseQwc)
+{
+    const PauliSum h = xxzChain(6, 1.0, 0.7);
+    const auto groups = groupQubitWise(h);
+    for (const auto &g : groups) {
+        for (std::size_t a = 0; a < g.termIndices.size(); ++a)
+            for (std::size_t b = a + 1; b < g.termIndices.size(); ++b) {
+                const auto &pa = h.terms()[g.termIndices[a]].string;
+                const auto &pb = h.terms()[g.termIndices[b]].string;
+                EXPECT_TRUE(pa.qubitWiseCommutesWith(pb));
+            }
+    }
+}
+
+TEST(Grouping, BasisCoversMembers)
+{
+    const PauliSum h = transverseFieldIsing(4, 1.0, 1.2);
+    const auto groups = groupQubitWise(h);
+    for (const auto &g : groups)
+        for (std::size_t idx : g.termIndices)
+            EXPECT_TRUE(h.terms()[idx].string.qubitWiseCommutesWith(
+                g.basis));
+}
+
+TEST(Grouping, IdentitySkipped)
+{
+    PauliSum h(2);
+    h.add(5.0, "II");
+    h.add(1.0, "XZ");
+    const auto groups = groupQubitWise(h);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].termIndices.size(), 1u);
+}
+
+TEST(Grouping, SingleDiagonalHamiltonianOneCircuit)
+{
+    PauliSum h(3);
+    h.add(1.0, "ZII");
+    h.add(1.0, "IZI");
+    h.add(1.0, "ZZZ");
+    EXPECT_EQ(numMeasurementCircuits(h), 1u);
+}
+
+TEST(Grouping, GroupCountAtMostTermCount)
+{
+    const PauliSum h = xxzChain(8, 1.0, 0.9);
+    const auto groups = groupQubitWise(h);
+    EXPECT_LE(groups.size(), h.numMeasuredTerms());
+    EXPECT_GE(groups.size(), 1u);
+}
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the benchmark Hamiltonian generators: spin chains, MaxCut,
+ * IEEE-14 load families, synthetic molecules (Table 1 shapes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ham/ieee14.h"
+#include "ham/maxcut.h"
+#include "ham/spin_chains.h"
+#include "ham/synthetic_molecule.h"
+#include "linalg/lanczos.h"
+
+namespace treevqa {
+namespace {
+
+TEST(SpinChains, XxzTermStructure)
+{
+    const PauliSum h = xxzChain(5, 1.0, 0.5);
+    // 4 bonds x 3 terms.
+    EXPECT_EQ(h.numTerms(), 12u);
+    EXPECT_NEAR(h.coefficientOf(PauliString::fromLabel("XXIII")), 1.0,
+                1e-14);
+    EXPECT_NEAR(h.coefficientOf(PauliString::fromLabel("ZZIII")), 0.5,
+                1e-14);
+}
+
+TEST(SpinChains, TfimTermStructure)
+{
+    const PauliSum h = transverseFieldIsing(4, 1.0, 0.8);
+    EXPECT_EQ(h.numTerms(), 3u + 4u);
+    EXPECT_NEAR(h.coefficientOf(PauliString::fromLabel("ZZII")), -1.0,
+                1e-14);
+    EXPECT_NEAR(h.coefficientOf(PauliString::fromLabel("XIII")), -0.8,
+                1e-14);
+}
+
+TEST(SpinChains, FamiliesSweepParameter)
+{
+    const auto fam = xxzFamily(4, 0.5, 1.5, 5);
+    ASSERT_EQ(fam.size(), 5u);
+    EXPECT_NEAR(fam[0].coefficientOf(PauliString::fromLabel("ZZII")),
+                0.5, 1e-12);
+    EXPECT_NEAR(fam[4].coefficientOf(PauliString::fromLabel("ZZII")),
+                1.5, 1e-12);
+    // Neighbors closer than extremes (the similarity premise).
+    EXPECT_LT(l1Distance(fam[0], fam[1]), l1Distance(fam[0], fam[4]));
+}
+
+TEST(SpinChains, TfimGroundStateLimits)
+{
+    // h = 0: classical ferromagnet, E0 = -(n-1) J.
+    Rng rng(1);
+    const PauliSum h0 = transverseFieldIsing(4, 1.0, 0.0);
+    const MatVec mv0 = [&](const CVector &x, CVector &y) {
+        h0.applyTo(x, y);
+    };
+    EXPECT_NEAR(lanczosGroundState(16, mv0, rng).eigenvalue, -3.0,
+                1e-8);
+    // h >> J: field-dominated, E0 ~ -n h.
+    const PauliSum hbig = transverseFieldIsing(4, 1.0, 50.0);
+    const MatVec mvb = [&](const CVector &x, CVector &y) {
+        hbig.applyTo(x, y);
+    };
+    EXPECT_NEAR(lanczosGroundState(16, mvb, rng).eigenvalue, -200.0,
+                0.2);
+}
+
+TEST(MaxCut, CutValueByHand)
+{
+    WeightedGraph g;
+    g.numNodes = 3;
+    g.edges = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 3.0}};
+    // Partition {0} vs {1,2}: cut = 1 + 3 = 4.
+    EXPECT_DOUBLE_EQ(g.cutValue(0b001), 4.0);
+    // Partition {1} vs {0,2}: cut = 1 + 2 = 3.
+    EXPECT_DOUBLE_EQ(g.cutValue(0b010), 3.0);
+    EXPECT_DOUBLE_EQ(g.maxCutBruteForce(), 5.0); // {2} vs {0,1}
+}
+
+TEST(MaxCut, HamiltonianGroundEnergyIsMinusMaxCut)
+{
+    WeightedGraph g;
+    g.numNodes = 4;
+    g.edges = {{0, 1, 1.0}, {1, 2, 1.5}, {2, 3, 0.5}, {0, 3, 2.0},
+               {0, 2, 1.0}};
+    const PauliSum h = maxcutHamiltonian(g);
+    Rng rng(2);
+    const MatVec mv = [&](const CVector &x, CVector &y) {
+        h.applyTo(x, y);
+    };
+    const double e0 = lanczosGroundState(16, mv, rng).eigenvalue;
+    EXPECT_NEAR(e0, -g.maxCutBruteForce(), 1e-8);
+}
+
+TEST(MaxCut, ClausesMirrorEdges)
+{
+    WeightedGraph g;
+    g.numNodes = 3;
+    g.edges = {{0, 1, 1.25}, {1, 2, 0.5}};
+    const auto clauses = maxcutClauses(g);
+    ASSERT_EQ(clauses.size(), 2u);
+    EXPECT_EQ(clauses[0].u, 0);
+    EXPECT_EQ(clauses[0].v, 1);
+    EXPECT_DOUBLE_EQ(clauses[0].weight, 1.25);
+}
+
+TEST(MaxCut, EdgeWeightVarianceZeroForIdenticalGraphs)
+{
+    const WeightedGraph g = ieee14BaseGraph();
+    EXPECT_NEAR(edgeWeightVariance({g, g, g}), 0.0, 1e-15);
+}
+
+TEST(Ieee14, CanonicalShape)
+{
+    const WeightedGraph g = ieee14BaseGraph();
+    EXPECT_EQ(g.numNodes, 14);
+    EXPECT_EQ(g.edges.size(), 20u);
+    for (const auto &e : g.edges) {
+        EXPECT_GE(e.u, 0);
+        EXPECT_LT(e.v, 14);
+        EXPECT_GT(e.weight, 0.0);
+        EXPECT_LE(e.weight, 1.0);
+    }
+}
+
+TEST(Ieee14, LoadFamilyVarianceOrdering)
+{
+    // Fig. 12 premise: wider load ranges produce higher edge variance.
+    const auto tight = ieee14LoadFamily(0.9, 1.1, 10);
+    const auto mid = ieee14LoadFamily(0.8, 1.2, 10);
+    const auto wide = ieee14LoadFamily(0.5, 1.5, 10);
+    const double v_tight = edgeWeightVariance(tight);
+    const double v_mid = edgeWeightVariance(mid);
+    const double v_wide = edgeWeightVariance(wide);
+    EXPECT_LT(v_tight, v_mid);
+    EXPECT_LT(v_mid, v_wide);
+}
+
+TEST(Ieee14, LoadScalingIsMonotonePerEdge)
+{
+    const auto fam = ieee14LoadFamily(0.5, 1.5, 3);
+    for (std::size_t e = 0; e < fam[0].edges.size(); ++e) {
+        EXPECT_LT(fam[0].edges[e].weight, fam[1].edges[e].weight);
+        EXPECT_LT(fam[1].edges[e].weight, fam[2].edges[e].weight);
+    }
+}
+
+TEST(SyntheticMolecule, Table1Shapes)
+{
+    struct Expected
+    {
+        SyntheticMoleculeSpec spec;
+        int qubits;
+        std::size_t terms;
+    };
+    const Expected expected[] = {
+        {syntheticLiH(), 12, 496},
+        {syntheticBeH2(), 14, 810},
+        {syntheticHF(), 12, 631},
+        {syntheticC2H2(), 28, 5945},
+    };
+    for (const auto &e : expected) {
+        const PauliSum h =
+            buildSyntheticMolecule(e.spec, e.spec.eqBondAngstrom);
+        EXPECT_EQ(h.numQubits(), e.qubits) << e.spec.name;
+        EXPECT_EQ(h.numTerms(), e.terms) << e.spec.name;
+    }
+}
+
+TEST(SyntheticMolecule, DeterministicAcrossCalls)
+{
+    const auto spec = syntheticLiH();
+    const PauliSum a = buildSyntheticMolecule(spec, 1.5);
+    const PauliSum b = buildSyntheticMolecule(spec, 1.5);
+    EXPECT_DOUBLE_EQ(l1Distance(a, b), 0.0);
+}
+
+TEST(SyntheticMolecule, SimilarityDecaysWithBondSeparation)
+{
+    // Fig. 4b/4c premise for the synthetic families.
+    const auto spec = syntheticLiH();
+    const auto bonds = familyBonds(spec, 6);
+    const auto fam = syntheticFamily(spec, bonds);
+    const AlignedTerms aligned = alignTerms(fam);
+    for (std::size_t k = 2; k < fam.size(); ++k)
+        EXPECT_LT(l1Distance(aligned, 0, 1), l1Distance(aligned, 0, k));
+}
+
+TEST(SyntheticMolecule, SharedTermStructureAcrossBonds)
+{
+    // Padding is minimal by construction: same strings, different
+    // coefficients (Section 5.2.1).
+    const auto spec = syntheticHF();
+    const PauliSum a = buildSyntheticMolecule(spec, 0.9);
+    const PauliSum b = buildSyntheticMolecule(spec, 1.05);
+    const AlignedTerms aligned = alignTerms({a, b});
+    EXPECT_EQ(aligned.strings.size(), a.numTerms());
+}
+
+TEST(SyntheticMolecule, IdentityTermNearBaseEnergy)
+{
+    const auto spec = syntheticBeH2();
+    const PauliSum h =
+        buildSyntheticMolecule(spec, spec.eqBondAngstrom);
+    EXPECT_NEAR(h.normalizedTrace(), spec.baseEnergy,
+                0.05 * std::fabs(spec.baseEnergy));
+}
+
+TEST(SyntheticMolecule, FamilyBondsEquallySpaced)
+{
+    const auto bonds = familyBonds(1.0, 2.0, 5);
+    ASSERT_EQ(bonds.size(), 5u);
+    EXPECT_DOUBLE_EQ(bonds[0], 1.0);
+    EXPECT_DOUBLE_EQ(bonds[4], 2.0);
+    EXPECT_NEAR(bonds[2] - bonds[1], bonds[1] - bonds[0], 1e-12);
+}
+
+TEST(SyntheticMolecule, HalfFillingBits)
+{
+    EXPECT_EQ(halfFillingBits(4), 0b0011u);
+    EXPECT_EQ(halfFillingBits(12), 0b111111u);
+}
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the classical initializers: CAFQA-like Clifford search and
+ * Red-QAOA-like pooled QAOA initialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/hardware_efficient.h"
+#include "circuit/ma_qaoa.h"
+#include "ham/ieee14.h"
+#include "ham/spin_chains.h"
+#include "init/cafqa.h"
+#include "init/warm_start.h"
+#include "sim/expectation.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Cafqa, FindsGroundBasisStateOfDiagonalHamiltonian)
+{
+    // Diagonal H: ground state is a computational basis state, which a
+    // Clifford point of the HEA can prepare exactly.
+    PauliSum h(3);
+    PauliString z0(3), z1(3), z2(3);
+    z0.setOp(0, 'Z');
+    z1.setOp(1, 'Z');
+    z2.setOp(2, 'Z');
+    h.add(1.0, z0);   // favors qubit 0 = 1
+    h.add(-2.0, z1);  // favors qubit 1 = 0
+    h.add(0.5, z2);   // favors qubit 2 = 1
+    // Ground energy: -1 - 2 - 0.5 = -3.5.
+
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 1, 0);
+    Rng rng(1);
+    const CafqaResult res = cafqaSearch(h, ansatz, rng, 4, 3);
+    EXPECT_NEAR(res.energy, -3.5, 1e-9);
+    EXPECT_GT(res.evaluations, 0);
+}
+
+TEST(Cafqa, ParamsAreCliffordAngles)
+{
+    PauliSum h(2);
+    PauliString zz(2);
+    zz.setOp(0, 'Z');
+    zz.setOp(1, 'Z');
+    h.add(-1.0, zz);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(2, 1, 0);
+    Rng rng(2);
+    const CafqaResult res = cafqaSearch(h, ansatz, rng, 2, 2);
+    for (double p : res.params) {
+        const double q = std::fmod(p, M_PI_2);
+        EXPECT_NEAR(std::min(q, M_PI_2 - q), 0.0, 1e-12);
+    }
+}
+
+TEST(Cafqa, EnergyMatchesEvaluation)
+{
+    const PauliSum h = transverseFieldIsing(3, 1.0, 0.6);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 1, 0);
+    Rng rng(3);
+    const CafqaResult res = cafqaSearch(h, ansatz, rng, 2, 2);
+    const Statevector s = ansatz.prepare(res.params);
+    EXPECT_NEAR(expectation(s, h), res.energy, 1e-10);
+}
+
+TEST(Cafqa, NeverWorseThanZeroPoint)
+{
+    const PauliSum h = xxzChain(4, 1.0, 0.8);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0b0101);
+    Rng rng(4);
+    const CafqaResult res = cafqaSearch(h, ansatz, rng, 2, 2);
+    const Statevector zero_state = ansatz.prepare(
+        std::vector<double>(ansatz.numParams(), 0.0));
+    EXPECT_LE(res.energy, expectation(zero_state, h) + 1e-10);
+}
+
+TEST(WarmStart, MeanGraphAveragesWeights)
+{
+    WeightedGraph a, b;
+    a.numNodes = b.numNodes = 2;
+    a.edges = {{0, 1, 1.0}};
+    b.edges = {{0, 1, 3.0}};
+    const WeightedGraph m = meanGraph({a, b});
+    EXPECT_DOUBLE_EQ(m.edges[0].weight, 2.0);
+}
+
+TEST(WarmStart, PooledInitShapeMatchesMaQaoa)
+{
+    const auto family = ieee14LoadFamily(0.9, 1.1, 4);
+    const int layers = 1;
+    const auto init = pooledQaoaInit(family, layers, 6);
+    const Ansatz ma = makeMaQaoaAnsatz(
+        family[0].numNodes, maxcutClauses(family[0]), layers, true);
+    EXPECT_EQ(static_cast<int>(init.size()), ma.numParams());
+}
+
+TEST(WarmStart, PooledInitBeatsZeroAngles)
+{
+    // The pooled angles must score better on the mean graph than the
+    // zero-angle uniform superposition.
+    const auto family = ieee14LoadFamily(0.9, 1.1, 4);
+    const auto init = pooledQaoaInit(family, 1, 8);
+    const WeightedGraph pooled = meanGraph(family);
+    const PauliSum cost = maxcutHamiltonian(pooled);
+    const Ansatz ma = makeMaQaoaAnsatz(
+        pooled.numNodes, maxcutClauses(pooled), 1, true);
+
+    const Statevector s_init = ma.prepare(init);
+    const Statevector s_zero = ma.prepare(
+        std::vector<double>(ma.numParams(), 0.0));
+    EXPECT_LT(expectation(s_init, cost),
+              expectation(s_zero, cost) - 1e-6);
+}
+
+TEST(WarmStart, BroadcastIsLayerUniform)
+{
+    // All clause slots of a layer share one gamma; all mixer slots one
+    // beta.
+    const auto family = ieee14LoadFamily(0.8, 1.2, 3);
+    const auto init = pooledQaoaInit(family, 2, 4);
+    const std::size_t m = family[0].edges.size();
+    const std::size_t n = static_cast<std::size_t>(family[0].numNodes);
+    ASSERT_EQ(init.size(), 2 * (m + n));
+    for (std::size_t layer = 0; layer < 2; ++layer) {
+        const std::size_t base = layer * (m + n);
+        for (std::size_t a = 1; a < m; ++a)
+            EXPECT_DOUBLE_EQ(init[base + a], init[base]);
+        for (std::size_t b = 1; b < n; ++b)
+            EXPECT_DOUBLE_EQ(init[base + m + b], init[base + m]);
+    }
+}
+
+} // namespace
+} // namespace treevqa

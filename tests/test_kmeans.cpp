@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for k-means (spectral clustering's final stage).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/kmeans.h"
+
+namespace treevqa {
+namespace {
+
+/** Two well-separated 2-D blobs. */
+std::vector<std::vector<double>>
+twoBlobs(Rng &rng, int per_blob)
+{
+    std::vector<std::vector<double>> pts;
+    for (int i = 0; i < per_blob; ++i)
+        pts.push_back({rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)});
+    for (int i = 0; i < per_blob; ++i)
+        pts.push_back({rng.normal(5.0, 0.1), rng.normal(5.0, 0.1)});
+    return pts;
+}
+
+TEST(KMeans, SeparatesTwoBlobs)
+{
+    Rng rng(1);
+    const auto pts = twoBlobs(rng, 20);
+    const KMeansResult res = kmeans(pts, 2, rng);
+    // All first-half labels equal, all second-half labels equal and
+    // different.
+    for (int i = 1; i < 20; ++i)
+        EXPECT_EQ(res.assignment[i], res.assignment[0]);
+    for (int i = 21; i < 40; ++i)
+        EXPECT_EQ(res.assignment[i], res.assignment[20]);
+    EXPECT_NE(res.assignment[0], res.assignment[20]);
+}
+
+TEST(KMeans, InertiaSmallForTightBlobs)
+{
+    Rng rng(2);
+    const auto pts = twoBlobs(rng, 25);
+    const KMeansResult res = kmeans(pts, 2, rng);
+    EXPECT_LT(res.inertia, 5.0);
+}
+
+TEST(KMeans, KEqualsNTrivial)
+{
+    Rng rng(3);
+    const std::vector<std::vector<double>> pts = {
+        {0.0}, {1.0}, {2.0}};
+    const KMeansResult res = kmeans(pts, 3, rng);
+    EXPECT_EQ(res.assignment.size(), 3u);
+    // Each point its own cluster.
+    EXPECT_NE(res.assignment[0], res.assignment[1]);
+    EXPECT_NE(res.assignment[1], res.assignment[2]);
+}
+
+TEST(KMeans, KGreaterThanN)
+{
+    Rng rng(3);
+    const std::vector<std::vector<double>> pts = {{0.0}, {9.0}};
+    const KMeansResult res = kmeans(pts, 5, rng);
+    EXPECT_EQ(res.assignment.size(), 2u);
+}
+
+TEST(KMeans, SingleCluster)
+{
+    Rng rng(4);
+    const auto pts = twoBlobs(rng, 10);
+    const KMeansResult res = kmeans(pts, 1, rng);
+    for (int a : res.assignment)
+        EXPECT_EQ(a, 0);
+    EXPECT_EQ(res.centroids.size(), 1u);
+}
+
+TEST(KMeans, NonEmptyClustersEvenWithDuplicatePoints)
+{
+    Rng rng(5);
+    // Many duplicates plus two outliers: k = 2 must be non-empty.
+    std::vector<std::vector<double>> pts(10, {1.0, 1.0});
+    pts.push_back({50.0, 50.0});
+    const KMeansResult res = kmeans(pts, 2, rng);
+    int count0 = 0, count1 = 0;
+    for (int a : res.assignment)
+        (a == 0 ? count0 : count1)++;
+    EXPECT_GT(count0, 0);
+    EXPECT_GT(count1, 0);
+}
+
+TEST(KMeans, DeterministicForSameSeed)
+{
+    Rng rng_a(7), rng_b(7);
+    Rng gen(8);
+    const auto pts = twoBlobs(gen, 15);
+    const KMeansResult a = kmeans(pts, 2, rng_a);
+    const KMeansResult b = kmeans(pts, 2, rng_b);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+/** Cluster-count sweep on 3 well-separated blobs. */
+class KMeansKSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(KMeansKSweep, AssignmentsInRange)
+{
+    const std::size_t k = GetParam();
+    Rng rng(11);
+    std::vector<std::vector<double>> pts;
+    for (int blob = 0; blob < 3; ++blob)
+        for (int i = 0; i < 12; ++i)
+            pts.push_back({rng.normal(blob * 10.0, 0.2),
+                           rng.normal(blob * 10.0, 0.2)});
+    const KMeansResult res = kmeans(pts, k, rng);
+    for (int a : res.assignment) {
+        EXPECT_GE(a, 0);
+        EXPECT_LT(static_cast<std::size_t>(a), k);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansKSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u));
+
+} // namespace
+} // namespace treevqa

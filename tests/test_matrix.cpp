@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the dense real matrix and linear solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Matrix, IdentityAndAccess)
+{
+    Matrix id = Matrix::identity(3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+    a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+    Matrix b(3, 2);
+    b(0, 0) = 7;  b(0, 1) = 8;
+    b(1, 0) = 9;  b(1, 1) = 10;
+    b(2, 0) = 11; b(2, 1) = 12;
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Rng rng(1);
+    Matrix a(4, 6);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            a(i, j) = rng.normal();
+    const Matrix att = a.transposed().transposed();
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(att), 0.0);
+}
+
+TEST(Matrix, ApplyMatchesMultiply)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 2; a(0, 1) = -1;
+    a(1, 0) = 0; a(1, 1) = 3;
+    const std::vector<double> v = {4.0, 5.0};
+    const auto out = a.apply(v);
+    EXPECT_DOUBLE_EQ(out[0], 3.0);
+    EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+TEST(Matrix, SymmetryCheck)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+    EXPECT_TRUE(a.isSymmetric());
+    a(1, 0) = 2.5;
+    EXPECT_FALSE(a.isSymmetric());
+    Matrix rect(2, 3);
+    EXPECT_FALSE(rect.isSymmetric());
+}
+
+TEST(Solve, KnownSystem)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 3; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 2;
+    const auto x = solveLinearSystem(a, {9.0, 8.0});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, SingularReturnsEmpty)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1; a(0, 1) = 2;
+    a(1, 0) = 2; a(1, 1) = 4;
+    EXPECT_TRUE(solveLinearSystem(a, {1.0, 2.0}).empty());
+}
+
+TEST(Solve, NeedsPivoting)
+{
+    // Zero pivot in the naive order; partial pivoting must handle it.
+    Matrix a(2, 2);
+    a(0, 0) = 0; a(0, 1) = 1;
+    a(1, 0) = 1; a(1, 1) = 0;
+    const auto x = solveLinearSystem(a, {2.0, 3.0});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, RandomSystemsRoundTrip)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + rng.uniformInt(12);
+        Matrix a(n, n);
+        std::vector<double> x_true(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            x_true[i] = rng.normal();
+            for (std::size_t j = 0; j < n; ++j)
+                a(i, j) = rng.normal();
+            a(i, i) += 3.0; // diagonally dominant-ish: well conditioned
+        }
+        const std::vector<double> b = a.apply(x_true);
+        const auto x = solveLinearSystem(a, b);
+        ASSERT_EQ(x.size(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+}
+
+TEST(VectorOps, DotNormAxpyScale)
+{
+    const std::vector<double> a = {1.0, 2.0, 2.0};
+    const std::vector<double> b = {3.0, 0.0, 4.0};
+    EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+    EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+    const auto c = axpy(a, 2.0, b);
+    EXPECT_DOUBLE_EQ(c[0], 7.0);
+    EXPECT_DOUBLE_EQ(c[2], 10.0);
+    std::vector<double> d = a;
+    scale(d, -1.0);
+    EXPECT_DOUBLE_EQ(d[1], -2.0);
+}
+
+} // namespace
+} // namespace treevqa

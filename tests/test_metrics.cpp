@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the evaluation metrics and trace read-outs (Section 7.2,
+ * Figs. 6-7 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/metrics.h"
+
+namespace treevqa {
+namespace {
+
+std::vector<VqaTask>
+twoTasks()
+{
+    std::vector<VqaTask> tasks(2);
+    tasks[0].name = "a";
+    tasks[0].hamiltonian = PauliSum(1);
+    tasks[0].groundEnergy = -10.0;
+    tasks[1].name = "b";
+    tasks[1].hamiltonian = PauliSum(1);
+    tasks[1].groundEnergy = -5.0;
+    return tasks;
+}
+
+TEST(Metrics, FidelityFormula)
+{
+    EXPECT_DOUBLE_EQ(energyFidelity(-10.0, -10.0), 1.0);
+    EXPECT_DOUBLE_EQ(energyFidelity(-9.0, -10.0), 0.9);
+    EXPECT_DOUBLE_EQ(energyFidelity(-11.0, -10.0), 0.9);
+    EXPECT_DOUBLE_EQ(energyFidelity(0.0, -10.0), 0.0);
+}
+
+TEST(Metrics, SampleFidelitiesAndMin)
+{
+    const auto tasks = twoTasks();
+    TraceSample s;
+    s.bestEnergies = {-9.0, -5.0};
+    const auto f = sampleFidelities(s, tasks);
+    EXPECT_DOUBLE_EQ(f[0], 0.9);
+    EXPECT_DOUBLE_EQ(f[1], 1.0);
+    EXPECT_DOUBLE_EQ(minFidelity(s, tasks), 0.9);
+}
+
+Trace
+syntheticTrace()
+{
+    // Fidelity of task 0 improves 0.5 -> 0.9 -> 0.99; task 1 is
+    // perfect throughout.
+    Trace trace;
+    TraceSample s1;
+    s1.shots = 100;
+    s1.bestEnergies = {-5.0, -5.0};
+    TraceSample s2;
+    s2.shots = 300;
+    s2.bestEnergies = {-9.0, -5.0};
+    TraceSample s3;
+    s3.shots = 700;
+    s3.bestEnergies = {-9.9, -5.0};
+    trace.push_back(s1);
+    trace.push_back(s2);
+    trace.push_back(s3);
+    return trace;
+}
+
+TEST(Metrics, ShotsToReachFidelity)
+{
+    const auto tasks = twoTasks();
+    const Trace trace = syntheticTrace();
+    EXPECT_EQ(shotsToReachFidelity(trace, tasks, 0.4), 100u);
+    EXPECT_EQ(shotsToReachFidelity(trace, tasks, 0.8), 300u);
+    EXPECT_EQ(shotsToReachFidelity(trace, tasks, 0.95), 700u);
+    EXPECT_EQ(shotsToReachFidelity(trace, tasks, 0.999),
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(shotsToReachFidelity({}, tasks, 0.5), 0u);
+}
+
+TEST(Metrics, FidelityAtBudget)
+{
+    const auto tasks = twoTasks();
+    const Trace trace = syntheticTrace();
+    EXPECT_DOUBLE_EQ(fidelityAtBudget(trace, tasks, 50), 0.0);
+    EXPECT_DOUBLE_EQ(fidelityAtBudget(trace, tasks, 100), 0.5);
+    EXPECT_DOUBLE_EQ(fidelityAtBudget(trace, tasks, 500), 0.9);
+    EXPECT_DOUBLE_EQ(fidelityAtBudget(trace, tasks, 10000), 0.99);
+}
+
+TEST(Metrics, MaxFidelity)
+{
+    const auto tasks = twoTasks();
+    EXPECT_DOUBLE_EQ(maxFidelity(syntheticTrace(), tasks), 0.99);
+}
+
+TEST(Metrics, MeanErrorPercent)
+{
+    const auto tasks = twoTasks();
+    TraceSample s;
+    s.bestEnergies = {-9.0, -4.5}; // errors 10% and 10%
+    EXPECT_NEAR(meanErrorPercent(s, tasks), 10.0, 1e-12);
+}
+
+TEST(Metrics, TaskGroundEnergyFlag)
+{
+    VqaTask t;
+    EXPECT_FALSE(t.hasGroundEnergy());
+    t.groundEnergy = -1.0;
+    EXPECT_TRUE(t.hasGroundEnergy());
+}
+
+TEST(Metrics, MakeTasksNamesAndBits)
+{
+    PauliSum h(2);
+    h.add(1.0, "ZZ");
+    const auto tasks = makeTasks("fam", {h, h, h}, 0b01);
+    ASSERT_EQ(tasks.size(), 3u);
+    EXPECT_EQ(tasks[0].name, "fam[0]");
+    EXPECT_EQ(tasks[2].name, "fam[2]");
+    for (const auto &t : tasks) {
+        EXPECT_EQ(t.initialBits, 0b01u);
+        EXPECT_FALSE(t.hasGroundEnergy());
+    }
+}
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the global-depolarizing + readout noise model (Table 2
+ * substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/noise_model.h"
+
+namespace treevqa {
+namespace {
+
+TEST(NoiseModel, DefaultIsNoiseless)
+{
+    NoiseModel m;
+    EXPECT_TRUE(m.isNoiseless());
+    EXPECT_DOUBLE_EQ(
+        m.dampingFactor(PauliString::fromLabel("XYZ"), 5), 1.0);
+}
+
+TEST(NoiseModel, IdentityNeverDamped)
+{
+    NoiseModel m(0.9, 0.9, "test");
+    EXPECT_DOUBLE_EQ(m.dampingFactor(PauliString(4), 10), 1.0);
+}
+
+TEST(NoiseModel, DampingFollowsFormula)
+{
+    NoiseModel m(0.99, 0.98, "test");
+    const PauliString p = PauliString::fromLabel("XZI"); // weight 2
+    const double expected =
+        std::pow(0.99, 3) * std::pow(0.98, 2);
+    EXPECT_NEAR(m.dampingFactor(p, 3), expected, 1e-15);
+}
+
+TEST(NoiseModel, MoreLayersMoreDamping)
+{
+    NoiseModel m(0.99, 1.0, "test");
+    const PauliString p = PauliString::fromLabel("Z");
+    EXPECT_GT(m.dampingFactor(p, 2), m.dampingFactor(p, 5));
+}
+
+TEST(NoiseModel, HeavierStringsDampMore)
+{
+    NoiseModel m(1.0, 0.95, "test");
+    EXPECT_GT(m.dampingFactor(PauliString::fromLabel("ZII"), 1),
+              m.dampingFactor(PauliString::fromLabel("ZZZ"), 1));
+}
+
+TEST(NoiseModel, ApplyToTermsDampsOnlyNonIdentity)
+{
+    PauliSum h(2);
+    h.add(2.0, "II");
+    h.add(1.0, "ZZ");
+    NoiseModel m(0.9, 1.0, "test");
+    const auto noisy = m.applyToTerms(h, {1.0, 0.8}, 2);
+    EXPECT_DOUBLE_EQ(noisy[0], 1.0);
+    EXPECT_NEAR(noisy[1], 0.8 * 0.81, 1e-12);
+}
+
+TEST(NoiseModel, IbmLikeBackendsShapeAndOrdering)
+{
+    const auto backends = NoiseModel::ibmLikeBackends();
+    ASSERT_EQ(backends.size(), 5u);
+    // Names match Table 2.
+    EXPECT_EQ(backends[0].name(), "Hanoi");
+    EXPECT_EQ(backends[1].name(), "Cairo");
+    EXPECT_EQ(backends[2].name(), "Mumbai");
+    EXPECT_EQ(backends[3].name(), "Kolkata");
+    EXPECT_EQ(backends[4].name(), "Auckland");
+    // All are genuinely noisy.
+    for (const auto &b : backends) {
+        EXPECT_FALSE(b.isNoiseless());
+        EXPECT_GT(b.gateFidelity(), 0.9);
+        EXPECT_LE(b.gateFidelity(), 1.0);
+    }
+    // Cairo is the best backend, Kolkata the worst (published error
+    // ordering).
+    EXPECT_GT(backends[1].gateFidelity(), backends[3].gateFidelity());
+}
+
+TEST(NoiseModel, Depolarizing1PctMatchesSection84)
+{
+    const NoiseModel m = NoiseModel::depolarizing1pct();
+    EXPECT_NEAR(m.gateFidelity(), 0.99, 1e-12);
+    EXPECT_DOUBLE_EQ(m.readoutFidelity(), 1.0);
+}
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for Pauli-sum text serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "chem/molecule.h"
+#include "pauli/pauli_io.h"
+
+namespace treevqa {
+namespace {
+
+TEST(PauliIo, RoundTripSimple)
+{
+    PauliSum h(3);
+    h.add(0.5, "XIZ");
+    h.add(-1.25, "IYI");
+    h.add(2.0, "III");
+    const PauliSum back = pauliSumFromText(toText(h));
+    EXPECT_EQ(back.numQubits(), 3);
+    EXPECT_DOUBLE_EQ(l1Distance(h, back), 0.0);
+    EXPECT_DOUBLE_EQ(back.normalizedTrace(), 2.0);
+}
+
+TEST(PauliIo, RoundTripPreservesPrecision)
+{
+    PauliSum h(2);
+    h.add(0.12345678901234567, "XY");
+    const PauliSum back = pauliSumFromText(toText(h));
+    EXPECT_DOUBLE_EQ(back.terms()[0].coefficient,
+                     0.12345678901234567);
+}
+
+TEST(PauliIo, RoundTripRealMolecule)
+{
+    const PauliSum h2 = buildH2(0.74).hamiltonian;
+    const PauliSum back = pauliSumFromText(toText(h2));
+    EXPECT_EQ(back.numTerms(), h2.numTerms());
+    EXPECT_NEAR(l1Distance(h2, back), 0.0, 1e-14);
+}
+
+TEST(PauliIo, ParsesCommentsAndBlanks)
+{
+    const PauliSum h = pauliSumFromText(
+        "# header comment\n"
+        "\n"
+        "0.5 XZ  # trailing comment\n"
+        "-0.5 IZ\n");
+    EXPECT_EQ(h.numTerms(), 2u);
+    EXPECT_DOUBLE_EQ(
+        h.coefficientOf(PauliString::fromLabel("XZ")), 0.5);
+}
+
+TEST(PauliIo, MergesDuplicateTerms)
+{
+    const PauliSum h = pauliSumFromText("0.5 ZZ\n0.25 ZZ\n");
+    EXPECT_EQ(h.numTerms(), 1u);
+    EXPECT_DOUBLE_EQ(h.terms()[0].coefficient, 0.75);
+}
+
+TEST(PauliIo, RejectsMalformedInput)
+{
+    EXPECT_THROW(pauliSumFromText(""), std::invalid_argument);
+    EXPECT_THROW(pauliSumFromText("0.5\n"), std::invalid_argument);
+    EXPECT_THROW(pauliSumFromText("0.5 XZ extra\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(pauliSumFromText("0.5 XZ\n0.5 XZY\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(pauliSumFromText("0.5 XQ\n"), std::invalid_argument);
+}
+
+TEST(PauliIo, FileRoundTrip)
+{
+    PauliSum h(2);
+    h.add(1.5, "ZZ");
+    h.add(-0.5, "XI");
+    const std::string path = "/tmp/treevqa_io_test.txt";
+    ASSERT_TRUE(saveToFile(h, path));
+    const PauliSum back = loadFromFile(path);
+    EXPECT_NEAR(l1Distance(h, back), 0.0, 1e-14);
+    std::remove(path.c_str());
+}
+
+TEST(PauliIo, LoadMissingFileThrows)
+{
+    EXPECT_THROW(loadFromFile("/nonexistent/path/x.txt"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the symplectic Pauli string representation, including an
+ * exhaustive verification of the multiplication phase table against
+ * dense 2x2 matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <complex>
+
+#include "pauli/pauli_string.h"
+
+namespace treevqa {
+namespace {
+
+using Mat2 = std::array<Complex, 4>;
+
+Mat2
+pauliMatrix(char op)
+{
+    switch (op) {
+      case 'I':
+        return {Complex(1, 0), Complex(0, 0), Complex(0, 0),
+                Complex(1, 0)};
+      case 'X':
+        return {Complex(0, 0), Complex(1, 0), Complex(1, 0),
+                Complex(0, 0)};
+      case 'Y':
+        return {Complex(0, 0), Complex(0, -1), Complex(0, 1),
+                Complex(0, 0)};
+      default: // 'Z'
+        return {Complex(1, 0), Complex(0, 0), Complex(0, 0),
+                Complex(-1, 0)};
+    }
+}
+
+Mat2
+matMul(const Mat2 &a, const Mat2 &b)
+{
+    return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+TEST(PauliString, LabelRoundTrip)
+{
+    const PauliString p = PauliString::fromLabel("XIZY");
+    EXPECT_EQ(p.numQubits(), 4);
+    EXPECT_EQ(p.opAt(0), 'X');
+    EXPECT_EQ(p.opAt(1), 'I');
+    EXPECT_EQ(p.opAt(2), 'Z');
+    EXPECT_EQ(p.opAt(3), 'Y');
+    EXPECT_EQ(p.toLabel(), "XIZY");
+}
+
+TEST(PauliString, InvalidLabelThrows)
+{
+    EXPECT_THROW(PauliString::fromLabel("XQ"), std::invalid_argument);
+}
+
+TEST(PauliString, WeightAndYCount)
+{
+    const PauliString p = PauliString::fromLabel("XYZIY");
+    EXPECT_EQ(p.weight(), 4);
+    EXPECT_EQ(p.yCount(), 2);
+    EXPECT_FALSE(p.isIdentity());
+    EXPECT_FALSE(p.isDiagonal());
+    EXPECT_TRUE(PauliString(3).isIdentity());
+    EXPECT_TRUE(PauliString::fromLabel("ZIZ").isDiagonal());
+}
+
+TEST(PauliString, SetOpOverwrites)
+{
+    PauliString p(3);
+    p.setOp(1, 'Y');
+    EXPECT_EQ(p.toLabel(), "IYI");
+    p.setOp(1, 'Z');
+    EXPECT_EQ(p.toLabel(), "IZI");
+    p.setOp(1, 'I');
+    EXPECT_TRUE(p.isIdentity());
+}
+
+TEST(PauliString, CommutationSingleQubit)
+{
+    const PauliString x = PauliString::fromLabel("X");
+    const PauliString y = PauliString::fromLabel("Y");
+    const PauliString z = PauliString::fromLabel("Z");
+    const PauliString i = PauliString::fromLabel("I");
+    EXPECT_FALSE(x.commutesWith(y));
+    EXPECT_FALSE(y.commutesWith(z));
+    EXPECT_FALSE(x.commutesWith(z));
+    EXPECT_TRUE(x.commutesWith(x));
+    EXPECT_TRUE(x.commutesWith(i));
+    EXPECT_TRUE(z.commutesWith(i));
+}
+
+TEST(PauliString, CommutationMultiQubit)
+{
+    // Two anticommuting positions -> overall commute.
+    const PauliString a = PauliString::fromLabel("XX");
+    const PauliString b = PauliString::fromLabel("ZZ");
+    EXPECT_TRUE(a.commutesWith(b));
+    // One anticommuting position -> anticommute.
+    const PauliString c = PauliString::fromLabel("XI");
+    EXPECT_FALSE(c.commutesWith(b));
+}
+
+TEST(PauliString, QubitWiseCommutation)
+{
+    const PauliString a = PauliString::fromLabel("XIZ");
+    EXPECT_TRUE(a.qubitWiseCommutesWith(PauliString::fromLabel("XZZ")));
+    EXPECT_TRUE(a.qubitWiseCommutesWith(PauliString::fromLabel("IIZ")));
+    EXPECT_FALSE(a.qubitWiseCommutesWith(PauliString::fromLabel("ZIZ")));
+    // QWC implies full commutation.
+    const PauliString b = PauliString::fromLabel("XZZ");
+    EXPECT_TRUE(a.commutesWith(b));
+}
+
+TEST(PauliString, OrderingAndHash)
+{
+    const PauliString a = PauliString::fromLabel("XI");
+    const PauliString b = PauliString::fromLabel("IX");
+    EXPECT_TRUE(a < b || b < a);
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_EQ(a.hash(), PauliString::fromLabel("XI").hash());
+}
+
+TEST(PauliMultiply, KnownSingleQubitProducts)
+{
+    const auto x = PauliString::fromLabel("X");
+    const auto y = PauliString::fromLabel("Y");
+    const auto z = PauliString::fromLabel("Z");
+
+    // XY = iZ.
+    PauliProduct p = multiply(x, y);
+    EXPECT_EQ(p.string.toLabel(), "Z");
+    EXPECT_NEAR(std::abs(p.phase - Complex(0, 1)), 0.0, 1e-15);
+    // YX = -iZ.
+    p = multiply(y, x);
+    EXPECT_NEAR(std::abs(p.phase - Complex(0, -1)), 0.0, 1e-15);
+    // ZX = iY.
+    p = multiply(z, x);
+    EXPECT_EQ(p.string.toLabel(), "Y");
+    EXPECT_NEAR(std::abs(p.phase - Complex(0, 1)), 0.0, 1e-15);
+    // XX = I.
+    p = multiply(x, x);
+    EXPECT_TRUE(p.string.isIdentity());
+    EXPECT_NEAR(std::abs(p.phase - Complex(1, 0)), 0.0, 1e-15);
+}
+
+/**
+ * Exhaustive property: for every pair of single-qubit Paulis, the
+ * symplectic product (phase and operator) matches dense 2x2 matrix
+ * multiplication.
+ */
+class PauliPairSweep
+    : public ::testing::TestWithParam<std::pair<char, char>>
+{
+};
+
+TEST_P(PauliPairSweep, MatchesDenseMatrices)
+{
+    const auto [ca, cb] = GetParam();
+    const PauliString a = PauliString::fromLabel(std::string(1, ca));
+    const PauliString b = PauliString::fromLabel(std::string(1, cb));
+    const PauliProduct prod = multiply(a, b);
+
+    const Mat2 dense = matMul(pauliMatrix(ca), pauliMatrix(cb));
+    const Mat2 expected = pauliMatrix(prod.string.opAt(0));
+    for (int e = 0; e < 4; ++e)
+        EXPECT_NEAR(std::abs(dense[e] - prod.phase * expected[e]), 0.0,
+                    1e-14)
+            << ca << " * " << cb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, PauliPairSweep,
+    ::testing::Values(
+        std::pair{'I', 'I'}, std::pair{'I', 'X'}, std::pair{'I', 'Y'},
+        std::pair{'I', 'Z'}, std::pair{'X', 'I'}, std::pair{'X', 'X'},
+        std::pair{'X', 'Y'}, std::pair{'X', 'Z'}, std::pair{'Y', 'I'},
+        std::pair{'Y', 'X'}, std::pair{'Y', 'Y'}, std::pair{'Y', 'Z'},
+        std::pair{'Z', 'I'}, std::pair{'Z', 'X'}, std::pair{'Z', 'Y'},
+        std::pair{'Z', 'Z'}));
+
+TEST(PauliMultiply, MultiQubitProductFactorizes)
+{
+    // (X(x)Y) * (Y(x)Y) = (XY)(x)(YY) = (iZ)(x)(I) = i Z(x)I.
+    const auto a = PauliString::fromLabel("XY");
+    const auto b = PauliString::fromLabel("YY");
+    const PauliProduct p = multiply(a, b);
+    EXPECT_EQ(p.string.toLabel(), "ZI");
+    EXPECT_NEAR(std::abs(p.phase - Complex(0, 1)), 0.0, 1e-15);
+}
+
+TEST(PauliMultiply, ProductPhaseConsistentWithCommutation)
+{
+    // For anticommuting P, Q: PQ = -QP; phases must be negatives.
+    const auto p = PauliString::fromLabel("XZY");
+    const auto q = PauliString::fromLabel("ZZX");
+    const PauliProduct pq = multiply(p, q);
+    const PauliProduct qp = multiply(q, p);
+    EXPECT_EQ(pq.string, qp.string);
+    if (p.commutesWith(q))
+        EXPECT_NEAR(std::abs(pq.phase - qp.phase), 0.0, 1e-15);
+    else
+        EXPECT_NEAR(std::abs(pq.phase + qp.phase), 0.0, 1e-15);
+}
+
+} // namespace
+} // namespace treevqa

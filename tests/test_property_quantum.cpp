@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Randomized property tests over the quantum algebra stack: invariants
+ * that must hold for *any* operators and states, swept over seeds with
+ * TEST_P.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/hardware_efficient.h"
+#include "common/rng.h"
+#include "linalg/jacobi.h"
+#include "linalg/lanczos.h"
+#include "pauli/grouping.h"
+#include "pauli/pauli_sum.h"
+#include "sim/expectation.h"
+
+namespace treevqa {
+namespace {
+
+PauliString
+randomString(Rng &rng, int n)
+{
+    PauliString p(n);
+    const char ops[4] = {'I', 'X', 'Y', 'Z'};
+    for (int q = 0; q < n; ++q)
+        p.setOp(q, ops[rng.uniformInt(4)]);
+    return p;
+}
+
+PauliSum
+randomSum(Rng &rng, int n, int terms)
+{
+    PauliSum h(n);
+    for (int t = 0; t < terms; ++t)
+        h.add(rng.normal(), randomString(rng, n));
+    h.compress(0.0);
+    return h;
+}
+
+class QuantumPropertySweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    Rng rng_{GetParam() * 7919 + 13};
+};
+
+TEST_P(QuantumPropertySweep, PauliMultiplicationIsAssociative)
+{
+    const int n = 5;
+    const PauliString a = randomString(rng_, n);
+    const PauliString b = randomString(rng_, n);
+    const PauliString c = randomString(rng_, n);
+
+    const PauliProduct ab = multiply(a, b);
+    const PauliProduct ab_c = multiply(ab.string, c);
+    const PauliProduct bc = multiply(b, c);
+    const PauliProduct a_bc = multiply(a, bc.string);
+
+    EXPECT_EQ(ab_c.string, a_bc.string);
+    EXPECT_NEAR(std::abs(ab.phase * ab_c.phase
+                         - bc.phase * a_bc.phase), 0.0, 1e-14);
+}
+
+TEST_P(QuantumPropertySweep, CommutationMatchesProductPhases)
+{
+    const int n = 6;
+    const PauliString p = randomString(rng_, n);
+    const PauliString q = randomString(rng_, n);
+    const PauliProduct pq = multiply(p, q);
+    const PauliProduct qp = multiply(q, p);
+    ASSERT_EQ(pq.string, qp.string);
+    if (p.commutesWith(q))
+        EXPECT_NEAR(std::abs(pq.phase - qp.phase), 0.0, 1e-14);
+    else
+        EXPECT_NEAR(std::abs(pq.phase + qp.phase), 0.0, 1e-14);
+}
+
+TEST_P(QuantumPropertySweep, PauliSquareIsIdentity)
+{
+    const PauliString p = randomString(rng_, 8);
+    const PauliProduct pp = multiply(p, p);
+    EXPECT_TRUE(pp.string.isIdentity());
+    EXPECT_NEAR(std::abs(pp.phase - Complex(1, 0)), 0.0, 1e-14);
+}
+
+TEST_P(QuantumPropertySweep, ApplyToIsLinear)
+{
+    const int n = 4;
+    const PauliSum h = randomSum(rng_, n, 6);
+    const std::size_t dim = 16;
+    CVector x(dim), y(dim);
+    for (auto &z : x)
+        z = Complex(rng_.normal(), rng_.normal());
+    for (auto &z : y)
+        z = Complex(rng_.normal(), rng_.normal());
+    const Complex alpha(rng_.normal(), rng_.normal());
+
+    CVector hx, hy, hxy;
+    h.applyTo(x, hx);
+    h.applyTo(y, hy);
+    CVector combo(dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        combo[i] = alpha * x[i] + y[i];
+    h.applyTo(combo, hxy);
+    for (std::size_t i = 0; i < dim; ++i)
+        EXPECT_NEAR(std::abs(hxy[i] - (alpha * hx[i] + hy[i])), 0.0,
+                    1e-10);
+}
+
+TEST_P(QuantumPropertySweep, ExpectationIsRealAndWithinSpectrum)
+{
+    // <H> must be real and inside [lambda_min, lambda_max]; bound the
+    // spectrum by the l1 norm.
+    const int n = 4;
+    const PauliSum h = randomSum(rng_, n, 8);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(n, 2, 0);
+    std::vector<double> theta(ansatz.numParams());
+    for (auto &t : theta)
+        t = rng_.uniform(-3, 3);
+    const Statevector s = ansatz.prepare(theta);
+    const double e = expectation(s, h);
+    EXPECT_LE(std::fabs(e), h.l1NormWithIdentity() + 1e-9);
+}
+
+TEST_P(QuantumPropertySweep, MixedExpectationIsMeanOfMembers)
+{
+    const int n = 4;
+    std::vector<PauliSum> family;
+    for (int i = 0; i < 4; ++i)
+        family.push_back(randomSum(rng_, n, 5));
+    const PauliSum mixed = mixedHamiltonian(family);
+
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(n, 1, 0);
+    std::vector<double> theta(ansatz.numParams());
+    for (auto &t : theta)
+        t = rng_.uniform(-2, 2);
+    const Statevector s = ansatz.prepare(theta);
+
+    double mean_e = 0.0;
+    for (const auto &h : family)
+        mean_e += expectation(s, h) / family.size();
+    EXPECT_NEAR(expectation(s, mixed), mean_e, 1e-9);
+}
+
+TEST_P(QuantumPropertySweep, L1DistanceTriangleInequality)
+{
+    const int n = 5;
+    const PauliSum a = randomSum(rng_, n, 6);
+    const PauliSum b = randomSum(rng_, n, 6);
+    const PauliSum c = randomSum(rng_, n, 6);
+    EXPECT_LE(l1Distance(a, c),
+              l1Distance(a, b) + l1Distance(b, c) + 1e-9);
+}
+
+TEST_P(QuantumPropertySweep, QwcGroupsValidOnRandomHamiltonians)
+{
+    const PauliSum h = randomSum(rng_, 6, 20);
+    const auto groups = groupQubitWise(h);
+    for (const auto &g : groups)
+        for (std::size_t a = 0; a < g.termIndices.size(); ++a)
+            for (std::size_t b = a + 1; b < g.termIndices.size(); ++b)
+                EXPECT_TRUE(
+                    h.terms()[g.termIndices[a]]
+                        .string.qubitWiseCommutesWith(
+                            h.terms()[g.termIndices[b]].string));
+}
+
+TEST_P(QuantumPropertySweep, LanczosMatchesDenseOnRandomHamiltonian)
+{
+    // Random 3-qubit Hermitian Pauli sum: Lanczos ground energy equals
+    // the dense Jacobi result on the realified 16x16 embedding
+    // [[Re, -Im], [Im, Re]].
+    const int n = 3;
+    const std::size_t dim = 8;
+    const PauliSum h = randomSum(rng_, n, 10);
+
+    Matrix real_embed(2 * dim, 2 * dim, 0.0);
+    for (std::size_t col = 0; col < dim; ++col) {
+        CVector e(dim, Complex(0, 0)), out;
+        e[col] = 1.0;
+        h.applyTo(e, out);
+        for (std::size_t row = 0; row < dim; ++row) {
+            real_embed(row, col) = out[row].real();
+            real_embed(row + dim, col + dim) = out[row].real();
+            real_embed(row + dim, col) = out[row].imag();
+            real_embed(row, col + dim) = -out[row].imag();
+        }
+    }
+    const double dense_min = jacobiEigen(real_embed).values[0];
+
+    const MatVec mv = [&h](const CVector &x, CVector &y) {
+        h.applyTo(x, y);
+    };
+    Rng lanczos_rng(GetParam() + 101);
+    EXPECT_NEAR(lanczosGroundState(dim, mv, lanczos_rng).eigenvalue,
+                dense_min, 1e-7);
+}
+
+TEST_P(QuantumPropertySweep, BatchedExpectationsMatchHamiltonian)
+{
+    const int n = 4;
+    const PauliSum h = randomSum(rng_, n, 12);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(n, 2, 0b0101);
+    std::vector<double> theta(ansatz.numParams());
+    for (auto &t : theta)
+        t = rng_.uniform(-2, 2);
+    const Statevector s = ansatz.prepare(theta);
+
+    std::vector<PauliString> strings;
+    for (const auto &term : h.terms())
+        strings.push_back(term.string);
+    const auto values = perStringExpectations(s, strings);
+    double total = 0.0;
+    for (std::size_t k = 0; k < strings.size(); ++k)
+        total += h.terms()[k].coefficient * values[k];
+    EXPECT_NEAR(total, expectation(s, h), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantumPropertySweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull,
+                                           5ull, 6ull, 7ull, 8ull,
+                                           9ull, 10ull));
+
+} // namespace
+} // namespace treevqa

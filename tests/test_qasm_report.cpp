@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for OpenQASM export and run reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/hardware_efficient.h"
+#include "circuit/qasm_export.h"
+#include "core/report.h"
+#include "core/tree_controller.h"
+#include "ham/spin_chains.h"
+#include "opt/spsa.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Qasm, HeaderAndRegister)
+{
+    Circuit c(3);
+    c.h(0);
+    const std::string qasm = toQasm(c, {});
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+}
+
+TEST(Qasm, BindsParameters)
+{
+    Circuit c(1);
+    const int p = c.addParam();
+    c.ryParam(0, p, 2.0);
+    const std::string qasm = toQasm(c, {0.25});
+    EXPECT_NE(qasm.find("ry(0.5) q[0];"), std::string::npos);
+}
+
+TEST(Qasm, RzzExpandsToCxRzCx)
+{
+    Circuit c(2);
+    c.rzz(0, 1, 0.7);
+    const std::string qasm = toQasm(c, {});
+    EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("rz(0.69999999999999996) q[1];"),
+              std::string::npos);
+    // Two CX total.
+    std::size_t count = 0, pos = 0;
+    while ((pos = qasm.find("cx ", pos)) != std::string::npos) {
+        ++count;
+        pos += 3;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(Qasm, AnsatzEmitsInitialBits)
+{
+    const Ansatz a = makeHardwareEfficientAnsatz(3, 1, 0b101);
+    const std::string qasm =
+        toQasm(a, std::vector<double>(a.numParams(), 0.0));
+    EXPECT_NE(qasm.find("x q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("x q[2];"), std::string::npos);
+    EXPECT_EQ(qasm.find("x q[1];"), std::string::npos);
+}
+
+TEST(Qasm, AllGateKindsRender)
+{
+    Circuit c(2);
+    c.h(0);
+    c.x(1);
+    c.s(0);
+    c.sdg(1);
+    c.cx(0, 1);
+    c.cz(0, 1);
+    c.rx(0, 0.1);
+    c.ry(1, 0.2);
+    c.rz(0, 0.3);
+    c.rzz(0, 1, 0.4);
+    const std::string qasm = toQasm(c, {});
+    for (const char *token :
+         {"h ", "x ", "s ", "sdg ", "cx ", "cz ", "rx(", "ry(",
+          "rz("})
+        EXPECT_NE(qasm.find(token), std::string::npos) << token;
+}
+
+TEST(Report, SummaryAndJsonShapes)
+{
+    auto tasks = makeTasks("t", tfimFamily(3, 0.8, 1.2, 3), 0);
+    solveGroundEnergies(tasks);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 1, 0);
+    Spsa proto(SpsaConfig{}, 1);
+    TreeVqaConfig cfg;
+    cfg.shotBudget = 1ull << 62;
+    cfg.maxRounds = 30;
+    TreeController controller(tasks, ansatz, proto, cfg);
+    const TreeVqaResult res = controller.run();
+
+    const std::string summary = summarize(res, tasks);
+    EXPECT_NE(summary.find("TreeVQA run:"), std::string::npos);
+    EXPECT_NE(summary.find("t[0]"), std::string::npos);
+
+    const std::string json = toJson(res, tasks);
+    EXPECT_NE(json.find("\"method\":\"treevqa\""), std::string::npos);
+    EXPECT_NE(json.find("\"tasks\":["), std::string::npos);
+    EXPECT_NE(json.find("\"trace\":["), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    long depth = 0;
+    for (char ch : json) {
+        if (ch == '{' || ch == '[')
+            ++depth;
+        if (ch == '}' || ch == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Report, JsonWithoutTrace)
+{
+    std::vector<VqaTask> tasks =
+        makeTasks("t", tfimFamily(3, 1.0, 1.0, 1), 0);
+    BaselineResult res;
+    res.outcomes.resize(1);
+    res.outcomes[0].bestEnergy = -1.5;
+    const std::string json = toJson(res, tasks, false);
+    EXPECT_EQ(json.find("\"trace\""), std::string::npos);
+    EXPECT_NE(json.find("\"method\":\"baseline\""), std::string::npos);
+    // NaN fidelity renders as null.
+    EXPECT_NE(json.find("\"fidelity\":null"), std::string::npos);
+}
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG (common/rng.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(99);
+    double s = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        s += rng.uniform();
+    EXPECT_NEAR(s / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.uniformInt(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(42);
+    const int n = 200000;
+    double s = 0.0, s2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        s += x;
+        s2 += x * x;
+    }
+    EXPECT_NEAR(s / n, 0.0, 0.02);
+    EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments)
+{
+    Rng rng(42);
+    const int n = 100000;
+    double s = 0.0;
+    for (int i = 0; i < n; ++i)
+        s += rng.normal(3.0, 0.5);
+    EXPECT_NEAR(s / n, 3.0, 0.02);
+}
+
+TEST(Rng, RademacherIsBalancedSigns)
+{
+    Rng rng(5);
+    int pos = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double r = rng.rademacher();
+        EXPECT_TRUE(r == 1.0 || r == -1.0);
+        pos += r > 0;
+    }
+    EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 0.01);
+}
+
+TEST(Rng, RademacherVectorShape)
+{
+    Rng rng(5);
+    const auto v = rng.rademacherVector(37);
+    EXPECT_EQ(v.size(), 37u);
+    for (double x : v)
+        EXPECT_EQ(std::fabs(x), 1.0);
+}
+
+TEST(Rng, BinomialEdgeCases)
+{
+    Rng rng(8);
+    EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+    EXPECT_LE(rng.binomial(50, 0.5), 50u);
+}
+
+TEST(Rng, BinomialMeanSmallN)
+{
+    Rng rng(8);
+    double s = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        s += static_cast<double>(rng.binomial(100, 0.3));
+    EXPECT_NEAR(s / trials, 30.0, 0.5);
+}
+
+TEST(Rng, BinomialMeanLargeN)
+{
+    Rng rng(8);
+    double s = 0.0;
+    const int trials = 5000;
+    for (int i = 0; i < trials; ++i)
+        s += static_cast<double>(rng.binomial(4096, 0.25));
+    EXPECT_NEAR(s / trials, 1024.0, 5.0);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(11);
+    const auto p = rng.permutation(50);
+    std::set<std::size_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 50u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(123);
+    Rng child = parent.split();
+    // The child stream must not reproduce the parent's stream.
+    Rng parent_copy(123);
+    parent_copy.nextU64(); // advance past the split draw
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += child.nextU64() == parent_copy.nextU64();
+    EXPECT_LT(equal, 2);
+}
+
+/** Seed sweep: uniform() stays in bounds and is deterministic. */
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, ReproducibleAndBounded)
+{
+    Rng a(GetParam()), b(GetParam());
+    for (int i = 0; i < 256; ++i) {
+        const double ua = a.uniform();
+        EXPECT_EQ(ua, b.uniform());
+        EXPECT_GE(ua, 0.0);
+        EXPECT_LT(ua, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull, 1337ull,
+                                           0xffffffffffffffffull,
+                                           0x8000000000000000ull));
+
+} // namespace
+} // namespace treevqa

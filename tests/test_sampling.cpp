@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the true measurement-sampling estimator, including the
+ * validation that the production Gaussian shot model matches real
+ * multinomial statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/hardware_efficient.h"
+#include "common/rng.h"
+#include "ham/spin_chains.h"
+#include "sim/expectation.h"
+#include "sim/sampling.h"
+#include "sim/shot_estimator.h"
+
+namespace treevqa {
+namespace {
+
+Statevector
+randomState(std::uint64_t seed, int n)
+{
+    Rng rng(seed);
+    const Ansatz a = makeHardwareEfficientAnsatz(n, 2, 0);
+    std::vector<double> theta(a.numParams());
+    for (auto &t : theta)
+        t = rng.uniform(-2, 2);
+    return a.prepare(theta);
+}
+
+TEST(Sampling, DiagonalStringOnBasisStateIsExact)
+{
+    Statevector s(3);
+    s.setBasisState(0b101);
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(
+        sampledExpectation(s, PauliString::fromLabel("ZII"), 64, rng),
+        -1.0);
+    EXPECT_DOUBLE_EQ(
+        sampledExpectation(s, PauliString::fromLabel("IZI"), 64, rng),
+        1.0);
+}
+
+TEST(Sampling, XStringOnPlusStateIsExact)
+{
+    Statevector s(2);
+    s.applyH(0);
+    Rng rng(2);
+    // |+> is an X eigenstate: every sample gives +1.
+    EXPECT_DOUBLE_EQ(
+        sampledExpectation(s, PauliString::fromLabel("XI"), 32, rng),
+        1.0);
+}
+
+TEST(Sampling, IdentityIsFree)
+{
+    Statevector s(2);
+    Rng rng(3);
+    EXPECT_DOUBLE_EQ(sampledExpectation(s, PauliString(2), 8, rng),
+                     1.0);
+}
+
+TEST(Sampling, ConvergesToExactExpectation)
+{
+    const Statevector s = randomState(4, 4);
+    const PauliString p = PauliString::fromLabel("XZYI");
+    const double exact = expectation(s, p);
+    Rng rng(5);
+    const double est = sampledExpectation(s, p, 200000, rng);
+    EXPECT_NEAR(est, exact, 0.01);
+}
+
+TEST(Sampling, HamiltonianEstimateMatchesExact)
+{
+    const Statevector s = randomState(6, 4);
+    const PauliSum h = xxzChain(4, 1.0, 0.7);
+    const double exact = expectation(s, h);
+    Rng rng(7);
+    const SampledEstimate est =
+        sampledHamiltonianEstimate(s, h, 100000, rng);
+    EXPECT_NEAR(est.energy, exact, 0.05);
+    EXPECT_EQ(est.termEstimates.size(), h.numTerms());
+}
+
+TEST(Sampling, ShotAccountingPerGroup)
+{
+    const Statevector s = randomState(8, 4);
+    const PauliSum h = transverseFieldIsing(4, 1.0, 1.0);
+    Rng rng(9);
+    const SampledEstimate est =
+        sampledHamiltonianEstimate(s, h, 512, rng);
+    // TFIM has two QWC groups.
+    EXPECT_EQ(est.circuitsUsed, 2u);
+    EXPECT_EQ(est.shotsUsed, 2ull * 512);
+}
+
+TEST(Sampling, GaussianModelMatchesTrueSamplingMoments)
+{
+    // The production ShotEstimator claims the exact asymptotic
+    // distribution of the sampling estimator: compare mean and
+    // variance of both estimators for the same string/state/shots.
+    const Statevector s = randomState(10, 3);
+    const PauliString p = PauliString::fromLabel("XZI");
+    const double exact = expectation(s, p);
+    const std::uint64_t shots = 256;
+
+    Rng rng(11);
+    const int trials = 4000;
+    double samp_sum = 0.0, samp_sum2 = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        const double e = sampledExpectation(s, p, shots, rng);
+        samp_sum += e;
+        samp_sum2 += e * e;
+    }
+    const double samp_mean = samp_sum / trials;
+    const double samp_var =
+        samp_sum2 / trials - samp_mean * samp_mean;
+
+    PauliSum h(3);
+    h.add(1.0, p);
+    ShotEstimator model(shots, true);
+    double model_sum = 0.0, model_sum2 = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        const double e = model.estimate(h, {exact}, rng).energy;
+        model_sum += e;
+        model_sum2 += e * e;
+    }
+    const double model_mean = model_sum / trials;
+    const double model_var =
+        model_sum2 / trials - model_mean * model_mean;
+
+    EXPECT_NEAR(samp_mean, exact, 0.01);
+    EXPECT_NEAR(model_mean, exact, 0.01);
+    // Variances agree within 15% relative (clamping + multinomial
+    // discreteness cause small deviations).
+    EXPECT_NEAR(model_var, samp_var, 0.15 * samp_var + 1e-6);
+}
+
+/** Shots sweep: empirical variance scales as 1/S. */
+class SamplingShotsSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SamplingShotsSweep, VarianceScalesInverseShots)
+{
+    const std::uint64_t shots = GetParam();
+    Statevector s(1);
+    s.applyH(0); // <Z> = 0: variance is exactly 1/S
+    Rng rng(12);
+    const int trials = 3000;
+    double sum2 = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        const double e = sampledExpectation(
+            s, PauliString::fromLabel("Z"), shots, rng);
+        sum2 += e * e;
+    }
+    EXPECT_NEAR(sum2 / trials, 1.0 / shots, 0.2 / shots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shots, SamplingShotsSweep,
+                         ::testing::Values(64ull, 256ull, 1024ull));
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the finite-shot estimator and shot accounting (Section 7.3
+ * cost model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ham/spin_chains.h"
+#include "sim/shot_estimator.h"
+
+namespace treevqa {
+namespace {
+
+TEST(ShotEstimator, EvalCostFollowsPaperFormula)
+{
+    const PauliSum h = transverseFieldIsing(5, 1.0, 1.0); // 9 terms
+    ShotEstimator est(4096);
+    EXPECT_EQ(est.evalCost(h),
+              4096ull * static_cast<std::uint64_t>(h.numMeasuredTerms()));
+}
+
+TEST(ShotEstimator, IdentityTermIsFree)
+{
+    PauliSum h(2);
+    h.add(10.0, "II");
+    h.add(1.0, "ZZ");
+    ShotEstimator est(4096);
+    EXPECT_EQ(est.evalCost(h), 4096ull);
+}
+
+TEST(ShotEstimator, NoiselessModePassesThrough)
+{
+    PauliSum h(2);
+    h.add(0.5, "ZI");
+    h.add(2.0, "II");
+    ShotEstimator est(4096, /*inject_noise=*/false);
+    Rng rng(1);
+    const ShotEstimate e = est.estimate(h, {0.25, 1.0}, rng);
+    EXPECT_DOUBLE_EQ(e.energy, 0.5 * 0.25 + 2.0);
+    EXPECT_DOUBLE_EQ(e.termEstimates[0], 0.25);
+}
+
+TEST(ShotEstimator, IdentityTermExactUnderNoise)
+{
+    PauliSum h(2);
+    h.add(3.0, "II");
+    h.add(1.0, "XX");
+    ShotEstimator est(64, true);
+    Rng rng(2);
+    const ShotEstimate e = est.estimate(h, {1.0, 0.3}, rng);
+    EXPECT_DOUBLE_EQ(e.termEstimates[0], 1.0);
+}
+
+TEST(ShotEstimator, EstimatesClampedToPhysicalRange)
+{
+    PauliSum h(1);
+    h.add(1.0, "Z");
+    ShotEstimator est(4, true); // huge noise
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const ShotEstimate e = est.estimate(h, {0.9}, rng);
+        EXPECT_GE(e.termEstimates[0], -1.0);
+        EXPECT_LE(e.termEstimates[0], 1.0);
+    }
+}
+
+TEST(ShotEstimator, UnbiasedAndVarianceMatchesFormula)
+{
+    PauliSum h(1);
+    h.add(1.0, "Z");
+    const double truth = 0.6;
+    const std::uint64_t shots = 1024;
+    ShotEstimator est(shots, true);
+    Rng rng(4);
+
+    const int trials = 20000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < trials; ++i) {
+        const double e = est.estimate(h, {truth}, rng).energy;
+        sum += e;
+        sum2 += e * e;
+    }
+    const double mean = sum / trials;
+    const double var = sum2 / trials - mean * mean;
+    const double expected_var = (1.0 - truth * truth) / shots;
+    EXPECT_NEAR(mean, truth, 3e-4);
+    EXPECT_NEAR(var, expected_var, expected_var * 0.1);
+}
+
+TEST(ShotEstimator, ZeroShotsFallsBackToDefault)
+{
+    ShotEstimator est(0);
+    EXPECT_EQ(est.shotsPerTerm(), kDefaultShotsPerTerm);
+    EXPECT_FALSE(est.injectsNoise());
+}
+
+TEST(ShotEstimator, ShotsUsedReported)
+{
+    const PauliSum h = transverseFieldIsing(3, 1.0, 0.5);
+    ShotEstimator est(128);
+    Rng rng(5);
+    std::vector<double> exact(h.numTerms(), 0.0);
+    const ShotEstimate e = est.estimate(h, exact, rng);
+    EXPECT_EQ(e.shotsUsed, est.evalCost(h));
+}
+
+TEST(ShotLedger, Accumulates)
+{
+    ShotLedger ledger;
+    EXPECT_EQ(ledger.total(), 0u);
+    ledger.charge(100);
+    ledger.charge(250);
+    EXPECT_EQ(ledger.total(), 350u);
+    ledger.reset();
+    EXPECT_EQ(ledger.total(), 0u);
+}
+
+/** Variance scaling sweep: doubling shots halves the variance. */
+class ShotScalingSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ShotScalingSweep, VarianceInverseInShots)
+{
+    const std::uint64_t shots = GetParam();
+    PauliSum h(1);
+    h.add(1.0, "X");
+    ShotEstimator est(shots, true);
+    Rng rng(6);
+    const int trials = 8000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < trials; ++i) {
+        const double e = est.estimate(h, {0.0}, rng).energy;
+        sum += e;
+        sum2 += e * e;
+    }
+    const double var = sum2 / trials - (sum / trials) * (sum / trials);
+    EXPECT_NEAR(var, 1.0 / shots, 0.15 / shots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shots, ShotScalingSweep,
+                         ::testing::Values(256ull, 1024ull, 4096ull));
+
+} // namespace
+} // namespace treevqa

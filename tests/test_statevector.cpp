@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the dense statevector simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/statevector.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Statevector, StartsInZeroState)
+{
+    Statevector s(3);
+    EXPECT_EQ(s.dim(), 8u);
+    EXPECT_NEAR(s.probability(0), 1.0, 1e-15);
+    EXPECT_NEAR(s.normSquared(), 1.0, 1e-15);
+}
+
+TEST(Statevector, SetBasisState)
+{
+    Statevector s(3);
+    s.setBasisState(0b101);
+    EXPECT_NEAR(s.probability(0b101), 1.0, 1e-15);
+    EXPECT_NEAR(s.probability(0), 0.0, 1e-15);
+}
+
+TEST(Statevector, XFlipsBit)
+{
+    Statevector s(2);
+    s.applyX(1);
+    EXPECT_NEAR(s.probability(0b10), 1.0, 1e-15);
+}
+
+TEST(Statevector, HCreatesSuperpositionAndIsInvolution)
+{
+    Statevector s(1);
+    s.applyH(0);
+    EXPECT_NEAR(s.probability(0), 0.5, 1e-12);
+    EXPECT_NEAR(s.probability(1), 0.5, 1e-12);
+    s.applyH(0);
+    EXPECT_NEAR(s.probability(0), 1.0, 1e-12);
+}
+
+TEST(Statevector, CxTruthTable)
+{
+    for (std::uint64_t in = 0; in < 4; ++in) {
+        Statevector s(2);
+        s.setBasisState(in);
+        s.applyCx(0, 1); // control qubit 0, target qubit 1
+        const std::uint64_t expected =
+            (in & 1ull) ? (in ^ 2ull) : in;
+        EXPECT_NEAR(s.probability(expected), 1.0, 1e-15)
+            << "input " << in;
+    }
+}
+
+TEST(Statevector, CzPhasesOnlyOnes)
+{
+    Statevector s(2);
+    s.applyH(0);
+    s.applyH(1);
+    s.applyCz(0, 1);
+    // Amplitudes: (1,1,1,-1)/2.
+    const CVector &a = s.amplitudes();
+    EXPECT_NEAR(a[3].real(), -0.5, 1e-12);
+    EXPECT_NEAR(a[0].real(), 0.5, 1e-12);
+}
+
+TEST(Statevector, RxOnZeroGivesExpectedAmplitudes)
+{
+    const double theta = 0.7;
+    Statevector s(1);
+    s.applyRx(0, theta);
+    const CVector &a = s.amplitudes();
+    EXPECT_NEAR(a[0].real(), std::cos(theta / 2), 1e-12);
+    EXPECT_NEAR(a[1].imag(), -std::sin(theta / 2), 1e-12);
+}
+
+TEST(Statevector, RyOnZeroIsRealRotation)
+{
+    const double theta = 1.1;
+    Statevector s(1);
+    s.applyRy(0, theta);
+    const CVector &a = s.amplitudes();
+    EXPECT_NEAR(a[0].real(), std::cos(theta / 2), 1e-12);
+    EXPECT_NEAR(a[1].real(), std::sin(theta / 2), 1e-12);
+    EXPECT_NEAR(a[1].imag(), 0.0, 1e-12);
+}
+
+TEST(Statevector, RzIsDiagonalPhase)
+{
+    const double theta = 0.9;
+    Statevector s(1);
+    s.applyH(0);
+    s.applyRz(0, theta);
+    const CVector &a = s.amplitudes();
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(a[0] - r * std::polar(1.0, -theta / 2)), 0.0,
+                1e-12);
+    EXPECT_NEAR(std::abs(a[1] - r * std::polar(1.0, theta / 2)), 0.0,
+                1e-12);
+}
+
+TEST(Statevector, SAndSdgInverse)
+{
+    Statevector s(1);
+    s.applyH(0);
+    s.applyS(0);
+    s.applySdg(0);
+    s.applyH(0);
+    EXPECT_NEAR(s.probability(0), 1.0, 1e-12);
+}
+
+TEST(Statevector, RzzEqualsRzUpToBasis)
+{
+    // RZZ(theta) on |00> applies phase exp(-i theta/2).
+    Statevector s(2);
+    s.applyRzz(0, 1, 0.8);
+    EXPECT_NEAR(std::abs(s.amplitudes()[0]
+                         - std::polar(1.0, -0.4)), 0.0, 1e-12);
+    // On |01> the parity flips the phase sign.
+    Statevector t(2);
+    t.setBasisState(1);
+    t.applyRzz(0, 1, 0.8);
+    EXPECT_NEAR(std::abs(t.amplitudes()[1] - std::polar(1.0, 0.4)),
+                0.0, 1e-12);
+}
+
+TEST(Statevector, RxxMatchesKnownAction)
+{
+    // exp(-i theta/2 XX)|00> = cos(theta/2)|00> - i sin(theta/2)|11>.
+    const double theta = 0.6;
+    Statevector s(2);
+    s.applyRxx(0, 1, theta);
+    const CVector &a = s.amplitudes();
+    EXPECT_NEAR(std::abs(a[0] - Complex(std::cos(theta / 2), 0)), 0.0,
+                1e-12);
+    EXPECT_NEAR(std::abs(a[3] - Complex(0, -std::sin(theta / 2))), 0.0,
+                1e-12);
+}
+
+TEST(Statevector, RyyMatchesKnownAction)
+{
+    // exp(-i theta/2 YY)|00> = cos(theta/2)|00> + i sin(theta/2)|11>.
+    const double theta = 0.6;
+    Statevector s(2);
+    s.applyRyy(0, 1, theta);
+    const CVector &a = s.amplitudes();
+    EXPECT_NEAR(std::abs(a[0] - Complex(std::cos(theta / 2), 0)), 0.0,
+                1e-12);
+    EXPECT_NEAR(std::abs(a[3] - Complex(0, std::sin(theta / 2))), 0.0,
+                1e-12);
+}
+
+TEST(Statevector, OverlapSquaredBasics)
+{
+    Statevector a(2), b(2);
+    EXPECT_NEAR(a.overlapSquared(b), 1.0, 1e-12);
+    b.applyX(0);
+    EXPECT_NEAR(a.overlapSquared(b), 0.0, 1e-12);
+}
+
+TEST(Statevector, SampleRespectsDistribution)
+{
+    Statevector s(1);
+    s.applyRy(0, 2.0 * std::acos(std::sqrt(0.25))); // P(0) = 0.25
+    Rng rng(9);
+    int zeros = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        zeros += s.sample(rng) == 0;
+    EXPECT_NEAR(static_cast<double>(zeros) / n, 0.25, 0.01);
+}
+
+/** Property: random circuits preserve the norm. */
+class NormPreservation : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(NormPreservation, RandomCircuitKeepsUnitNorm)
+{
+    Rng rng(GetParam());
+    const int n = 4;
+    Statevector s(n);
+    s.setBasisState(rng.uniformInt(16));
+    for (int g = 0; g < 60; ++g) {
+        const int q = static_cast<int>(rng.uniformInt(n));
+        const int p = static_cast<int>((q + 1 + rng.uniformInt(n - 1)) % n);
+        switch (rng.uniformInt(8)) {
+          case 0: s.applyRx(q, rng.uniform(-3, 3)); break;
+          case 1: s.applyRy(q, rng.uniform(-3, 3)); break;
+          case 2: s.applyRz(q, rng.uniform(-3, 3)); break;
+          case 3: s.applyH(q); break;
+          case 4: s.applyCx(q, p); break;
+          case 5: s.applyCz(q, p); break;
+          case 6: s.applyRzz(q, p, rng.uniform(-3, 3)); break;
+          default: s.applyS(q); break;
+        }
+        EXPECT_NEAR(s.normSquared(), 1.0, 1e-10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormPreservation,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull,
+                                           5ull));
+
+} // namespace
+} // namespace treevqa

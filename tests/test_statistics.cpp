@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for statistics utilities, especially the sliding-window slope
+ * used by the split monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/statistics.h"
+
+namespace treevqa {
+namespace {
+
+TEST(Stats, MeanVarianceBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({1.0, 3.0}), 1.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0, 3.0}), 1.0);
+}
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Stats, SlopeOfExactLine)
+{
+    // y = 3 - 2x on x = 0..9.
+    std::vector<double> ys;
+    for (int i = 0; i < 10; ++i)
+        ys.push_back(3.0 - 2.0 * i);
+    EXPECT_NEAR(linearRegressionSlope(ys), -2.0, 1e-12);
+}
+
+TEST(Stats, SlopeOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(linearRegressionSlope({5.0, 5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, SlopeDegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(linearRegressionSlope({}), 0.0);
+    EXPECT_DOUBLE_EQ(linearRegressionSlope({1.0}), 0.0);
+}
+
+TEST(Stats, SlopeWithExplicitAbscissae)
+{
+    const std::vector<double> xs = {0.0, 2.0, 4.0, 6.0};
+    const std::vector<double> ys = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_NEAR(linearRegressionSlope(xs, ys), 0.5, 1e-12);
+}
+
+TEST(Stats, SlopeRobustToNoise)
+{
+    // Noisy descending line: recovered slope close to the truth.
+    Rng rng(1);
+    std::vector<double> ys;
+    for (int i = 0; i < 200; ++i)
+        ys.push_back(-0.5 * i + rng.normal(0.0, 0.3));
+    EXPECT_NEAR(linearRegressionSlope(ys), -0.5, 0.02);
+}
+
+TEST(SlidingWindow, EvictsOldestAtCapacity)
+{
+    SlidingWindow w(3);
+    w.push(1.0);
+    w.push(2.0);
+    w.push(3.0);
+    EXPECT_TRUE(w.full());
+    w.push(10.0);
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w.windowMean(), (2.0 + 3.0 + 10.0) / 3.0);
+    EXPECT_DOUBLE_EQ(w.back(), 10.0);
+}
+
+TEST(SlidingWindow, SlopeTracksRecentTrend)
+{
+    SlidingWindow w(5);
+    // Descending then flat: slope should go from negative to ~0.
+    for (int i = 0; i < 5; ++i)
+        w.push(-1.0 * i);
+    EXPECT_NEAR(w.slope(), -1.0, 1e-12);
+    for (int i = 0; i < 5; ++i)
+        w.push(-4.0);
+    EXPECT_NEAR(w.slope(), 0.0, 1e-12);
+}
+
+TEST(SlidingWindow, MinimumCapacityIsTwo)
+{
+    SlidingWindow w(0);
+    EXPECT_EQ(w.capacity(), 2u);
+}
+
+TEST(SlidingWindow, ClearEmpties)
+{
+    SlidingWindow w(4);
+    w.push(1.0);
+    w.push(2.0);
+    w.clear();
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_DOUBLE_EQ(w.slope(), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchMoments)
+{
+    Rng rng(2);
+    RunningStats rs;
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        rs.push(x);
+        xs.push_back(x);
+    }
+    EXPECT_EQ(rs.count(), xs.size());
+    EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(rs.variance(), variance(xs), 1e-6);
+    EXPECT_LE(rs.min(), rs.mean());
+    EXPECT_GE(rs.max(), rs.mean());
+}
+
+/** Property sweep: slope of a synthetic line y = b + m x + noise is
+ * recovered within tolerance for several slopes. */
+class SlopeSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SlopeSweep, RecoversKnownSlope)
+{
+    const double m = GetParam();
+    Rng rng(17);
+    std::vector<double> ys;
+    for (int i = 0; i < 400; ++i)
+        ys.push_back(1.5 + m * i + rng.normal(0.0, 0.05));
+    EXPECT_NEAR(linearRegressionSlope(ys), m, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, SlopeSweep,
+                         ::testing::Values(-2.0, -0.1, 0.0, 0.1, 2.0));
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the TreeVQA central controller (Algorithm 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/hardware_efficient.h"
+#include "core/tree_controller.h"
+#include "ham/spin_chains.h"
+#include "opt/spsa.h"
+
+namespace treevqa {
+namespace {
+
+std::vector<VqaTask>
+tfimTasks(int sites, int count, double lo = 0.5, double hi = 1.5)
+{
+    auto tasks = makeTasks("tfim", tfimFamily(sites, lo, hi, count), 0);
+    solveGroundEnergies(tasks);
+    return tasks;
+}
+
+TreeVqaConfig
+quickConfig(std::uint64_t budget, int rounds)
+{
+    TreeVqaConfig cfg;
+    cfg.shotBudget = budget;
+    cfg.maxRounds = rounds;
+    cfg.metricsInterval = 5;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(TreeController, RespectsShotBudget)
+{
+    const auto tasks = tfimTasks(4, 4);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 1);
+
+    const std::uint64_t budget = 40'000'000ull;
+    TreeController controller(tasks, ansatz, proto,
+                              quickConfig(budget, 100000));
+    const TreeVqaResult res = controller.run();
+    EXPECT_GE(res.totalShots, budget);
+    // Overshoot bounded by one round of all clusters.
+    EXPECT_LT(res.totalShots, budget + budget / 2);
+}
+
+TEST(TreeController, StopsAtMaxRounds)
+{
+    const auto tasks = tfimTasks(3, 3);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 2, 0);
+    Spsa proto(SpsaConfig{}, 1);
+    TreeController controller(tasks, ansatz, proto,
+                              quickConfig(1ull << 62, 25));
+    const TreeVqaResult res = controller.run();
+    EXPECT_EQ(res.rounds, 25);
+}
+
+TEST(TreeController, OutcomesCoverEveryTask)
+{
+    const auto tasks = tfimTasks(4, 5);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 1);
+    TreeController controller(tasks, ansatz, proto,
+                              quickConfig(1ull << 62, 120));
+    const TreeVqaResult res = controller.run();
+    ASSERT_EQ(res.outcomes.size(), tasks.size());
+    for (const auto &o : res.outcomes) {
+        EXPECT_TRUE(std::isfinite(o.bestEnergy));
+        EXPECT_GE(o.bestClusterId, 0);
+        EXPECT_LE(o.fidelity, 1.0 + 1e-12);
+    }
+}
+
+TEST(TreeController, EnergiesRespectVariationalBound)
+{
+    // Variational principle: every reported energy >= ground energy.
+    const auto tasks = tfimTasks(4, 4);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 2);
+    TreeController controller(tasks, ansatz, proto,
+                              quickConfig(1ull << 62, 150));
+    const TreeVqaResult res = controller.run();
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        EXPECT_GE(res.outcomes[i].bestEnergy,
+                  tasks[i].groundEnergy - 1e-8);
+}
+
+TEST(TreeController, TraceIsMonotoneInShots)
+{
+    const auto tasks = tfimTasks(4, 4);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 3);
+    TreeController controller(tasks, ansatz, proto,
+                              quickConfig(1ull << 62, 100));
+    const TreeVqaResult res = controller.run();
+    ASSERT_GT(res.trace.size(), 2u);
+    for (std::size_t s = 1; s < res.trace.size(); ++s) {
+        EXPECT_GE(res.trace[s].shots, res.trace[s - 1].shots);
+        // Best-so-far energies never regress.
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            EXPECT_LE(res.trace[s].bestEnergies[i],
+                      res.trace[s - 1].bestEnergies[i] + 1e-12);
+    }
+}
+
+TEST(TreeController, SplitsGrowTheTree)
+{
+    // A very dissimilar family long past stall must have split.
+    const auto tasks = tfimTasks(4, 6, 0.2, 2.2);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 4);
+    TreeVqaConfig cfg = quickConfig(1ull << 62, 400);
+    TreeController controller(tasks, ansatz, proto, cfg);
+    const TreeVqaResult res = controller.run();
+    EXPECT_GT(res.splitCount, 0);
+    EXPECT_GT(res.maxTreeLevel, 1);
+    EXPECT_GT(res.finalClusterCount, 1u);
+    EXPECT_GT(res.criticalDepthFraction, 0.0);
+    EXPECT_LE(res.criticalDepthFraction, 1.0 + 1e-12);
+}
+
+TEST(TreeController, RootClustersGroupedByInitialState)
+{
+    // Two initial-state groups -> at least two clusters from round 1,
+    // and members never mix across groups.
+    auto tasks = tfimTasks(4, 4);
+    tasks[0].initialBits = 0b0011;
+    tasks[1].initialBits = 0b0011;
+    tasks[2].initialBits = 0b1100;
+    tasks[3].initialBits = 0b1100;
+
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 5);
+    TreeController controller(tasks, ansatz, proto,
+                              quickConfig(1ull << 62, 30));
+    const TreeVqaResult res = controller.run();
+    EXPECT_GE(res.finalClusterCount, 2u);
+}
+
+TEST(TreeController, DeterministicForSameSeed)
+{
+    const auto tasks = tfimTasks(3, 3);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 2, 0);
+    Spsa proto(SpsaConfig{}, 6);
+
+    TreeController a(tasks, ansatz, proto, quickConfig(1ull << 62, 60));
+    TreeController b(tasks, ansatz, proto, quickConfig(1ull << 62, 60));
+    const TreeVqaResult ra = a.run();
+    const TreeVqaResult rb = b.run();
+    ASSERT_EQ(ra.outcomes.size(), rb.outcomes.size());
+    for (std::size_t i = 0; i < ra.outcomes.size(); ++i)
+        EXPECT_DOUBLE_EQ(ra.outcomes[i].bestEnergy,
+                         rb.outcomes[i].bestEnergy);
+    EXPECT_EQ(ra.totalShots, rb.totalShots);
+}
+
+TEST(TreeController, SimilarityMatrixShape)
+{
+    const auto tasks = tfimTasks(3, 5);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 2, 0);
+    Spsa proto(SpsaConfig{}, 7);
+    TreeController controller(tasks, ansatz, proto,
+                              quickConfig(1, 1));
+    EXPECT_EQ(controller.similarity().rows(), tasks.size());
+    EXPECT_DOUBLE_EQ(controller.similarity()(0, 0), 1.0);
+}
+
+TEST(TreeController, PostProcessingOnlyImproves)
+{
+    const auto tasks = tfimTasks(4, 5, 0.3, 1.8);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 8);
+    TreeController controller(tasks, ansatz, proto,
+                              quickConfig(1ull << 62, 200));
+    const TreeVqaResult res = controller.run();
+    // Post-processing selects the min across clusters: final outcomes
+    // must be <= the last pre-post-processing trace entry.
+    ASSERT_GE(res.trace.size(), 2u);
+    const auto &pre = res.trace[res.trace.size() - 2];
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        EXPECT_LE(res.outcomes[i].bestEnergy,
+                  pre.bestEnergies[i] + 1e-12);
+}
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the VQA cluster (Algorithm 2): stepping, loss windows,
+ * split triggers and spectral partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "circuit/hardware_efficient.h"
+#include "cluster/similarity.h"
+#include "core/vqa_cluster.h"
+#include "ham/spin_chains.h"
+#include "opt/spsa.h"
+
+namespace treevqa {
+namespace {
+
+std::unique_ptr<VqaCluster>
+makeCluster(const std::vector<PauliSum> &fam, const ClusterConfig &ccfg,
+            bool noise = false, std::uint64_t seed = 1)
+{
+    const int n = fam.front().numQubits();
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(n, 2, 0);
+    EngineConfig engine;
+    engine.injectShotNoise = noise;
+    std::vector<std::size_t> indices(fam.size());
+    for (std::size_t i = 0; i < fam.size(); ++i)
+        indices[i] = i;
+    auto opt = std::make_unique<Spsa>(SpsaConfig{}, seed);
+    return std::make_unique<VqaCluster>(
+        0, 1, -1, indices, fam, ansatz, engine, ccfg, std::move(opt),
+        std::vector<double>(ansatz.numParams(), 0.0), Rng(seed));
+}
+
+TEST(VqaCluster, StepChargesShotsAndRecordsLoss)
+{
+    const auto fam = tfimFamily(4, 0.5, 1.5, 4);
+    ClusterConfig ccfg;
+    auto cluster = makeCluster(fam, ccfg);
+
+    ShotLedger ledger;
+    EXPECT_TRUE(std::isnan(cluster->lastLoss()));
+    cluster->step(ledger);
+    EXPECT_FALSE(std::isnan(cluster->lastLoss()));
+    // SPSA: 2 evaluations x superset terms x 4096.
+    EXPECT_EQ(ledger.total(),
+              2ull * cluster->objective().evalCost());
+    EXPECT_EQ(cluster->iterations(), 1);
+}
+
+TEST(VqaCluster, LossDecreasesOverWarmup)
+{
+    const auto fam = tfimFamily(4, 0.9, 1.1, 3);
+    ClusterConfig ccfg;
+    ccfg.warmupIterations = 1000; // never split in this test
+    auto cluster = makeCluster(fam, ccfg);
+
+    ShotLedger ledger;
+    double first = 0.0, last = 0.0;
+    for (int i = 0; i < 60; ++i) {
+        cluster->step(ledger);
+        if (i == 4)
+            first = cluster->lastLoss();
+    }
+    last = cluster->lastLoss();
+    EXPECT_LT(last, first);
+}
+
+TEST(VqaCluster, NoSplitDuringWarmup)
+{
+    const auto fam = tfimFamily(3, 0.5, 1.5, 3);
+    ClusterConfig ccfg;
+    ccfg.warmupIterations = 50;
+    auto cluster = makeCluster(fam, ccfg);
+    ShotLedger ledger;
+    for (int i = 0; i < 49; ++i)
+        EXPECT_EQ(cluster->step(ledger), VqaCluster::Status::Running);
+}
+
+TEST(VqaCluster, StalledOptimizationRequestsSplit)
+{
+    // Zero learning rate: the loss window is flat, the relative slope
+    // falls below eps_split and a split must be requested.
+    const auto fam = tfimFamily(3, 0.5, 1.5, 3);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 2, 0);
+    EngineConfig engine;
+    engine.injectShotNoise = false;
+    ClusterConfig ccfg;
+    ccfg.warmupIterations = 5;
+    ccfg.windowSize = 6;
+    // A frozen optimizer still jitters the loss through its +/- c
+    // perturbations; a generous stall threshold makes the flat window
+    // unambiguous.
+    ccfg.epsSplit = 0.05;
+    SpsaConfig frozen;
+    frozen.a = 0.0; // no movement
+    frozen.c = 0.01;
+    VqaCluster cluster(
+        0, 1, -1, {0, 1, 2}, fam, ansatz, engine, ccfg,
+        std::make_unique<Spsa>(frozen, 3),
+        std::vector<double>(ansatz.numParams(), 0.1), Rng(3));
+
+    ShotLedger ledger;
+    VqaCluster::Status status = VqaCluster::Status::Running;
+    for (int i = 0; i < 30; ++i) {
+        status = cluster.step(ledger);
+        if (status == VqaCluster::Status::SplitRequested)
+            break;
+    }
+    EXPECT_EQ(status, VqaCluster::Status::SplitRequested);
+    EXPECT_LT(std::fabs(cluster.mixedSlope()),
+              ccfg.epsSplit + 1e-12);
+}
+
+TEST(VqaCluster, IndividualSlopesReported)
+{
+    const auto fam = tfimFamily(3, 0.8, 1.2, 4);
+    ClusterConfig ccfg;
+    ccfg.warmupIterations = 1000;
+    auto cluster = makeCluster(fam, ccfg);
+    ShotLedger ledger;
+    for (int i = 0; i < 20; ++i)
+        cluster->step(ledger);
+    const auto slopes = cluster->individualSlopes();
+    EXPECT_EQ(slopes.size(), fam.size());
+}
+
+TEST(VqaCluster, PartitionSeparatesDissimilarGroups)
+{
+    // Family with two far-apart parameter groups: the split must put
+    // each group in its own child.
+    std::vector<PauliSum> fam;
+    for (double h : {0.10, 0.12, 0.14})
+        fam.push_back(transverseFieldIsing(3, 1.0, h));
+    for (double h : {2.50, 2.52, 2.54})
+        fam.push_back(transverseFieldIsing(3, 1.0, h));
+
+    ClusterConfig ccfg;
+    auto cluster = makeCluster(fam, ccfg);
+    const Matrix sim = similarityMatrix(fam);
+    Rng rng(7);
+    const auto [left, right] = cluster->partitionMembers(sim, rng);
+    EXPECT_FALSE(left.empty());
+    EXPECT_FALSE(right.empty());
+    EXPECT_EQ(left.size() + right.size(), fam.size());
+    // Contiguity of the two halves.
+    const auto in_left = [&](std::size_t idx) {
+        for (std::size_t x : left)
+            if (x == idx)
+                return true;
+        return false;
+    };
+    EXPECT_EQ(in_left(0), in_left(1));
+    EXPECT_EQ(in_left(1), in_left(2));
+    EXPECT_EQ(in_left(3), in_left(4));
+    EXPECT_NE(in_left(0), in_left(3));
+}
+
+TEST(VqaCluster, RearmMonitorSuppressesTriggers)
+{
+    const auto fam = tfimFamily(3, 0.5, 1.5, 2);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(3, 2, 0);
+    EngineConfig engine;
+    engine.injectShotNoise = false;
+    ClusterConfig ccfg;
+    ccfg.warmupIterations = 2;
+    ccfg.windowSize = 4;
+    ccfg.postSplitGrace = 50;
+    ccfg.epsSplit = 0.05;
+    SpsaConfig frozen;
+    frozen.a = 0.0;
+    frozen.c = 0.01;
+    VqaCluster cluster(
+        0, 1, -1, {0, 1}, fam, ansatz, engine, ccfg,
+        std::make_unique<Spsa>(frozen, 3),
+        std::vector<double>(ansatz.numParams(), 0.1), Rng(3));
+
+    ShotLedger ledger;
+    // Reach a split request, re-arm, then verify the grace period.
+    VqaCluster::Status status = VqaCluster::Status::Running;
+    for (int i = 0; i < 20; ++i)
+        status = cluster.step(ledger);
+    ASSERT_EQ(status, VqaCluster::Status::SplitRequested);
+    cluster.rearmMonitor();
+    for (int i = 0; i < 30; ++i)
+        EXPECT_EQ(cluster.step(ledger), VqaCluster::Status::Running);
+}
+
+TEST(VqaCluster, ExactTaskEnergiesMatchObjective)
+{
+    const auto fam = tfimFamily(4, 0.7, 1.3, 3);
+    ClusterConfig ccfg;
+    auto cluster = makeCluster(fam, ccfg);
+    ShotLedger ledger;
+    for (int i = 0; i < 5; ++i)
+        cluster->step(ledger);
+    const auto energies = cluster->exactTaskEnergies();
+    const auto reference =
+        cluster->objective().exactTaskEnergies(cluster->params());
+    ASSERT_EQ(energies.size(), reference.size());
+    for (std::size_t i = 0; i < energies.size(); ++i)
+        EXPECT_DOUBLE_EQ(energies[i], reference[i]);
+}
+
+TEST(VqaCluster, OverrideParamsResetsState)
+{
+    const auto fam = tfimFamily(3, 0.8, 1.2, 2);
+    ClusterConfig ccfg;
+    auto cluster = makeCluster(fam, ccfg);
+    ShotLedger ledger;
+    for (int i = 0; i < 3; ++i)
+        cluster->step(ledger);
+    std::vector<double> fresh(cluster->params().size(), 0.5);
+    cluster->overrideParams(fresh);
+    EXPECT_EQ(cluster->params(), fresh);
+}
+
+} // namespace
+} // namespace treevqa
