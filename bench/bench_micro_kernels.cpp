@@ -1,126 +1,267 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the hot kernels underneath every
- * experiment: gate application, batched Pauli expectations, the
- * cluster objective evaluation and Pauli propagation. These are the
- * knobs that determine how far the scaled-down figure benches can be
- * pushed toward the paper's full 16k-30k iteration regime.
+ * Microbenchmarks of the hot kernels underneath every experiment: gate
+ * application, batched Pauli expectations and the cluster objective
+ * evaluation. Each optimized kernel is timed against its
+ * pre-optimization reference (see sim/reference_kernels.h) over a
+ * qubit sweep, so the speedup trajectory stays measurable across PRs.
+ *
+ * Self-contained harness (no google-benchmark): results are printed as
+ * a table and mirrored machine-readably into BENCH_micro_kernels.json
+ * in the working directory.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "circuit/hardware_efficient.h"
 #include "common/rng.h"
 #include "core/objective.h"
-#include "ham/spin_chains.h"
 #include "ham/synthetic_molecule.h"
-#include "paulprop/pauli_propagation.h"
 #include "sim/expectation.h"
+#include "sim/reference_kernels.h"
 
 using namespace treevqa;
 
 namespace {
 
-void
-BM_StatevectorRotationLayer(benchmark::State &state)
+/** One timed kernel (ref_ns == 0 means no reference counterpart). */
+struct BenchResult
 {
-    const int n = static_cast<int>(state.range(0));
-    Statevector sv(n);
-    double angle = 0.01;
-    for (auto _ : state) {
-        for (int q = 0; q < n; ++q)
-            sv.applyRy(q, angle);
-        angle += 1e-4;
-        benchmark::DoNotOptimize(sv.amplitudes().data());
-    }
-    state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_StatevectorRotationLayer)->Arg(10)->Arg(14)->Arg(18);
+    std::string name;
+    int qubits;
+    double fastNs;
+    double refNs;
 
-void
-BM_StatevectorCxRing(benchmark::State &state)
-{
-    const int n = static_cast<int>(state.range(0));
-    Statevector sv(n);
-    sv.applyH(0);
-    for (auto _ : state) {
-        for (int q = 0; q < n; ++q)
-            sv.applyCx(q, (q + 1) % n);
-        benchmark::DoNotOptimize(sv.amplitudes().data());
-    }
-    state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_StatevectorCxRing)->Arg(10)->Arg(14)->Arg(18);
+    double speedup() const { return refNs > 0.0 ? refNs / fastNs : 0.0; }
+};
 
-void
-BM_BatchedExpectations(benchmark::State &state)
+/**
+ * ns per call: one warmup call, then repeat until ~80 ms of samples or
+ * 64 reps, whichever first, and report the minimum (the usual
+ * least-noise estimator for deterministic kernels).
+ */
+double
+timeNs(const std::function<void()> &fn)
 {
-    // The per-evaluation workhorse: all superset strings of the LiH
-    // family on a 12-qubit state.
-    const auto spec = syntheticLiH();
-    const PauliSum h =
-        buildSyntheticMolecule(spec, spec.eqBondAngstrom);
+    using clock = std::chrono::steady_clock;
+    fn(); // warmup
+    double best = 1e30;
+    double total = 0.0;
+    for (int rep = 0; rep < 64 && total < 80e6; ++rep) {
+        const auto t0 = clock::now();
+        fn();
+        const auto t1 = clock::now();
+        const double ns =
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+        best = std::min(best, ns);
+        total += ns;
+    }
+    return best;
+}
+
+/** A pseudo-random normalized n-qubit state. */
+Statevector
+randomState(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Statevector s(n);
+    for (int g = 0; g < 6 * n; ++g) {
+        const int q = static_cast<int>(rng.uniformInt(n));
+        const int p = static_cast<int>((q + 1) % n);
+        switch (rng.uniformInt(5)) {
+          case 0: s.applyRx(q, rng.uniform(-3, 3)); break;
+          case 1: s.applyRy(q, rng.uniform(-3, 3)); break;
+          case 2: s.applyRz(q, rng.uniform(-3, 3)); break;
+          case 3: s.applyCx(q, p); break;
+          default: s.applyH(q); break;
+        }
+    }
+    return s;
+}
+
+/** Random Pauli set with deliberate X-mask collisions (chemistry-like:
+ * several members per measurement group). */
+std::vector<PauliString>
+randomStrings(int n, int num_groups, int members_per_group,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
     std::vector<PauliString> strings;
-    for (const auto &term : h.terms())
-        strings.push_back(term.string);
+    const char ops[4] = {'I', 'X', 'Y', 'Z'};
+    for (int g = 0; g < num_groups; ++g) {
+        PauliString base(n);
+        for (int q = 0; q < n; ++q)
+            base.setOp(q, ops[rng.uniformInt(4)]);
+        strings.push_back(base);
+        for (int m = 1; m < members_per_group; ++m) {
+            PauliString sib = base;
+            for (int q = 0; q < n; ++q) {
+                if (rng.uniformInt(2) == 0)
+                    continue;
+                const char c = sib.opAt(q);
+                if (c == 'I')
+                    sib.setOp(q, 'Z');
+                else if (c == 'Z')
+                    sib.setOp(q, 'I');
+                else if (c == 'X')
+                    sib.setOp(q, 'Y');
+                else
+                    sib.setOp(q, 'X');
+            }
+            strings.push_back(sib);
+        }
+    }
+    return strings;
+}
 
-    Rng rng(1);
-    const Ansatz ansatz = makeHardwareEfficientAnsatz(12, 2, 0);
+std::vector<BenchResult> g_results;
+
+void
+record(const std::string &name, int qubits, double fast_ns,
+       double ref_ns)
+{
+    g_results.push_back(BenchResult{name, qubits, fast_ns, ref_ns});
+    if (ref_ns > 0.0)
+        std::printf("  %-24s %2dq  %12.0f ns  ref %12.0f ns  %6.2fx\n",
+                    name.c_str(), qubits, fast_ns, ref_ns,
+                    ref_ns / fast_ns);
+    else
+        std::printf("  %-24s %2dq  %12.0f ns\n", name.c_str(), qubits,
+                    fast_ns);
+}
+
+void
+benchGateKernels(int n)
+{
+    Statevector sv = randomState(n, 17);
+    const int a = 1;
+    const int b = n / 2;
+    double theta = 0.3;
+
+    record("rxx", n,
+           timeNs([&] { sv.applyRxx(a, b, theta); theta += 1e-4; }),
+           timeNs([&] { refApplyRxx(sv, a, b, theta); theta += 1e-4; }));
+    record("ryy", n,
+           timeNs([&] { sv.applyRyy(a, b, theta); theta += 1e-4; }),
+           timeNs([&] { refApplyRyy(sv, a, b, theta); theta += 1e-4; }));
+    record("rzz", n,
+           timeNs([&] { sv.applyRzz(a, b, theta); theta += 1e-4; }),
+           timeNs([&] { refApplyRzz(sv, a, b, theta); theta += 1e-4; }));
+    record("cx", n, timeNs([&] { sv.applyCx(a, b); }),
+           timeNs([&] { refApplyCx(sv, a, b); }));
+    record("x", n, timeNs([&] { sv.applyX(a); }),
+           timeNs([&] { refApplyX(sv, a); }));
+    record("z", n, timeNs([&] { sv.applyZ(a); }),
+           timeNs([&] { refApplyZ(sv, a); }));
+    record("s", n, timeNs([&] { sv.applyS(a); }),
+           timeNs([&] { refApplyS(sv, a); }));
+    record("h", n, timeNs([&] { sv.applyH(a); }),
+           timeNs([&] { refApplyH(sv, a); }));
+    record("ry", n,
+           timeNs([&] { sv.applyRy(a, theta); theta += 1e-4; }), 0.0);
+
+    // A full rotation layer (the HEA building block).
+    record("rotation_layer", n, timeNs([&] {
+               for (int q = 0; q < n; ++q)
+                   sv.applyRy(q, theta);
+               theta += 1e-4;
+           }),
+           0.0);
+}
+
+void
+benchBatchedExpectations(int n)
+{
+    const Statevector sv = randomState(n, 23);
+    const auto strings = randomStrings(n, 40, 5, 31);
+    record("batched_expectations", n,
+           timeNs([&] {
+               auto v = perStringExpectations(sv, strings);
+               (void)v;
+           }),
+           timeNs([&] {
+               auto v = refPerStringExpectations(sv, strings);
+               (void)v;
+           }));
+}
+
+void
+benchCircuitApply(int n)
+{
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(n, 2, 0);
+    Rng rng(5);
     std::vector<double> theta(ansatz.numParams());
     for (auto &t : theta)
         t = rng.uniform(-1, 1);
-    const Statevector sv = ansatz.prepare(theta);
-
-    for (auto _ : state) {
-        auto values = perStringExpectations(sv, strings);
-        benchmark::DoNotOptimize(values.data());
-    }
-    state.SetItemsProcessed(state.iterations() * strings.size());
+    Statevector sv(n);
+    record("hea_prepare", n,
+           timeNs([&] { ansatz.prepareInto(sv, theta); }), 0.0);
 }
-BENCHMARK(BM_BatchedExpectations);
 
 void
-BM_ClusterObjectiveEvaluate(benchmark::State &state)
+benchClusterObjective()
 {
     // One full noisy evaluation of a 10-task LiH cluster objective.
     const auto spec = syntheticLiH();
     const auto fam = syntheticFamily(spec, familyBonds(spec, 10));
-    const Ansatz ansatz = makeHardwareEfficientAnsatz(
-        12, 2, halfFillingBits(12));
+    const Ansatz ansatz =
+        makeHardwareEfficientAnsatz(12, 2, halfFillingBits(12));
     ClusterObjective obj(fam, ansatz, EngineConfig{});
     Rng rng(2);
     std::vector<double> theta(ansatz.numParams(), 0.1);
-
-    for (auto _ : state) {
-        auto ev = obj.evaluate(theta, rng);
-        benchmark::DoNotOptimize(ev.mixedEnergy);
-    }
+    record("cluster_objective_eval", 12, timeNs([&] {
+               auto ev = obj.evaluate(theta, rng);
+               (void)ev;
+           }),
+           0.0);
 }
-BENCHMARK(BM_ClusterObjectiveEvaluate);
 
 void
-BM_PauliPropagation25q(benchmark::State &state)
+writeJson(const std::string &path)
 {
-    // One truncated Heisenberg propagation on the 25-site Ising
-    // benchmark (the Fig. 9 substrate).
-    const PauliSum h = transverseFieldIsing(25, 1.0, 1.0);
-    const Ansatz ansatz = makeHardwareEfficientAnsatz(25, 2, 0);
-    Rng rng(3);
-    std::vector<double> theta(ansatz.numParams());
-    for (auto &t : theta)
-        t = rng.uniform(-0.3, 0.3);
-    PauliPropConfig cfg;
-    cfg.maxWeight = 8;
-    cfg.coefThreshold = 1e-6;
-    PauliPropagator prop(ansatz.circuit(), cfg);
-
-    for (auto _ : state) {
-        const double e = prop.expectation(theta, h, 0);
-        benchmark::DoNotOptimize(e);
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"micro_kernels\",\n  \"unit\": \"ns_per_op\","
+        << "\n  \"results\": [\n";
+    for (std::size_t i = 0; i < g_results.size(); ++i) {
+        const BenchResult &r = g_results[i];
+        char line[256];
+        if (r.refNs > 0.0)
+            std::snprintf(line, sizeof(line),
+                          "    {\"name\": \"%s\", \"qubits\": %d, "
+                          "\"ns_per_op\": %.1f, \"ref_ns_per_op\": %.1f, "
+                          "\"speedup\": %.3f}",
+                          r.name.c_str(), r.qubits, r.fastNs, r.refNs,
+                          r.speedup());
+        else
+            std::snprintf(line, sizeof(line),
+                          "    {\"name\": \"%s\", \"qubits\": %d, "
+                          "\"ns_per_op\": %.1f}",
+                          r.name.c_str(), r.qubits, r.fastNs);
+        out << line << (i + 1 < g_results.size() ? ",\n" : "\n");
     }
+    out << "  ]\n}\n";
 }
-BENCHMARK(BM_PauliPropagation25q);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    std::printf("micro-kernel benchmarks (min-of-reps, ns/op)\n");
+    for (int n : {10, 12, 14, 16, 18}) {
+        std::printf("--- %d qubits ---\n", n);
+        benchGateKernels(n);
+        benchBatchedExpectations(n);
+        benchCircuitApply(n);
+    }
+    benchClusterObjective();
+    writeJson("BENCH_micro_kernels.json");
+    std::printf("wrote BENCH_micro_kernels.json (%zu entries)\n",
+                g_results.size());
+    return 0;
+}

@@ -40,6 +40,15 @@ class Ansatz
     /** Prepare |psi(theta)> from scratch. */
     Statevector prepare(const std::vector<double> &theta) const;
 
+    /**
+     * Prepare |psi(theta)> into an existing state buffer of matching
+     * qubit count, avoiding the 2^n allocation of prepare(). This is
+     * the per-iterate path of ClusterObjective: one workspace serves
+     * every objective evaluation.
+     */
+    void prepareInto(Statevector &state,
+                     const std::vector<double> &theta) const;
+
     /** Copy of this ansatz with a different initial basis state (used
      * when root clusters are grouped by unique initial state). */
     Ansatz withInitialBits(std::uint64_t bits) const

@@ -18,9 +18,17 @@ Statevector
 Ansatz::prepare(const std::vector<double> &theta) const
 {
     Statevector state(circuit_.numQubits());
+    prepareInto(state, theta);
+    return state;
+}
+
+void
+Ansatz::prepareInto(Statevector &state,
+                    const std::vector<double> &theta) const
+{
+    assert(state.numQubits() == circuit_.numQubits());
     state.setBasisState(initialBits_);
     circuit_.apply(state, theta);
-    return state;
 }
 
 Ansatz

@@ -62,11 +62,20 @@ ClusterObjective::evalCost() const
     return config_.shotsPerTerm * measured;
 }
 
+Statevector &
+ClusterObjective::workspace() const
+{
+    if (!workspace_)
+        workspace_ = std::make_unique<Statevector>(ansatz_.numQubits());
+    return *workspace_;
+}
+
 std::vector<double>
 ClusterObjective::statevectorTermExpectations(
     const std::vector<double> &theta) const
 {
-    const Statevector state = ansatz_.prepare(theta);
+    Statevector &state = workspace();
+    ansatz_.prepareInto(state, theta);
     return perStringExpectations(state, aligned_.strings);
 }
 
@@ -149,7 +158,8 @@ ClusterObjective::exactTaskEnergy(std::size_t task_index,
 {
     assert(task_index < taskHams_.size());
     if (config_.backend == Backend::Statevector) {
-        const Statevector state = ansatz_.prepare(theta);
+        Statevector &state = workspace();
+        ansatz_.prepareInto(state, theta);
         return expectation(state, taskHams_[task_index]);
     }
     return propagator_->expectation(theta, taskHams_[task_index],

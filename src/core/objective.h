@@ -111,6 +111,14 @@ class ClusterObjective
 
     std::vector<PauliSum> taskHams_;
     Ansatz ansatz_;
+    /** Reusable state buffer for the Statevector backend, created
+     * lazily on first use: objective evaluations are the per-iterate
+     * hot path, and reallocating a 2^n complex vector per call costs
+     * more than the gates at small n. PauliPropagation objectives
+     * (25+ qubits) never allocate it. Makes evaluate() non-reentrant;
+     * use one ClusterObjective per thread. */
+    Statevector &workspace() const;
+    mutable std::unique_ptr<Statevector> workspace_;
     EngineConfig config_;
     AlignedTerms aligned_;
     /** Mixed coefficients aligned with aligned_.strings. */

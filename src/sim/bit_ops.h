@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared bit-manipulation primitives for the statevector kernels and
+ * the expectation evaluators.
+ */
+
+#ifndef TREEVQA_SIM_BIT_OPS_H
+#define TREEVQA_SIM_BIT_OPS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace treevqa {
+
+/** Insert a zero bit at the position of `bit` (a power of two):
+ * maps a compressed index k onto the full index space where that bit
+ * is clear. */
+inline std::size_t
+expandBit(std::size_t k, std::size_t bit)
+{
+    return ((k & ~(bit - 1)) << 1) | (k & (bit - 1));
+}
+
+/** Insert zero bits at two positions; `blo` must be the lower one. */
+inline std::size_t
+expandBits2(std::size_t k, std::size_t blo, std::size_t bhi)
+{
+    return expandBit(expandBit(k, blo), bhi);
+}
+
+/** Branchless (-1)^{popcount(b & mask)}. */
+inline double
+paritySign(std::uint64_t b, std::uint64_t mask)
+{
+    return 1.0
+         - 2.0 * static_cast<double>(std::popcount(b & mask) & 1u);
+}
+
+} // namespace treevqa
+
+#endif // TREEVQA_SIM_BIT_OPS_H

@@ -2,9 +2,43 @@
 
 #include <bit>
 #include <cassert>
+#include <cstdint>
 #include <unordered_map>
 
+#include "sim/bit_ops.h"
+
 namespace treevqa {
+
+namespace {
+
+/**
+ * The batched evaluator exploits a pairing symmetry: for a string with
+ * X mask x != 0, the amplitude pairs (b, b ^ x) contribute
+ *
+ *   sign(b) * [t + (-1)^{|Y|} conj(t)],   t = conj(a[b^x]) * a[b],
+ *
+ * because sign(b ^ x) = sign(b) * (-1)^{popcount(x & z)}. So only half
+ * the basis states need visiting, and after multiplying by the
+ * canonical phase i^{|Y|} the per-member contribution collapses to a
+ * purely *real* accumulation of either Re(t) (|Y| even) or Im(t)
+ * (|Y| odd) with weight +-2. Amplitudes are processed in cache-sized
+ * blocks whose t values are shared by every member of the X-mask
+ * group; the member loop runs branch-free over a contiguous zMask
+ * array.
+ */
+
+/** Amplitudes per block: 3 doubles/entry keeps a block well inside L1. */
+constexpr std::size_t kBlockSize = 1024;
+
+/** One X-mask group member, flattened for the hot loop. */
+struct GroupMember
+{
+    std::uint64_t zMask;
+    std::size_t outIndex;
+    double weight; ///< +-2 (off-diagonal) or +-1 (diagonal) phase factor
+};
+
+} // namespace
 
 double
 expectation(const Statevector &state, const PauliString &string)
@@ -14,26 +48,36 @@ expectation(const Statevector &state, const PauliString &string)
     const std::uint64_t xm = string.xMask();
     const std::uint64_t zm = string.zMask();
 
-    static const Complex kPhases[4] = {
-        Complex(1, 0), Complex(0, 1), Complex(-1, 0), Complex(0, -1)};
-    const Complex base = kPhases[string.yCount() % 4];
-
-    Complex acc(0.0, 0.0);
     if (xm == 0) {
         // Diagonal string: real sum of signed probabilities.
         double s = 0.0;
-        for (std::size_t b = 0; b < amps.size(); ++b) {
-            const int sign = std::popcount(b & zm) & 1 ? -1 : 1;
-            s += sign * std::norm(amps[b]);
-        }
+        for (std::size_t b = 0; b < amps.size(); ++b)
+            s += paritySign(b, zm) * std::norm(amps[b]);
         return s;
     }
-    for (std::size_t b = 0; b < amps.size(); ++b) {
-        const int sign = std::popcount(b & zm) & 1 ? -1 : 1;
-        acc += std::conj(amps[b ^ xm]) * static_cast<double>(sign)
-             * amps[b];
+
+    // Pairing symmetry (see file comment): visit only b with the
+    // highest X bit clear — those form contiguous runs of length
+    // 2^{hi}, so both amplitude streams are sequential.
+    const std::size_t hbit = std::bit_floor(xm);
+    const std::size_t dim = amps.size();
+    const int y = string.yCount();
+    double acc = 0.0;
+    for (std::size_t base = 0; base < dim; base += 2 * hbit) {
+        if (y % 2 == 0) {
+            for (std::size_t b = base; b < base + hbit; ++b) {
+                const Complex t = std::conj(amps[b ^ xm]) * amps[b];
+                acc += paritySign(b, zm) * t.real();
+            }
+        } else {
+            for (std::size_t b = base; b < base + hbit; ++b) {
+                const Complex t = std::conj(amps[b ^ xm]) * amps[b];
+                acc += paritySign(b, zm) * t.imag();
+            }
+        }
     }
-    return std::real(base * acc);
+    const double w = (y % 4 == 0 || y % 4 == 3) ? 2.0 : -2.0;
+    return w * acc;
 }
 
 double
@@ -53,24 +97,17 @@ expectation(const Statevector &state, const PauliSum &hamiltonian)
 std::vector<double>
 perTermExpectations(const Statevector &state, const PauliSum &hamiltonian)
 {
-    std::vector<double> out;
-    out.reserve(hamiltonian.numTerms());
-    for (const auto &term : hamiltonian.terms()) {
-        if (term.string.isIdentity())
-            out.push_back(1.0);
-        else
-            out.push_back(expectation(state, term.string));
-    }
-    return out;
+    std::vector<PauliString> strings;
+    strings.reserve(hamiltonian.numTerms());
+    for (const auto &term : hamiltonian.terms())
+        strings.push_back(term.string);
+    return perStringExpectations(state, strings);
 }
 
 std::vector<double>
 perStringExpectations(const Statevector &state,
                       const std::vector<PauliString> &strings)
 {
-    static const Complex kPhases[4] = {
-        Complex(1, 0), Complex(0, 1), Complex(-1, 0), Complex(0, -1)};
-
     const CVector &amps = state.amplitudes();
     const std::size_t dim = amps.size();
     std::vector<double> out(strings.size(), 0.0);
@@ -78,49 +115,153 @@ perStringExpectations(const Statevector &state,
     // Group string indices by X mask.
     std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
     groups.reserve(strings.size());
-    for (std::size_t k = 0; k < strings.size(); ++k)
+    for (std::size_t k = 0; k < strings.size(); ++k) {
+        if (strings[k].isIdentity()) {
+            out[k] = 1.0;
+            continue;
+        }
         groups[strings[k].xMask()].push_back(k);
+    }
 
-    std::vector<Complex> acc;
-    for (const auto &[xm, members] : groups) {
-        acc.assign(members.size(), Complex(0.0, 0.0));
+    // Scratch reused across groups. Every member's Z-parity sign
+    // splits as sign(k) = sign(k0) * sign(j) for a block-aligned k0,
+    // so the per-j factor is the same for every block: it is built
+    // once per group as a +-1 lookup table, and the member loop over
+    // a block becomes a pure multiply-accumulate stream with no
+    // per-element popcount.
+    std::vector<GroupMember> membersRe, membersIm;
+    std::vector<double> accRe, accIm;
+    std::vector<double> lutRe, lutIm;
+    double tre[kBlockSize], tim[kBlockSize];
+
+    const auto buildLuts = [&](const std::vector<GroupMember> &members,
+                               std::vector<double> &luts,
+                               std::size_t lut_len) {
+        luts.resize(members.size() * lut_len);
+        for (std::size_t m = 0; m < members.size(); ++m) {
+            const std::uint64_t zlo =
+                members[m].zMask & (kBlockSize - 1);
+            double *lut = luts.data() + m * lut_len;
+            for (std::size_t j = 0; j < lut_len; ++j)
+                lut[j] = paritySign(j, zlo);
+        }
+    };
+
+    for (const auto &[xm, indices] : groups) {
+        membersRe.clear();
+        membersIm.clear();
+
         if (xm == 0) {
             // Diagonal block: one probability pass serves all members.
-            for (std::size_t b = 0; b < dim; ++b) {
-                const double p = std::norm(amps[b]);
-                if (p == 0.0)
-                    continue;
-                for (std::size_t m = 0; m < members.size(); ++m) {
-                    const std::uint64_t zm =
-                        strings[members[m]].zMask();
-                    const int sign =
-                        std::popcount(b & zm) & 1 ? -1 : 1;
-                    acc[m] += sign * p;
+            for (std::size_t idx : indices)
+                membersRe.push_back(
+                    GroupMember{strings[idx].zMask(), idx, 1.0});
+            accRe.assign(membersRe.size(), 0.0);
+            const std::size_t lut_len = std::min(kBlockSize, dim);
+            buildLuts(membersRe, lutRe, lut_len);
+            for (std::size_t b0 = 0; b0 < dim; b0 += kBlockSize) {
+                const std::size_t bn = std::min(kBlockSize, dim - b0);
+                for (std::size_t j = 0; j < bn; ++j)
+                    tre[j] = std::norm(amps[b0 + j]);
+                for (std::size_t m = 0; m < membersRe.size(); ++m) {
+                    const double base =
+                        paritySign(b0, membersRe[m].zMask);
+                    const double *lut = lutRe.data() + m * lut_len;
+                    double a = 0.0;
+                    for (std::size_t j = 0; j < bn; ++j)
+                        a += lut[j] * tre[j];
+                    accRe[m] += base * a;
                 }
             }
-        } else {
-            for (std::size_t b = 0; b < dim; ++b) {
-                const Complex t = std::conj(amps[b ^ xm]) * amps[b];
-                if (t == Complex(0.0, 0.0))
-                    continue;
-                for (std::size_t m = 0; m < members.size(); ++m) {
-                    const std::uint64_t zm =
-                        strings[members[m]].zMask();
-                    const int sign =
-                        std::popcount(b & zm) & 1 ? -1 : 1;
-                    acc[m] += static_cast<double>(sign) * t;
+            for (std::size_t m = 0; m < membersRe.size(); ++m)
+                out[membersRe[m].outIndex] = accRe[m];
+            continue;
+        }
+
+        // Off-diagonal group: pair on the *highest* X bit (the pairing
+        // symmetry holds for any set bit of xm) so the visited indices
+        // b form contiguous runs of length 2^{hi} and both amplitude
+        // streams are (nearly) sequential. The member signs are
+        // evaluated in the compressed index space k (b with the paired
+        // bit removed): parity(b & z) == parity(k & compress(z)), which
+        // keeps the block-aligned LUT factorization valid on every
+        // path. Members split by Y-count parity: even-|Y| members read
+        // Re(t), odd-|Y| members read Im(t), with weight +-2 folding
+        // the canonical i^{|Y|} phase.
+        const std::size_t hbit = std::bit_floor(xm);
+        const std::size_t half = dim >> 1;
+        for (std::size_t idx : indices) {
+            const int y = strings[idx].yCount();
+            const double w = (y % 4 == 0 || y % 4 == 3) ? 2.0 : -2.0;
+            const std::uint64_t zm = strings[idx].zMask();
+            const std::uint64_t zmc =
+                (zm & (hbit - 1)) | ((zm >> 1) & ~(hbit - 1));
+            const GroupMember gm{zmc, idx, w};
+            if (y % 2 == 0)
+                membersRe.push_back(gm);
+            else
+                membersIm.push_back(gm);
+        }
+        accRe.assign(membersRe.size(), 0.0);
+        accIm.assign(membersIm.size(), 0.0);
+        const std::size_t lut_len = std::min(kBlockSize, half);
+        buildLuts(membersRe, lutRe, lut_len);
+        buildLuts(membersIm, lutIm, lut_len);
+
+        const std::size_t xlo = xm & (kBlockSize - 1);
+        for (std::size_t k0 = 0; k0 < half; k0 += kBlockSize) {
+            const std::size_t kn = std::min(kBlockSize, half - k0);
+            if (hbit >= kBlockSize) {
+                // Blocks never straddle a run boundary (hbit is a
+                // multiple of the block size), so b = b0 + j and the
+                // partner differs only by an XOR of the low X bits
+                // within the cache-resident window.
+                const std::size_t b0 = expandBit(k0, hbit);
+                const Complex *pa = amps.data() + b0;
+                const Complex *pb =
+                    amps.data() + ((b0 ^ xm) & ~(kBlockSize - 1));
+                if (xlo == 0) {
+                    for (std::size_t j = 0; j < kn; ++j) {
+                        const Complex t = std::conj(pb[j]) * pa[j];
+                        tre[j] = t.real();
+                        tim[j] = t.imag();
+                    }
+                } else {
+                    for (std::size_t j = 0; j < kn; ++j) {
+                        const Complex t = std::conj(pb[j ^ xlo]) * pa[j];
+                        tre[j] = t.real();
+                        tim[j] = t.imag();
+                    }
+                }
+            } else {
+                for (std::size_t j = 0; j < kn; ++j) {
+                    const std::size_t b = expandBit(k0 + j, hbit);
+                    const Complex t = std::conj(amps[b ^ xm]) * amps[b];
+                    tre[j] = t.real();
+                    tim[j] = t.imag();
                 }
             }
-        }
-        for (std::size_t m = 0; m < members.size(); ++m) {
-            const PauliString &s = strings[members[m]];
-            if (s.isIdentity()) {
-                out[members[m]] = 1.0;
-                continue;
+            for (std::size_t m = 0; m < membersRe.size(); ++m) {
+                const double base = paritySign(k0, membersRe[m].zMask);
+                const double *lut = lutRe.data() + m * lut_len;
+                double a = 0.0;
+                for (std::size_t j = 0; j < kn; ++j)
+                    a += lut[j] * tre[j];
+                accRe[m] += base * a;
             }
-            out[members[m]] =
-                std::real(kPhases[s.yCount() % 4] * acc[m]);
+            for (std::size_t m = 0; m < membersIm.size(); ++m) {
+                const double base = paritySign(k0, membersIm[m].zMask);
+                const double *lut = lutIm.data() + m * lut_len;
+                double a = 0.0;
+                for (std::size_t j = 0; j < kn; ++j)
+                    a += lut[j] * tim[j];
+                accIm[m] += base * a;
+            }
         }
+        for (std::size_t m = 0; m < membersRe.size(); ++m)
+            out[membersRe[m].outIndex] = membersRe[m].weight * accRe[m];
+        for (std::size_t m = 0; m < membersIm.size(); ++m)
+            out[membersIm[m].outIndex] = membersIm[m].weight * accIm[m];
     }
     return out;
 }

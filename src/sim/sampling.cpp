@@ -1,5 +1,6 @@
 #include "sim/sampling.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -45,6 +46,36 @@ empiricalMean(const std::vector<std::uint64_t> &samples,
 
 } // namespace
 
+std::vector<std::uint64_t>
+sampleShots(const Statevector &state, std::uint64_t shots, Rng &rng)
+{
+    const CVector &amps = state.amplitudes();
+    // Cumulative probabilities; the final entry absorbs any rounding
+    // slack so the search can never run off the end.
+    std::vector<double> cdf(amps.size());
+    double run = 0.0;
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        run += std::norm(amps[i]);
+        cdf[i] = run;
+    }
+    cdf.back() = std::max(cdf.back(), 1.0);
+
+    std::vector<std::uint64_t> samples;
+    samples.reserve(shots);
+    for (std::uint64_t s = 0; s < shots; ++s) {
+        const double r = rng.uniform();
+        // upper_bound (first cdf entry > r) is the correct inverse-CDF
+        // primitive for a half-open [0, 1) draw: it can never select a
+        // zero-probability outcome, even when r lands exactly on a
+        // CDF value (e.g. r == 0 with amps[0] == 0).
+        const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+        samples.push_back(static_cast<std::uint64_t>(
+            it == cdf.end() ? cdf.size() - 1
+                            : std::distance(cdf.begin(), it)));
+    }
+    return samples;
+}
+
 double
 sampledExpectation(const Statevector &state, const PauliString &string,
                    std::uint64_t shots, Rng &rng)
@@ -55,10 +86,8 @@ sampledExpectation(const Statevector &state, const PauliString &string,
     Statevector rotated = state;
     rotateToBasis(rotated, string);
     const std::uint64_t support = string.xMask() | string.zMask();
-    std::vector<std::uint64_t> samples;
-    samples.reserve(shots);
-    for (std::uint64_t s = 0; s < shots; ++s)
-        samples.push_back(rotated.sample(rng));
+    const std::vector<std::uint64_t> samples =
+        sampleShots(rotated, shots, rng);
     return empiricalMean(samples, support);
 }
 
@@ -84,10 +113,8 @@ sampledHamiltonianEstimate(const Statevector &state,
     for (const auto &group : groups) {
         Statevector rotated = state;
         rotateToBasis(rotated, group.basis);
-        std::vector<std::uint64_t> samples;
-        samples.reserve(shots_per_group);
-        for (std::uint64_t s = 0; s < shots_per_group; ++s)
-            samples.push_back(rotated.sample(rng));
+        const std::vector<std::uint64_t> samples =
+            sampleShots(rotated, shots_per_group, rng);
         out.shotsUsed += shots_per_group;
 
         for (std::size_t idx : group.termIndices) {

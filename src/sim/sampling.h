@@ -40,6 +40,16 @@ struct SampledEstimate
 };
 
 /**
+ * Draw `shots` measurement outcomes (all qubits, Z basis) from one
+ * state. Builds the cumulative-probability table once (O(2^n)) and
+ * binary-searches per shot (O(n)), instead of Statevector::sample's
+ * O(2^n) scan per shot — the difference between seconds and hours for
+ * the multi-thousand-shot protocols.
+ */
+std::vector<std::uint64_t> sampleShots(const Statevector &state,
+                                       std::uint64_t shots, Rng &rng);
+
+/**
  * Estimate <psi|P|psi> for one string by sampling `shots` measurement
  * outcomes in P's own basis.
  */

@@ -3,7 +3,26 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/bit_ops.h"
+
 namespace treevqa {
+
+namespace {
+
+/**
+ * All kernels below iterate over *compressed* index ranges: a gate on
+ * qubit q partitions the 2^n amplitudes into pairs (i, i | 1<<q), so we
+ * enumerate k in [0, 2^{n-1}) and expand it to the pair's base index by
+ * inserting a zero bit at position q (see sim/bit_ops.h). Two-qubit
+ * gates insert two zero bits and enumerate quadruples. This touches
+ * exactly the amplitudes a kernel needs — no full-vector scan with a
+ * branch per element.
+ */
+
+/** Minimum amplitude count before OpenMP threading pays for itself. */
+constexpr std::size_t kOmpMinDim = std::size_t{1} << 16;
+
+} // namespace
 
 Statevector::Statevector(int num_qubits)
     : numQubits_(num_qubits),
@@ -24,9 +43,12 @@ Statevector::setBasisState(std::uint64_t bits)
 double
 Statevector::normSquared() const
 {
+    const Complex *a = amps_.data();
+    const std::ptrdiff_t dim = static_cast<std::ptrdiff_t>(amps_.size());
     double s = 0.0;
-    for (const auto &a : amps_)
-        s += std::norm(a);
+#pragma omp parallel for reduction(+ : s) if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t i = 0; i < dim; ++i)
+        s += std::norm(a[i]);
     return s;
 }
 
@@ -51,10 +73,18 @@ double
 Statevector::overlapSquared(const Statevector &other) const
 {
     assert(other.amps_.size() == amps_.size());
-    Complex s(0.0, 0.0);
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        s += std::conj(amps_[i]) * other.amps_[i];
-    return std::norm(s);
+    const Complex *a = amps_.data();
+    const Complex *b = other.amps_.data();
+    const std::ptrdiff_t dim = static_cast<std::ptrdiff_t>(amps_.size());
+    double re = 0.0, im = 0.0;
+#pragma omp parallel for reduction(+ : re, im) \
+    if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t i = 0; i < dim; ++i) {
+        const Complex t = std::conj(a[i]) * b[i];
+        re += t.real();
+        im += t.imag();
+    }
+    return re * re + im * im;
 }
 
 void
@@ -62,17 +92,38 @@ Statevector::applyGate1(int q, const Gate1q &gate)
 {
     assert(q >= 0 && q < numQubits_);
     const std::size_t stride = std::size_t{1} << q;
-    const std::size_t dim = amps_.size();
-    // Iterate over pairs (i, i + stride) with bit q clear in i.
-    for (std::size_t base = 0; base < dim; base += 2 * stride) {
-        for (std::size_t offset = 0; offset < stride; ++offset) {
-            const std::size_t i0 = base + offset;
-            const std::size_t i1 = i0 + stride;
-            const Complex a0 = amps_[i0];
-            const Complex a1 = amps_[i1];
-            amps_[i0] = gate.m00 * a0 + gate.m01 * a1;
-            amps_[i1] = gate.m10 * a0 + gate.m11 * a1;
-        }
+    const std::ptrdiff_t half =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 1);
+    Complex *a = amps_.data();
+    const Complex m00 = gate.m00, m01 = gate.m01;
+    const Complex m10 = gate.m10, m11 = gate.m11;
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < half; ++k) {
+        const std::size_t i0 =
+            expandBit(static_cast<std::size_t>(k), stride);
+        const std::size_t i1 = i0 | stride;
+        const Complex a0 = a[i0];
+        const Complex a1 = a[i1];
+        a[i0] = m00 * a0 + m01 * a1;
+        a[i1] = m10 * a0 + m11 * a1;
+    }
+}
+
+void
+Statevector::applyDiag1(int q, Complex d0, Complex d1)
+{
+    assert(q >= 0 && q < numQubits_);
+    const std::size_t stride = std::size_t{1} << q;
+    const std::ptrdiff_t half =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 1);
+    Complex *a = amps_.data();
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < half; ++k) {
+        const std::size_t i0 =
+            expandBit(static_cast<std::size_t>(k), stride);
+        const std::size_t i1 = i0 | stride;
+        a[i0] *= d0;
+        a[i1] *= d1;
     }
 }
 
@@ -97,12 +148,8 @@ Statevector::applyRy(int q, double theta)
 void
 Statevector::applyRz(int q, double theta)
 {
-    const Complex e_neg = std::polar(1.0, -theta / 2.0);
-    const Complex e_pos = std::polar(1.0, theta / 2.0);
-    // Diagonal: touch each amplitude once.
-    const std::size_t bit = std::size_t{1} << q;
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        amps_[i] *= (i & bit) ? e_pos : e_neg;
+    applyDiag1(q, std::polar(1.0, -theta / 2.0),
+               std::polar(1.0, theta / 2.0));
 }
 
 void
@@ -116,44 +163,88 @@ Statevector::applyH(int q)
 void
 Statevector::applyX(int q)
 {
-    const std::size_t bit = std::size_t{1} << q;
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        if (!(i & bit))
-            std::swap(amps_[i], amps_[i | bit]);
+    assert(q >= 0 && q < numQubits_);
+    const std::size_t stride = std::size_t{1} << q;
+    const std::ptrdiff_t half =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 1);
+    Complex *a = amps_.data();
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < half; ++k) {
+        const std::size_t i0 =
+            expandBit(static_cast<std::size_t>(k), stride);
+        const Complex t = a[i0];
+        a[i0] = a[i0 | stride];
+        a[i0 | stride] = t;
+    }
 }
 
 void
 Statevector::applyY(int q)
 {
-    applyGate1(q, Gate1q{Complex(0, 0), Complex(0, -1),
-                         Complex(0, 1), Complex(0, 0)});
+    assert(q >= 0 && q < numQubits_);
+    const std::size_t stride = std::size_t{1} << q;
+    const std::ptrdiff_t half =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 1);
+    Complex *a = amps_.data();
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < half; ++k) {
+        const std::size_t i0 =
+            expandBit(static_cast<std::size_t>(k), stride);
+        const std::size_t i1 = i0 | stride;
+        const Complex a0 = a[i0];
+        // Y = [[0, -i], [i, 0]].
+        a[i0] = Complex(a[i1].imag(), -a[i1].real());
+        a[i1] = Complex(-a0.imag(), a0.real());
+    }
 }
 
 void
 Statevector::applyZ(int q)
 {
-    const std::size_t bit = std::size_t{1} << q;
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        if (i & bit)
-            amps_[i] = -amps_[i];
+    assert(q >= 0 && q < numQubits_);
+    const std::size_t stride = std::size_t{1} << q;
+    const std::ptrdiff_t half =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 1);
+    Complex *a = amps_.data();
+    // Touch only the half with bit q set.
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < half; ++k) {
+        const std::size_t i =
+            expandBit(static_cast<std::size_t>(k), stride) | stride;
+        a[i] = -a[i];
+    }
 }
 
 void
 Statevector::applyS(int q)
 {
-    const std::size_t bit = std::size_t{1} << q;
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        if (i & bit)
-            amps_[i] *= Complex(0, 1);
+    assert(q >= 0 && q < numQubits_);
+    const std::size_t stride = std::size_t{1} << q;
+    const std::ptrdiff_t half =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 1);
+    Complex *a = amps_.data();
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < half; ++k) {
+        const std::size_t i =
+            expandBit(static_cast<std::size_t>(k), stride) | stride;
+        a[i] = Complex(-a[i].imag(), a[i].real()); // *= i
+    }
 }
 
 void
 Statevector::applySdg(int q)
 {
-    const std::size_t bit = std::size_t{1} << q;
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        if (i & bit)
-            amps_[i] *= Complex(0, -1);
+    assert(q >= 0 && q < numQubits_);
+    const std::size_t stride = std::size_t{1} << q;
+    const std::ptrdiff_t half =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 1);
+    Complex *a = amps_.data();
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < half; ++k) {
+        const std::size_t i =
+            expandBit(static_cast<std::size_t>(k), stride) | stride;
+        a[i] = Complex(a[i].imag(), -a[i].real()); // *= -i
+    }
 }
 
 void
@@ -162,61 +253,137 @@ Statevector::applyCx(int control, int target)
     assert(control != target);
     const std::size_t cbit = std::size_t{1} << control;
     const std::size_t tbit = std::size_t{1} << target;
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        if ((i & cbit) && !(i & tbit))
-            std::swap(amps_[i], amps_[i | tbit]);
-}
-
-void
-Statevector::applyCz(int a, int b)
-{
-    assert(a != b);
-    const std::size_t mask =
-        (std::size_t{1} << a) | (std::size_t{1} << b);
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        if ((i & mask) == mask)
-            amps_[i] = -amps_[i];
-}
-
-void
-Statevector::applyRzz(int a, int b, double theta)
-{
-    assert(a != b);
-    const Complex e_neg = std::polar(1.0, -theta / 2.0);
-    const Complex e_pos = std::polar(1.0, theta / 2.0);
-    const std::size_t abit = std::size_t{1} << a;
-    const std::size_t bbit = std::size_t{1} << b;
-    for (std::size_t i = 0; i < amps_.size(); ++i) {
-        const bool za = i & abit;
-        const bool zb = i & bbit;
-        amps_[i] *= (za == zb) ? e_neg : e_pos;
+    const std::size_t blo = cbit < tbit ? cbit : tbit;
+    const std::size_t bhi = cbit < tbit ? tbit : cbit;
+    const std::ptrdiff_t quarter =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 2);
+    Complex *a = amps_.data();
+    // Touch only the quarter with control set, target clear.
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < quarter; ++k) {
+        const std::size_t i10 =
+            expandBits2(static_cast<std::size_t>(k), blo, bhi) | cbit;
+        const Complex t = a[i10];
+        a[i10] = a[i10 | tbit];
+        a[i10 | tbit] = t;
     }
 }
 
 void
-Statevector::applyRxx(int a, int b, double theta)
+Statevector::applyCz(int a_q, int b_q)
 {
-    // Conjugate RZZ by H on both qubits: XX = (H x H) ZZ (H x H).
-    applyH(a);
-    applyH(b);
-    applyRzz(a, b, theta);
-    applyH(a);
-    applyH(b);
+    assert(a_q != b_q);
+    const std::size_t abit = std::size_t{1} << a_q;
+    const std::size_t bbit = std::size_t{1} << b_q;
+    const std::size_t blo = abit < bbit ? abit : bbit;
+    const std::size_t bhi = abit < bbit ? bbit : abit;
+    const std::ptrdiff_t quarter =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 2);
+    Complex *a = amps_.data();
+    // Touch only the quarter with both bits set.
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < quarter; ++k) {
+        const std::size_t i11 =
+            expandBits2(static_cast<std::size_t>(k), blo, bhi) | abit
+            | bbit;
+        a[i11] = -a[i11];
+    }
 }
 
 void
-Statevector::applyRyy(int a, int b, double theta)
+Statevector::applyRzz(int a_q, int b_q, double theta)
 {
-    // YY = (S H x S H) ZZ (H Sdg x H Sdg) basis change.
-    applySdg(a);
-    applySdg(b);
-    applyH(a);
-    applyH(b);
-    applyRzz(a, b, theta);
-    applyH(a);
-    applyH(b);
-    applyS(a);
-    applyS(b);
+    assert(a_q != b_q);
+    const Complex e_neg = std::polar(1.0, -theta / 2.0);
+    const Complex e_pos = std::polar(1.0, theta / 2.0);
+    const std::size_t abit = std::size_t{1} << a_q;
+    const std::size_t bbit = std::size_t{1} << b_q;
+    const std::size_t blo = abit < bbit ? abit : bbit;
+    const std::size_t bhi = abit < bbit ? bbit : abit;
+    const std::ptrdiff_t quarter =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 2);
+    Complex *a = amps_.data();
+    // Even parity (|00>, |11>) gets e^{-i theta/2}, odd gets e^{+i}.
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < quarter; ++k) {
+        const std::size_t i00 =
+            expandBits2(static_cast<std::size_t>(k), blo, bhi);
+        a[i00] *= e_neg;
+        a[i00 | abit] *= e_pos;
+        a[i00 | bbit] *= e_pos;
+        a[i00 | abit | bbit] *= e_neg;
+    }
+}
+
+void
+Statevector::applyRxx(int a_q, int b_q, double theta)
+{
+    assert(a_q != b_q);
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    const std::size_t abit = std::size_t{1} << a_q;
+    const std::size_t bbit = std::size_t{1} << b_q;
+    const std::size_t blo = abit < bbit ? abit : bbit;
+    const std::size_t bhi = abit < bbit ? bbit : abit;
+    const std::ptrdiff_t quarter =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 2);
+    Complex *a = amps_.data();
+    // exp(-i t/2 XX) = cos(t/2) I - i sin(t/2) XX couples |00>~|11>
+    // and |01>~|10>, all with the same -i*sin coefficient.
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < quarter; ++k) {
+        const std::size_t i00 =
+            expandBits2(static_cast<std::size_t>(k), blo, bhi);
+        const std::size_t i01 = i00 | blo;
+        const std::size_t i10 = i00 | bhi;
+        const std::size_t i11 = i00 | blo | bhi;
+        const Complex a00 = a[i00], a01 = a[i01];
+        const Complex a10 = a[i10], a11 = a[i11];
+        // c*x - i*s*y done in real arithmetic (2 mul/component).
+        a[i00] = Complex(c * a00.real() + s * a11.imag(),
+                         c * a00.imag() - s * a11.real());
+        a[i11] = Complex(c * a11.real() + s * a00.imag(),
+                         c * a11.imag() - s * a00.real());
+        a[i01] = Complex(c * a01.real() + s * a10.imag(),
+                         c * a01.imag() - s * a10.real());
+        a[i10] = Complex(c * a10.real() + s * a01.imag(),
+                         c * a10.imag() - s * a01.real());
+    }
+}
+
+void
+Statevector::applyRyy(int a_q, int b_q, double theta)
+{
+    assert(a_q != b_q);
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    const std::size_t abit = std::size_t{1} << a_q;
+    const std::size_t bbit = std::size_t{1} << b_q;
+    const std::size_t blo = abit < bbit ? abit : bbit;
+    const std::size_t bhi = abit < bbit ? bbit : abit;
+    const std::ptrdiff_t quarter =
+        static_cast<std::ptrdiff_t>(amps_.size() >> 2);
+    Complex *a = amps_.data();
+    // YY|00> = -|11> and YY|01> = |10>, so exp(-i t/2 YY) couples the
+    // even-parity pair with +i sin and the odd-parity pair with -i sin.
+#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+    for (std::ptrdiff_t k = 0; k < quarter; ++k) {
+        const std::size_t i00 =
+            expandBits2(static_cast<std::size_t>(k), blo, bhi);
+        const std::size_t i01 = i00 | blo;
+        const std::size_t i10 = i00 | bhi;
+        const std::size_t i11 = i00 | blo | bhi;
+        const Complex a00 = a[i00], a01 = a[i01];
+        const Complex a10 = a[i10], a11 = a[i11];
+        a[i00] = Complex(c * a00.real() - s * a11.imag(),
+                         c * a00.imag() + s * a11.real());
+        a[i11] = Complex(c * a11.real() - s * a00.imag(),
+                         c * a11.imag() + s * a00.real());
+        a[i01] = Complex(c * a01.real() + s * a10.imag(),
+                         c * a01.imag() - s * a10.real());
+        a[i10] = Complex(c * a10.real() + s * a01.imag(),
+                         c * a10.imag() - s * a01.real());
+    }
 }
 
 std::uint64_t

@@ -27,6 +27,20 @@ namespace treevqa {
 struct Gate1q
 {
     Complex m00, m01, m10, m11;
+
+    /** Matrix product this * rhs (apply rhs first, then this). */
+    Gate1q after(const Gate1q &rhs) const
+    {
+        return Gate1q{m00 * rhs.m00 + m01 * rhs.m10,
+                      m00 * rhs.m01 + m01 * rhs.m11,
+                      m10 * rhs.m00 + m11 * rhs.m10,
+                      m10 * rhs.m01 + m11 * rhs.m11};
+    }
+
+    bool isDiagonal() const
+    {
+        return m01 == Complex(0.0, 0.0) && m10 == Complex(0.0, 0.0);
+    }
 };
 
 /** Dense n-qubit quantum state. */
@@ -59,6 +73,11 @@ class Statevector
 
     /** Apply an arbitrary single-qubit gate on qubit q. */
     void applyGate1(int q, const Gate1q &gate);
+
+    /** Apply a diagonal single-qubit gate diag(d0, d1) on qubit q
+     * (half the flops of applyGate1; used by the fusion pass for runs
+     * of Rz/S/Z gates). */
+    void applyDiag1(int q, Complex d0, Complex d1);
 
     /** Rotation gates. */
     void applyRx(int q, double theta);

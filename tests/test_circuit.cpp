@@ -176,5 +176,77 @@ INSTANTIATE_TEST_SUITE_P(Angles, ExponentialAngleSweep,
                          ::testing::Values(-3.0, -1.0, 0.0, 0.3, 1.6,
                                            3.1));
 
+/**
+ * Property: the fused Circuit::apply matches unfused gate-by-gate
+ * application on random circuits mixing every gate op, including long
+ * single-qubit runs and diagonal blocks that the fusion pass defers
+ * across Cz/Rzz/Cx.
+ */
+class FusionEquivalence : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FusionEquivalence, FusedApplyMatchesUnfused)
+{
+    Rng rng(GetParam() * 313 + 29);
+    const int n = 5;
+    Circuit c(n);
+    for (int g = 0; g < 120; ++g) {
+        const int q = static_cast<int>(rng.uniformInt(n));
+        const int p =
+            static_cast<int>((q + 1 + rng.uniformInt(n - 1)) % n);
+        switch (rng.uniformInt(12)) {
+          case 0: c.rx(q, rng.uniform(-3, 3)); break;
+          case 1: c.ry(q, rng.uniform(-3, 3)); break;
+          case 2: c.rz(q, rng.uniform(-3, 3)); break;
+          case 3: c.h(q); break;
+          case 4: c.x(q); break;
+          case 5: c.s(q); break;
+          case 6: c.sdg(q); break;
+          case 7: c.cx(q, p); break;
+          case 8: c.cz(q, p); break;
+          case 9: c.rzz(q, p, rng.uniform(-3, 3)); break;
+          // Bias toward consecutive rotations so fusion runs form.
+          case 10: c.rz(q, rng.uniform(-3, 3));
+                   c.rz(q, rng.uniform(-3, 3)); break;
+          default: c.ry(q, rng.uniform(-3, 3));
+                   c.ry(q, rng.uniform(-3, 3)); break;
+        }
+    }
+
+    Statevector fused(n);
+    c.apply(fused, {});
+
+    // Unfused reference: one kernel call per instruction.
+    Statevector ref(n);
+    for (const auto &g : c.gates()) {
+        const double angle = g.offset;
+        switch (g.op) {
+          case GateOp::Rx: ref.applyRx(g.q0, angle); break;
+          case GateOp::Ry: ref.applyRy(g.q0, angle); break;
+          case GateOp::Rz: ref.applyRz(g.q0, angle); break;
+          case GateOp::H: ref.applyH(g.q0); break;
+          case GateOp::X: ref.applyX(g.q0); break;
+          case GateOp::S: ref.applyS(g.q0); break;
+          case GateOp::Sdg: ref.applySdg(g.q0); break;
+          case GateOp::Cx: ref.applyCx(g.q0, g.q1); break;
+          case GateOp::Cz: ref.applyCz(g.q0, g.q1); break;
+          case GateOp::Rzz: ref.applyRzz(g.q0, g.q1, angle); break;
+          case GateOp::Rxx: ref.applyRxx(g.q0, g.q1, angle); break;
+          case GateOp::Ryy: ref.applyRyy(g.q0, g.q1, angle); break;
+        }
+    }
+
+    for (std::size_t i = 0; i < fused.dim(); ++i)
+        EXPECT_NEAR(std::abs(fused.amplitudes()[i]
+                             - ref.amplitudes()[i]),
+                    0.0, 1e-12)
+            << "amplitude " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionEquivalence,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull));
+
 } // namespace
 } // namespace treevqa

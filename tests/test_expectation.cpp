@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "ham/spin_chains.h"
 #include "sim/expectation.h"
+#include "sim/reference_kernels.h"
 
 namespace treevqa {
 namespace {
@@ -127,6 +128,124 @@ TEST_P(BatchExpectationSweep, GroupedMatchesReference)
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchExpectationSweep,
                          ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
                                            6ull, 7ull, 8ull));
+
+/** A pseudo-random normalized n-qubit state. */
+Statevector
+randomStateN(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Statevector s(n);
+    for (int g = 0; g < 12 * n; ++g) {
+        const int q = static_cast<int>(rng.uniformInt(n));
+        const int p = static_cast<int>((q + 1) % n);
+        switch (rng.uniformInt(5)) {
+          case 0: s.applyRx(q, rng.uniform(-3, 3)); break;
+          case 1: s.applyRy(q, rng.uniform(-3, 3)); break;
+          case 2: s.applyRz(q, rng.uniform(-3, 3)); break;
+          case 3: s.applyCx(q, p); break;
+          default: s.applyH(q); break;
+        }
+    }
+    return s;
+}
+
+/**
+ * Property: the pairing-optimized single-string expectation and the
+ * blocked batch evaluator both agree with the naive full-scan
+ * reference on random 6-qubit states and random Pauli sets, to 1e-12.
+ */
+class KernelEquivalenceSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(KernelEquivalenceSweep, OptimizedMatchesFullScanReference)
+{
+    Rng rng(GetParam() * 557 + 11);
+    const int n = 6;
+    const Statevector s = randomStateN(n, GetParam() * 8191 + 5);
+
+    // Random strings with forced x-mask collisions so multi-member
+    // groups exercise the blocked member loop.
+    std::vector<PauliString> strings;
+    strings.push_back(PauliString(n)); // identity
+    const char ops[4] = {'I', 'X', 'Y', 'Z'};
+    for (int trial = 0; trial < 40; ++trial) {
+        PauliString p(n);
+        for (int q = 0; q < n; ++q)
+            p.setOp(q, ops[rng.uniformInt(4)]);
+        strings.push_back(p);
+        // A sibling with the same X mask but different Z mask.
+        PauliString sib = p;
+        for (int q = 0; q < n; ++q) {
+            if (rng.uniformInt(2) == 0)
+                continue;
+            const char c = sib.opAt(q);
+            if (c == 'I')
+                sib.setOp(q, 'Z');
+            else if (c == 'Z')
+                sib.setOp(q, 'I');
+            else if (c == 'X')
+                sib.setOp(q, 'Y');
+            else
+                sib.setOp(q, 'X');
+        }
+        strings.push_back(sib);
+    }
+
+    const auto batch = perStringExpectations(s, strings);
+    ASSERT_EQ(batch.size(), strings.size());
+    for (std::size_t k = 0; k < strings.size(); ++k) {
+        if (strings[k].isIdentity()) {
+            EXPECT_NEAR(batch[k], 1.0, 1e-12);
+            continue;
+        }
+        const double reference = refExpectation(s, strings[k]);
+        EXPECT_NEAR(batch[k], reference, 1e-12)
+            << "batch " << strings[k].toLabel();
+        EXPECT_NEAR(expectation(s, strings[k]), reference, 1e-12)
+            << "single " << strings[k].toLabel();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelEquivalenceSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull, 9ull,
+                                           10ull));
+
+/**
+ * Large-n equivalence: at 16 qubits the OpenMP gate paths (dim >=
+ * 2^16) and the contiguous-run blocked path of perStringExpectations
+ * (highest X bit >= block size) are active; at 11 qubits strings mix
+ * the blocked and per-element fallback fills. Both must still match
+ * the naive full-scan reference to 1e-12.
+ */
+TEST(Expectation, LargeSystemBlockedPathsMatchReference)
+{
+    for (int n : {11, 16}) {
+        const Statevector s = randomStateN(n, 271 + n);
+        Rng rng(1000 + n);
+        std::vector<PauliString> strings;
+        const char ops[4] = {'I', 'X', 'Y', 'Z'};
+        for (int trial = 0; trial < 12; ++trial) {
+            PauliString p(n);
+            for (int q = 0; q < n; ++q)
+                p.setOp(q, ops[rng.uniformInt(4)]);
+            // Half the strings get a forced high-qubit X so the
+            // hbit >= kBlockSize contiguous-run path triggers.
+            if (trial % 2 == 0)
+                p.setOp(n - 1, 'X');
+            strings.push_back(p);
+        }
+        const auto batch = perStringExpectations(s, strings);
+        for (std::size_t k = 0; k < strings.size(); ++k) {
+            if (strings[k].isIdentity())
+                continue;
+            EXPECT_NEAR(batch[k], refExpectation(s, strings[k]), 1e-12)
+                << n << "q " << strings[k].toLabel();
+        }
+    }
+}
 
 TEST(Expectation, ExpectationBoundsRespected)
 {

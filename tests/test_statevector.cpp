@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "sim/reference_kernels.h"
 #include "sim/statevector.h"
 
 namespace treevqa {
@@ -208,6 +209,233 @@ TEST_P(NormPreservation, RandomCircuitKeepsUnitNorm)
 INSTANTIATE_TEST_SUITE_P(Seeds, NormPreservation,
                          ::testing::Values(1ull, 2ull, 3ull, 4ull,
                                            5ull));
+
+/** A pseudo-random normalized n-qubit state from a random circuit. */
+Statevector
+randomState(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Statevector s(n);
+    s.setBasisState(rng.uniformInt(std::uint64_t{1} << n));
+    for (int g = 0; g < 12 * n; ++g) {
+        const int q = static_cast<int>(rng.uniformInt(n));
+        const int p =
+            static_cast<int>((q + 1 + rng.uniformInt(n - 1)) % n);
+        switch (rng.uniformInt(6)) {
+          case 0: s.applyRx(q, rng.uniform(-3, 3)); break;
+          case 1: s.applyRy(q, rng.uniform(-3, 3)); break;
+          case 2: s.applyRz(q, rng.uniform(-3, 3)); break;
+          case 3: s.applyH(q); break;
+          case 4: s.applyCx(q, p); break;
+          default: s.applyS(q); break;
+        }
+    }
+    return s;
+}
+
+void
+expectStatesEqual(const Statevector &a, const Statevector &b,
+                  const std::string &label)
+{
+    ASSERT_EQ(a.dim(), b.dim());
+    for (std::size_t i = 0; i < a.dim(); ++i)
+        EXPECT_NEAR(std::abs(a.amplitudes()[i] - b.amplitudes()[i]),
+                    0.0, 1e-12)
+            << label << " amplitude " << i;
+}
+
+/**
+ * Property: every optimized two-qubit kernel agrees with the naive
+ * dense 4x4 matrix reference on random states, for qubit pairs in both
+ * orders, adjacent and strided.
+ */
+class TwoQubitKernelEquivalence
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TwoQubitKernelEquivalence, FastKernelsMatchDenseReference)
+{
+    const int n = 6;
+    Rng rng(GetParam() * 131 + 17);
+    const Statevector base = randomState(n, GetParam() * 977 + 3);
+
+    const std::pair<int, int> pairs[] = {
+        {0, 1}, {1, 0}, {0, 5}, {5, 0}, {2, 4}, {3, 2}};
+    for (const auto &[a, b] : pairs) {
+        const double theta = rng.uniform(-3, 3);
+
+        Statevector fast = base, ref = base;
+        fast.applyRxx(a, b, theta);
+        refApplyGate2(ref, a, b, rxxMatrix(theta));
+        expectStatesEqual(fast, ref, "Rxx");
+
+        fast = base;
+        ref = base;
+        fast.applyRyy(a, b, theta);
+        refApplyGate2(ref, a, b, ryyMatrix(theta));
+        expectStatesEqual(fast, ref, "Ryy");
+
+        fast = base;
+        ref = base;
+        fast.applyRzz(a, b, theta);
+        refApplyGate2(ref, a, b, rzzMatrix(theta));
+        expectStatesEqual(fast, ref, "Rzz");
+
+        fast = base;
+        ref = base;
+        fast.applyCx(a, b);
+        refApplyGate2(ref, a, b, cxMatrix());
+        expectStatesEqual(fast, ref, "Cx");
+
+        fast = base;
+        ref = base;
+        fast.applyCz(a, b);
+        refApplyGate2(ref, a, b, czMatrix());
+        expectStatesEqual(fast, ref, "Cz");
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoQubitKernelEquivalence,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull));
+
+/** The optimized Rxx/Ryy must also match the pre-optimization
+ * basis-change conjugation implementations exactly. */
+TEST(Statevector, TwoQubitKernelsMatchConjugationReference)
+{
+    const int n = 7;
+    const Statevector base = randomState(n, 42);
+    Rng rng(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        const int a = static_cast<int>(rng.uniformInt(n));
+        const int b =
+            static_cast<int>((a + 1 + rng.uniformInt(n - 1)) % n);
+        const double theta = rng.uniform(-3, 3);
+
+        Statevector fast = base, ref = base;
+        fast.applyRxx(a, b, theta);
+        refApplyRxx(ref, a, b, theta);
+        expectStatesEqual(fast, ref, "Rxx-conj");
+
+        fast = base;
+        ref = base;
+        fast.applyRyy(a, b, theta);
+        refApplyRyy(ref, a, b, theta);
+        expectStatesEqual(fast, ref, "Ryy-conj");
+    }
+}
+
+/** Single-qubit stride kernels vs. the naive branch-per-element scans. */
+TEST(Statevector, StrideKernelsMatchNaiveScans)
+{
+    const int n = 6;
+    const Statevector base = randomState(n, 99);
+    for (int q = 0; q < n; ++q) {
+        Statevector fast = base, ref = base;
+        fast.applyX(q);
+        refApplyX(ref, q);
+        expectStatesEqual(fast, ref, "X");
+
+        fast = base;
+        ref = base;
+        fast.applyZ(q);
+        refApplyZ(ref, q);
+        expectStatesEqual(fast, ref, "Z");
+
+        fast = base;
+        ref = base;
+        fast.applyS(q);
+        refApplyS(ref, q);
+        expectStatesEqual(fast, ref, "S");
+
+        fast = base;
+        ref = base;
+        fast.applySdg(q);
+        refApplySdg(ref, q);
+        expectStatesEqual(fast, ref, "Sdg");
+
+        fast = base;
+        ref = base;
+        fast.applyH(q);
+        refApplyH(ref, q);
+        expectStatesEqual(fast, ref, "H");
+    }
+}
+
+/** 16-qubit spot check: dim = 2^16 crosses the OpenMP threshold, so
+ * the parallel branches of every kernel must agree with the naive
+ * references too. */
+TEST(Statevector, SixteenQubitKernelsMatchReferences)
+{
+    const int n = 16;
+    Rng rng(2026);
+    Statevector fast(n), ref(n);
+    const std::uint64_t init = rng.uniformInt(std::uint64_t{1} << n);
+    fast.setBasisState(init);
+    ref.setBasisState(init);
+    for (int g = 0; g < 24; ++g) {
+        const int q = static_cast<int>(rng.uniformInt(n));
+        const int p =
+            static_cast<int>((q + 1 + rng.uniformInt(n - 1)) % n);
+        const double theta = rng.uniform(-3, 3);
+        switch (rng.uniformInt(8)) {
+          case 0:
+            fast.applyRxx(q, p, theta);
+            refApplyRxx(ref, q, p, theta);
+            break;
+          case 1:
+            fast.applyRyy(q, p, theta);
+            refApplyRyy(ref, q, p, theta);
+            break;
+          case 2:
+            fast.applyRzz(q, p, theta);
+            refApplyRzz(ref, q, p, theta);
+            break;
+          case 3:
+            fast.applyCx(q, p);
+            refApplyCx(ref, q, p);
+            break;
+          case 4:
+            fast.applyX(q);
+            refApplyX(ref, q);
+            break;
+          case 5:
+            fast.applyZ(q);
+            refApplyZ(ref, q);
+            break;
+          case 6:
+            fast.applyH(q);
+            refApplyH(ref, q);
+            break;
+          default:
+            fast.applyS(q);
+            refApplyS(ref, q);
+            break;
+        }
+    }
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < fast.dim(); ++i)
+        max_err = std::max(
+            max_err,
+            std::abs(fast.amplitudes()[i] - ref.amplitudes()[i]));
+    EXPECT_LT(max_err, 1e-12);
+    EXPECT_NEAR(fast.normSquared(), 1.0, 1e-10);
+}
+
+TEST(Statevector, DiagonalKernelMatchesGate1)
+{
+    const int n = 5;
+    const Statevector base = randomState(n, 1234);
+    const Complex d0 = std::polar(1.0, 0.3);
+    const Complex d1 = std::polar(1.0, -1.1);
+    for (int q = 0; q < n; ++q) {
+        Statevector fast = base, ref = base;
+        fast.applyDiag1(q, d0, d1);
+        ref.applyGate1(q, Gate1q{d0, Complex(0, 0), Complex(0, 0), d1});
+        expectStatesEqual(fast, ref, "Diag1");
+    }
+}
 
 } // namespace
 } // namespace treevqa
