@@ -20,7 +20,9 @@
 
 #include "circuit/hardware_efficient.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/objective.h"
+#include "ham/spin_chains.h"
 #include "ham/synthetic_molecule.h"
 #include "sim/expectation.h"
 #include "sim/reference_kernels.h"
@@ -204,6 +206,71 @@ benchCircuitApply(int n)
 }
 
 void
+benchThreadedExpectations(int n)
+{
+    // Same workload as batched_expectations, but comparing the full
+    // pool against a single lane (ref): the speedup column is the
+    // thread-parallel scaling of perStringExpectations.
+    const Statevector sv = randomState(n, 23);
+    const auto strings = randomStrings(n, 40, 5, 31);
+    ThreadPool::global().resize(0); // machine default
+    const double fast = timeNs([&] {
+        auto v = perStringExpectations(sv, strings);
+        (void)v;
+    });
+    ThreadPool::global().resize(1);
+    const double ref = timeNs([&] {
+        auto v = perStringExpectations(sv, strings);
+        (void)v;
+    });
+    ThreadPool::global().resize(0);
+    record("threaded_expectations", n, fast, ref);
+}
+
+void
+benchBatchedEvaluation()
+{
+    // Batched multi-theta evaluation: one evaluateBatch call vs the
+    // same number of sequential evaluate() calls (identical probe RNG
+    // streams), on a 14-qubit 6-task TFIM cluster objective. This is
+    // the per-iterate unit of work SPSA/Nelder-Mead submit per step.
+    const int n = 14;
+    const auto fam = tfimFamily(n, 0.5, 1.5, 6);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(n, 2, 0);
+    ClusterObjective obj(fam, ansatz, EngineConfig{});
+
+    Rng theta_rng(3);
+    std::vector<std::vector<double>> thetas(8);
+    for (auto &theta : thetas) {
+        theta.resize(ansatz.numParams());
+        for (auto &t : theta)
+            t = theta_rng.uniform(-2, 2);
+    }
+
+    ThreadPool::global().resize(0);
+    for (const std::size_t batch : {1u, 2u, 4u, 8u}) {
+        const std::vector<std::vector<double>> probes(
+            thetas.begin(), thetas.begin() + batch);
+        Rng rng_fast(9);
+        const double fast = timeNs([&] {
+            auto evs = obj.evaluateBatch(probes, rng_fast);
+            (void)evs;
+        });
+        Rng rng_ref(9);
+        const double ref = timeNs([&] {
+            const std::uint64_t base = rng_ref.nextU64();
+            for (std::size_t i = 0; i < probes.size(); ++i) {
+                Rng probe = ClusterObjective::probeRng(base, i);
+                auto ev = obj.evaluate(probes[i], probe);
+                (void)ev;
+            }
+        });
+        record("evaluate_batch_" + std::to_string(batch), n, fast,
+               ref);
+    }
+}
+
+void
 benchClusterObjective()
 {
     // One full noisy evaluation of a 10-task LiH cluster objective.
@@ -257,9 +324,11 @@ main()
         std::printf("--- %d qubits ---\n", n);
         benchGateKernels(n);
         benchBatchedExpectations(n);
+        benchThreadedExpectations(n);
         benchCircuitApply(n);
     }
     benchClusterObjective();
+    benchBatchedEvaluation();
     writeJson("BENCH_micro_kernels.json");
     std::printf("wrote BENCH_micro_kernels.json (%zu entries)\n",
                 g_results.size());

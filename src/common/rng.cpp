@@ -99,6 +99,43 @@ Rng::normal(double mean, double stddev)
     return mean + stddev * normal();
 }
 
+void
+Rng::normalVector(std::size_t n, double *out)
+{
+    // Batched Box-Muller over fixed-size chunks: one uniform pass, one
+    // radius pass, one angle pass. Each uniform pair yields two
+    // normals; a trailing odd element takes only the cosine branch.
+    constexpr std::size_t kChunk = 128;
+    double u1[kChunk], u2[kChunk], r[kChunk];
+    std::size_t produced = 0;
+    while (produced < n) {
+        const std::size_t pairs =
+            std::min(kChunk, (n - produced + 1) / 2);
+        for (std::size_t i = 0; i < pairs; ++i) {
+            do {
+                u1[i] = uniform();
+            } while (u1[i] <= 0.0);
+            u2[i] = uniform();
+        }
+        for (std::size_t i = 0; i < pairs; ++i)
+            r[i] = std::sqrt(-2.0 * std::log(u1[i]));
+        for (std::size_t i = 0; i < pairs; ++i) {
+            const double theta = 2.0 * M_PI * u2[i];
+            out[produced++] = r[i] * std::cos(theta);
+            if (produced < n)
+                out[produced++] = r[i] * std::sin(theta);
+        }
+    }
+}
+
+std::vector<double>
+Rng::normalVector(std::size_t n)
+{
+    std::vector<double> v(n);
+    normalVector(n, v.data());
+    return v;
+}
+
 double
 Rng::rademacher()
 {

@@ -47,6 +47,20 @@ class Rng
     /** Normal variate with the given mean and standard deviation. */
     double normal(double mean, double stddev);
 
+    /**
+     * Fill out[0..n) with independent standard normals in one batched
+     * Box-Muller pass: the uniforms are drawn up front and the
+     * sqrt/log/sincos loop runs over arrays, which vectorizes where
+     * the scalar normal() (one transcendental pair per call, cached
+     * second value) cannot. Per-term shot-noise injection draws
+     * hundreds of normals per objective evaluation through this path.
+     * Does not consult or disturb the scalar normal() cache.
+     */
+    void normalVector(std::size_t n, double *out);
+
+    /** Convenience allocation wrapper around the pointer overload. */
+    std::vector<double> normalVector(std::size_t n);
+
     /** Rademacher variate: +1 or -1 with probability 1/2 each. */
     double rademacher();
 

@@ -1,0 +1,168 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+namespace treevqa {
+
+namespace {
+
+thread_local bool t_onWorker = false;
+
+} // namespace
+
+std::size_t
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("TREEVQA_NUM_THREADS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<std::size_t>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    resize(threads);
+}
+
+ThreadPool::~ThreadPool()
+{
+    stopWorkers();
+}
+
+void
+ThreadPool::resize(std::size_t threads)
+{
+    stopWorkers();
+    targetThreads_ = threads > 0 ? threads : defaultThreadCount();
+    startWorkers(targetThreads_ - 1);
+}
+
+void
+ThreadPool::startWorkers(std::size_t workers)
+{
+    shutdown_ = false;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_onWorker = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [this] {
+            return shutdown_ || (job_ && nextIndex_ < jobCount_);
+        });
+        if (shutdown_)
+            return;
+        while (job_ && nextIndex_ < jobCount_) {
+            const std::size_t index = nextIndex_++;
+            const auto *fn = job_;
+            lock.unlock();
+            std::exception_ptr error;
+            try {
+                (*fn)(index);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            lock.lock();
+            if (error && !firstError_)
+                firstError_ = error;
+            if (--pending_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::run(std::size_t count,
+                const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    // Inline paths: single lane, trivial batch, or nested call from a
+    // pool task (running inline preserves progress and bounds the
+    // total concurrency at the pool size).
+    if (targetThreads_ <= 1 || count < 2 || workers_.empty()
+        || t_onWorker) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> runLock(runMutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = &fn;
+    jobCount_ = count;
+    nextIndex_ = 0;
+    pending_ = count;
+    firstError_ = nullptr;
+    lock.unlock();
+    wake_.notify_all();
+
+    // The caller participates until the index space is drained. Its
+    // lane counts as pool context while the job is live, so a nested
+    // run() issued from inside fn executes inline instead of
+    // re-entering the (non-recursive) run mutex. Exceptions from fn
+    // are captured (first wins) and rethrown only after every claimed
+    // index finished, so job_/pending_ stay consistent.
+    t_onWorker = true;
+    lock.lock();
+    while (job_ && nextIndex_ < jobCount_) {
+        const std::size_t index = nextIndex_++;
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+            fn(index);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+        if (error && !firstError_)
+            firstError_ = error;
+        if (--pending_ == 0)
+            done_.notify_all();
+    }
+    done_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    jobCount_ = 0;
+    const std::exception_ptr error = firstError_;
+    firstError_ = nullptr;
+    lock.unlock();
+    t_onWorker = false;
+    if (error)
+        std::rethrow_exception(error);
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_onWorker;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreadCount());
+    return pool;
+}
+
+} // namespace treevqa

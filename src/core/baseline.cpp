@@ -78,14 +78,23 @@ runBaseline(const std::vector<VqaTask> &tasks, const Ansatz &ansatz,
             }
             any_active = true;
 
-            const Objective f = [&](const std::vector<double> &theta) {
-                const ClusterEvaluation ev =
-                    runner.objective->evaluate(theta, runner.rng);
-                runner.shotsUsed += ev.shotsUsed;
-                ledger.charge(ev.shotsUsed);
-                return ev.mixedEnergy;
-            };
-            runner.optimizer->step(f);
+            // Probe batches fan out over the thread pool exactly as in
+            // the clustered path, so baseline comparisons share the
+            // same evaluation engine.
+            const BatchObjective f =
+                [&](const std::vector<std::vector<double>> &thetas) {
+                    const std::vector<ClusterEvaluation> evs =
+                        runner.objective->evaluateBatch(thetas,
+                                                        runner.rng);
+                    std::vector<double> losses(evs.size());
+                    for (std::size_t p = 0; p < evs.size(); ++p) {
+                        runner.shotsUsed += evs[p].shotsUsed;
+                        ledger.charge(evs[p].shotsUsed);
+                        losses[p] = evs[p].mixedEnergy;
+                    }
+                    return losses;
+                };
+            runner.optimizer->stepBatch(f);
             ++runner.iterations;
 
             if (round % config.metricsInterval == 0) {

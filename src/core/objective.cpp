@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "sim/expectation.h"
 
 namespace treevqa {
@@ -12,12 +13,15 @@ ClusterObjective::ClusterObjective(
     std::vector<PauliSum> task_hamiltonians, Ansatz ansatz,
     EngineConfig config)
     : taskHams_(std::move(task_hamiltonians)), ansatz_(std::move(ansatz)),
-      config_(config),
+      workspacePool_(ansatz_.numQubits()), config_(config),
       mixed_(taskHams_.empty() ? 0 : taskHams_.front().numQubits()),
       estimator_(config.shotsPerTerm, config.injectShotNoise)
 {
     assert(!taskHams_.empty());
     aligned_ = alignTerms(taskHams_);
+    for (const auto &string : aligned_.strings)
+        if (!string.isIdentity())
+            ++measuredTerms_;
 
     // Mixed coefficients: the average of the padded rows.
     const std::size_t m = aligned_.strings.size();
@@ -55,28 +59,16 @@ ClusterObjective::ClusterObjective(
 std::uint64_t
 ClusterObjective::evalCost() const
 {
-    std::uint64_t measured = 0;
-    for (const auto &string : aligned_.strings)
-        if (!string.isIdentity())
-            ++measured;
-    return config_.shotsPerTerm * measured;
-}
-
-Statevector &
-ClusterObjective::workspace() const
-{
-    if (!workspace_)
-        workspace_ = std::make_unique<Statevector>(ansatz_.numQubits());
-    return *workspace_;
+    return config_.shotsPerTerm * measuredTerms_;
 }
 
 std::vector<double>
 ClusterObjective::statevectorTermExpectations(
     const std::vector<double> &theta) const
 {
-    Statevector &state = workspace();
-    ansatz_.prepareInto(state, theta);
-    return perStringExpectations(state, aligned_.strings);
+    StatevectorPool::Lease state = workspacePool_.acquire();
+    ansatz_.prepareInto(*state, theta);
+    return perStringExpectations(*state, aligned_.strings);
 }
 
 ClusterEvaluation
@@ -97,20 +89,14 @@ ClusterObjective::evaluate(const std::vector<double> &theta,
                 values[k] *= config_.noise.dampingFactor(
                     aligned_.strings[k], layers);
         }
-        // Shot noise: exact asymptotic variance per term.
-        if (estimator_.injectsNoise()) {
-            const double inv_s =
-                1.0 / static_cast<double>(estimator_.shotsPerTerm());
-            for (std::size_t k = 0; k < values.size(); ++k) {
-                if (aligned_.strings[k].isIdentity())
-                    continue;
-                const double var =
-                    std::max(0.0, 1.0 - values[k] * values[k]) * inv_s;
-                values[k] = std::clamp(
-                    values[k] + rng.normal(0.0, std::sqrt(var)), -1.0,
-                    1.0);
-            }
-        }
+        // Shot noise: exact asymptotic variance per term, injected by
+        // the estimator's vectorized normal pass.
+        estimator_.injectTermNoise(
+            values,
+            [&](std::size_t k) {
+                return aligned_.strings[k].isIdentity();
+            },
+            measuredTerms_, rng);
         // Classical recombination for the mixed and member energies.
         out.mixedEnergy = recombine(mixedCoefs_, values);
         out.taskEnergies.resize(taskHams_.size());
@@ -152,15 +138,46 @@ ClusterObjective::evaluate(const std::vector<double> &theta,
     return out;
 }
 
+Rng
+ClusterObjective::probeRng(std::uint64_t stream_base,
+                           std::size_t probe_index)
+{
+    // SplitMix64-style mix: adjacent probe indices land in
+    // decorrelated regions of the seed space, and the Rng constructor
+    // expands the result through SplitMix64 again.
+    std::uint64_t z = stream_base
+        + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(probe_index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+}
+
+std::vector<ClusterEvaluation>
+ClusterObjective::evaluateBatch(
+    const std::vector<std::vector<double>> &thetas, Rng &rng) const
+{
+    // One draw from the caller fixes the whole batch's streams: the
+    // caller's generator advances identically for every batch size,
+    // and probe i's result depends only on (base, i, thetas[i]) — not
+    // on thread count or completion order.
+    const std::uint64_t base = rng.nextU64();
+    std::vector<ClusterEvaluation> out(thetas.size());
+    ThreadPool::global().run(thetas.size(), [&](std::size_t i) {
+        Rng probe_rng = probeRng(base, i);
+        out[i] = evaluate(thetas[i], probe_rng);
+    });
+    return out;
+}
+
 double
 ClusterObjective::exactTaskEnergy(std::size_t task_index,
                                   const std::vector<double> &theta) const
 {
     assert(task_index < taskHams_.size());
     if (config_.backend == Backend::Statevector) {
-        Statevector &state = workspace();
-        ansatz_.prepareInto(state, theta);
-        return expectation(state, taskHams_[task_index]);
+        StatevectorPool::Lease state = workspacePool_.acquire();
+        ansatz_.prepareInto(*state, theta);
+        return expectation(*state, taskHams_[task_index]);
     }
     return propagator_->expectation(theta, taskHams_[task_index],
                                     ansatz_.initialBits());

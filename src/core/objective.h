@@ -17,6 +17,12 @@
  *  - PauliPropagation: joint Heisenberg propagation of all member
  *    Hamiltonians + aggregate shot noise (the paper's large-scale
  *    path, Section 8.4).
+ *
+ * Optimizers emit known-independent probe sets per iterate (the SPSA
+ * +/- pair, simplex builds, stencils); evaluateBatch() evaluates such
+ * a set in one parallel pass over the global thread pool, with
+ * per-probe RNG streams that make the results bit-identical to serial
+ * evaluation at any thread count.
  */
 
 #ifndef TREEVQA_CORE_OBJECTIVE_H
@@ -31,6 +37,7 @@
 #include "paulprop/pauli_propagation.h"
 #include "sim/noise_model.h"
 #include "sim/shot_estimator.h"
+#include "sim/workspace_pool.h"
 
 namespace treevqa {
 
@@ -90,9 +97,31 @@ class ClusterObjective
     /** Shots one evaluation costs: shots_per_term x |superset|. */
     std::uint64_t evalCost() const;
 
-    /** Noisy evaluation at theta (charges shotsUsed to the caller). */
+    /** Noisy evaluation at theta (charges shotsUsed to the caller).
+     * Thread-safe: concurrent calls check private statevector buffers
+     * out of the workspace pool. */
     ClusterEvaluation evaluate(const std::vector<double> &theta,
                                Rng &rng) const;
+
+    /**
+     * Noisy evaluation of a whole batch of independent parameter
+     * probes (one optimizer iterate's worth), fanned out over the
+     * global thread pool.
+     *
+     * Determinism: exactly one value is drawn from `rng` (the stream
+     * base), and probe i evaluates with the private stream
+     * probeRng(base, i) — so results are bit-identical for any thread
+     * count and any probe execution order, and the caller's generator
+     * advances by the same amount regardless of batch size. The serial
+     * reference for probe i is evaluate(thetas[i], probeRng(base, i)).
+     */
+    std::vector<ClusterEvaluation> evaluateBatch(
+        const std::vector<std::vector<double>> &thetas, Rng &rng) const;
+
+    /** The per-probe RNG stream of evaluateBatch: SplitMix64-style mix
+     * of the stream base with the probe index. */
+    static Rng probeRng(std::uint64_t stream_base,
+                        std::size_t probe_index);
 
     /** Exact (noiseless, infinite-shot) member energy at theta. */
     double exactTaskEnergy(std::size_t task_index,
@@ -111,16 +140,19 @@ class ClusterObjective
 
     std::vector<PauliSum> taskHams_;
     Ansatz ansatz_;
-    /** Reusable state buffer for the Statevector backend, created
-     * lazily on first use: objective evaluations are the per-iterate
-     * hot path, and reallocating a 2^n complex vector per call costs
-     * more than the gates at small n. PauliPropagation objectives
-     * (25+ qubits) never allocate it. Makes evaluate() non-reentrant;
-     * use one ClusterObjective per thread. */
-    Statevector &workspace() const;
-    mutable std::unique_ptr<Statevector> workspace_;
+    /** Reusable state buffers for the Statevector backend, created on
+     * demand: objective evaluations are the per-iterate hot path, and
+     * reallocating a 2^n complex vector per call costs more than the
+     * gates at small n. The pool hands each concurrent evaluation its
+     * own buffer, so evaluate()/evaluateBatch() are reentrant.
+     * PauliPropagation objectives (25+ qubits) never allocate any. */
+    mutable StatevectorPool workspacePool_;
     EngineConfig config_;
     AlignedTerms aligned_;
+    /** Non-identity superset terms (constructor invariant): sizes the
+     * per-evaluation noise draw and the shot charge without rescanning
+     * the strings on every probe. */
+    std::size_t measuredTerms_ = 0;
     /** Mixed coefficients aligned with aligned_.strings. */
     std::vector<double> mixedCoefs_;
     PauliSum mixed_;

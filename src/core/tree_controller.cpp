@@ -6,6 +6,7 @@
 #include <map>
 
 #include "cluster/similarity.h"
+#include "common/thread_pool.h"
 
 namespace treevqa {
 
@@ -101,16 +102,43 @@ TreeController::run()
         ++round;
 
         // One VQA-Cluster-Step per active cluster (Algorithm 1 line 5).
+        // Active clusters are the leaves of the tree and mutually
+        // independent (private RNG streams, private optimizers, pooled
+        // workspaces), so a whole round can be sharded across the
+        // thread pool. Sharding is only legal when the round provably
+        // fits the remaining budget: the serial loop stops mid-round
+        // once the budget is hit, so near the budget boundary we fall
+        // back to the serial order to keep results identical.
+        std::vector<std::size_t> active;
+        for (std::size_t c = 0; c < clusters_.size(); ++c)
+            if (clusters_[c].active)
+                active.push_back(c);
+
+        std::uint64_t round_bound = 0;
+        for (std::size_t c : active)
+            round_bound += clusters_[c].cluster->maxStepShots();
+
         std::vector<std::size_t> to_split;
-        for (std::size_t c = 0; c < clusters_.size(); ++c) {
-            if (!clusters_[c].active)
-                continue;
-            const VqaCluster::Status status =
-                clusters_[c].cluster->step(ledger);
-            if (status == VqaCluster::Status::SplitRequested)
-                to_split.push_back(c);
-            if (ledger.total() >= config_.shotBudget)
-                break;
+        if (ThreadPool::global().numThreads() > 1 && active.size() > 1
+            && ledger.total() + round_bound <= config_.shotBudget) {
+            std::vector<VqaCluster::Status> statuses(active.size());
+            ThreadPool::global().run(
+                active.size(), [&](std::size_t i) {
+                    statuses[i] =
+                        clusters_[active[i]].cluster->step(ledger);
+                });
+            for (std::size_t i = 0; i < active.size(); ++i)
+                if (statuses[i] == VqaCluster::Status::SplitRequested)
+                    to_split.push_back(active[i]);
+        } else {
+            for (std::size_t c : active) {
+                const VqaCluster::Status status =
+                    clusters_[c].cluster->step(ledger);
+                if (status == VqaCluster::Status::SplitRequested)
+                    to_split.push_back(c);
+                if (ledger.total() >= config_.shotBudget)
+                    break;
+            }
         }
 
         // Execute splits: replace the cluster with two children that

@@ -71,18 +71,28 @@ VqaCluster::step(ShotLedger &ledger)
 {
     // The optimizer sees only the noisy mixed energy; member energies
     // from the same evaluations are accumulated for the loss windows.
+    // Each per-iterate probe set goes through evaluateBatch, which
+    // fans the independent state preparations out over the thread
+    // pool; accumulation happens back on this thread after the batch
+    // returns.
     std::vector<double> task_energy_sum(objective_.numTasks(), 0.0);
     int evals = 0;
-    const Objective f = [&](const std::vector<double> &theta) {
-        const ClusterEvaluation ev = objective_.evaluate(theta, rng_);
-        ledger.charge(ev.shotsUsed);
-        for (std::size_t i = 0; i < task_energy_sum.size(); ++i)
-            task_energy_sum[i] += ev.taskEnergies[i];
-        ++evals;
-        return ev.mixedEnergy;
-    };
+    const BatchObjective f =
+        [&](const std::vector<std::vector<double>> &thetas) {
+            const std::vector<ClusterEvaluation> evs =
+                objective_.evaluateBatch(thetas, rng_);
+            std::vector<double> losses(evs.size());
+            for (std::size_t p = 0; p < evs.size(); ++p) {
+                ledger.charge(evs[p].shotsUsed);
+                for (std::size_t i = 0; i < task_energy_sum.size(); ++i)
+                    task_energy_sum[i] += evs[p].taskEnergies[i];
+                ++evals;
+                losses[p] = evs[p].mixedEnergy;
+            }
+            return losses;
+        };
 
-    const double loss = optimizer_->step(f);
+    const double loss = optimizer_->stepBatch(f);
     params_ = optimizer_->params();
     lastLoss_ = loss;
     ++iterations_;

@@ -106,9 +106,21 @@ class VqaCluster
     /**
      * One VQA iteration (Algorithm 2 body): optimizer step on the mixed
      * objective, loss recording, split-condition check. Shots are
-     * charged to `ledger`.
+     * charged to `ledger`. Self-contained (private RNG, pooled
+     * workspaces, atomic ledger), so steps of distinct clusters may run
+     * concurrently.
      */
     Status step(ShotLedger &ledger);
+
+    /** Upper bound on the shots one step() can charge (the optimizer's
+     * worst-case evaluation count x the per-evaluation cost). The
+     * controller uses it to prove a whole round fits the remaining
+     * budget before sharding the round across the thread pool. */
+    std::uint64_t maxStepShots() const
+    {
+        return static_cast<std::uint64_t>(optimizer_->maxEvalsPerStep())
+             * objective_.evalCost();
+    }
 
     /** Exact member energies at the current parameters (metrics). */
     std::vector<double> exactTaskEnergies() const;

@@ -27,21 +27,20 @@ Cobyla::reset(const std::vector<double> &x0)
 }
 
 void
-Cobyla::buildSimplex(const Objective &objective)
+Cobyla::buildSimplex(const BatchObjective &objective)
 {
+    // All n+1 interpolation points are independent: one probe batch.
     const std::size_t n = best_.size();
     points_.clear();
-    values_.clear();
     points_.reserve(n + 1);
 
     points_.push_back(best_);
-    values_.push_back(objective(best_));
     for (std::size_t i = 0; i < n; ++i) {
         std::vector<double> p = best_;
         p[i] += rho_;
         points_.push_back(std::move(p));
-        values_.push_back(objective(points_.back()));
     }
+    values_ = objective(points_);
     lastEvals_ = static_cast<int>(n + 1);
 
     const auto best_it = std::min_element(values_.begin(), values_.end());
@@ -68,7 +67,7 @@ Cobyla::fitGradient() const
 }
 
 double
-Cobyla::step(const Objective &objective)
+Cobyla::stepBatch(const BatchObjective &objective)
 {
     assert(!best_.empty());
     lastEvals_ = 0;
@@ -103,7 +102,7 @@ Cobyla::step(const Objective &objective)
     // Anchor the step at the simplex base point (the model's origin).
     for (std::size_t i = 0; i < n; ++i)
         trial[i] -= rho_ * g[i] / gnorm;
-    const double f_trial = objective(trial);
+    const double f_trial = objective({trial})[0];
     lastEvals_ = 1;
     ++k_;
 

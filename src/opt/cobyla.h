@@ -39,10 +39,17 @@ class Cobyla : public IterativeOptimizer
     explicit Cobyla(CobylaConfig config = CobylaConfig{});
 
     void reset(const std::vector<double> &x0) override;
-    double step(const Objective &objective) override;
+    /** One iteration; the initial simplex (n+1 points) goes out as one
+     * probe batch, the trust-region trial as a single probe. */
+    double stepBatch(const BatchObjective &objective) override;
     const std::vector<double> &params() const override { return best_; }
     int lastStepEvals() const override { return lastEvals_; }
     int evalsPerIteration() const override { return 1; }
+    /** Worst case: a (re)build of the n+1-point simplex. */
+    int maxEvalsPerStep() const override
+    {
+        return static_cast<int>(best_.size()) + 1;
+    }
     int iteration() const override { return k_; }
     std::string name() const override { return "COBYLA"; }
     std::unique_ptr<IterativeOptimizer> cloneConfig() const override;
@@ -51,8 +58,8 @@ class Cobyla : public IterativeOptimizer
     bool converged() const { return rho_ <= config_.rhoEnd; }
 
   private:
-    /** Build the initial simplex around x0 (n+1 evaluations). */
-    void buildSimplex(const Objective &objective);
+    /** Build the initial simplex around x0 (n+1 evaluations, batched). */
+    void buildSimplex(const BatchObjective &objective);
     /** Fit the linear model gradient through the current simplex. */
     std::vector<double> fitGradient() const;
 

@@ -21,14 +21,14 @@ ImplicitFiltering::reset(const std::vector<double> &x0)
 }
 
 double
-ImplicitFiltering::step(const Objective &objective)
+ImplicitFiltering::stepBatch(const BatchObjective &objective)
 {
     assert(!x_.empty());
     lastEvals_ = 0;
     const std::size_t n = x_.size();
 
     if (!haveFx_) {
-        fx_ = objective(x_);
+        fx_ = objective({x_})[0];
         ++lastEvals_;
         haveFx_ = true;
     }
@@ -37,26 +37,37 @@ ImplicitFiltering::step(const Objective &objective)
         return fx_;
     }
 
-    // Central-difference gradient on the current stencil; also track
-    // the best stencil point (classic implicit-filtering safeguard).
-    std::vector<double> gradient(n, 0.0);
-    double stencil_best = fx_;
-    std::vector<double> stencil_best_x = x_;
+    // Central-difference gradient on the current stencil; the full
+    // 2n-point stencil is independent of the center value, so it goes
+    // out as one probe batch (probes ordered +0, -0, +1, -1, ...).
+    std::vector<std::vector<double>> stencil;
+    stencil.reserve(2 * n);
     for (std::size_t i = 0; i < n; ++i) {
         std::vector<double> xp = x_, xm = x_;
         xp[i] += h_;
         xm[i] -= h_;
-        const double fp = objective(xp);
-        const double fm = objective(xm);
-        lastEvals_ += 2;
+        stencil.push_back(std::move(xp));
+        stencil.push_back(std::move(xm));
+    }
+    const std::vector<double> stencil_values = objective(stencil);
+    lastEvals_ += static_cast<int>(2 * n);
+
+    // Gradient plus the best stencil point (classic implicit-filtering
+    // safeguard).
+    std::vector<double> gradient(n, 0.0);
+    double stencil_best = fx_;
+    std::size_t stencil_best_index = stencil.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double fp = stencil_values[2 * i];
+        const double fm = stencil_values[2 * i + 1];
         gradient[i] = (fp - fm) / (2.0 * h_);
         if (fp < stencil_best) {
             stencil_best = fp;
-            stencil_best_x = xp;
+            stencil_best_index = 2 * i;
         }
         if (fm < stencil_best) {
             stencil_best = fm;
-            stencil_best_x = xm;
+            stencil_best_index = 2 * i + 1;
         }
     }
 
@@ -74,7 +85,7 @@ ImplicitFiltering::step(const Objective &objective)
             std::vector<double> trial = x_;
             for (std::size_t i = 0; i < n; ++i)
                 trial[i] -= step_size * gradient[i];
-            const double ft = objective(trial);
+            const double ft = objective({trial})[0];
             ++lastEvals_;
             if (ft < fx_) {
                 x_ = std::move(trial);
@@ -85,9 +96,9 @@ ImplicitFiltering::step(const Objective &objective)
             step_size *= 0.5;
         }
     }
-    if (!improved && stencil_best < fx_) {
+    if (!improved && stencil_best_index < stencil.size()) {
         // The stencil itself found descent the model missed.
-        x_ = std::move(stencil_best_x);
+        x_ = std::move(stencil[stencil_best_index]);
         fx_ = stencil_best;
         improved = true;
     }

@@ -39,12 +39,21 @@ class ImplicitFiltering : public IterativeOptimizer
         ImplicitFilteringConfig config = ImplicitFilteringConfig{});
 
     void reset(const std::vector<double> &x0) override;
-    double step(const Objective &objective) override;
+    /** One iteration; the full 2n-point central-difference stencil
+     * goes out as one probe batch (line-search probes stay serial:
+     * each depends on the previous one failing). */
+    double stepBatch(const BatchObjective &objective) override;
     const std::vector<double> &params() const override { return x_; }
     int lastStepEvals() const override { return lastEvals_; }
     int evalsPerIteration() const override
     {
         return 2 * static_cast<int>(x_.size()) + 1;
+    }
+    /** Worst case: center + full stencil + every line-search probe. */
+    int maxEvalsPerStep() const override
+    {
+        return 1 + 2 * static_cast<int>(x_.size())
+             + config_.lineSearchSteps;
     }
     int iteration() const override { return k_; }
     std::string name() const override { return "ImplicitFiltering"; }

@@ -24,19 +24,18 @@ NelderMead::reset(const std::vector<double> &x0)
 }
 
 void
-NelderMead::buildSimplex(const Objective &objective)
+NelderMead::buildSimplex(const BatchObjective &objective)
 {
+    // All n+1 initial vertices are independent: one probe batch.
     const std::size_t n = best_.size();
     points_.clear();
-    values_.clear();
     points_.push_back(best_);
-    values_.push_back(objective(best_));
     for (std::size_t i = 0; i < n; ++i) {
         std::vector<double> p = best_;
         p[i] += config_.initialStep;
         points_.push_back(std::move(p));
-        values_.push_back(objective(points_.back()));
     }
+    values_ = objective(points_);
     lastEvals_ = static_cast<int>(n + 1);
     simplexBuilt_ = true;
     sortSimplex();
@@ -72,7 +71,7 @@ NelderMead::simplexSpread() const
 }
 
 double
-NelderMead::step(const Objective &objective)
+NelderMead::stepBatch(const BatchObjective &objective)
 {
     assert(!best_.empty());
     lastEvals_ = 0;
@@ -84,6 +83,11 @@ NelderMead::step(const Objective &objective)
     }
 
     const std::size_t n = best_.size();
+    // Reflect/expand/contract are sequential decisions: each probe
+    // depends on the previous value, so they go out as 1-point batches.
+    const auto eval1 = [&](const std::vector<double> &point) {
+        return objective({point})[0];
+    };
 
     // Centroid of all but the worst vertex.
     std::vector<double> centroid(n, 0.0);
@@ -98,7 +102,7 @@ NelderMead::step(const Objective &objective)
     for (std::size_t j = 0; j < n; ++j)
         reflected[j] =
             centroid[j] + config_.alpha * (centroid[j] - worst[j]);
-    const double f_r = objective(reflected);
+    const double f_r = eval1(reflected);
     ++lastEvals_;
 
     if (f_r < values_.front()) {
@@ -107,7 +111,7 @@ NelderMead::step(const Objective &objective)
         for (std::size_t j = 0; j < n; ++j)
             expanded[j] =
                 centroid[j] + config_.gamma * (reflected[j] - centroid[j]);
-        const double f_e = objective(expanded);
+        const double f_e = eval1(expanded);
         ++lastEvals_;
         if (f_e < f_r) {
             points_.back() = std::move(expanded);
@@ -125,18 +129,23 @@ NelderMead::step(const Objective &objective)
         for (std::size_t j = 0; j < n; ++j)
             contracted[j] =
                 centroid[j] + config_.rho * (worst[j] - centroid[j]);
-        const double f_c = objective(contracted);
+        const double f_c = eval1(contracted);
         ++lastEvals_;
         if (f_c < values_.back()) {
             points_.back() = std::move(contracted);
             values_.back() = f_c;
         } else {
-            // Shrink toward the best vertex.
-            for (std::size_t i = 1; i < points_.size(); ++i) {
+            // Shrink toward the best vertex: the n shrunk vertices are
+            // independent, so they go out as one probe batch.
+            for (std::size_t i = 1; i < points_.size(); ++i)
                 for (std::size_t j = 0; j < n; ++j)
                     points_[i][j] = points_[0][j]
                         + config_.sigma * (points_[i][j] - points_[0][j]);
-                values_[i] = objective(points_[i]);
+            const std::vector<std::vector<double>> shrunk(
+                points_.begin() + 1, points_.end());
+            const std::vector<double> shrunk_values = objective(shrunk);
+            for (std::size_t i = 1; i < points_.size(); ++i) {
+                values_[i] = shrunk_values[i - 1];
                 ++lastEvals_;
             }
         }

@@ -33,10 +33,18 @@ class NelderMead : public IterativeOptimizer
     explicit NelderMead(NelderMeadConfig config = NelderMeadConfig{});
 
     void reset(const std::vector<double> &x0) override;
-    double step(const Objective &objective) override;
+    /** One iteration; the initial simplex build (n+1 vertices) and a
+     * shrink (n vertices) each go out as one probe batch. */
+    double stepBatch(const BatchObjective &objective) override;
     const std::vector<double> &params() const override { return best_; }
     int lastStepEvals() const override { return lastEvals_; }
     int evalsPerIteration() const override { return 2; }
+    /** Worst case: build n+1 before the first step, else reflect +
+     * contract + full shrink = n+2. */
+    int maxEvalsPerStep() const override
+    {
+        return static_cast<int>(best_.size()) + 2;
+    }
     int iteration() const override { return k_; }
     std::string name() const override { return "NelderMead"; }
     std::unique_ptr<IterativeOptimizer> cloneConfig() const override;
@@ -45,7 +53,7 @@ class NelderMead : public IterativeOptimizer
     double simplexSpread() const;
 
   private:
-    void buildSimplex(const Objective &objective);
+    void buildSimplex(const BatchObjective &objective);
     void sortSimplex();
 
     NelderMeadConfig config_;

@@ -1,0 +1,18 @@
+#include "opt/optimizer.h"
+
+namespace treevqa {
+
+double
+IterativeOptimizer::step(const Objective &objective)
+{
+    return stepBatch(
+        [&objective](const std::vector<std::vector<double>> &thetas) {
+            std::vector<double> losses;
+            losses.reserve(thetas.size());
+            for (const auto &theta : thetas)
+                losses.push_back(objective(theta));
+            return losses;
+        });
+}
+
+} // namespace treevqa

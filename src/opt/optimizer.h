@@ -11,6 +11,15 @@
  * The framework treats optimizers as black boxes that only need objective
  * values — the paper's plug-and-play claim (Sections 5.2.2, 8.6, 9.2) —
  * and ships SPSA (primary), COBYLA (alternate) and Nelder-Mead (extra).
+ *
+ * Batched evaluation: every shipped optimizer emits *known-independent*
+ * sets of parameter probes per iteration (the SPSA +/- pair, simplex
+ * builds and shrinks, the full implicit-filtering stencil), so the
+ * primary entry point is stepBatch(), which hands whole probe sets to a
+ * BatchObjective that may evaluate them in parallel. step() with a
+ * plain one-at-a-time Objective remains available and evaluates each
+ * batch serially in submission order, so the two paths see identical
+ * evaluation sequences and produce identical iterates.
  */
 
 #ifndef TREEVQA_OPT_OPTIMIZER_H
@@ -26,6 +35,15 @@ namespace treevqa {
 /** Objective callback: loss value at a parameter vector. */
 using Objective = std::function<double(const std::vector<double> &)>;
 
+/**
+ * Batched objective callback: losses for a set of independent
+ * parameter probes, in probe order. Implementations may evaluate the
+ * probes concurrently; optimizers only submit probes whose evaluations
+ * are mutually independent within one call.
+ */
+using BatchObjective = std::function<std::vector<double>(
+    const std::vector<std::vector<double>> &)>;
+
 /** Stateful one-iteration-at-a-time minimizer. */
 class IterativeOptimizer
 {
@@ -36,20 +54,38 @@ class IterativeOptimizer
     virtual void reset(const std::vector<double> &x0) = 0;
 
     /**
-     * Perform one optimizer iteration against `objective`.
-     * @return the iteration's loss estimate (implementation-defined; for
-     *         SPSA the mean of the two perturbed evaluations).
+     * Perform one optimizer iteration, submitting each per-iterate set
+     * of independent probes as one BatchObjective call.
+     * @return the iteration's loss estimate (implementation-defined;
+     *         for SPSA the mean of the two perturbed evaluations).
      */
-    virtual double step(const Objective &objective) = 0;
+    virtual double stepBatch(const BatchObjective &objective) = 0;
+
+    /**
+     * One iteration against a plain serial objective: adapts
+     * `objective` into a batch callback that evaluates probes one at a
+     * time in order, then delegates to stepBatch(). Identical results
+     * and evaluation sequence to the batch path.
+     */
+    double step(const Objective &objective);
 
     /** Current parameter iterate. */
     virtual const std::vector<double> &params() const = 0;
 
-    /** Objective evaluations consumed by the *last* step() call. */
+    /** Objective evaluations consumed by the *last* step call. */
     virtual int lastStepEvals() const = 0;
 
     /** Typical evaluations per iteration (SPSA: 2; COBYLA: ~1). */
     virtual int evalsPerIteration() const = 0;
+
+    /**
+     * Worst-case evaluations a single step can consume in the
+     * optimizer's *current* state (e.g. a Nelder-Mead shrink or a
+     * COBYLA simplex rebuild). The TreeController uses this bound to
+     * decide whether a whole round of cluster steps fits the remaining
+     * shot budget and can therefore be sharded across threads.
+     */
+    virtual int maxEvalsPerStep() const { return evalsPerIteration(); }
 
     /** Iterations executed since reset. */
     virtual int iteration() const = 0;

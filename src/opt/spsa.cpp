@@ -31,7 +31,7 @@ Spsa::currentPerturbation() const
 }
 
 double
-Spsa::step(const Objective &objective)
+Spsa::stepBatch(const BatchObjective &objective)
 {
     assert(!x_.empty());
     const std::size_t n = x_.size();
@@ -40,14 +40,14 @@ Spsa::step(const Objective &objective)
 
     const std::vector<double> delta = rng_.rademacherVector(n);
 
-    std::vector<double> xp = x_;
-    std::vector<double> xm = x_;
+    std::vector<std::vector<double>> probes(2, x_);
     for (std::size_t i = 0; i < n; ++i) {
-        xp[i] += ck * delta[i];
-        xm[i] -= ck * delta[i];
+        probes[0][i] += ck * delta[i];
+        probes[1][i] -= ck * delta[i];
     }
-    const double lp = objective(xp);
-    const double lm = objective(xm);
+    const std::vector<double> losses = objective(probes);
+    const double lp = losses[0];
+    const double lm = losses[1];
     const double diff = (lp - lm) / (2.0 * ck);
 
     // g_i = diff / delta_i; for Rademacher, 1/delta_i == delta_i.

@@ -30,6 +30,7 @@
 #ifndef TREEVQA_PAULPROP_PAULI_PROPAGATION_H
 #define TREEVQA_PAULPROP_PAULI_PROPAGATION_H
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -73,13 +74,18 @@ class PauliPropagator
                        std::uint64_t initial_bits) const;
 
     /** Live-string count after the most recent propagation (telemetry
-     * for truncation studies). */
-    std::size_t lastTermCount() const { return lastTermCount_; }
+     * for truncation studies; atomic because probe batches may run
+     * expectations() concurrently — the value then reflects whichever
+     * propagation finished last). */
+    std::size_t lastTermCount() const
+    {
+        return lastTermCount_.load(std::memory_order_relaxed);
+    }
 
   private:
     const Circuit &circuit_;
     PauliPropConfig config_;
-    mutable std::size_t lastTermCount_ = 0;
+    mutable std::atomic<std::size_t> lastTermCount_{0};
 };
 
 } // namespace treevqa

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 
+#include "common/thread_pool.h"
 #include "sim/bit_ops.h"
 
 namespace treevqa {
@@ -104,6 +106,115 @@ perTermExpectations(const Statevector &state, const PauliSum &hamiltonian)
     return perStringExpectations(state, strings);
 }
 
+namespace {
+
+/**
+ * One X-mask group, prepared for block-parallel evaluation. The block
+ * loop is the hot path; every (group, block) pair is an independent
+ * task whose per-member dot products land in block-indexed partial
+ * slots, and the final reduction walks blocks in ascending order —
+ * so the summation order (and therefore the result, bitwise) is the
+ * same for any thread count, including the serial path.
+ *
+ * Every member's Z-parity sign splits as sign(k) = sign(k0) * sign(j)
+ * for a block-aligned k0, so the per-j factor is the same for every
+ * block: it is built once per group as a +-1 lookup table, and the
+ * member loop over a block becomes a pure multiply-accumulate stream
+ * with no per-element popcount.
+ */
+struct GroupTask
+{
+    std::uint64_t xm = 0;
+    std::size_t hbit = 0; ///< pairing bit (0 for diagonal groups)
+    std::size_t xlo = 0;
+    std::size_t range = 0; ///< dim (diagonal) or dim/2 (off-diagonal)
+    std::size_t nblocks = 0;
+    std::size_t lutLen = 0;
+    std::vector<GroupMember> membersRe, membersIm;
+    std::vector<double> lutRe, lutIm;
+    /** Per-block partial sums, nblocks x members, block-major. */
+    std::vector<double> partialRe, partialIm;
+};
+
+void
+buildLuts(const std::vector<GroupMember> &members,
+          std::vector<double> &luts, std::size_t lut_len)
+{
+    luts.resize(members.size() * lut_len);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+        const std::uint64_t zlo = members[m].zMask & (kBlockSize - 1);
+        double *lut = luts.data() + m * lut_len;
+        for (std::size_t j = 0; j < lut_len; ++j)
+            lut[j] = paritySign(j, zlo);
+    }
+}
+
+/** Evaluate one block of one group into its partial slots. */
+void
+processBlock(const GroupTask &task, std::size_t block,
+             const CVector &amps, double *partial_re,
+             double *partial_im)
+{
+    double tre[kBlockSize], tim[kBlockSize];
+    const std::size_t k0 = block * kBlockSize;
+    const std::size_t kn = std::min(kBlockSize, task.range - k0);
+
+    if (task.hbit == 0) {
+        // Diagonal group: one probability pass serves all members.
+        for (std::size_t j = 0; j < kn; ++j)
+            tre[j] = std::norm(amps[k0 + j]);
+    } else if (task.hbit >= kBlockSize) {
+        // Blocks never straddle a run boundary (hbit is a multiple of
+        // the block size), so b = b0 + j and the partner differs only
+        // by an XOR of the low X bits within the cache-resident
+        // window.
+        const std::size_t b0 = expandBit(k0, task.hbit);
+        const Complex *pa = amps.data() + b0;
+        const Complex *pb =
+            amps.data() + ((b0 ^ task.xm) & ~(kBlockSize - 1));
+        if (task.xlo == 0) {
+            for (std::size_t j = 0; j < kn; ++j) {
+                const Complex t = std::conj(pb[j]) * pa[j];
+                tre[j] = t.real();
+                tim[j] = t.imag();
+            }
+        } else {
+            for (std::size_t j = 0; j < kn; ++j) {
+                const Complex t = std::conj(pb[j ^ task.xlo]) * pa[j];
+                tre[j] = t.real();
+                tim[j] = t.imag();
+            }
+        }
+    } else {
+        for (std::size_t j = 0; j < kn; ++j) {
+            const std::size_t b = expandBit(k0 + j, task.hbit);
+            const Complex t =
+                std::conj(amps[b ^ task.xm]) * amps[b];
+            tre[j] = t.real();
+            tim[j] = t.imag();
+        }
+    }
+
+    for (std::size_t m = 0; m < task.membersRe.size(); ++m) {
+        const double base = paritySign(k0, task.membersRe[m].zMask);
+        const double *lut = task.lutRe.data() + m * task.lutLen;
+        double a = 0.0;
+        for (std::size_t j = 0; j < kn; ++j)
+            a += lut[j] * tre[j];
+        partial_re[m] = base * a;
+    }
+    for (std::size_t m = 0; m < task.membersIm.size(); ++m) {
+        const double base = paritySign(k0, task.membersIm[m].zMask);
+        const double *lut = task.lutIm.data() + m * task.lutLen;
+        double a = 0.0;
+        for (std::size_t j = 0; j < kn; ++j)
+            a += lut[j] * tim[j];
+        partial_im[m] = base * a;
+    }
+}
+
+} // namespace
+
 std::vector<double>
 perStringExpectations(const Statevector &state,
                       const std::vector<PauliString> &strings)
@@ -123,145 +234,83 @@ perStringExpectations(const Statevector &state,
         groups[strings[k].xMask()].push_back(k);
     }
 
-    // Scratch reused across groups. Every member's Z-parity sign
-    // splits as sign(k) = sign(k0) * sign(j) for a block-aligned k0,
-    // so the per-j factor is the same for every block: it is built
-    // once per group as a +-1 lookup table, and the member loop over
-    // a block becomes a pure multiply-accumulate stream with no
-    // per-element popcount.
-    std::vector<GroupMember> membersRe, membersIm;
-    std::vector<double> accRe, accIm;
-    std::vector<double> lutRe, lutIm;
-    double tre[kBlockSize], tim[kBlockSize];
-
-    const auto buildLuts = [&](const std::vector<GroupMember> &members,
-                               std::vector<double> &luts,
-                               std::size_t lut_len) {
-        luts.resize(members.size() * lut_len);
-        for (std::size_t m = 0; m < members.size(); ++m) {
-            const std::uint64_t zlo =
-                members[m].zMask & (kBlockSize - 1);
-            double *lut = luts.data() + m * lut_len;
-            for (std::size_t j = 0; j < lut_len; ++j)
-                lut[j] = paritySign(j, zlo);
-        }
-    };
-
+    // Prepare one GroupTask per X-mask group (members, sign LUTs,
+    // block-indexed partial slots). See file comment for the pairing
+    // symmetry behind the off-diagonal path: pairing on the *highest*
+    // X bit keeps both amplitude streams (nearly) sequential, member
+    // signs are evaluated in the compressed index space k with
+    // parity(b & z) == parity(k & compress(z)), and members split by
+    // Y-count parity — even-|Y| members read Re(t), odd-|Y| members
+    // read Im(t), with weight +-2 folding the canonical i^{|Y|} phase.
+    std::vector<GroupTask> tasks;
+    tasks.reserve(groups.size());
     for (const auto &[xm, indices] : groups) {
-        membersRe.clear();
-        membersIm.clear();
-
+        GroupTask task;
+        task.xm = xm;
         if (xm == 0) {
-            // Diagonal block: one probability pass serves all members.
+            task.hbit = 0;
+            task.range = dim;
             for (std::size_t idx : indices)
-                membersRe.push_back(
+                task.membersRe.push_back(
                     GroupMember{strings[idx].zMask(), idx, 1.0});
-            accRe.assign(membersRe.size(), 0.0);
-            const std::size_t lut_len = std::min(kBlockSize, dim);
-            buildLuts(membersRe, lutRe, lut_len);
-            for (std::size_t b0 = 0; b0 < dim; b0 += kBlockSize) {
-                const std::size_t bn = std::min(kBlockSize, dim - b0);
-                for (std::size_t j = 0; j < bn; ++j)
-                    tre[j] = std::norm(amps[b0 + j]);
-                for (std::size_t m = 0; m < membersRe.size(); ++m) {
-                    const double base =
-                        paritySign(b0, membersRe[m].zMask);
-                    const double *lut = lutRe.data() + m * lut_len;
-                    double a = 0.0;
-                    for (std::size_t j = 0; j < bn; ++j)
-                        a += lut[j] * tre[j];
-                    accRe[m] += base * a;
-                }
+        } else {
+            const std::size_t hbit = std::bit_floor(xm);
+            task.hbit = hbit;
+            task.xlo = xm & (kBlockSize - 1);
+            task.range = dim >> 1;
+            for (std::size_t idx : indices) {
+                const int y = strings[idx].yCount();
+                const double w =
+                    (y % 4 == 0 || y % 4 == 3) ? 2.0 : -2.0;
+                const std::uint64_t zm = strings[idx].zMask();
+                const std::uint64_t zmc = (zm & (hbit - 1))
+                    | ((zm >> 1) & ~(hbit - 1));
+                const GroupMember gm{zmc, idx, w};
+                if (y % 2 == 0)
+                    task.membersRe.push_back(gm);
+                else
+                    task.membersIm.push_back(gm);
             }
-            for (std::size_t m = 0; m < membersRe.size(); ++m)
-                out[membersRe[m].outIndex] = accRe[m];
-            continue;
         }
+        task.nblocks = (task.range + kBlockSize - 1) / kBlockSize;
+        task.lutLen = std::min(kBlockSize, task.range);
+        buildLuts(task.membersRe, task.lutRe, task.lutLen);
+        buildLuts(task.membersIm, task.lutIm, task.lutLen);
+        task.partialRe.resize(task.nblocks * task.membersRe.size());
+        task.partialIm.resize(task.nblocks * task.membersIm.size());
+        tasks.push_back(std::move(task));
+    }
 
-        // Off-diagonal group: pair on the *highest* X bit (the pairing
-        // symmetry holds for any set bit of xm) so the visited indices
-        // b form contiguous runs of length 2^{hi} and both amplitude
-        // streams are (nearly) sequential. The member signs are
-        // evaluated in the compressed index space k (b with the paired
-        // bit removed): parity(b & z) == parity(k & compress(z)), which
-        // keeps the block-aligned LUT factorization valid on every
-        // path. Members split by Y-count parity: even-|Y| members read
-        // Re(t), odd-|Y| members read Im(t), with weight +-2 folding
-        // the canonical i^{|Y|} phase.
-        const std::size_t hbit = std::bit_floor(xm);
-        const std::size_t half = dim >> 1;
-        for (std::size_t idx : indices) {
-            const int y = strings[idx].yCount();
-            const double w = (y % 4 == 0 || y % 4 == 3) ? 2.0 : -2.0;
-            const std::uint64_t zm = strings[idx].zMask();
-            const std::uint64_t zmc =
-                (zm & (hbit - 1)) | ((zm >> 1) & ~(hbit - 1));
-            const GroupMember gm{zmc, idx, w};
-            if (y % 2 == 0)
-                membersRe.push_back(gm);
-            else
-                membersIm.push_back(gm);
-        }
-        accRe.assign(membersRe.size(), 0.0);
-        accIm.assign(membersIm.size(), 0.0);
-        const std::size_t lut_len = std::min(kBlockSize, half);
-        buildLuts(membersRe, lutRe, lut_len);
-        buildLuts(membersIm, lutIm, lut_len);
+    // Flatten to (group, block) work items and fan out over the pool.
+    std::vector<std::pair<std::size_t, std::size_t>> work;
+    for (std::size_t g = 0; g < tasks.size(); ++g)
+        for (std::size_t b = 0; b < tasks[g].nblocks; ++b)
+            work.emplace_back(g, b);
+    ThreadPool::global().run(work.size(), [&](std::size_t w) {
+        const auto [g, b] = work[w];
+        GroupTask &task = tasks[g];
+        processBlock(task, b, amps,
+                     task.partialRe.data() + b * task.membersRe.size(),
+                     task.partialIm.data() + b * task.membersIm.size());
+    });
 
-        const std::size_t xlo = xm & (kBlockSize - 1);
-        for (std::size_t k0 = 0; k0 < half; k0 += kBlockSize) {
-            const std::size_t kn = std::min(kBlockSize, half - k0);
-            if (hbit >= kBlockSize) {
-                // Blocks never straddle a run boundary (hbit is a
-                // multiple of the block size), so b = b0 + j and the
-                // partner differs only by an XOR of the low X bits
-                // within the cache-resident window.
-                const std::size_t b0 = expandBit(k0, hbit);
-                const Complex *pa = amps.data() + b0;
-                const Complex *pb =
-                    amps.data() + ((b0 ^ xm) & ~(kBlockSize - 1));
-                if (xlo == 0) {
-                    for (std::size_t j = 0; j < kn; ++j) {
-                        const Complex t = std::conj(pb[j]) * pa[j];
-                        tre[j] = t.real();
-                        tim[j] = t.imag();
-                    }
-                } else {
-                    for (std::size_t j = 0; j < kn; ++j) {
-                        const Complex t = std::conj(pb[j ^ xlo]) * pa[j];
-                        tre[j] = t.real();
-                        tim[j] = t.imag();
-                    }
-                }
-            } else {
-                for (std::size_t j = 0; j < kn; ++j) {
-                    const std::size_t b = expandBit(k0 + j, hbit);
-                    const Complex t = std::conj(amps[b ^ xm]) * amps[b];
-                    tre[j] = t.real();
-                    tim[j] = t.imag();
-                }
-            }
-            for (std::size_t m = 0; m < membersRe.size(); ++m) {
-                const double base = paritySign(k0, membersRe[m].zMask);
-                const double *lut = lutRe.data() + m * lut_len;
-                double a = 0.0;
-                for (std::size_t j = 0; j < kn; ++j)
-                    a += lut[j] * tre[j];
-                accRe[m] += base * a;
-            }
-            for (std::size_t m = 0; m < membersIm.size(); ++m) {
-                const double base = paritySign(k0, membersIm[m].zMask);
-                const double *lut = lutIm.data() + m * lut_len;
-                double a = 0.0;
-                for (std::size_t j = 0; j < kn; ++j)
-                    a += lut[j] * tim[j];
-                accIm[m] += base * a;
-            }
+    // Ordered reduction: blocks in ascending order per member, which
+    // reproduces the serial accumulation order bit-for-bit.
+    for (const GroupTask &task : tasks) {
+        for (std::size_t m = 0; m < task.membersRe.size(); ++m) {
+            double acc = 0.0;
+            for (std::size_t b = 0; b < task.nblocks; ++b)
+                acc += task.partialRe[b * task.membersRe.size() + m];
+            out[task.membersRe[m].outIndex] =
+                task.membersRe[m].weight * acc;
         }
-        for (std::size_t m = 0; m < membersRe.size(); ++m)
-            out[membersRe[m].outIndex] = membersRe[m].weight * accRe[m];
-        for (std::size_t m = 0; m < membersIm.size(); ++m)
-            out[membersIm[m].outIndex] = membersIm[m].weight * accIm[m];
+        for (std::size_t m = 0; m < task.membersIm.size(); ++m) {
+            double acc = 0.0;
+            for (std::size_t b = 0; b < task.nblocks; ++b)
+                acc += task.partialIm[b * task.membersIm.size() + m];
+            out[task.membersIm[m].outIndex] =
+                task.membersIm[m].weight * acc;
+        }
     }
     return out;
 }

@@ -36,12 +36,17 @@ std::vector<double> perTermExpectations(const Statevector &state,
                                         const PauliSum &hamiltonian);
 
 /**
- * Exact expectations of many Pauli strings, batched.
+ * Exact expectations of many Pauli strings, batched and threaded.
  *
  * Strings sharing an X mask share one amplitude pass (the product
  * conj(psi[b ^ x]) * psi[b] is independent of the Z mask), which speeds
  * up chemistry-style Hamiltonians where many hopping/exchange terms act
  * on the same qubit support. Identity strings yield 1.
+ *
+ * The (X-mask group, amplitude block) pairs fan out over the global
+ * thread pool with block-indexed partial accumulators; the final
+ * reduction walks blocks in ascending order, so results are
+ * bit-identical for any pool size (including 1).
  */
 std::vector<double> perStringExpectations(
     const Statevector &state, const std::vector<PauliString> &strings);

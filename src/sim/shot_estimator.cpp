@@ -23,20 +23,13 @@ ShotEstimator::estimate(const PauliSum &hamiltonian,
     assert(exact_terms.size() == terms.size());
 
     ShotEstimate out;
-    out.termEstimates.resize(terms.size());
-    const double inv_s = 1.0 / static_cast<double>(shotsPerTerm_);
-
-    for (std::size_t j = 0; j < terms.size(); ++j) {
-        double est = exact_terms[j];
-        if (injectNoise_ && !terms[j].string.isIdentity()) {
-            const double var =
-                std::max(0.0, 1.0 - est * est) * inv_s;
-            est += rng.normal(0.0, std::sqrt(var));
-            est = std::clamp(est, -1.0, 1.0);
-        }
-        out.termEstimates[j] = est;
-        out.energy += terms[j].coefficient * est;
-    }
+    out.termEstimates = exact_terms;
+    injectTermNoise(
+        out.termEstimates,
+        [&](std::size_t j) { return terms[j].string.isIdentity(); },
+        hamiltonian.numMeasuredTerms(), rng);
+    for (std::size_t j = 0; j < terms.size(); ++j)
+        out.energy += terms[j].coefficient * out.termEstimates[j];
     out.shotsUsed = evalCost(hamiltonian);
     return out;
 }

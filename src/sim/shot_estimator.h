@@ -20,6 +20,9 @@
 #ifndef TREEVQA_SIM_SHOT_ESTIMATOR_H
 #define TREEVQA_SIM_SHOT_ESTIMATOR_H
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -72,21 +75,57 @@ class ShotEstimator
     /** Shots one evaluation of this Hamiltonian costs. */
     std::uint64_t evalCost(const PauliSum &hamiltonian) const;
 
+    /**
+     * Inject per-term shot noise into `values` in place: one
+     * vectorized standard-normal pass covers the `measured`
+     * non-identity terms, each scaled by sqrt((1 - <P>^2)/S) and
+     * clamped to [-1, 1]. `is_identity(k)` marks the exempt (exact,
+     * free) entries; `measured` must equal the number of k with
+     * !is_identity(k). No-op when noise injection is off.
+     */
+    template <typename IsIdentity>
+    void injectTermNoise(std::vector<double> &values,
+                         IsIdentity &&is_identity, std::size_t measured,
+                         Rng &rng) const
+    {
+        if (!injectNoise_)
+            return;
+        const std::vector<double> gaussians = rng.normalVector(measured);
+        const double inv_s = 1.0 / static_cast<double>(shotsPerTerm_);
+        std::size_t draw = 0;
+        for (std::size_t k = 0; k < values.size(); ++k) {
+            if (is_identity(k))
+                continue;
+            const double var =
+                std::max(0.0, 1.0 - values[k] * values[k]) * inv_s;
+            values[k] = std::clamp(
+                values[k] + std::sqrt(var) * gaussians[draw++], -1.0,
+                1.0);
+        }
+    }
+
   private:
     std::uint64_t shotsPerTerm_;
     bool injectNoise_;
 };
 
-/** Cumulative shot counter shared across an experiment. */
+/** Cumulative shot counter shared across an experiment. Charges are
+ * atomic so concurrently-sharded cluster steps can bill one ledger. */
 class ShotLedger
 {
   public:
-    void charge(std::uint64_t shots) { total_ += shots; }
-    std::uint64_t total() const { return total_; }
-    void reset() { total_ = 0; }
+    void charge(std::uint64_t shots)
+    {
+        total_.fetch_add(shots, std::memory_order_relaxed);
+    }
+    std::uint64_t total() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+    void reset() { total_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t total_ = 0;
+    std::atomic<std::uint64_t> total_{0};
 };
 
 } // namespace treevqa

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "sim/bit_ops.h"
 
 namespace treevqa {
@@ -21,6 +22,18 @@ namespace {
 
 /** Minimum amplitude count before OpenMP threading pays for itself. */
 constexpr std::size_t kOmpMinDim = std::size_t{1} << 16;
+
+/**
+ * OpenMP gate the kernels consult: large enough state, and not already
+ * inside a ThreadPool task — when probe batches or sharded cluster
+ * rounds run on pool workers, spawning an OpenMP team per worker would
+ * multiply the two thread counts and oversubscribe the machine.
+ */
+inline bool
+useOmp(std::size_t dim)
+{
+    return dim >= kOmpMinDim && !ThreadPool::onWorkerThread();
+}
 
 } // namespace
 
@@ -46,7 +59,7 @@ Statevector::normSquared() const
     const Complex *a = amps_.data();
     const std::ptrdiff_t dim = static_cast<std::ptrdiff_t>(amps_.size());
     double s = 0.0;
-#pragma omp parallel for reduction(+ : s) if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for reduction(+ : s) if (useOmp(amps_.size()))
     for (std::ptrdiff_t i = 0; i < dim; ++i)
         s += std::norm(a[i]);
     return s;
@@ -78,7 +91,7 @@ Statevector::overlapSquared(const Statevector &other) const
     const std::ptrdiff_t dim = static_cast<std::ptrdiff_t>(amps_.size());
     double re = 0.0, im = 0.0;
 #pragma omp parallel for reduction(+ : re, im) \
-    if (amps_.size() >= kOmpMinDim)
+    if (useOmp(amps_.size()))
     for (std::ptrdiff_t i = 0; i < dim; ++i) {
         const Complex t = std::conj(a[i]) * b[i];
         re += t.real();
@@ -97,7 +110,7 @@ Statevector::applyGate1(int q, const Gate1q &gate)
     Complex *a = amps_.data();
     const Complex m00 = gate.m00, m01 = gate.m01;
     const Complex m10 = gate.m10, m11 = gate.m11;
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < half; ++k) {
         const std::size_t i0 =
             expandBit(static_cast<std::size_t>(k), stride);
@@ -117,7 +130,7 @@ Statevector::applyDiag1(int q, Complex d0, Complex d1)
     const std::ptrdiff_t half =
         static_cast<std::ptrdiff_t>(amps_.size() >> 1);
     Complex *a = amps_.data();
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < half; ++k) {
         const std::size_t i0 =
             expandBit(static_cast<std::size_t>(k), stride);
@@ -168,7 +181,7 @@ Statevector::applyX(int q)
     const std::ptrdiff_t half =
         static_cast<std::ptrdiff_t>(amps_.size() >> 1);
     Complex *a = amps_.data();
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < half; ++k) {
         const std::size_t i0 =
             expandBit(static_cast<std::size_t>(k), stride);
@@ -186,7 +199,7 @@ Statevector::applyY(int q)
     const std::ptrdiff_t half =
         static_cast<std::ptrdiff_t>(amps_.size() >> 1);
     Complex *a = amps_.data();
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < half; ++k) {
         const std::size_t i0 =
             expandBit(static_cast<std::size_t>(k), stride);
@@ -207,7 +220,7 @@ Statevector::applyZ(int q)
         static_cast<std::ptrdiff_t>(amps_.size() >> 1);
     Complex *a = amps_.data();
     // Touch only the half with bit q set.
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < half; ++k) {
         const std::size_t i =
             expandBit(static_cast<std::size_t>(k), stride) | stride;
@@ -223,7 +236,7 @@ Statevector::applyS(int q)
     const std::ptrdiff_t half =
         static_cast<std::ptrdiff_t>(amps_.size() >> 1);
     Complex *a = amps_.data();
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < half; ++k) {
         const std::size_t i =
             expandBit(static_cast<std::size_t>(k), stride) | stride;
@@ -239,7 +252,7 @@ Statevector::applySdg(int q)
     const std::ptrdiff_t half =
         static_cast<std::ptrdiff_t>(amps_.size() >> 1);
     Complex *a = amps_.data();
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < half; ++k) {
         const std::size_t i =
             expandBit(static_cast<std::size_t>(k), stride) | stride;
@@ -259,7 +272,7 @@ Statevector::applyCx(int control, int target)
         static_cast<std::ptrdiff_t>(amps_.size() >> 2);
     Complex *a = amps_.data();
     // Touch only the quarter with control set, target clear.
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < quarter; ++k) {
         const std::size_t i10 =
             expandBits2(static_cast<std::size_t>(k), blo, bhi) | cbit;
@@ -281,7 +294,7 @@ Statevector::applyCz(int a_q, int b_q)
         static_cast<std::ptrdiff_t>(amps_.size() >> 2);
     Complex *a = amps_.data();
     // Touch only the quarter with both bits set.
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < quarter; ++k) {
         const std::size_t i11 =
             expandBits2(static_cast<std::size_t>(k), blo, bhi) | abit
@@ -304,7 +317,7 @@ Statevector::applyRzz(int a_q, int b_q, double theta)
         static_cast<std::ptrdiff_t>(amps_.size() >> 2);
     Complex *a = amps_.data();
     // Even parity (|00>, |11>) gets e^{-i theta/2}, odd gets e^{+i}.
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < quarter; ++k) {
         const std::size_t i00 =
             expandBits2(static_cast<std::size_t>(k), blo, bhi);
@@ -330,7 +343,7 @@ Statevector::applyRxx(int a_q, int b_q, double theta)
     Complex *a = amps_.data();
     // exp(-i t/2 XX) = cos(t/2) I - i sin(t/2) XX couples |00>~|11>
     // and |01>~|10>, all with the same -i*sin coefficient.
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < quarter; ++k) {
         const std::size_t i00 =
             expandBits2(static_cast<std::size_t>(k), blo, bhi);
@@ -366,7 +379,7 @@ Statevector::applyRyy(int a_q, int b_q, double theta)
     Complex *a = amps_.data();
     // YY|00> = -|11> and YY|01> = |10>, so exp(-i t/2 YY) couples the
     // even-parity pair with +i sin and the odd-parity pair with -i sin.
-#pragma omp parallel for if (amps_.size() >= kOmpMinDim)
+#pragma omp parallel for if (useOmp(amps_.size()))
     for (std::ptrdiff_t k = 0; k < quarter; ++k) {
         const std::size_t i00 =
             expandBits2(static_cast<std::size_t>(k), blo, bhi);

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for the batched, thread-parallel evaluation engine: thread-pool
+ * invariants, batched normal sampling, evaluateBatch bit-equivalence
+ * across thread counts, threaded expectations vs the naive reference,
+ * batch-vs-serial optimizer equivalence, and pool-size invariance of a
+ * full TreeVQA run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "circuit/hardware_efficient.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/objective.h"
+#include "core/tree_controller.h"
+#include "ham/spin_chains.h"
+#include "opt/cobyla.h"
+#include "opt/implicit_filtering.h"
+#include "opt/nelder_mead.h"
+#include "opt/spsa.h"
+#include "sim/expectation.h"
+#include "sim/reference_kernels.h"
+
+namespace treevqa {
+namespace {
+
+/** Sets the global pool to `threads` lanes for one test scope. */
+class PoolSizeGuard
+{
+  public:
+    explicit PoolSizeGuard(std::size_t threads)
+    {
+        ThreadPool::global().resize(threads);
+    }
+    ~PoolSizeGuard() { ThreadPool::global().resize(0); }
+};
+
+TEST(ThreadPool, RunCoversEveryIndexExactlyOnce)
+{
+    PoolSizeGuard guard(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto &h : hits)
+        h = 0;
+    ThreadPool::global().run(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, NestedRunExecutesInline)
+{
+    PoolSizeGuard guard(4);
+    std::atomic<int> total{0};
+    ThreadPool::global().run(8, [&](std::size_t) {
+        // A nested run must not deadlock and must still cover its
+        // index space.
+        ThreadPool::global().run(16,
+                                 [&](std::size_t) { ++total; });
+    });
+    EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SingleLaneRunsInSubmissionOrder)
+{
+    PoolSizeGuard guard(1);
+    std::vector<std::size_t> order;
+    ThreadPool::global().run(64, [&](std::size_t i) {
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 64u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Rng, NormalVectorIsDeterministicAndWellDistributed)
+{
+    Rng a(123), b(123);
+    const std::vector<double> va = a.normalVector(10001);
+    const std::vector<double> vb = b.normalVector(10001);
+    EXPECT_EQ(va, vb);
+
+    double mean = 0.0, var = 0.0;
+    for (double x : va)
+        mean += x;
+    mean /= static_cast<double>(va.size());
+    for (double x : va)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(va.size());
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalVectorOddAndChunkBoundaryLengths)
+{
+    // Lengths around the internal chunk size and odd tails must all
+    // produce exactly n finite values.
+    for (std::size_t n : {1u, 2u, 3u, 255u, 256u, 257u, 511u, 513u}) {
+        Rng rng(n);
+        const std::vector<double> v = rng.normalVector(n);
+        ASSERT_EQ(v.size(), n);
+        for (double x : v)
+            EXPECT_TRUE(std::isfinite(x));
+    }
+}
+
+/** A noisy 6-qubit, 5-task TFIM cluster objective. */
+ClusterObjective
+makeObjective()
+{
+    return ClusterObjective(tfimFamily(6, 0.5, 1.5, 5),
+                            makeHardwareEfficientAnsatz(6, 2, 0b010101),
+                            EngineConfig{});
+}
+
+std::vector<std::vector<double>>
+makeThetas(int num_params, std::size_t batch, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> thetas(batch);
+    for (auto &theta : thetas) {
+        theta.resize(num_params);
+        for (auto &t : theta)
+            t = rng.uniform(-2, 2);
+    }
+    return thetas;
+}
+
+TEST(EvaluateBatch, BitIdenticalAcrossThreadCounts)
+{
+    const ClusterObjective obj = makeObjective();
+    const auto thetas =
+        makeThetas(obj.ansatz().numParams(), 8, 17);
+
+    std::vector<std::vector<ClusterEvaluation>> runs;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        PoolSizeGuard guard(threads);
+        Rng rng(99);
+        runs.push_back(obj.evaluateBatch(thetas, rng));
+    }
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[r].size(), runs[0].size());
+        for (std::size_t p = 0; p < runs[0].size(); ++p) {
+            EXPECT_EQ(runs[r][p].mixedEnergy, runs[0][p].mixedEnergy)
+                << "probe " << p;
+            EXPECT_EQ(runs[r][p].taskEnergies, runs[0][p].taskEnergies);
+            EXPECT_EQ(runs[r][p].shotsUsed, runs[0][p].shotsUsed);
+        }
+    }
+}
+
+TEST(EvaluateBatch, ReproducesSerialEvaluateWithProbeStreams)
+{
+    // The documented serial reference: probe i of a batch with stream
+    // base `b` evaluates exactly like evaluate(thetas[i], probeRng(b, i)).
+    const ClusterObjective obj = makeObjective();
+    const auto thetas =
+        makeThetas(obj.ansatz().numParams(), 6, 31);
+
+    PoolSizeGuard guard(4);
+    Rng rng(7);
+    const auto batch = obj.evaluateBatch(thetas, rng);
+
+    Rng serial_rng(7);
+    const std::uint64_t base = serial_rng.nextU64();
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+        Rng probe = ClusterObjective::probeRng(base, i);
+        const ClusterEvaluation ev = obj.evaluate(thetas[i], probe);
+        EXPECT_EQ(batch[i].mixedEnergy, ev.mixedEnergy) << "probe " << i;
+        EXPECT_EQ(batch[i].taskEnergies, ev.taskEnergies);
+        EXPECT_EQ(batch[i].shotsUsed, ev.shotsUsed);
+    }
+    // Both paths consumed the caller stream identically.
+    EXPECT_EQ(rng.nextU64(), serial_rng.nextU64());
+}
+
+TEST(EvaluateBatch, CallerStreamAdvanceIndependentOfBatchSize)
+{
+    const ClusterObjective obj = makeObjective();
+    Rng a(5), b(5);
+    (void)obj.evaluateBatch(
+        makeThetas(obj.ansatz().numParams(), 1, 1), a);
+    (void)obj.evaluateBatch(
+        makeThetas(obj.ansatz().numParams(), 8, 2), b);
+    EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+class ThreadedExpectationSweep
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ThreadedExpectationSweep, MatchesReferenceKernels)
+{
+    // Threaded perStringExpectations vs the naive reference at 1e-12
+    // on 12-16 qubit states, for 1/2/4/8 pool lanes.
+    PoolSizeGuard guard(GetParam());
+    for (int n : {12, 14, 16}) {
+        Rng rng(1000 + n);
+        Statevector s(n);
+        for (int g = 0; g < 4 * n; ++g) {
+            const int q = static_cast<int>(rng.uniformInt(n));
+            s.applyRy(q, rng.uniform(-3, 3));
+            s.applyCx(q, (q + 1) % n);
+        }
+        std::vector<PauliString> strings;
+        const char ops[4] = {'I', 'X', 'Y', 'Z'};
+        for (int k = 0; k < 60; ++k) {
+            PauliString p(n);
+            for (int q = 0; q < n; ++q)
+                p.setOp(q, ops[rng.uniformInt(4)]);
+            strings.push_back(p);
+        }
+        const auto fast = perStringExpectations(s, strings);
+        const auto ref = refPerStringExpectations(s, strings);
+        ASSERT_EQ(fast.size(), ref.size());
+        for (std::size_t k = 0; k < fast.size(); ++k)
+            EXPECT_NEAR(fast[k], ref[k], 1e-12)
+                << n << " qubits, string " << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, ThreadedExpectationSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+/** Quadratic with minimum at (1, -2, 1, -2, ...). */
+double
+quadratic(const std::vector<double> &x)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double target = (i % 2 == 0) ? 1.0 : -2.0;
+        s += (x[i] - target) * (x[i] - target);
+    }
+    return s;
+}
+
+template <typename Opt>
+void
+expectBatchMatchesSerial(Opt make_a, Opt make_b)
+{
+    auto a = make_a();
+    auto b = make_b();
+    a->reset(std::vector<double>(5, 0.0));
+    b->reset(std::vector<double>(5, 0.0));
+
+    int batch_calls = 0;
+    std::size_t max_batch = 0;
+    const BatchObjective batched =
+        [&](const std::vector<std::vector<double>> &thetas) {
+            ++batch_calls;
+            max_batch = std::max(max_batch, thetas.size());
+            std::vector<double> losses;
+            for (const auto &t : thetas)
+                losses.push_back(quadratic(t));
+            return losses;
+        };
+
+    for (int i = 0; i < 60; ++i) {
+        const double la = a->step(quadratic);
+        const double lb = b->stepBatch(batched);
+        ASSERT_EQ(la, lb) << "iteration " << i;
+        ASSERT_EQ(a->params(), b->params()) << "iteration " << i;
+        ASSERT_EQ(a->lastStepEvals(), b->lastStepEvals());
+    }
+    EXPECT_GT(batch_calls, 0);
+    // The per-iterate probe sets actually go out batched: the largest
+    // batch is the 5-dimensional problem's simplex/stencil/pair.
+    EXPECT_GE(max_batch, 2u);
+}
+
+TEST(BatchOptimizers, SpsaBatchPathMatchesSerial)
+{
+    using Maker = std::function<std::unique_ptr<IterativeOptimizer>()>;
+    const Maker make = [] {
+        return std::make_unique<Spsa>(SpsaConfig{}, 21);
+    };
+    expectBatchMatchesSerial<Maker>(make, make);
+}
+
+TEST(BatchOptimizers, NelderMeadBatchPathMatchesSerial)
+{
+    using Maker = std::function<std::unique_ptr<IterativeOptimizer>()>;
+    const Maker make = [] {
+        return std::make_unique<NelderMead>(NelderMeadConfig{});
+    };
+    expectBatchMatchesSerial<Maker>(make, make);
+}
+
+TEST(BatchOptimizers, CobylaBatchPathMatchesSerial)
+{
+    using Maker = std::function<std::unique_ptr<IterativeOptimizer>()>;
+    const Maker make = [] {
+        return std::make_unique<Cobyla>(CobylaConfig{});
+    };
+    expectBatchMatchesSerial<Maker>(make, make);
+}
+
+TEST(BatchOptimizers, ImplicitFilteringBatchPathMatchesSerial)
+{
+    using Maker = std::function<std::unique_ptr<IterativeOptimizer>()>;
+    const Maker make = [] {
+        return std::make_unique<ImplicitFiltering>(
+            ImplicitFilteringConfig{});
+    };
+    expectBatchMatchesSerial<Maker>(make, make);
+}
+
+TEST(BatchOptimizers, SpsaSubmitsThePairAsOneBatch)
+{
+    Spsa opt(SpsaConfig{}, 3);
+    opt.reset(std::vector<double>(4, 0.0));
+    std::vector<std::size_t> batch_sizes;
+    const BatchObjective f =
+        [&](const std::vector<std::vector<double>> &thetas) {
+            batch_sizes.push_back(thetas.size());
+            std::vector<double> losses;
+            for (const auto &t : thetas)
+                losses.push_back(quadratic(t));
+            return losses;
+        };
+    opt.stepBatch(f);
+    ASSERT_EQ(batch_sizes.size(), 1u);
+    EXPECT_EQ(batch_sizes[0], 2u);
+}
+
+TEST(BatchOptimizers, SimplexBuildsGoOutAsOneBatch)
+{
+    for (const bool nelder : {true, false}) {
+        std::unique_ptr<IterativeOptimizer> opt;
+        if (nelder)
+            opt = std::make_unique<NelderMead>(NelderMeadConfig{});
+        else
+            opt = std::make_unique<Cobyla>(CobylaConfig{});
+        opt->reset(std::vector<double>(6, 0.0));
+        std::vector<std::size_t> batch_sizes;
+        const BatchObjective f =
+            [&](const std::vector<std::vector<double>> &thetas) {
+                batch_sizes.push_back(thetas.size());
+                std::vector<double> losses;
+                for (const auto &t : thetas)
+                    losses.push_back(quadratic(t));
+                return losses;
+            };
+        opt->stepBatch(f);
+        ASSERT_EQ(batch_sizes.size(), 1u);
+        EXPECT_EQ(batch_sizes[0], 7u); // n + 1 vertices, one batch
+    }
+}
+
+TEST(TreeController, RunIsInvariantToPoolSize)
+{
+    // The full pipeline — sharded cluster rounds, batched probe
+    // evaluation, threaded expectations — must give bit-identical
+    // results at any pool size.
+    const auto fam = tfimFamily(4, 0.5, 1.5, 4);
+    auto tasks = makeTasks("tfim", fam, 0);
+    solveGroundEnergies(tasks);
+    const Ansatz ansatz = makeHardwareEfficientAnsatz(4, 2, 0);
+    Spsa proto(SpsaConfig{}, 6);
+
+    TreeVqaConfig cfg;
+    cfg.shotBudget = 1ull << 62;
+    cfg.maxRounds = 60;
+    cfg.seed = 11;
+
+    std::vector<TreeVqaResult> results;
+    for (std::size_t threads : {1u, 4u}) {
+        PoolSizeGuard guard(threads);
+        TreeController controller(tasks, ansatz, proto, cfg);
+        results.push_back(controller.run());
+    }
+    ASSERT_EQ(results[0].outcomes.size(), results[1].outcomes.size());
+    for (std::size_t i = 0; i < results[0].outcomes.size(); ++i)
+        EXPECT_DOUBLE_EQ(results[0].outcomes[i].bestEnergy,
+                         results[1].outcomes[i].bestEnergy);
+    EXPECT_EQ(results[0].totalShots, results[1].totalShots);
+    EXPECT_EQ(results[0].splitCount, results[1].splitCount);
+}
+
+TEST(ShotLedger, ConcurrentChargesSumExactly)
+{
+    PoolSizeGuard guard(4);
+    ShotLedger ledger;
+    ThreadPool::global().run(256, [&](std::size_t i) {
+        ledger.charge(i + 1);
+    });
+    EXPECT_EQ(ledger.total(), 256ull * 257ull / 2ull);
+}
+
+} // namespace
+} // namespace treevqa
