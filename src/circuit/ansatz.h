@@ -13,8 +13,10 @@
 #define TREEVQA_CIRCUIT_ANSATZ_H
 
 #include <cstdint>
+#include <memory>
 
 #include "circuit/circuit.h"
+#include "circuit/compiled_circuit.h"
 #include "sim/statevector.h"
 
 namespace treevqa {
@@ -36,6 +38,19 @@ class Ansatz
     int numParams() const { return circuit_.numParams(); }
     std::uint64_t initialBits() const { return initialBits_; }
     const Circuit &circuit() const { return circuit_; }
+
+    /**
+     * The ansatz's compiled program, built once at construction through
+     * the process-wide CompilationCache: every copy of this ansatz
+     * (withInitialBits re-bindings, split children, post-processing
+     * probes) shares the same immutable fused-op program, so the fusion
+     * pass never reruns per evaluation. Null only for a
+     * default-constructed ansatz.
+     */
+    const std::shared_ptr<const CompiledCircuit> &compiled() const
+    {
+        return compiled_;
+    }
 
     /** Prepare |psi(theta)> from scratch. */
     Statevector prepare(const std::vector<double> &theta) const;
@@ -60,6 +75,7 @@ class Ansatz
 
   private:
     Circuit circuit_;
+    std::shared_ptr<const CompiledCircuit> compiled_;
     std::uint64_t initialBits_ = 0;
 };
 

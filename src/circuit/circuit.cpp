@@ -1,9 +1,9 @@
 #include "circuit/circuit.h"
 
 #include <cassert>
-#include <cmath>
 #include <sstream>
-#include <stdexcept>
+
+#include "circuit/compiled_circuit.h"
 
 namespace treevqa {
 
@@ -57,6 +57,18 @@ Circuit::rzz(int a, int b, double angle)
 }
 
 void
+Circuit::rxx(int a, int b, double angle)
+{
+    push(GateOp::Rxx, a, b, -1, 0, angle);
+}
+
+void
+Circuit::ryy(int a, int b, double angle)
+{
+    push(GateOp::Ryy, a, b, -1, 0, angle);
+}
+
+void
 Circuit::rxParam(int q, int param, double scale)
 {
     push(GateOp::Rx, q, -1, param, scale, 0);
@@ -78,6 +90,18 @@ void
 Circuit::rzzParam(int a, int b, int param, double scale)
 {
     push(GateOp::Rzz, a, b, param, scale, 0);
+}
+
+void
+Circuit::rxxParam(int a, int b, int param, double scale)
+{
+    push(GateOp::Rxx, a, b, param, scale, 0);
+}
+
+void
+Circuit::ryyParam(int a, int b, int param, double scale)
+{
+    push(GateOp::Ryy, a, b, param, scale, 0);
 }
 
 void
@@ -122,128 +146,16 @@ Circuit::pauliExponential(const PauliString &string, int param,
     }
 }
 
-namespace {
-
-/** The 2x2 matrix of a single-qubit op at a given angle. */
-Gate1q
-gateMatrix1q(GateOp op, double angle)
-{
-    const double c = std::cos(angle / 2.0);
-    const double s = std::sin(angle / 2.0);
-    switch (op) {
-      case GateOp::Rx:
-        return Gate1q{Complex(c, 0), Complex(0, -s), Complex(0, -s),
-                      Complex(c, 0)};
-      case GateOp::Ry:
-        return Gate1q{Complex(c, 0), Complex(-s, 0), Complex(s, 0),
-                      Complex(c, 0)};
-      case GateOp::Rz:
-        return Gate1q{std::polar(1.0, -angle / 2.0), Complex(0, 0),
-                      Complex(0, 0), std::polar(1.0, angle / 2.0)};
-      case GateOp::H: {
-        const double r = 1.0 / std::sqrt(2.0);
-        return Gate1q{Complex(r, 0), Complex(r, 0), Complex(r, 0),
-                      Complex(-r, 0)};
-      }
-      case GateOp::X:
-        return Gate1q{Complex(0, 0), Complex(1, 0), Complex(1, 0),
-                      Complex(0, 0)};
-      case GateOp::S:
-        return Gate1q{Complex(1, 0), Complex(0, 0), Complex(0, 0),
-                      Complex(0, 1)};
-      case GateOp::Sdg:
-        return Gate1q{Complex(1, 0), Complex(0, 0), Complex(0, 0),
-                      Complex(0, -1)};
-      default:
-        throw std::logic_error("not a single-qubit gate op");
-    }
-}
-
-} // namespace
-
 void
 Circuit::apply(Statevector &state, const std::vector<double> &theta) const
 {
     assert(state.numQubits() == numQubits_);
     assert(static_cast<int>(theta.size()) >= numParams_);
 
-    // Fusion pass: single-qubit gates are accumulated per qubit into one
-    // pending 2x2 matrix and applied to the 2^n amplitudes only when a
-    // two-qubit gate forces ordering (or at the end). Single-qubit gates
-    // on distinct qubits commute, so deferring them is exact. A pending
-    // *diagonal* matrix additionally commutes with the Z-diagonal
-    // two-qubit gates (Cz, Rzz) and with Cx on the control qubit, so
-    // those do not flush it — QAOA's Rz/Rzz layers fuse across the
-    // whole phasing block.
-    std::vector<Gate1q> pending(
-        numQubits_, Gate1q{Complex(1, 0), Complex(0, 0), Complex(0, 0),
-                           Complex(1, 0)});
-    std::vector<char> hasPending(numQubits_, 0);
-
-    const auto flush = [&](int q) {
-        if (!hasPending[q])
-            return;
-        const Gate1q &m = pending[q];
-        if (m.isDiagonal())
-            state.applyDiag1(q, m.m00, m.m11);
-        else
-            state.applyGate1(q, m);
-        hasPending[q] = 0;
-    };
-    const auto flushNonDiagonal = [&](int q) {
-        if (hasPending[q] && !pending[q].isDiagonal())
-            flush(q);
-    };
-    const auto accumulate = [&](int q, const Gate1q &m) {
-        pending[q] = hasPending[q] ? m.after(pending[q]) : m;
-        hasPending[q] = 1;
-    };
-
-    for (const auto &g : gates_) {
-        const double angle = (g.paramIndex >= 0)
-            ? g.scale * theta[g.paramIndex] + g.offset
-            : g.offset;
-        switch (g.op) {
-          case GateOp::Rx:
-          case GateOp::Ry:
-          case GateOp::Rz:
-          case GateOp::H:
-          case GateOp::X:
-          case GateOp::S:
-          case GateOp::Sdg:
-            accumulate(g.q0, gateMatrix1q(g.op, angle));
-            break;
-          case GateOp::Rzz:
-            flushNonDiagonal(g.q0);
-            flushNonDiagonal(g.q1);
-            state.applyRzz(g.q0, g.q1, angle);
-            break;
-          case GateOp::Rxx:
-            flush(g.q0);
-            flush(g.q1);
-            state.applyRxx(g.q0, g.q1, angle);
-            break;
-          case GateOp::Ryy:
-            flush(g.q0);
-            flush(g.q1);
-            state.applyRyy(g.q0, g.q1, angle);
-            break;
-          case GateOp::Cx:
-            flushNonDiagonal(g.q0); // diagonal commutes with control
-            flush(g.q1);
-            state.applyCx(g.q0, g.q1);
-            break;
-          case GateOp::Cz:
-            flushNonDiagonal(g.q0);
-            flushNonDiagonal(g.q1);
-            state.applyCz(g.q0, g.q1);
-            break;
-          default:
-            throw std::logic_error("unhandled gate op");
-        }
-    }
-    for (int q = 0; q < numQubits_; ++q)
-        flush(q);
+    // The fusion pass lives in CompiledCircuit; compiling here keeps
+    // apply() a one-call convenience while the hot paths reuse a cached
+    // program (see Ansatz and CompilationCache).
+    CompiledCircuit(*this).execute(state, theta);
 }
 
 Circuit

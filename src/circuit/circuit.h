@@ -41,6 +41,13 @@ struct GateInstr
     int paramIndex = -1; ///< -1: fixed angle; else index into theta
     double scale = 1.0;  ///< angle = scale * theta[paramIndex] + offset
     double offset = 0.0;
+
+    bool operator==(const GateInstr &other) const
+    {
+        return op == other.op && q0 == other.q0 && q1 == other.q1
+            && paramIndex == other.paramIndex && scale == other.scale
+            && offset == other.offset;
+    }
 };
 
 /** A parameterized circuit on a fixed register. */
@@ -70,12 +77,16 @@ class Circuit
     void ry(int q, double angle);
     void rz(int q, double angle);
     void rzz(int a, int b, double angle);
+    void rxx(int a, int b, double angle);
+    void ryy(int a, int b, double angle);
 
     /** Parameter-bound rotations: angle = scale * theta[param] + offset. */
     void rxParam(int q, int param, double scale = 1.0);
     void ryParam(int q, int param, double scale = 1.0);
     void rzParam(int q, int param, double scale = 1.0);
     void rzzParam(int a, int b, int param, double scale = 1.0);
+    void rxxParam(int a, int b, int param, double scale = 1.0);
+    void ryyParam(int a, int b, int param, double scale = 1.0);
 
     /**
      * Append exp(-i (scale * theta[param] / 2) * P) for a Pauli string P,
@@ -85,7 +96,14 @@ class Circuit
     void pauliExponential(const PauliString &string, int param,
                           double scale = 1.0);
 
-    /** Run the circuit on `state` with parameter vector `theta`. */
+    /**
+     * Run the circuit on `state` with parameter vector `theta`.
+     *
+     * Convenience path for one-off applications: compiles the gate
+     * list into a CompiledCircuit and executes it. Hot paths (Ansatz,
+     * ClusterObjective, EvalPlan) hold a compiled program directly —
+     * via CompilationCache — and skip the per-call compile.
+     */
     void apply(Statevector &state,
                const std::vector<double> &theta) const;
 

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Compiled circuit program: the reusable product of the gate-fusion
+ * pass.
+ *
+ * Before this layer existed the fusion pass lived inside
+ * Circuit::apply and ran again on every state preparation — every
+ * probe of every optimizer iterate re-decoded the gate list and
+ * re-derived the same fusion structure. A CompiledCircuit performs
+ * that analysis once per ansatz: the gate list is folded into a flat
+ * program of fused ops (single-qubit runs collapsed into one 2x2 slot
+ * range, diagonal runs deferred across Cz/Rzz/Cx exactly as the eager
+ * pass did), with parameter slots left open so one program serves
+ * every parameter binding. Executors then only multiply the pending
+ * 2x2 matrices and touch the 2^n amplitudes — no per-call decode.
+ *
+ * Fusion decisions are *structural*: a pending run counts as diagonal
+ * when every gate in it is diagonal by type (Rz, S, Sdg), independent
+ * of the bound angles. For generic parameters this matches the former
+ * value-level check; at special angles (e.g. Rx(0)) the compiled
+ * program may flush where the eager pass deferred, which reassociates
+ * the same unitaries and agrees to 1e-12.
+ *
+ * The program is also the shared input of every backend: the
+ * statevector executor consumes the fused ops, the Pauli-propagation
+ * backend walks the retained source gate stream, and EvalPlan uses the
+ * per-op parameter reads to build shared-prefix batch plans.
+ */
+
+#ifndef TREEVQA_CIRCUIT_COMPILED_CIRCUIT_H
+#define TREEVQA_CIRCUIT_COMPILED_CIRCUIT_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "sim/statevector.h"
+
+namespace treevqa {
+
+/** One gate folded into a fused single-qubit run. */
+struct FusedGateSlot
+{
+    GateOp op;
+    int paramIndex;
+    double scale;
+    double offset;
+};
+
+/** One executable instruction of a compiled program. */
+struct CompiledOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Fused1q, ///< product of slots_[slotBegin, slotEnd) on q0
+        Rzz,
+        Rxx,
+        Ryy,
+        Cx,
+        Cz
+    };
+
+    Kind kind;
+    int q0 = 0;
+    int q1 = -1;
+    /** Angle binding for Rzz/Rxx/Ryy (paramIndex -1 = fixed). */
+    int paramIndex = -1;
+    double scale = 1.0;
+    double offset = 0.0;
+    /** Slot range for Fused1q. */
+    std::uint32_t slotBegin = 0;
+    std::uint32_t slotEnd = 0;
+};
+
+/** A fused, parameter-slotted program compiled from one Circuit. */
+class CompiledCircuit
+{
+  public:
+    explicit CompiledCircuit(const Circuit &circuit);
+
+    int numQubits() const { return numQubits_; }
+    int numParams() const { return numParams_; }
+    int entanglingLayers() const { return entanglingLayers_; }
+    std::size_t numOps() const { return ops_.size(); }
+    const std::vector<CompiledOp> &ops() const { return ops_; }
+
+    /** The source instruction stream (retained verbatim): the input of
+     * gate-by-gate consumers such as the Pauli-propagation backend. */
+    const std::vector<GateInstr> &gates() const { return gates_; }
+
+    /** Run the whole program on `state` (state is not reset first). */
+    void execute(Statevector &state,
+                 const std::vector<double> &theta) const;
+
+    /** Run ops [op_begin, op_end) on `state`. */
+    void executeRange(Statevector &state, const std::vector<double> &theta,
+                      std::size_t op_begin, std::size_t op_end) const;
+
+    /** Parameter indices op `op` reads (fused ops read every bound slot
+     * in their run; fixed ops read none). */
+    const int *opParamsBegin(std::size_t op) const
+    {
+        return opParams_.data() + opParamOffset_[op];
+    }
+    const int *opParamsEnd(std::size_t op) const
+    {
+        return opParams_.data() + opParamOffset_[op + 1];
+    }
+
+    /** True when op `op` binds to identical angles under a and b. */
+    bool opBindsEqually(std::size_t op, const std::vector<double> &a,
+                        const std::vector<double> &b) const
+    {
+        for (const int *p = opParamsBegin(op); p != opParamsEnd(op); ++p)
+            if (a[*p] != b[*p])
+                return false;
+        return true;
+    }
+
+    /** Structural hash of the source circuit (cache bucket key). */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /** Exact source match (guards against fingerprint collisions). */
+    bool matchesSource(const Circuit &circuit) const;
+
+  private:
+    int numQubits_;
+    int numParams_;
+    int entanglingLayers_;
+    std::uint64_t fingerprint_;
+    std::vector<GateInstr> gates_;
+    std::vector<CompiledOp> ops_;
+    std::vector<FusedGateSlot> slots_;
+    /** Flattened per-op parameter reads: op i reads
+     * opParams_[opParamOffset_[i], opParamOffset_[i+1]). */
+    std::vector<int> opParams_;
+    std::vector<std::uint32_t> opParamOffset_;
+};
+
+/** Structural hash of a circuit's program (qubits, params, gates). */
+std::uint64_t circuitFingerprint(const Circuit &circuit);
+
+/**
+ * Process-wide cache of compiled programs keyed on circuit identity.
+ *
+ * Every Ansatz compiles through here, so the many objects built from
+ * one ansatz shape — clusters split from the same root, post-processing
+ * probes, baseline runners — share a single immutable program instead
+ * of re-fusing the same gate list. Entries are weak: a program lives
+ * exactly as long as some Ansatz/objective still holds it.
+ */
+class CompilationCache
+{
+  public:
+    static CompilationCache &global();
+
+    /** The shared program for `circuit`, compiling on first sight. */
+    std::shared_ptr<const CompiledCircuit> compile(const Circuit &circuit);
+
+    /** Cache-hit / miss counters (telemetry, tests). */
+    std::size_t hits() const;
+    std::size_t misses() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::weak_ptr<const CompiledCircuit>>>
+        entries_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_CIRCUIT_COMPILED_CIRCUIT_H

@@ -10,7 +10,9 @@ namespace {
 } // namespace
 
 Ansatz::Ansatz(Circuit circuit, std::uint64_t initial_bits)
-    : circuit_(std::move(circuit)), initialBits_(initial_bits)
+    : circuit_(std::move(circuit)),
+      compiled_(CompilationCache::global().compile(circuit_)),
+      initialBits_(initial_bits)
 {
 }
 
@@ -28,7 +30,10 @@ Ansatz::prepareInto(Statevector &state,
 {
     assert(state.numQubits() == circuit_.numQubits());
     state.setBasisState(initialBits_);
-    circuit_.apply(state, theta);
+    if (compiled_)
+        compiled_->execute(state, theta);
+    else
+        circuit_.apply(state, theta); // default-constructed ansatz
 }
 
 Ansatz

@@ -28,6 +28,8 @@ struct BaselineConfig
     int maxIterationsPerTask = 100000;
     /** Record exact energies every this many rounds. */
     int metricsInterval = 5;
+    /** Execution model; engine.backendName selects the SimBackend by
+     * name ("statevector" | "paulprop") for every task runner. */
     EngineConfig engine;
     std::uint64_t seed = 0xba5e;
 };

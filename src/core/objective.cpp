@@ -1,11 +1,7 @@
 #include "core/objective.h"
 
-#include <algorithm>
 #include <cassert>
 #include <cmath>
-
-#include "common/thread_pool.h"
-#include "sim/expectation.h"
 
 namespace treevqa {
 
@@ -13,9 +9,9 @@ ClusterObjective::ClusterObjective(
     std::vector<PauliSum> task_hamiltonians, Ansatz ansatz,
     EngineConfig config)
     : taskHams_(std::move(task_hamiltonians)), ansatz_(std::move(ansatz)),
-      workspacePool_(ansatz_.numQubits()), config_(config),
+      config_(std::move(config)),
       mixed_(taskHams_.empty() ? 0 : taskHams_.front().numQubits()),
-      estimator_(config.shotsPerTerm, config.injectShotNoise)
+      estimator_(config_.shotsPerTerm, config_.injectShotNoise)
 {
     assert(!taskHams_.empty());
     aligned_ = alignTerms(taskHams_);
@@ -51,9 +47,25 @@ ClusterObjective::ClusterObjective(
         aggregateNoiseScale_.push_back(std::sqrt(s2));
     }
 
-    if (config_.backend == Backend::PauliPropagation)
-        propagator_ = std::make_unique<PauliPropagator>(
-            ansatz_.circuit(), config_.propConfig);
+    // The backend borrows views of everything computed above and the
+    // ansatz's cached compiled program (one program per ansatz shape,
+    // shared across evaluate/evaluateBatch/exact paths and across
+    // objectives built from the same ansatz).
+    SimBackendInputs inputs;
+    inputs.program = ansatz_.compiled();
+    inputs.initialBits = ansatz_.initialBits();
+    inputs.aligned = &aligned_;
+    inputs.mixedCoefs = &mixedCoefs_;
+    inputs.taskHams = &taskHams_;
+    inputs.mixed = &mixed_;
+    inputs.aggregateNoiseScale = &aggregateNoiseScale_;
+    inputs.estimator = &estimator_;
+    inputs.noise = &config_.noise;
+    inputs.propConfig = config_.propConfig;
+    inputs.measuredTerms = measuredTerms_;
+    inputs.shotsPerEval = evalCost();
+    backend_ = makeSimBackend(resolvedBackendName(config_),
+                              std::move(inputs));
 }
 
 std::uint64_t
@@ -62,94 +74,11 @@ ClusterObjective::evalCost() const
     return config_.shotsPerTerm * measuredTerms_;
 }
 
-std::vector<double>
-ClusterObjective::statevectorTermExpectations(
-    const std::vector<double> &theta) const
-{
-    StatevectorPool::Lease state = workspacePool_.acquire();
-    ansatz_.prepareInto(*state, theta);
-    return perStringExpectations(*state, aligned_.strings);
-}
-
 ClusterEvaluation
 ClusterObjective::evaluate(const std::vector<double> &theta,
                            Rng &rng) const
 {
-    ClusterEvaluation out;
-    out.shotsUsed = evalCost();
-
-    const int layers = ansatz_.circuit().entanglingLayers();
-
-    if (config_.backend == Backend::Statevector) {
-        std::vector<double> values = statevectorTermExpectations(theta);
-
-        // Device noise: per-term damping.
-        if (!config_.noise.isNoiseless()) {
-            for (std::size_t k = 0; k < values.size(); ++k)
-                values[k] *= config_.noise.dampingFactor(
-                    aligned_.strings[k], layers);
-        }
-        // Shot noise: exact asymptotic variance per term, injected by
-        // the estimator's vectorized normal pass.
-        estimator_.injectTermNoise(
-            values,
-            [&](std::size_t k) {
-                return aligned_.strings[k].isIdentity();
-            },
-            measuredTerms_, rng);
-        // Classical recombination for the mixed and member energies.
-        out.mixedEnergy = recombine(mixedCoefs_, values);
-        out.taskEnergies.resize(taskHams_.size());
-        for (std::size_t i = 0; i < taskHams_.size(); ++i)
-            out.taskEnergies[i] =
-                recombine(aligned_.coefficients[i], values);
-        return out;
-    }
-
-    // PauliPropagation backend: joint propagation of members + mixed.
-    std::vector<PauliSum> observables = taskHams_;
-    observables.push_back(mixed_);
-    std::vector<double> energies = propagator_->expectations(
-        theta, observables, ansatz_.initialBits());
-
-    // Global-depolarizing deformation of the non-identity part.
-    if (!config_.noise.isNoiseless()) {
-        const double damp =
-            std::pow(config_.noise.gateFidelity(), layers);
-        for (std::size_t i = 0; i < taskHams_.size(); ++i) {
-            const double trace = taskHams_[i].normalizedTrace();
-            energies[i] = damp * (energies[i] - trace) + trace;
-        }
-        const double mixed_trace = mixed_.normalizedTrace();
-        energies.back() =
-            damp * (energies.back() - mixed_trace) + mixed_trace;
-    }
-    // Aggregate shot noise.
-    if (estimator_.injectsNoise()) {
-        const double inv_sqrt_s = 1.0
-            / std::sqrt(static_cast<double>(estimator_.shotsPerTerm()));
-        for (std::size_t i = 0; i < energies.size(); ++i)
-            energies[i] +=
-                rng.normal(0.0, aggregateNoiseScale_[i] * inv_sqrt_s);
-    }
-
-    out.mixedEnergy = energies.back();
-    out.taskEnergies.assign(energies.begin(), energies.end() - 1);
-    return out;
-}
-
-Rng
-ClusterObjective::probeRng(std::uint64_t stream_base,
-                           std::size_t probe_index)
-{
-    // SplitMix64-style mix: adjacent probe indices land in
-    // decorrelated regions of the seed space, and the Rng constructor
-    // expands the result through SplitMix64 again.
-    std::uint64_t z = stream_base
-        + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(probe_index) + 1);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return Rng(z ^ (z >> 31));
+    return backend_->evaluate(theta, rng);
 }
 
 std::vector<ClusterEvaluation>
@@ -162,10 +91,7 @@ ClusterObjective::evaluateBatch(
     // on thread count or completion order.
     const std::uint64_t base = rng.nextU64();
     std::vector<ClusterEvaluation> out(thetas.size());
-    ThreadPool::global().run(thetas.size(), [&](std::size_t i) {
-        Rng probe_rng = probeRng(base, i);
-        out[i] = evaluate(thetas[i], probe_rng);
-    });
+    backend_->evaluateBatch(thetas, base, out);
     return out;
 }
 
@@ -174,40 +100,19 @@ ClusterObjective::exactTaskEnergy(std::size_t task_index,
                                   const std::vector<double> &theta) const
 {
     assert(task_index < taskHams_.size());
-    if (config_.backend == Backend::Statevector) {
-        StatevectorPool::Lease state = workspacePool_.acquire();
-        ansatz_.prepareInto(*state, theta);
-        return expectation(*state, taskHams_[task_index]);
-    }
-    return propagator_->expectation(theta, taskHams_[task_index],
-                                    ansatz_.initialBits());
+    return backend_->exactTaskEnergy(task_index, theta);
 }
 
 std::vector<double>
 ClusterObjective::exactTaskEnergies(const std::vector<double> &theta) const
 {
-    if (config_.backend == Backend::Statevector) {
-        const std::vector<double> values =
-            statevectorTermExpectations(theta);
-        std::vector<double> energies(taskHams_.size());
-        for (std::size_t i = 0; i < taskHams_.size(); ++i)
-            energies[i] = recombine(aligned_.coefficients[i], values);
-        return energies;
-    }
-    return propagator_->expectations(theta, taskHams_,
-                                     ansatz_.initialBits());
+    return backend_->exactTaskEnergies(theta);
 }
 
 double
 ClusterObjective::exactMixedEnergy(const std::vector<double> &theta) const
 {
-    if (config_.backend == Backend::Statevector) {
-        const std::vector<double> values =
-            statevectorTermExpectations(theta);
-        return recombine(mixedCoefs_, values);
-    }
-    return propagator_->expectation(theta, mixed_,
-                                    ansatz_.initialBits());
+    return backend_->exactMixedEnergy(theta);
 }
 
 } // namespace treevqa

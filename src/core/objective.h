@@ -11,68 +11,38 @@
  * Algorithm 2 costs no extra quantum execution (Section 5.2.2) and why
  * post-processing is a classical recombination (Section 5.3).
  *
- * Two backends realize the evaluation:
- *  - Statevector: exact per-term expectations + per-term shot noise
- *    (dense problems, <= ~20 qubits);
- *  - PauliPropagation: joint Heisenberg propagation of all member
- *    Hamiltonians + aggregate shot noise (the paper's large-scale
- *    path, Section 8.4).
+ * Execution is delegated to one SimBackend selected by name
+ * (EngineConfig::backendName; see sim_backend.h): "statevector" for
+ * dense problems (<= ~20 qubits), "paulprop" for the paper's
+ * large-scale path (Section 8.4). The backend runs the ansatz's
+ * compiled program — built once per ansatz shape through the
+ * process-wide CompilationCache and shared by evaluate(),
+ * evaluateBatch() and the exact-energy paths, so no call re-derives
+ * per-circuit state.
  *
  * Optimizers emit known-independent probe sets per iterate (the SPSA
  * +/- pair, simplex builds, stencils); evaluateBatch() evaluates such
- * a set in one parallel pass over the global thread pool, with
- * per-probe RNG streams that make the results bit-identical to serial
- * evaluation at any thread count.
+ * a set in one parallel pass over the global thread pool — the
+ * statevector backend additionally shares every common parameter
+ * prefix of the batch through an EvalPlan — with per-probe RNG streams
+ * that make the results bit-identical to serial evaluation at any
+ * thread count.
  */
 
 #ifndef TREEVQA_CORE_OBJECTIVE_H
 #define TREEVQA_CORE_OBJECTIVE_H
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "circuit/ansatz.h"
 #include "common/rng.h"
+#include "core/engine_config.h"
+#include "core/sim_backend.h"
 #include "pauli/pauli_sum.h"
-#include "paulprop/pauli_propagation.h"
-#include "sim/noise_model.h"
-#include "sim/shot_estimator.h"
-#include "sim/workspace_pool.h"
 
 namespace treevqa {
-
-/** Simulation backend selector. */
-enum class Backend
-{
-    Statevector,
-    PauliPropagation
-};
-
-/** Quantum-execution configuration shared by all clusters of a run. */
-struct EngineConfig
-{
-    Backend backend = Backend::Statevector;
-    /** Shots per Pauli term per evaluation (paper: 4096). */
-    std::uint64_t shotsPerTerm = kDefaultShotsPerTerm;
-    /** False turns the objective into the exact expectation (shots are
-     * still accounted). */
-    bool injectShotNoise = true;
-    /** Device noise model (defaults to noiseless). */
-    NoiseModel noise;
-    /** Truncation knobs for the PauliPropagation backend. */
-    PauliPropConfig propConfig;
-};
-
-/** Result of one objective evaluation. */
-struct ClusterEvaluation
-{
-    /** Shot-noisy mixed-Hamiltonian energy (what the optimizer sees). */
-    double mixedEnergy = 0.0;
-    /** Shot-noisy member energies recombined from the same estimates. */
-    std::vector<double> taskEnergies;
-    /** Shots charged for this evaluation. */
-    std::uint64_t shotsUsed = 0;
-};
 
 /** The measurable objective of one VQA cluster. */
 class ClusterObjective
@@ -94,12 +64,15 @@ class ClusterObjective
     const Ansatz &ansatz() const { return ansatz_; }
     const EngineConfig &config() const { return config_; }
 
+    /** Registry name of the backend executing this objective. */
+    std::string backendName() const { return backend_->name(); }
+
     /** Shots one evaluation costs: shots_per_term x |superset|. */
     std::uint64_t evalCost() const;
 
     /** Noisy evaluation at theta (charges shotsUsed to the caller).
      * Thread-safe: concurrent calls check private statevector buffers
-     * out of the workspace pool. */
+     * out of the backend's workspace pool. */
     ClusterEvaluation evaluate(const std::vector<double> &theta,
                                Rng &rng) const;
 
@@ -121,7 +94,10 @@ class ClusterObjective
     /** The per-probe RNG stream of evaluateBatch: SplitMix64-style mix
      * of the stream base with the probe index. */
     static Rng probeRng(std::uint64_t stream_base,
-                        std::size_t probe_index);
+                        std::size_t probe_index)
+    {
+        return treevqa::probeRng(stream_base, probe_index);
+    }
 
     /** Exact (noiseless, infinite-shot) member energy at theta. */
     double exactTaskEnergy(std::size_t task_index,
@@ -135,18 +111,8 @@ class ClusterObjective
     double exactMixedEnergy(const std::vector<double> &theta) const;
 
   private:
-    std::vector<double> statevectorTermExpectations(
-        const std::vector<double> &theta) const;
-
     std::vector<PauliSum> taskHams_;
     Ansatz ansatz_;
-    /** Reusable state buffers for the Statevector backend, created on
-     * demand: objective evaluations are the per-iterate hot path, and
-     * reallocating a 2^n complex vector per call costs more than the
-     * gates at small n. The pool hands each concurrent evaluation its
-     * own buffer, so evaluate()/evaluateBatch() are reentrant.
-     * PauliPropagation objectives (25+ qubits) never allocate any. */
-    mutable StatevectorPool workspacePool_;
     EngineConfig config_;
     AlignedTerms aligned_;
     /** Non-identity superset terms (constructor invariant): sizes the
@@ -160,7 +126,9 @@ class ClusterObjective
     /** Shot-noise scale per observable for the propagation backend:
      * sqrt(sum_k c_k^2) for each task, mixed last. */
     std::vector<double> aggregateNoiseScale_;
-    std::unique_ptr<PauliPropagator> propagator_;
+    /** The engine, constructed last: it borrows views of the members
+     * above (stable — this class is neither copyable nor movable). */
+    std::unique_ptr<SimBackend> backend_;
 };
 
 } // namespace treevqa

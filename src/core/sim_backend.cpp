@@ -1,0 +1,286 @@
+#include "core/sim_backend.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "paulprop/pauli_propagation.h"
+#include "sim/eval_plan.h"
+#include "sim/expectation.h"
+#include "sim/workspace_pool.h"
+
+namespace treevqa {
+
+namespace {
+
+/**
+ * Dense-statevector engine: exact per-term expectations + per-term
+ * shot noise, with EvalPlan shared-prefix preparation on the batch
+ * path.
+ */
+class StatevectorBackend final : public SimBackend
+{
+  public:
+    explicit StatevectorBackend(SimBackendInputs in)
+        : in_(std::move(in)), pool_(in_.program->numQubits())
+    {
+    }
+
+    std::string name() const override
+    {
+        return kStatevectorBackendName;
+    }
+
+    ClusterEvaluation evaluate(const std::vector<double> &theta,
+                               Rng &rng) const override
+    {
+        return finish(termExpectations(theta), rng);
+    }
+
+    void evaluateBatch(const std::vector<std::vector<double>> &thetas,
+                       std::uint64_t stream_base,
+                       std::vector<ClusterEvaluation> &out) const override
+    {
+        assert(out.size() == thetas.size());
+        // The plan shares every common parameter prefix across the
+        // batch: each leaf state is bit-identical to straight-line
+        // preparation, and probes landing on the same leaf also share
+        // the expectation pass (noise streams stay per-probe).
+        const EvalPlan plan(in_.program, thetas, in_.initialBits);
+        plan.execute(
+            pool_, [&](const std::vector<std::size_t> &probes,
+                       const Statevector &state) {
+                const std::vector<double> values =
+                    perStringExpectations(state, in_.aligned->strings);
+                for (std::size_t i : probes) {
+                    Rng rng = probeRng(stream_base, i);
+                    out[i] = finish(values, rng);
+                }
+            });
+    }
+
+    std::vector<double> exactTaskEnergies(
+        const std::vector<double> &theta) const override
+    {
+        const std::vector<double> values = termExpectations(theta);
+        std::vector<double> energies(in_.taskHams->size());
+        for (std::size_t i = 0; i < energies.size(); ++i)
+            energies[i] =
+                recombine((*in_.aligned).coefficients[i], values);
+        return energies;
+    }
+
+    double exactTaskEnergy(std::size_t task_index,
+                           const std::vector<double> &theta) const override
+    {
+        StatevectorPool::Lease state = prepare(theta);
+        return expectation(*state, (*in_.taskHams)[task_index]);
+    }
+
+    double exactMixedEnergy(
+        const std::vector<double> &theta) const override
+    {
+        return recombine(*in_.mixedCoefs, termExpectations(theta));
+    }
+
+  private:
+    /** |psi(theta)> in a pool buffer. */
+    StatevectorPool::Lease prepare(const std::vector<double> &theta) const
+    {
+        StatevectorPool::Lease state = pool_.acquire();
+        state->setBasisState(in_.initialBits);
+        in_.program->execute(*state, theta);
+        return state;
+    }
+
+    std::vector<double> termExpectations(
+        const std::vector<double> &theta) const
+    {
+        StatevectorPool::Lease state = prepare(theta);
+        return perStringExpectations(*state, in_.aligned->strings);
+    }
+
+    /** Noise injection + classical recombination of per-term values. */
+    ClusterEvaluation finish(std::vector<double> values, Rng &rng) const
+    {
+        ClusterEvaluation out;
+        out.shotsUsed = in_.shotsPerEval;
+
+        // Device noise: per-term damping.
+        if (!in_.noise->isNoiseless()) {
+            const int layers = in_.program->entanglingLayers();
+            for (std::size_t k = 0; k < values.size(); ++k)
+                values[k] *= in_.noise->dampingFactor(
+                    in_.aligned->strings[k], layers);
+        }
+        // Shot noise: exact asymptotic variance per term, injected by
+        // the estimator's vectorized normal pass.
+        in_.estimator->injectTermNoise(
+            values,
+            [&](std::size_t k) {
+                return in_.aligned->strings[k].isIdentity();
+            },
+            in_.measuredTerms, rng);
+        // Classical recombination for the mixed and member energies.
+        out.mixedEnergy = recombine(*in_.mixedCoefs, values);
+        out.taskEnergies.resize(in_.taskHams->size());
+        for (std::size_t i = 0; i < out.taskEnergies.size(); ++i)
+            out.taskEnergies[i] =
+                recombine(in_.aligned->coefficients[i], values);
+        return out;
+    }
+
+    SimBackendInputs in_;
+    /** Reusable state buffers: objective evaluations are the
+     * per-iterate hot path, and reallocating a 2^n complex vector per
+     * call costs more than the gates at small n. The pool hands each
+     * concurrent evaluation (and each EvalPlan checkpoint) its own
+     * buffer, so all entry points are reentrant. */
+    mutable StatevectorPool pool_;
+};
+
+/**
+ * Pauli-propagation engine: joint Heisenberg propagation of all member
+ * Hamiltonians + the mixed one, aggregate shot noise, optional live-map
+ * sharding inside each propagation.
+ */
+class PauliPropagationBackend final : public SimBackend
+{
+  public:
+    explicit PauliPropagationBackend(SimBackendInputs in)
+        : in_(std::move(in)),
+          propagator_(in_.program, in_.propConfig)
+    {
+    }
+
+    std::string name() const override
+    {
+        return kPauliPropagationBackendName;
+    }
+
+    ClusterEvaluation evaluate(const std::vector<double> &theta,
+                               Rng &rng) const override
+    {
+        ClusterEvaluation out;
+        out.shotsUsed = in_.shotsPerEval;
+
+        // Joint propagation of members + mixed.
+        std::vector<PauliSum> observables = *in_.taskHams;
+        observables.push_back(*in_.mixed);
+        std::vector<double> energies = propagator_.expectations(
+            theta, observables, in_.initialBits);
+
+        // Global-depolarizing deformation of the non-identity part.
+        if (!in_.noise->isNoiseless()) {
+            const double damp = std::pow(
+                in_.noise->gateFidelity(),
+                in_.program->entanglingLayers());
+            for (std::size_t i = 0; i < in_.taskHams->size(); ++i) {
+                const double trace =
+                    (*in_.taskHams)[i].normalizedTrace();
+                energies[i] = damp * (energies[i] - trace) + trace;
+            }
+            const double mixed_trace = in_.mixed->normalizedTrace();
+            energies.back() =
+                damp * (energies.back() - mixed_trace) + mixed_trace;
+        }
+        // Aggregate shot noise.
+        if (in_.estimator->injectsNoise()) {
+            const double inv_sqrt_s = 1.0
+                / std::sqrt(static_cast<double>(
+                    in_.estimator->shotsPerTerm()));
+            for (std::size_t i = 0; i < energies.size(); ++i)
+                energies[i] += rng.normal(
+                    0.0, (*in_.aggregateNoiseScale)[i] * inv_sqrt_s);
+        }
+
+        out.mixedEnergy = energies.back();
+        out.taskEnergies.assign(energies.begin(), energies.end() - 1);
+        return out;
+    }
+
+    void evaluateBatch(const std::vector<std::vector<double>> &thetas,
+                       std::uint64_t stream_base,
+                       std::vector<ClusterEvaluation> &out) const override
+    {
+        assert(out.size() == thetas.size());
+        ThreadPool::global().run(thetas.size(), [&](std::size_t i) {
+            Rng rng = probeRng(stream_base, i);
+            out[i] = evaluate(thetas[i], rng);
+        });
+    }
+
+    std::vector<double> exactTaskEnergies(
+        const std::vector<double> &theta) const override
+    {
+        return propagator_.expectations(theta, *in_.taskHams,
+                                        in_.initialBits);
+    }
+
+    double exactTaskEnergy(std::size_t task_index,
+                           const std::vector<double> &theta) const override
+    {
+        return propagator_.expectation(
+            theta, (*in_.taskHams)[task_index], in_.initialBits);
+    }
+
+    double exactMixedEnergy(
+        const std::vector<double> &theta) const override
+    {
+        return propagator_.expectation(theta, *in_.mixed,
+                                       in_.initialBits);
+    }
+
+  private:
+    SimBackendInputs in_;
+    PauliPropagator propagator_;
+};
+
+} // namespace
+
+std::string
+resolvedBackendName(const EngineConfig &config)
+{
+    if (!config.backendName.empty())
+        return config.backendName;
+    return config.backend == Backend::PauliPropagation
+        ? kPauliPropagationBackendName
+        : kStatevectorBackendName;
+}
+
+Rng
+probeRng(std::uint64_t stream_base, std::size_t probe_index)
+{
+    // SplitMix64-style mix: adjacent probe indices land in
+    // decorrelated regions of the seed space, and the Rng constructor
+    // expands the result through SplitMix64 again.
+    std::uint64_t z = stream_base
+        + 0x9e3779b97f4a7c15ull
+            * (static_cast<std::uint64_t>(probe_index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+}
+
+std::unique_ptr<SimBackend>
+makeSimBackend(const std::string &name, SimBackendInputs inputs)
+{
+    assert(inputs.program);
+    if (name == kStatevectorBackendName)
+        return std::make_unique<StatevectorBackend>(std::move(inputs));
+    if (name == kPauliPropagationBackendName)
+        return std::make_unique<PauliPropagationBackend>(
+            std::move(inputs));
+    throw std::invalid_argument("unknown simulation backend: " + name);
+}
+
+const std::vector<std::string> &
+simBackendNames()
+{
+    static const std::vector<std::string> names{
+        kStatevectorBackendName, kPauliPropagationBackendName};
+    return names;
+}
+
+} // namespace treevqa

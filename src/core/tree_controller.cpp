@@ -221,6 +221,19 @@ TreeController::postProcess(TreeVqaResult &result)
     // the best (Algorithm 1 lines 12-17). With the statevector backend
     // this is the classical recombination of stored per-term values the
     // paper describes; here we recompute it exactly.
+    //
+    // The (cluster, task) cross-evaluations are mutually independent —
+    // private probe objectives, shared immutable compiled program —
+    // so they fan out over the thread pool; the best-energy reduction
+    // then walks the jobs in their serial enumeration order, keeping
+    // the outcome bit-identical at any pool size.
+    struct CrossEval
+    {
+        const VqaCluster *cluster;
+        std::size_t task;
+        std::uint64_t bits;
+    };
+    std::vector<CrossEval> jobs;
     for (const auto &record : clusters_) {
         if (!record.active)
             continue;
@@ -229,18 +242,25 @@ TreeController::postProcess(TreeVqaResult &result)
         // state, not just its members.
         const std::uint64_t bits =
             tasks_[cluster.taskIndices().front()].initialBits;
-        for (std::size_t t = 0; t < tasks_.size(); ++t) {
-            if (tasks_[t].initialBits != bits)
-                continue;
-            ClusterObjective probe({tasks_[t].hamiltonian},
-                                   ansatz_.withInitialBits(bits),
-                                   config_.engine);
-            const double energy =
-                probe.exactTaskEnergy(0, cluster.params());
-            if (energy < bestEnergies_[t]) {
-                bestEnergies_[t] = energy;
-                bestClusterIds_[t] = cluster.id();
-            }
+        for (std::size_t t = 0; t < tasks_.size(); ++t)
+            if (tasks_[t].initialBits == bits)
+                jobs.push_back(CrossEval{&cluster, t, bits});
+    }
+
+    std::vector<double> energies(jobs.size());
+    ThreadPool::global().run(jobs.size(), [&](std::size_t j) {
+        const CrossEval &job = jobs[j];
+        ClusterObjective probe({tasks_[job.task].hamiltonian},
+                               ansatz_.withInitialBits(job.bits),
+                               config_.engine);
+        energies[j] = probe.exactTaskEnergy(0, job.cluster->params());
+    });
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const CrossEval &job = jobs[j];
+        if (energies[j] < bestEnergies_[job.task]) {
+            bestEnergies_[job.task] = energies[j];
+            bestClusterIds_[job.task] = job.cluster->id();
         }
     }
 

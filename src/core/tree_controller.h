@@ -32,7 +32,9 @@ struct TreeVqaConfig
     int maxRounds = 100000;
     /** Record exact task energies every this many rounds. */
     int metricsInterval = 5;
-    /** Execution model. */
+    /** Execution model; engine.backendName selects the SimBackend by
+     * name ("statevector" | "paulprop") for every cluster objective
+     * and post-processing probe of the run. */
     EngineConfig engine;
     /** Split monitoring knobs. */
     ClusterConfig cluster;
@@ -101,7 +103,9 @@ class TreeController
     /** Snapshot best-so-far energies into the trace. */
     void recordSample(std::uint64_t shots, int round);
 
-    /** Post-processing pass (Section 5.3). */
+    /** Post-processing pass (Section 5.3): the (cluster, task)
+     * cross-evaluations fan out over the global thread pool with a
+     * deterministic ordered reduction. */
     void postProcess(TreeVqaResult &result);
 
     std::vector<VqaTask> tasks_;

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+
 namespace treevqa {
 
 namespace {
@@ -15,6 +17,9 @@ namespace {
 using SlotVector = std::vector<double>;
 using TermMap =
     std::unordered_map<PauliString, SlotVector, PauliStringHash>;
+/** Scatter payload: transformed terms bound for one destination shard,
+ * in emission order. */
+using Outbox = std::vector<std::pair<PauliString, SlotVector>>;
 
 double
 maxAbs(const SlotVector &v)
@@ -162,9 +167,18 @@ rotationGenerator(const GateInstr &g, int num_qubits)
 
 } // namespace
 
+PauliPropagator::PauliPropagator(
+    std::shared_ptr<const CompiledCircuit> program,
+    PauliPropConfig config)
+    : program_(std::move(program)), config_(config)
+{
+    assert(program_);
+}
+
 PauliPropagator::PauliPropagator(const Circuit &circuit,
                                  PauliPropConfig config)
-    : circuit_(circuit), config_(config)
+    : PauliPropagator(CompilationCache::global().compile(circuit),
+                      config)
 {
 }
 
@@ -174,22 +188,31 @@ PauliPropagator::expectations(const std::vector<double> &theta,
                               std::uint64_t initial_bits) const
 {
     assert(!observables.empty());
-    const int n = circuit_.numQubits();
+    const int n = program_->numQubits();
     const std::size_t slots = observables.size();
+    const std::size_t num_shards = static_cast<std::size_t>(
+        std::max(1, config_.shards));
+    const auto shardOf = [num_shards](const PauliString &p) {
+        return PauliStringHash{}(p) % num_shards;
+    };
 
-    // Seed the live map with all observables' terms.
-    TermMap live;
+    // Seed the sharded live maps with all observables' terms.
+    std::vector<TermMap> live(num_shards);
     for (std::size_t k = 0; k < slots; ++k) {
         assert(observables[k].numQubits() == n);
         for (const auto &term : observables[k].terms()) {
-            auto [it, inserted] =
-                live.try_emplace(term.string, SlotVector(slots, 0.0));
+            auto [it, inserted] = live[shardOf(term.string)].try_emplace(
+                term.string, SlotVector(slots, 0.0));
             it->second[k] += term.coefficient;
         }
     }
 
     // Back-propagate: O <- G^dag O G for gates in reverse order.
-    const auto &gates = circuit_.gates();
+    // Outboxes are reused across gates to amortize allocation.
+    std::vector<std::vector<Outbox>> outbox(
+        num_shards, std::vector<Outbox>(num_shards));
+
+    const auto &gates = program_->gates();
     for (auto git = gates.rbegin(); git != gates.rend(); ++git) {
         const GateInstr &g = *git;
         const bool is_rotation =
@@ -197,99 +220,121 @@ PauliPropagator::expectations(const std::vector<double> &theta,
             || g.op == GateOp::Rz || g.op == GateOp::Rzz
             || g.op == GateOp::Rxx || g.op == GateOp::Ryy;
 
-        TermMap next;
-        next.reserve(live.size() * (is_rotation ? 2 : 1));
+        // Scatter: every source shard transforms its own live strings
+        // and routes the results to per-destination outboxes. Shards
+        // are independent, so this fans out over the pool.
+        ThreadPool::global().run(num_shards, [&](std::size_t s) {
+            for (auto &box : outbox[s])
+                box.clear();
+            const auto emit = [&](PauliString string, SlotVector coefs) {
+                outbox[s][shardOf(string)].emplace_back(
+                    std::move(string), std::move(coefs));
+            };
 
-        if (is_rotation) {
-            const double angle = (g.paramIndex >= 0)
-                ? g.scale * theta[g.paramIndex] + g.offset
-                : g.offset;
-            const PauliString gen = rotationGenerator(g, n);
-            const double c = std::cos(angle);
-            const double s = std::sin(angle);
-            for (auto &[string, coefs] : live) {
-                if (string.commutesWith(gen)) {
-                    auto it = next.find(string);
-                    if (it == next.end()) {
-                        next.emplace(string, std::move(coefs));
-                    } else {
+            if (is_rotation) {
+                const double angle = (g.paramIndex >= 0)
+                    ? g.scale * theta[g.paramIndex] + g.offset
+                    : g.offset;
+                const PauliString gen = rotationGenerator(g, n);
+                const double c = std::cos(angle);
+                const double sn = std::sin(angle);
+                for (auto &[string, coefs] : live[s]) {
+                    if (string.commutesWith(gen)) {
+                        emit(string, std::move(coefs));
+                        continue;
+                    }
+                    // Q -> cos Q + sin (i P Q); i*phase is real for
+                    // anticommuting P, Q.
+                    PauliProduct pq = multiply(gen, string);
+                    const Complex iphase = Complex(0, 1) * pq.phase;
+                    assert(std::fabs(iphase.imag()) < 1e-12);
+                    const double branch_sign = iphase.real();
+
+                    SlotVector cos_branch(slots);
+                    SlotVector sin_branch(slots);
+                    for (std::size_t k = 0; k < slots; ++k) {
+                        cos_branch[k] = c * coefs[k];
+                        sin_branch[k] = sn * branch_sign * coefs[k];
+                    }
+                    emit(string, std::move(cos_branch));
+                    emit(pq.string, std::move(sin_branch));
+                }
+            } else {
+                for (auto &[string, coefs] : live[s]) {
+                    PauliString p = string;
+                    double sign = 1.0;
+                    switch (g.op) {
+                      case GateOp::H:
+                        conjugateH(p, g.q0, sign);
+                        break;
+                      case GateOp::X:
+                        conjugateX(p, g.q0, sign);
+                        break;
+                      case GateOp::S:
+                        // Back-propagation applies G^dag P G, G = S.
+                        conjugateSdg(p, g.q0, sign);
+                        break;
+                      case GateOp::Sdg:
+                        conjugateS(p, g.q0, sign);
+                        break;
+                      case GateOp::Cx:
+                        conjugateCx(p, g.q0, g.q1, sign);
+                        break;
+                      case GateOp::Cz:
+                        conjugateCz(p, g.q0, g.q1, sign);
+                        break;
+                      default:
+                        throw std::logic_error(
+                            "PauliPropagator: unsupported gate");
+                    }
+                    if (sign != 1.0)
+                        for (auto &x : coefs)
+                            x = sign * x;
+                    emit(std::move(p), std::move(coefs));
+                }
+            }
+        });
+
+        // Gather: rebuild each destination shard by folding the
+        // outboxes in ascending source order — a fixed merge order, so
+        // the result does not depend on the pool size. Truncation
+        // (weight cap + coefficient threshold) happens per shard.
+        ThreadPool::global().run(num_shards, [&](std::size_t d) {
+            std::size_t bound = 0;
+            for (std::size_t s = 0; s < num_shards; ++s)
+                bound += outbox[s][d].size();
+            TermMap next;
+            next.reserve(bound);
+            for (std::size_t s = 0; s < num_shards; ++s) {
+                for (auto &[string, coefs] : outbox[s][d]) {
+                    auto [it, inserted] =
+                        next.try_emplace(string, std::move(coefs));
+                    if (!inserted)
                         for (std::size_t k = 0; k < slots; ++k)
                             it->second[k] += coefs[k];
-                    }
+                }
+            }
+            live[d].clear();
+            for (auto &[string, coefs] : next) {
+                if (string.weight() > config_.maxWeight)
                     continue;
-                }
-                // Q -> cos Q + sin (i P Q); i*phase is real for
-                // anticommuting P, Q.
-                PauliProduct pq = multiply(gen, string);
-                const Complex iphase = Complex(0, 1) * pq.phase;
-                assert(std::fabs(iphase.imag()) < 1e-12);
-                const double branch_sign = iphase.real();
-
-                {
-                    auto [it, ins] = next.try_emplace(
-                        string, SlotVector(slots, 0.0));
-                    for (std::size_t k = 0; k < slots; ++k)
-                        it->second[k] += c * coefs[k];
-                    (void)ins;
-                }
-                {
-                    auto [it, ins] = next.try_emplace(
-                        pq.string, SlotVector(slots, 0.0));
-                    for (std::size_t k = 0; k < slots; ++k)
-                        it->second[k] += s * branch_sign * coefs[k];
-                    (void)ins;
-                }
+                if (maxAbs(coefs) < config_.coefThreshold)
+                    continue;
+                live[d].emplace(string, std::move(coefs));
             }
-        } else {
-            for (auto &[string, coefs] : live) {
-                PauliString p = string;
-                double sign = 1.0;
-                switch (g.op) {
-                  case GateOp::H:
-                    conjugateH(p, g.q0, sign);
-                    break;
-                  case GateOp::X:
-                    conjugateX(p, g.q0, sign);
-                    break;
-                  case GateOp::S:
-                    // Back-propagation applies G^dag P G with G = S.
-                    conjugateSdg(p, g.q0, sign);
-                    break;
-                  case GateOp::Sdg:
-                    conjugateS(p, g.q0, sign);
-                    break;
-                  case GateOp::Cx:
-                    conjugateCx(p, g.q0, g.q1, sign);
-                    break;
-                  case GateOp::Cz:
-                    conjugateCz(p, g.q0, g.q1, sign);
-                    break;
-                  default:
-                    throw std::logic_error(
-                        "PauliPropagator: unsupported gate");
-                }
-                auto [it, ins] =
-                    next.try_emplace(p, SlotVector(slots, 0.0));
-                for (std::size_t k = 0; k < slots; ++k)
-                    it->second[k] += sign * coefs[k];
-            }
-        }
+        });
 
-        // Truncation: weight cap + coefficient threshold.
-        live.clear();
-        for (auto &[string, coefs] : next) {
-            if (string.weight() > config_.maxWeight)
-                continue;
-            if (maxAbs(coefs) < config_.coefThreshold)
-                continue;
-            live.emplace(string, std::move(coefs));
-        }
-        // Hard cap: keep the heaviest strings.
-        if (live.size() > config_.maxTerms) {
+        // Hard cap: keep the heaviest strings globally (shards walked
+        // in ascending order — deterministic ranking input).
+        std::size_t total = 0;
+        for (const auto &shard : live)
+            total += shard.size();
+        if (total > config_.maxTerms) {
             std::vector<std::pair<double, PauliString>> ranked;
-            ranked.reserve(live.size());
-            for (const auto &[string, coefs] : live)
-                ranked.emplace_back(maxAbs(coefs), string);
+            ranked.reserve(total);
+            for (const auto &shard : live)
+                for (const auto &[string, coefs] : shard)
+                    ranked.emplace_back(maxAbs(coefs), string);
             std::nth_element(
                 ranked.begin(), ranked.begin() + config_.maxTerms,
                 ranked.end(),
@@ -297,20 +342,28 @@ PauliPropagator::expectations(const std::vector<double> &theta,
                     return a.first > b.first;
                 });
             for (std::size_t i = config_.maxTerms; i < ranked.size(); ++i)
-                live.erase(ranked[i].second);
+                live[shardOf(ranked[i].second)].erase(ranked[i].second);
         }
     }
-    lastTermCount_ = live.size();
+    {
+        std::size_t total = 0;
+        for (const auto &shard : live)
+            total += shard.size();
+        lastTermCount_ = total;
+    }
 
     // <b|O'|b>: only Z-diagonal strings survive.
     std::vector<double> out(slots, 0.0);
-    for (const auto &[string, coefs] : live) {
-        if (string.xMask() != 0)
-            continue;
-        const int sign =
-            std::popcount(initial_bits & string.zMask()) & 1 ? -1 : 1;
-        for (std::size_t k = 0; k < slots; ++k)
-            out[k] += sign * coefs[k];
+    for (const auto &shard : live) {
+        for (const auto &[string, coefs] : shard) {
+            if (string.xMask() != 0)
+                continue;
+            const int sign =
+                std::popcount(initial_bits & string.zMask()) & 1 ? -1
+                                                                 : 1;
+            for (std::size_t k = 0; k < slots; ++k)
+                out[k] += sign * coefs[k];
+        }
     }
     return out;
 }

@@ -25,6 +25,21 @@
  * Hamiltonian — because all cluster members share the circuit and
  * parameters. This makes the per-member loss tracking of Algorithm 2
  * essentially free even at 25+ qubits.
+ *
+ * Parallelism: with config.shards > 1 the live-string map is split
+ * into that many shards (string hash modulo shard count). Each gate
+ * step scatters every shard's transformed terms into per-(source,
+ * destination) outboxes in parallel over the global thread pool, then
+ * gathers each destination shard by folding the outboxes in ascending
+ * source order — a deterministic merge, so results are bit-identical
+ * for any pool size at a fixed shard count. shards = 1 reproduces the
+ * serial algorithm exactly; other shard counts reassociate the
+ * floating-point accumulation and agree to ~1e-12.
+ *
+ * The propagator consumes the same CompiledCircuit program as the
+ * statevector backend (walking its retained source gate stream) and
+ * shares ownership of it, so a propagator never dangles behind the
+ * circuit it was built from.
  */
 
 #ifndef TREEVQA_PAULPROP_PAULI_PROPAGATION_H
@@ -32,26 +47,41 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "circuit/compiled_circuit.h"
 #include "pauli/pauli_sum.h"
 
 namespace treevqa {
 
-/** Truncation knobs (paper default: weight cap 8). */
+/** Truncation and sharding knobs (paper default: weight cap 8). */
 struct PauliPropConfig
 {
     int maxWeight = 8;            ///< drop strings heavier than this
     double coefThreshold = 1e-10; ///< drop slots' max |c| below this
     std::size_t maxTerms = 1u << 20; ///< hard cap on live strings
+    /** Live-map shards propagated in parallel over the thread pool
+     * (values < 1 behave as 1 = serial). Results are independent of
+     * the pool size for any fixed shard count. */
+    int shards = 1;
 };
 
-/** Heisenberg-picture simulator bound to one circuit. */
+/** Heisenberg-picture simulator bound to one compiled program. */
 class PauliPropagator
 {
   public:
-    PauliPropagator(const Circuit &circuit, PauliPropConfig config = {});
+    /** Share an already-compiled program (the hot path: the same
+     * program the statevector backend executes). */
+    explicit PauliPropagator(
+        std::shared_ptr<const CompiledCircuit> program,
+        PauliPropConfig config = {});
+
+    /** Compile-on-construct convenience (goes through the process-wide
+     * CompilationCache; safe with temporary circuits). */
+    explicit PauliPropagator(const Circuit &circuit,
+                             PauliPropConfig config = {});
 
     const PauliPropConfig &config() const { return config_; }
 
@@ -83,7 +113,7 @@ class PauliPropagator
     }
 
   private:
-    const Circuit &circuit_;
+    std::shared_ptr<const CompiledCircuit> program_;
     PauliPropConfig config_;
     mutable std::atomic<std::size_t> lastTermCount_{0};
 };

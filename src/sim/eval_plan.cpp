@@ -1,0 +1,137 @@
+#include "sim/eval_plan.h"
+
+#include <cassert>
+
+#include "common/thread_pool.h"
+
+namespace treevqa {
+
+EvalPlan::EvalPlan(std::shared_ptr<const CompiledCircuit> program,
+                   const std::vector<std::vector<double>> &thetas,
+                   std::uint64_t initial_bits)
+    : program_(std::move(program)), thetas_(&thetas),
+      initialBits_(initial_bits)
+{
+    assert(program_);
+    stats_.programOps = program_->numOps();
+    stats_.independentOps = stats_.programOps * thetas.size();
+    if (thetas.empty())
+        return;
+
+    std::vector<std::size_t> all(thetas.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    buildNode(std::move(all), 0);
+
+    stats_.checkpointNodes = nodes_.size();
+    for (const Node &node : nodes_)
+        stats_.appliedOps += node.opEnd - node.opBegin;
+}
+
+std::size_t
+EvalPlan::buildNode(std::vector<std::size_t> probe_set,
+                    std::size_t op_begin)
+{
+    const std::size_t index = nodes_.size();
+    nodes_.emplace_back();
+
+    const auto &thetas = *thetas_;
+    const std::size_t rep = probe_set.front();
+
+    // Extend the shared run while every probe binds this op like the
+    // representative does.
+    std::size_t op = op_begin;
+    const std::size_t num_ops = program_->numOps();
+    while (op < num_ops) {
+        bool agree = true;
+        for (std::size_t i = 1; i < probe_set.size() && agree; ++i)
+            agree = program_->opBindsEqually(op, thetas[rep],
+                                             thetas[probe_set[i]]);
+        if (!agree)
+            break;
+        ++op;
+    }
+
+    nodes_[index].opBegin = op_begin;
+    nodes_[index].opEnd = op;
+    nodes_[index].representative = rep;
+
+    if (op == num_ops) {
+        nodes_[index].probes = std::move(probe_set);
+        return index;
+    }
+
+    // Divergence: group probes by their binding of op `op` (first
+    // member of each group is its leader; order by first occurrence so
+    // the tree shape is deterministic), then recurse per group.
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t probe : probe_set) {
+        bool placed = false;
+        for (auto &group : groups) {
+            if (program_->opBindsEqually(op, thetas[group.front()],
+                                         thetas[probe])) {
+                group.push_back(probe);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            groups.push_back({probe});
+    }
+    assert(groups.size() >= 2);
+
+    std::vector<std::size_t> children;
+    children.reserve(groups.size());
+    for (auto &group : groups)
+        children.push_back(buildNode(std::move(group), op));
+    nodes_[index].children = std::move(children);
+    return index;
+}
+
+void
+EvalPlan::executeNode(std::size_t index, StatevectorPool::Lease lease,
+                      StatevectorPool &pool, const LeafFn &fn) const
+{
+    const Node &node = nodes_[index];
+    Statevector &state = *lease;
+
+    program_->executeRange(state, (*thetas_)[node.representative],
+                           node.opBegin, node.opEnd);
+
+    if (node.children.empty()) {
+        fn(node.probes, state);
+        return;
+    }
+
+    // Branch: all but the last child start from a copy of the
+    // checkpoint; the last consumes this node's buffer in place, so a
+    // k-way divergence costs k-1 copies (an SPSA pair: one) and the
+    // buffer count equals the number of concurrently live branches,
+    // not the tree depth.
+    const std::size_t k = node.children.size();
+    std::vector<StatevectorPool::Lease> branches;
+    branches.reserve(k - 1);
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+        branches.push_back(pool.acquire());
+        (*branches[i]).amplitudes() = state.amplitudes();
+    }
+    ThreadPool::global().run(k, [&](std::size_t i) {
+        executeNode(node.children[i],
+                    i + 1 < k ? std::move(branches[i])
+                              : std::move(lease),
+                    pool, fn);
+    });
+}
+
+void
+EvalPlan::execute(StatevectorPool &pool, const LeafFn &fn) const
+{
+    if (nodes_.empty())
+        return;
+    assert(pool.numQubits() == program_->numQubits());
+    StatevectorPool::Lease root = pool.acquire();
+    root->setBasisState(initialBits_);
+    executeNode(0, std::move(root), pool, fn);
+}
+
+} // namespace treevqa

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared-prefix batched state preparation.
+ *
+ * The probes an optimizer submits per iterate run the *same* compiled
+ * program and often agree on long parameter prefixes: a Nelder-Mead or
+ * COBYLA simplex build perturbs one coordinate per probe, implicit
+ * filtering evaluates a stencil around one center, and an SPSA ± pair
+ * shares every op up to the first bound gate (plus any fixed preamble,
+ * e.g. UCCSD basis-change ladders). An EvalPlan exploits this: it
+ * builds a prefix tree of the batch's per-op parameter bindings,
+ * executes each shared run once, and checkpoints the statevector at
+ * every divergence point so sibling branches continue from a copy
+ * instead of re-preparing from |0...0>.
+ *
+ * Checkpoint buffers come from the caller's StatevectorPool, so peak
+ * memory is bounded by the tree's concurrent leaf/branch count, and
+ * sibling subtrees fan out over the global thread pool.
+ *
+ * Determinism: a probe's state is produced by exactly the op sequence
+ * of the straight-line preparation with bitwise-equal bound angles
+ * (divergence is tested on the parameter values an op reads), so the
+ * resulting amplitudes are bit-identical to independent preparation —
+ * for any pool size and any tree shape.
+ */
+
+#ifndef TREEVQA_SIM_EVAL_PLAN_H
+#define TREEVQA_SIM_EVAL_PLAN_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "circuit/compiled_circuit.h"
+#include "sim/workspace_pool.h"
+
+namespace treevqa {
+
+/** Work accounting of one plan (bench/test telemetry). */
+struct EvalPlanStats
+{
+    /** Ops in the compiled program. */
+    std::size_t programOps = 0;
+    /** Ops the tree executes across all nodes. */
+    std::size_t appliedOps = 0;
+    /** Ops independent per-probe preparation would execute
+     * (programOps x probes). */
+    std::size_t independentOps = 0;
+    /** Prefix-tree nodes. Buffers checked out during execution equal
+     * the leaf count (each divergence copies k-1 branches; the last
+     * child reuses its parent's buffer in place). */
+    std::size_t checkpointNodes = 0;
+
+    /** Gate applications saved by prefix sharing. */
+    std::size_t sharedOps() const { return independentOps - appliedOps; }
+};
+
+/** Prefix-tree execution plan for one probe batch. */
+class EvalPlan
+{
+  public:
+    /**
+     * Plan the batch. `thetas` is borrowed and must outlive the plan
+     * (evaluateBatch builds, executes and drops the plan in one call).
+     */
+    EvalPlan(std::shared_ptr<const CompiledCircuit> program,
+             const std::vector<std::vector<double>> &thetas,
+             std::uint64_t initial_bits);
+
+    const EvalPlanStats &stats() const { return stats_; }
+
+    /**
+     * Leaf callback: the probe indices whose full binding this
+     * prepared state realizes (usually one; several when probes are
+     * identical), and the prepared state. May run concurrently for
+     * different leaves; the state is only valid during the call.
+     */
+    using LeafFn = std::function<void(const std::vector<std::size_t> &,
+                                      const Statevector &)>;
+
+    /**
+     * Prepare every probe's state, sharing prefixes, and invoke `fn`
+     * once per leaf. Sibling subtrees run on the global thread pool;
+     * buffers are checked out of `pool`.
+     */
+    void execute(StatevectorPool &pool, const LeafFn &fn) const;
+
+  private:
+    struct Node
+    {
+        std::size_t opBegin = 0;
+        std::size_t opEnd = 0;
+        /** Probe whose theta binds this node's ops (all probes under
+         * the node agree on them). */
+        std::size_t representative = 0;
+        /** Leaf payload: probes realized by this node's state. */
+        std::vector<std::size_t> probes;
+        std::vector<std::size_t> children;
+    };
+
+    std::size_t buildNode(std::vector<std::size_t> probe_set,
+                          std::size_t op_begin);
+    void executeNode(std::size_t index, StatevectorPool::Lease lease,
+                     StatevectorPool &pool, const LeafFn &fn) const;
+
+    std::shared_ptr<const CompiledCircuit> program_;
+    const std::vector<std::vector<double>> *thetas_;
+    std::uint64_t initialBits_;
+    std::vector<Node> nodes_;
+    EvalPlanStats stats_;
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_SIM_EVAL_PLAN_H
