@@ -30,6 +30,7 @@
 #include "sim/expectation.h"
 #include "sim/reference_kernels.h"
 #include "sim/workspace_pool.h"
+#include "svc/job_scheduler.h"
 
 using namespace treevqa;
 
@@ -365,6 +366,48 @@ benchClusterObjective()
 }
 
 void
+benchSchedulerThroughput()
+{
+    // Scheduler overhead series: a fixed 16-job sweep of tiny
+    // scenarios (6-qubit TFIM, 1-layer HEA, 6 SPSA iterations,
+    // in-memory — no store/checkpoint I/O) run at 1/2/4/8 pool lanes.
+    // The ref column is the 1-lane time, so "speedup" is the
+    // scheduler's parallel scaling (~1.0x on a single-core
+    // container); the jobs/sec trajectory tracks per-job dispatch
+    // overhead across PRs.
+    JsonValue request = JsonValue::object();
+    request.set("name", JsonValue("bench"));
+    request.set("problem", JsonValue("tfim"));
+    request.set("size", JsonValue(std::int64_t{6}));
+    request.set("ansatz", JsonValue("hea"));
+    request.set("layers", JsonValue(std::int64_t{1}));
+    request.set("maxIterations", JsonValue(std::int64_t{6}));
+    request.set("checkpointInterval", JsonValue(std::int64_t{0}));
+    JsonValue fields = JsonValue::array();
+    for (int j = 0; j < 16; ++j)
+        fields.push_back(JsonValue(0.5 + 0.1 * j));
+    JsonValue sweep = JsonValue::object();
+    sweep.set("field", std::move(fields));
+    request.set("sweep", std::move(sweep));
+    const std::vector<ScenarioSpec> specs = expandScenarios(request);
+
+    double ref = 0.0;
+    for (const int lanes : {1, 2, 4, 8}) {
+        ThreadPool::global().resize(static_cast<std::size_t>(lanes));
+        const double ns = timeNs([&] {
+            const SweepResult sweep_result =
+                JobScheduler().run(specs);
+            (void)sweep_result;
+        });
+        if (lanes == 1)
+            ref = ns;
+        record("scheduler_throughput_" + std::to_string(lanes), 6, ns,
+               ref);
+    }
+    ThreadPool::global().resize(0); // back to the machine default
+}
+
+void
 writeJson(const std::string &path)
 {
     std::ofstream out(path);
@@ -407,6 +450,7 @@ main()
     benchBatchedEvaluation();
     benchCompiledPrepSharedPrefix();
     benchPaulpropSharded(10);
+    benchSchedulerThroughput();
     writeJson("BENCH_micro_kernels.json");
     std::printf("wrote BENCH_micro_kernels.json (%zu entries)\n",
                 g_results.size());

@@ -1,82 +1,89 @@
 /**
  * @file
  * Potential-energy-surface scan of H2 — the paper's motivating
- * application (Section 2.3): many VQA tasks, one per molecular
- * geometry, whose ground energies form the PES.
+ * application (Section 2.3), expressed as a declarative sweep on the
+ * scenario-orchestration runtime (src/svc/).
  *
- * Everything here is ab initio and from this repository: STO-3G
- * integrals, Hartree-Fock, Jordan-Wigner (src/chem), the minimal UCCSD
- * ansatz, and TreeVQA execution. The printed table compares the
- * Hartree-Fock reference, the TreeVQA/VQE energy and the exact (FCI)
- * energy at every bond length.
+ * One ScenarioSpec template sweeps the bond length over 9 geometries;
+ * expandScenarios() fans it into 9 independent jobs that the
+ * JobScheduler runs over the shared thread pool (concurrency =
+ * TREEVQA_NUM_THREADS). Each job is ab initio from this repository:
+ * STO-3G integrals, Hartree-Fock, Jordan-Wigner (src/chem), the
+ * minimal UCCSD ansatz, with the FCI reference solved per job
+ * (computeReference) for the fidelity column. The printed table
+ * compares the Hartree-Fock reference, the VQE energy and the exact
+ * (FCI) energy at every bond length.
  *
- *   $ ./pes_scan
+ *   $ ./example_pes_scan
+ *
+ * The same sweep runs from the command line (plus checkpoint/resume
+ * and the JSONL result store) via:
+ *
+ *   $ treevqa_run pes.json --out pes_out
  */
 
 #include <cstdio>
 
 #include "chem/molecule.h"
-#include "circuit/uccsd_min.h"
-#include "core/tree_controller.h"
-#include "opt/spsa.h"
+#include "svc/job_scheduler.h"
 
 using namespace treevqa;
 
 int
 main()
 {
-    // Geometry grid: 9 bond lengths through the equilibrium well.
-    std::vector<double> bonds;
+    // Geometry grid: 9 bond lengths through the equilibrium well,
+    // declared as one swept spec instead of a hand-rolled loop.
+    JsonValue bonds = JsonValue::array();
     for (int k = 0; k < 9; ++k)
-        bonds.push_back(0.50 + 0.15 * k);
+        bonds.push_back(JsonValue(0.50 + 0.15 * k));
 
-    std::vector<VqaTask> tasks;
-    std::vector<double> hf_energies;
-    for (double bond : bonds) {
-        const MoleculeProblem mol = buildH2(bond);
-        VqaTask task;
-        task.name = "H2@" + std::to_string(bond).substr(0, 4);
-        task.hamiltonian = mol.hamiltonian;
-        task.initialBits = mol.hartreeFockBits;
-        tasks.push_back(std::move(task));
-        hf_energies.push_back(mol.hartreeFockEnergy);
-    }
-    solveGroundEnergies(tasks); // FCI references via Lanczos
+    JsonValue request = JsonValue::object();
+    request.set("name", JsonValue("h2-pes"));
+    request.set("problem", JsonValue("h2"));
+    request.set("ansatz", JsonValue("uccsd_min"));
+    JsonValue optimizer = JsonValue::object();
+    optimizer.set("name", JsonValue("spsa"));
+    optimizer.set("a", JsonValue(0.1));
+    optimizer.set("maxStepNorm", JsonValue(0.3));
+    request.set("optimizer", std::move(optimizer));
+    request.set("maxIterations", JsonValue(std::int64_t{200}));
+    request.set("seed", JsonValue(std::uint64_t{17}));
+    request.set("computeReference", JsonValue(true));
+    JsonValue sweep = JsonValue::object();
+    sweep.set("bond", std::move(bonds));
+    request.set("sweep", std::move(sweep));
 
-    const Ansatz ansatz = makeUccsdMinimalAnsatz();
-    SpsaConfig sc;
-    sc.a = 0.1;
-    sc.maxStepNorm = 0.3;
-    Spsa optimizer(sc, 5);
-
-    TreeVqaConfig config;
-    config.shotBudget = 1ull << 62;
-    config.maxRounds = 200;
-    config.seed = 17;
-    TreeController controller(tasks, ansatz, optimizer, config);
-    const TreeVqaResult result = controller.run();
+    const std::vector<ScenarioSpec> specs = expandScenarios(request);
+    const SweepResult sweep_result = JobScheduler().run(specs);
 
     std::printf("H2 potential energy surface (STO-3G, Hartree)\n");
     std::printf("%-8s %-12s %-12s %-12s %-10s\n", "R (A)", "E_HF",
-                "E_TreeVQA", "E_FCI", "fidelity");
-    for (std::size_t i = 0; i < tasks.size(); ++i)
+                "E_VQE", "E_FCI", "fidelity");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const JobResult &job = sweep_result.jobs[i];
+        // Hartree-Fock column from the same ab initio pipeline the
+        // job's Hamiltonian came from.
+        const double hf =
+            buildH2(specs[i].bond).hartreeFockEnergy;
         std::printf("%-8.3f %-12.6f %-12.6f %-12.6f %-10.5f\n",
-                    bonds[i], hf_energies[i],
-                    result.outcomes[i].bestEnergy,
-                    tasks[i].groundEnergy,
-                    result.outcomes[i].fidelity);
+                    specs[i].bond, hf, job.finalEnergy,
+                    job.groundEnergy, job.fidelity);
+    }
 
     // Locate the equilibrium bond from the VQE surface.
     std::size_t min_idx = 0;
-    for (std::size_t i = 1; i < tasks.size(); ++i)
-        if (result.outcomes[i].bestEnergy
-            < result.outcomes[min_idx].bestEnergy)
+    for (std::size_t i = 1; i < sweep_result.jobs.size(); ++i)
+        if (sweep_result.jobs[i].finalEnergy
+            < sweep_result.jobs[min_idx].finalEnergy)
             min_idx = i;
     std::printf("\nVQE equilibrium bond: %.3f A (literature 0.735 A "
-                "for STO-3G FCI)\n", bonds[min_idx]);
-    std::printf("total shots: %.3e across %zu geometries "
-                "(%d splits)\n",
-                static_cast<double>(result.totalShots), tasks.size(),
-                result.splitCount);
+                "for STO-3G FCI)\n", specs[min_idx].bond);
+
+    std::uint64_t total_shots = 0;
+    for (const JobResult &job : sweep_result.jobs)
+        total_shots += job.shotsUsed;
+    std::printf("total shots: %.3e across %zu geometries\n",
+                static_cast<double>(total_shots), specs.size());
     return 0;
 }

@@ -1,6 +1,9 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <stdexcept>
+
+#include "common/json.h"
 
 namespace treevqa {
 
@@ -192,6 +195,52 @@ Rng
 Rng::split()
 {
     return Rng(nextU64() ^ 0xdeadbeefcafef00dull);
+}
+
+RngState
+Rng::state() const
+{
+    RngState out;
+    out.s = {s_[0], s_[1], s_[2], s_[3]};
+    out.hasCachedNormal = hasCachedNormal_;
+    out.cachedNormal = cachedNormal_;
+    return out;
+}
+
+void
+Rng::setState(const RngState &state)
+{
+    for (std::size_t i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    hasCachedNormal_ = state.hasCachedNormal;
+    cachedNormal_ = state.cachedNormal;
+}
+
+JsonValue
+rngStateToJson(const RngState &state)
+{
+    JsonValue out = JsonValue::object();
+    JsonValue words = JsonValue::array();
+    for (const std::uint64_t w : state.s)
+        words.push_back(JsonValue(w));
+    out.set("s", std::move(words));
+    out.set("hasCachedNormal", JsonValue(state.hasCachedNormal));
+    out.set("cachedNormal", JsonValue(state.cachedNormal));
+    return out;
+}
+
+RngState
+rngStateFromJson(const JsonValue &json)
+{
+    RngState state;
+    const auto &words = json.at("s").asArray();
+    if (words.size() != state.s.size())
+        throw std::runtime_error("rng state: expected 4 words");
+    for (std::size_t i = 0; i < state.s.size(); ++i)
+        state.s[i] = words[i].asUint();
+    state.hasCachedNormal = json.at("hasCachedNormal").asBool();
+    state.cachedNormal = json.at("cachedNormal").asDouble();
+    return state;
 }
 
 } // namespace treevqa

@@ -12,10 +12,30 @@
 #ifndef TREEVQA_COMMON_RNG_H
 #define TREEVQA_COMMON_RNG_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace treevqa {
+
+/**
+ * Complete serializable generator state: the xoshiro256** words plus
+ * the Box-Muller cache. Restoring it reproduces the exact continuation
+ * of the stream — the checkpoint/resume contract of the orchestration
+ * runtime.
+ */
+struct RngState
+{
+    std::array<std::uint64_t, 4> s{};
+    bool hasCachedNormal = false;
+    double cachedNormal = 0.0;
+};
+
+class JsonValue;
+
+/** Exact (bit-preserving) JSON round-trip of a generator snapshot. */
+JsonValue rngStateToJson(const RngState &state);
+RngState rngStateFromJson(const JsonValue &json);
 
 /**
  * Small, fast, high-quality PRNG (xoshiro256**).
@@ -79,6 +99,12 @@ class Rng
      * the random sequence of siblings.
      */
     Rng split();
+
+    /** Snapshot the full generator state (serializable). */
+    RngState state() const;
+
+    /** Restore a snapshot taken with state(). */
+    void setState(const RngState &state);
 
   private:
     std::uint64_t s_[4];

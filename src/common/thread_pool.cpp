@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace treevqa {
@@ -8,18 +11,55 @@ namespace {
 
 thread_local bool t_onWorker = false;
 
+/** Hard cap on TREEVQA_NUM_THREADS: a pool this wide never helps and
+ * an absurd request ("1e9", a typo'd pid) would exhaust the OS. */
+constexpr long kMaxEnvThreads = 512;
+
 } // namespace
 
 std::size_t
 defaultThreadCount()
 {
-    if (const char *env = std::getenv("TREEVQA_NUM_THREADS")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n > 0)
-            return static_cast<std::size_t>(n);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    const std::size_t fallback = hw > 0 ? hw : 1;
+
+    const char *env = std::getenv("TREEVQA_NUM_THREADS");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+
+    // Strict parse: an integer, optionally surrounded by whitespace,
+    // and nothing else. Anything malformed ("abc", "4x", "", "2.5")
+    // falls back to the hardware default with a warning instead of the
+    // old silent strtol prefix behavior.
+    char *end = nullptr;
+    errno = 0;
+    const long n = std::strtol(env, &end, 10);
+    const bool overflow = errno == ERANGE;
+    while (end != nullptr && *end != '\0'
+           && std::isspace(static_cast<unsigned char>(*end)))
+        ++end;
+    if (end == env || (end != nullptr && *end != '\0')) {
+        std::fprintf(stderr,
+                     "treevqa: ignoring non-numeric TREEVQA_NUM_THREADS"
+                     "=\"%s\" (using %zu)\n",
+                     env, fallback);
+        return fallback;
+    }
+    if (overflow || n > kMaxEnvThreads) {
+        std::fprintf(stderr,
+                     "treevqa: clamping TREEVQA_NUM_THREADS=\"%s\" to "
+                     "%ld\n",
+                     env, kMaxEnvThreads);
+        return static_cast<std::size_t>(kMaxEnvThreads);
+    }
+    if (n <= 0) {
+        std::fprintf(stderr,
+                     "treevqa: ignoring non-positive TREEVQA_NUM_THREADS"
+                     "=\"%s\" (using %zu)\n",
+                     env, fallback);
+        return fallback;
+    }
+    return static_cast<std::size_t>(n);
 }
 
 ThreadPool::ThreadPool(std::size_t threads)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "linalg/matrix.h"
 
@@ -138,6 +139,45 @@ std::unique_ptr<IterativeOptimizer>
 Cobyla::cloneConfig() const
 {
     return std::make_unique<Cobyla>(config_);
+}
+
+JsonValue
+Cobyla::saveState() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("optimizer", JsonValue(name()));
+    out.set("rho", JsonValue(rho_));
+    JsonValue points = JsonValue::array();
+    for (const auto &p : points_)
+        points.push_back(paramsToJson(p));
+    out.set("points", std::move(points));
+    out.set("values", paramsToJson(values_));
+    out.set("best", paramsToJson(best_));
+    out.set("bestValue", JsonValue(bestValue_));
+    out.set("simplexBuilt", JsonValue(simplexBuilt_));
+    out.set("k", JsonValue(static_cast<std::int64_t>(k_)));
+    out.set("lastEvals",
+            JsonValue(static_cast<std::int64_t>(lastEvals_)));
+    return out;
+}
+
+void
+Cobyla::loadState(const JsonValue &state)
+{
+    if (state.at("optimizer").asString() != name())
+        throw std::runtime_error("COBYLA: checkpoint holds "
+                                 + state.at("optimizer").asString()
+                                 + " state");
+    rho_ = state.at("rho").asDouble();
+    points_.clear();
+    for (const JsonValue &p : state.at("points").asArray())
+        points_.push_back(paramsFromJson(p));
+    values_ = paramsFromJson(state.at("values"));
+    best_ = paramsFromJson(state.at("best"));
+    bestValue_ = state.at("bestValue").asDouble();
+    simplexBuilt_ = state.at("simplexBuilt").asBool();
+    k_ = static_cast<int>(state.at("k").asInt());
+    lastEvals_ = static_cast<int>(state.at("lastEvals").asInt());
 }
 
 } // namespace treevqa

@@ -53,6 +53,8 @@ class Cobyla : public IterativeOptimizer
     int iteration() const override { return k_; }
     std::string name() const override { return "COBYLA"; }
     std::unique_ptr<IterativeOptimizer> cloneConfig() const override;
+    JsonValue saveState() const override;
+    void loadState(const JsonValue &state) override;
 
     double rho() const { return rho_; }
     bool converged() const { return rho_ <= config_.rhoEnd; }

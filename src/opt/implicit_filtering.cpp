@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace treevqa {
 
@@ -115,6 +116,37 @@ std::unique_ptr<IterativeOptimizer>
 ImplicitFiltering::cloneConfig() const
 {
     return std::make_unique<ImplicitFiltering>(config_);
+}
+
+JsonValue
+ImplicitFiltering::saveState() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("optimizer", JsonValue(name()));
+    out.set("x", paramsToJson(x_));
+    out.set("h", JsonValue(h_));
+    out.set("fx", jsonNumberOrNull(fx_));
+    out.set("haveFx", JsonValue(haveFx_));
+    out.set("k", JsonValue(static_cast<std::int64_t>(k_)));
+    out.set("lastEvals",
+            JsonValue(static_cast<std::int64_t>(lastEvals_)));
+    return out;
+}
+
+void
+ImplicitFiltering::loadState(const JsonValue &state)
+{
+    if (state.at("optimizer").asString() != name())
+        throw std::runtime_error("ImplicitFiltering: checkpoint holds "
+                                 + state.at("optimizer").asString()
+                                 + " state");
+    x_ = paramsFromJson(state.at("x"));
+    h_ = state.at("h").asDouble();
+    const JsonValue &fx = state.at("fx");
+    fx_ = fx.isNull() ? 0.0 : fx.asDouble();
+    haveFx_ = state.at("haveFx").asBool();
+    k_ = static_cast<int>(state.at("k").asInt());
+    lastEvals_ = static_cast<int>(state.at("lastEvals").asInt());
 }
 
 } // namespace treevqa

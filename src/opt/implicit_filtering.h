@@ -58,6 +58,8 @@ class ImplicitFiltering : public IterativeOptimizer
     int iteration() const override { return k_; }
     std::string name() const override { return "ImplicitFiltering"; }
     std::unique_ptr<IterativeOptimizer> cloneConfig() const override;
+    JsonValue saveState() const override;
+    void loadState(const JsonValue &state) override;
 
     /** Current stencil width (the cluster-granularity signal of
      * Section 9.2). */

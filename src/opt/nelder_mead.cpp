@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 #include <numeric>
 
 namespace treevqa {
@@ -160,6 +161,41 @@ std::unique_ptr<IterativeOptimizer>
 NelderMead::cloneConfig() const
 {
     return std::make_unique<NelderMead>(config_);
+}
+
+JsonValue
+NelderMead::saveState() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("optimizer", JsonValue(name()));
+    JsonValue points = JsonValue::array();
+    for (const auto &p : points_)
+        points.push_back(paramsToJson(p));
+    out.set("points", std::move(points));
+    out.set("values", paramsToJson(values_));
+    out.set("best", paramsToJson(best_));
+    out.set("simplexBuilt", JsonValue(simplexBuilt_));
+    out.set("k", JsonValue(static_cast<std::int64_t>(k_)));
+    out.set("lastEvals",
+            JsonValue(static_cast<std::int64_t>(lastEvals_)));
+    return out;
+}
+
+void
+NelderMead::loadState(const JsonValue &state)
+{
+    if (state.at("optimizer").asString() != name())
+        throw std::runtime_error("NelderMead: checkpoint holds "
+                                 + state.at("optimizer").asString()
+                                 + " state");
+    points_.clear();
+    for (const JsonValue &p : state.at("points").asArray())
+        points_.push_back(paramsFromJson(p));
+    values_ = paramsFromJson(state.at("values"));
+    best_ = paramsFromJson(state.at("best"));
+    simplexBuilt_ = state.at("simplexBuilt").asBool();
+    k_ = static_cast<int>(state.at("k").asInt());
+    lastEvals_ = static_cast<int>(state.at("lastEvals").asInt());
 }
 
 } // namespace treevqa

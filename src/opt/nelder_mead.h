@@ -48,6 +48,8 @@ class NelderMead : public IterativeOptimizer
     int iteration() const override { return k_; }
     std::string name() const override { return "NelderMead"; }
     std::unique_ptr<IterativeOptimizer> cloneConfig() const override;
+    JsonValue saveState() const override;
+    void loadState(const JsonValue &state) override;
 
     /** Current simplex spread max_i f_i - min_i f_i. */
     double simplexSpread() const;

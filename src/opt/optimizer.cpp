@@ -15,4 +15,23 @@ IterativeOptimizer::step(const Objective &objective)
         });
 }
 
+JsonValue
+paramsToJson(const std::vector<double> &values)
+{
+    JsonValue out = JsonValue::array();
+    for (const double v : values)
+        out.push_back(JsonValue(v));
+    return out;
+}
+
+std::vector<double>
+paramsFromJson(const JsonValue &array)
+{
+    std::vector<double> out;
+    out.reserve(array.asArray().size());
+    for (const JsonValue &v : array.asArray())
+        out.push_back(v.asDouble());
+    return out;
+}
+
 } // namespace treevqa

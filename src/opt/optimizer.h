@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+
 namespace treevqa {
 
 /** Objective callback: loss value at a parameter vector. */
@@ -96,7 +98,29 @@ class IterativeOptimizer
     /** Deep copy preserving the optimizer's configuration but NOT its
      * iterate (children re-reset with inherited parameters). */
     virtual std::unique_ptr<IterativeOptimizer> cloneConfig() const = 0;
+
+    /**
+     * Serialize the optimizer's complete *dynamic* state (iterate,
+     * iteration counter, simplex/stencil internals, private RNG) as a
+     * JSON object. Hyperparameters are NOT included: they belong to
+     * construction, so a checkpoint is restored into an instance built
+     * from the same spec. The contract — the basis of bit-identical
+     * checkpoint resume — is that
+     *     b.loadState(a.saveState())
+     * makes b produce exactly the evaluation requests and iterates a
+     * would have produced from that point on, bit for bit.
+     */
+    virtual JsonValue saveState() const = 0;
+
+    /** Restore a snapshot taken by saveState() on an instance with the
+     * same configuration. Throws std::runtime_error on malformed or
+     * mismatched state. */
+    virtual void loadState(const JsonValue &state) = 0;
 };
+
+/** saveState/loadState helpers shared by the shipped optimizers. */
+JsonValue paramsToJson(const std::vector<double> &values);
+std::vector<double> paramsFromJson(const JsonValue &array);
 
 } // namespace treevqa
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace treevqa {
 
@@ -71,6 +72,29 @@ Spsa::stepBatch(const BatchObjective &objective)
 
     ++k_;
     return 0.5 * (lp + lm);
+}
+
+JsonValue
+Spsa::saveState() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("optimizer", JsonValue(name()));
+    out.set("x", paramsToJson(x_));
+    out.set("k", JsonValue(static_cast<std::int64_t>(k_)));
+    out.set("rng", rngStateToJson(rng_.state()));
+    return out;
+}
+
+void
+Spsa::loadState(const JsonValue &state)
+{
+    if (state.at("optimizer").asString() != name())
+        throw std::runtime_error("SPSA: checkpoint holds "
+                                 + state.at("optimizer").asString()
+                                 + " state");
+    x_ = paramsFromJson(state.at("x"));
+    k_ = static_cast<int>(state.at("k").asInt());
+    rng_.setState(rngStateFromJson(state.at("rng")));
 }
 
 std::unique_ptr<IterativeOptimizer>

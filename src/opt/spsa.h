@@ -51,6 +51,10 @@ class Spsa : public IterativeOptimizer
     int iteration() const override { return k_; }
     std::string name() const override { return "SPSA"; }
     std::unique_ptr<IterativeOptimizer> cloneConfig() const override;
+    /** Dynamic state incl. the private perturbation RNG (resume must
+     * replay the exact Rademacher sequence). */
+    JsonValue saveState() const override;
+    void loadState(const JsonValue &state) override;
 
     const SpsaConfig &config() const { return config_; }
 

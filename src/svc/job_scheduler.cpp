@@ -1,0 +1,104 @@
+#include "svc/job_scheduler.h"
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+
+namespace treevqa {
+
+JobScheduler::JobScheduler(SchedulerConfig config)
+    : config_(std::move(config))
+{
+}
+
+std::string
+JobScheduler::resultStorePath() const
+{
+    if (config_.outDir.empty())
+        return "";
+    return (std::filesystem::path(config_.outDir) / "results.jsonl")
+        .string();
+}
+
+std::string
+JobScheduler::checkpointPathFor(const ScenarioSpec &spec) const
+{
+    if (config_.outDir.empty())
+        return "";
+    return (std::filesystem::path(config_.outDir) / "checkpoints"
+            / (scenarioFingerprint(spec) + ".json"))
+        .string();
+}
+
+SweepResult
+JobScheduler::run(const std::vector<ScenarioSpec> &specs)
+{
+    // Fingerprints key checkpoints and store records; duplicates would
+    // alias state across jobs, so reject them up front.
+    std::map<std::string, std::string> seen;
+    std::vector<std::string> fingerprints;
+    fingerprints.reserve(specs.size());
+    for (const ScenarioSpec &spec : specs) {
+        std::string fp = scenarioFingerprint(spec);
+        const auto [it, inserted] = seen.emplace(fp, spec.name);
+        if (!inserted)
+            throw std::invalid_argument(
+                "scheduler: specs \"" + it->second + "\" and \""
+                + spec.name + "\" are identical (fingerprint " + fp
+                + "); de-duplicate the sweep");
+        fingerprints.push_back(std::move(fp));
+    }
+
+    SweepResult sweep;
+    sweep.jobs.resize(specs.size());
+
+    std::unique_ptr<ResultStore> store;
+    std::map<std::string, JobResult> recorded;
+    if (!config_.outDir.empty()) {
+        std::filesystem::create_directories(
+            std::filesystem::path(config_.outDir) / "checkpoints");
+        store = std::make_unique<ResultStore>(resultStorePath());
+        if (config_.resume)
+            for (JobResult &record : store->load())
+                if (record.completed)
+                    recorded.emplace(record.fingerprint,
+                                     std::move(record));
+    }
+
+    // Partition into skipped (already recorded) and pending jobs.
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto it = recorded.find(fingerprints[i]);
+        if (it != recorded.end()) {
+            sweep.jobs[i] = it->second;
+            ++sweep.skipped;
+        } else {
+            pending.push_back(i);
+        }
+    }
+    sweep.executed = pending.size();
+
+    // One pool run is the whole scheduling loop: lanes claim jobs
+    // dynamically, inner probe batches evaluate inline on the same
+    // lanes. Job results are keyed by index, and each job's streams
+    // derive from its spec, so concurrency and completion order
+    // cannot change any record.
+    ThreadPool::global().run(pending.size(), [&](std::size_t p) {
+        const std::size_t index = pending[p];
+        ScenarioRunOptions options;
+        options.checkpointPath = checkpointPathFor(specs[index]);
+        options.onCheckpoint = config_.onCheckpoint;
+        options.haltAfterIterations = config_.haltJobsAfterIterations;
+        JobResult result = runScenario(specs[index], options);
+        if (store && result.completed)
+            store->append(result);
+        sweep.jobs[index] = std::move(result);
+    });
+
+    return sweep;
+}
+
+} // namespace treevqa

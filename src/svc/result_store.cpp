@@ -1,0 +1,206 @@
+#include "svc/result_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace treevqa {
+
+namespace {
+
+/** The summary views walk records sorted by job name so their output
+ * is independent of completion order. */
+std::vector<const JobResult *>
+sortedByName(const std::vector<JobResult> &results)
+{
+    std::vector<const JobResult *> sorted;
+    sorted.reserve(results.size());
+    for (const JobResult &r : results)
+        sorted.push_back(&r);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const JobResult *a, const JobResult *b) {
+                  return a->spec.name < b->spec.name;
+              });
+    return sorted;
+}
+
+} // namespace
+
+JsonValue
+jobResultToJson(const JobResult &result)
+{
+    JsonValue out = JsonValue::object();
+    out.set("name", JsonValue(result.spec.name));
+    out.set("fingerprint", JsonValue(result.fingerprint));
+    out.set("spec", scenarioToJson(result.spec));
+    out.set("completed", JsonValue(result.completed));
+    out.set("resumed", JsonValue(result.resumed));
+    out.set("backend", JsonValue(result.backend));
+    out.set("iterations",
+            JsonValue(static_cast<std::int64_t>(result.iterations)));
+    out.set("shotsUsed", JsonValue(result.shotsUsed));
+    out.set("bestLoss", jsonNumberOrNull(result.bestLoss));
+    out.set("finalEnergy", jsonNumberOrNull(result.finalEnergy));
+    out.set("groundEnergy", jsonNumberOrNull(result.groundEnergy));
+    out.set("fidelity", jsonNumberOrNull(result.fidelity));
+    out.set("trajectory", paramsToJson(result.trajectory));
+    out.set("bestParams", paramsToJson(result.bestParams));
+    out.set("wallSeconds", JsonValue(result.wallSeconds));
+    return out;
+}
+
+JobResult
+jobResultFromJson(const JsonValue &json)
+{
+    JobResult result;
+    result.spec = scenarioFromJson(json.at("spec"));
+    result.fingerprint = json.at("fingerprint").asString();
+    result.completed = json.at("completed").asBool();
+    result.resumed = json.at("resumed").asBool();
+    result.backend = json.at("backend").asString();
+    result.iterations = static_cast<int>(json.at("iterations").asInt());
+    result.shotsUsed = json.at("shotsUsed").asUint();
+    const auto number_or_nan = [&](const char *key) {
+        const JsonValue &v = json.at(key);
+        return v.isNull() ? std::numeric_limits<double>::quiet_NaN()
+                          : v.asDouble();
+    };
+    result.bestLoss = number_or_nan("bestLoss");
+    result.finalEnergy = number_or_nan("finalEnergy");
+    result.groundEnergy = number_or_nan("groundEnergy");
+    result.fidelity = number_or_nan("fidelity");
+    result.trajectory = paramsFromJson(json.at("trajectory"));
+    result.bestParams = paramsFromJson(json.at("bestParams"));
+    result.wallSeconds = json.at("wallSeconds").asDouble();
+    return result;
+}
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {}
+
+std::vector<JobResult>
+ResultStore::load() const
+{
+    std::vector<JobResult> records;
+    std::ifstream in(path_);
+    if (!in)
+        return records;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line.empty())
+            continue;
+        try {
+            records.push_back(
+                jobResultFromJson(JsonValue::parse(line)));
+        } catch (const std::exception &e) {
+            // Most likely the torn final line of a killed writer;
+            // resume re-runs that job from its checkpoint.
+            std::fprintf(stderr,
+                         "treevqa: skipping corrupt record %s:%zu "
+                         "(%s)\n",
+                         path_.c_str(), line_number, e.what());
+        }
+    }
+    return records;
+}
+
+void
+ResultStore::append(const JobResult &result)
+{
+    const std::string line = jobResultToJson(result).dump();
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A kill mid-append leaves a torn line without a newline; sealing
+    // it first keeps the new record on its own line instead of
+    // merging with (and corrupting) the fragment.
+    bool seal_torn_line = false;
+    {
+        std::ifstream check(path_, std::ios::binary | std::ios::ate);
+        if (check && check.tellg() > 0) {
+            check.seekg(-1, std::ios::end);
+            char last = '\n';
+            check.get(last);
+            seal_torn_line = last != '\n';
+        }
+    }
+    std::ofstream out(path_, std::ios::app);
+    if (!out)
+        throw std::runtime_error("result store: cannot append to "
+                                 + path_);
+    if (seal_torn_line)
+        out << '\n';
+    out << line << '\n';
+    out.flush();
+    if (!out)
+        throw std::runtime_error("result store: write failed: " + path_);
+}
+
+JsonValue
+sweepSummaryJson(const std::vector<JobResult> &results)
+{
+    const std::vector<const JobResult *> sorted = sortedByName(results);
+    JsonValue out = JsonValue::object();
+    std::uint64_t total_shots = 0;
+    std::int64_t total_iterations = 0;
+    std::size_t completed = 0;
+    JsonValue jobs = JsonValue::array();
+    for (const JobResult *r : sorted) {
+        total_shots += r->shotsUsed;
+        total_iterations += r->iterations;
+        completed += r->completed ? 1 : 0;
+        JsonValue entry = JsonValue::object();
+        entry.set("name", JsonValue(r->spec.name));
+        entry.set("fingerprint", JsonValue(r->fingerprint));
+        entry.set("backend", JsonValue(r->backend));
+        entry.set("completed", JsonValue(r->completed));
+        entry.set("iterations",
+                  JsonValue(static_cast<std::int64_t>(r->iterations)));
+        entry.set("shotsUsed", JsonValue(r->shotsUsed));
+        entry.set("bestLoss", jsonNumberOrNull(r->bestLoss));
+        entry.set("finalEnergy", jsonNumberOrNull(r->finalEnergy));
+        entry.set("fidelity", jsonNumberOrNull(r->fidelity));
+        jobs.push_back(std::move(entry));
+    }
+    out.set("jobs", JsonValue(static_cast<std::uint64_t>(results.size())));
+    out.set("completedJobs",
+            JsonValue(static_cast<std::uint64_t>(completed)));
+    out.set("totalIterations", JsonValue(total_iterations));
+    out.set("totalShots", JsonValue(total_shots));
+    out.set("records", std::move(jobs));
+    return out;
+}
+
+std::string
+sweepSummaryText(const std::vector<JobResult> &results)
+{
+    const std::vector<const JobResult *> sorted = sortedByName(results);
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-32s %-12s %6s %12s %14s %9s\n",
+                  "job", "backend", "iters", "shots", "energy",
+                  "wall(s)");
+    out += line;
+    double total_wall = 0.0;
+    std::uint64_t total_shots = 0;
+    for (const JobResult *r : sorted) {
+        total_wall += r->wallSeconds;
+        total_shots += r->shotsUsed;
+        std::snprintf(line, sizeof(line),
+                      "%-32s %-12s %6d %12llu %14.8f %9.3f%s\n",
+                      r->spec.name.c_str(), r->backend.c_str(),
+                      r->iterations,
+                      static_cast<unsigned long long>(r->shotsUsed),
+                      r->finalEnergy, r->wallSeconds,
+                      r->completed ? "" : "  [halted]");
+        out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%zu jobs, %.3e shots, %.3f s total wall\n",
+                  results.size(), static_cast<double>(total_shots),
+                  total_wall);
+    out += line;
+    return out;
+}
+
+} // namespace treevqa

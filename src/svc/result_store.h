@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ResultStore: the append-only JSONL record of scenario jobs, plus the
+ * aggregate sweep summary.
+ *
+ * Each completed job appends exactly one JSON object per line (spec +
+ * fingerprint, energy trajectory, evaluation counts, wall time,
+ * backend). Lines are written under a mutex and flushed per record,
+ * so a killed sweep loses at most the line being written; load()
+ * tolerates a truncated trailing line, which together with the
+ * scheduler's fingerprint skip makes the store the job-level resume
+ * ledger.
+ *
+ * Line *order* is completion order (nondeterministic under a
+ * concurrent scheduler); record *content* is deterministic except for
+ * wallSeconds. sweepSummaryJson() is the canonical deterministic
+ * view: records sorted by job name with timing excluded — two runs of
+ * the same sweep must produce byte-identical summaries.
+ */
+
+#ifndef TREEVQA_SVC_RESULT_STORE_H
+#define TREEVQA_SVC_RESULT_STORE_H
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/scenario_runner.h"
+
+namespace treevqa {
+
+/** JobResult <-> one JSONL record. */
+JsonValue jobResultToJson(const JobResult &result);
+JobResult jobResultFromJson(const JsonValue &json);
+
+/** Append-only JSONL file of job records. */
+class ResultStore
+{
+  public:
+    /** Opens lazily; the file is created on first append. */
+    explicit ResultStore(std::string path);
+
+    const std::string &path() const { return path_; }
+
+    /** Parse all stored records. A truncated or corrupt line (killed
+     * writer) is skipped with a warning instead of failing the
+     * resume. */
+    std::vector<JobResult> load() const;
+
+    /** Append one record as a single line and flush. Thread-safe. */
+    void append(const JobResult &result);
+
+  private:
+    std::string path_;
+    std::mutex mutex_;
+};
+
+/**
+ * Deterministic aggregate summary: jobs sorted by name, per-job
+ * energies/iterations/shots/backend, sweep totals. Contains no
+ * timing, so two runs of the same sweep (fresh, resumed, any
+ * concurrency) serialize byte-identically.
+ */
+JsonValue sweepSummaryJson(const std::vector<JobResult> &results);
+
+/** Human-readable per-job table + totals (includes wall time). */
+std::string sweepSummaryText(const std::vector<JobResult> &results);
+
+} // namespace treevqa
+
+#endif // TREEVQA_SVC_RESULT_STORE_H

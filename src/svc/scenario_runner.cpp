@@ -1,0 +1,240 @@
+#include "svc/scenario_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "core/objective.h"
+
+namespace treevqa {
+
+namespace {
+
+constexpr std::int64_t kCheckpointVersion = 1;
+
+/** Mutable loop state shared between fresh start, checkpoint save and
+ * restore. */
+struct RunState
+{
+    int iteration = 0;
+    std::uint64_t shots = 0;
+    std::vector<double> trajectory;
+    double bestLoss = std::numeric_limits<double>::infinity();
+    std::vector<double> bestParams;
+};
+
+JsonValue
+checkpointToJson(const std::string &fingerprint, const RunState &state,
+                 const IterativeOptimizer &optimizer, const Rng &rng)
+{
+    JsonValue out = JsonValue::object();
+    out.set("version", JsonValue(kCheckpointVersion));
+    out.set("fingerprint", JsonValue(fingerprint));
+    out.set("iteration",
+            JsonValue(static_cast<std::int64_t>(state.iteration)));
+    out.set("shots", JsonValue(state.shots));
+    out.set("trajectory", paramsToJson(state.trajectory));
+    out.set("bestLoss", jsonNumberOrNull(state.bestLoss));
+    out.set("bestParams", paramsToJson(state.bestParams));
+    out.set("optimizer", optimizer.saveState());
+    out.set("evalRng", rngStateToJson(rng.state()));
+    return out;
+}
+
+/** Atomic (tmp + rename) checkpoint write; a kill mid-write leaves
+ * the previous checkpoint intact. */
+void
+writeCheckpoint(const std::string &path, const JsonValue &checkpoint)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("checkpoint: cannot write " + tmp);
+        out << checkpoint.dump(2) << '\n';
+        out.flush();
+        if (!out)
+            throw std::runtime_error("checkpoint: write failed: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw std::runtime_error("checkpoint: rename failed: " + path);
+}
+
+/** Restore loop state from a checkpoint file. Returns false (fresh
+ * start) when the file is absent, unreadable, or belongs to a
+ * different spec. */
+bool
+tryRestore(const std::string &path, const std::string &fingerprint,
+           RunState &state, IterativeOptimizer &optimizer, Rng &rng)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    try {
+        const JsonValue checkpoint = JsonValue::parse(buffer.str());
+        if (checkpoint.at("version").asInt() != kCheckpointVersion)
+            throw std::runtime_error("unsupported checkpoint version");
+        if (checkpoint.at("fingerprint").asString() != fingerprint)
+            throw std::runtime_error(
+                "checkpoint belongs to a different spec");
+        RunState restored;
+        restored.iteration =
+            static_cast<int>(checkpoint.at("iteration").asInt());
+        restored.shots = checkpoint.at("shots").asUint();
+        restored.trajectory =
+            paramsFromJson(checkpoint.at("trajectory"));
+        const JsonValue &best = checkpoint.at("bestLoss");
+        restored.bestLoss = best.isNull()
+            ? std::numeric_limits<double>::infinity()
+            : best.asDouble();
+        restored.bestParams = paramsFromJson(checkpoint.at("bestParams"));
+        optimizer.loadState(checkpoint.at("optimizer"));
+        rng.setState(rngStateFromJson(checkpoint.at("evalRng")));
+        state = std::move(restored);
+        return true;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "treevqa: ignoring checkpoint %s (%s); restarting "
+                     "job from scratch\n",
+                     path.c_str(), e.what());
+        return false;
+    }
+}
+
+} // namespace
+
+JobResult
+runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    JobResult result;
+    result.spec = spec;
+    result.fingerprint = scenarioFingerprint(spec);
+
+    const VqaTask task = buildScenarioTask(spec);
+    const Ansatz ansatz =
+        buildScenarioAnsatz(spec, task).withInitialBits(task.initialBits);
+    ClusterObjective objective({task.hamiltonian}, ansatz, spec.engine);
+    result.backend = objective.backendName();
+    result.groundEnergy = task.groundEnergy;
+
+    auto optimizer = makeScenarioOptimizer(spec);
+    // The evaluation-noise stream: private to the job, derived from
+    // the spec seed, so results are independent of scheduling.
+    Rng eval_rng(deriveScenarioSeed(spec.seed, 0xe7a1));
+
+    RunState state;
+    if (!options.checkpointPath.empty()
+        && tryRestore(options.checkpointPath, result.fingerprint, state,
+                      *optimizer, eval_rng)) {
+        result.resumed = true;
+    } else {
+        // A failed restore may have partially applied loadState (e.g.
+        // a corrupt evalRng block after a valid optimizer block), and
+        // reset() does not re-seed private optimizer RNGs — rebuild
+        // from the spec so the fallback is a true fresh start.
+        optimizer = makeScenarioOptimizer(spec);
+        eval_rng = Rng(deriveScenarioSeed(spec.seed, 0xe7a1));
+        optimizer->reset(std::vector<double>(
+            static_cast<std::size_t>(ansatz.numParams()), 0.0));
+    }
+
+    const BatchObjective batch =
+        [&](const std::vector<std::vector<double>> &thetas) {
+            const std::vector<ClusterEvaluation> evals =
+                objective.evaluateBatch(thetas, eval_rng);
+            std::vector<double> losses;
+            losses.reserve(evals.size());
+            for (const ClusterEvaluation &eval : evals) {
+                state.shots += eval.shotsUsed;
+                losses.push_back(eval.mixedEnergy);
+            }
+            return losses;
+        };
+
+    const std::uint64_t step_bound =
+        static_cast<std::uint64_t>(optimizer->maxEvalsPerStep())
+        * objective.evalCost();
+    const bool checkpoints_enabled = !options.checkpointPath.empty()
+        && spec.checkpointInterval > 0;
+
+    int executed_this_call = 0;
+    bool halted = false;
+    while (state.iteration < spec.maxIterations) {
+        // The budget check uses the worst-case bound so the decision
+        // is identical whether or not the run was interrupted here.
+        if (spec.shotBudget != 0
+            && state.shots + step_bound > spec.shotBudget)
+            break;
+        const double loss = optimizer->stepBatch(batch);
+        ++state.iteration;
+        ++executed_this_call;
+        state.trajectory.push_back(loss);
+        if (loss < state.bestLoss) {
+            state.bestLoss = loss;
+            state.bestParams = optimizer->params();
+        }
+
+        if (checkpoints_enabled
+            && state.iteration % spec.checkpointInterval == 0
+            && state.iteration < spec.maxIterations) {
+            writeCheckpoint(options.checkpointPath,
+                            checkpointToJson(result.fingerprint, state,
+                                             *optimizer, eval_rng));
+            if (options.onCheckpoint)
+                options.onCheckpoint();
+        }
+        if (options.haltAfterIterations > 0
+            && executed_this_call >= options.haltAfterIterations
+            && state.iteration < spec.maxIterations) {
+            halted = true;
+            break;
+        }
+    }
+
+    result.iterations = state.iteration;
+    result.shotsUsed = state.shots;
+    result.trajectory = state.trajectory;
+    result.bestLoss = state.trajectory.empty()
+        ? std::numeric_limits<double>::quiet_NaN()
+        : state.bestLoss;
+    result.bestParams = state.bestParams;
+
+    if (halted) {
+        // Simulated kill: leave the checkpoint on disk, report the
+        // partial state without finalizing.
+        result.completed = false;
+        result.wallSeconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                          - t0)
+                .count();
+        return result;
+    }
+
+    const std::vector<double> &final_params =
+        state.bestParams.empty() ? optimizer->params()
+                                 : state.bestParams;
+    result.finalEnergy = objective.exactTaskEnergy(0, final_params);
+    if (task.hasGroundEnergy())
+        result.fidelity =
+            energyFidelity(result.finalEnergy, task.groundEnergy);
+    result.completed = true;
+
+    // The job is durably finished; its record supersedes the
+    // checkpoint.
+    if (!options.checkpointPath.empty())
+        std::remove(options.checkpointPath.c_str());
+
+    result.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    return result;
+}
+
+} // namespace treevqa

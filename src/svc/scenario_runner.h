@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ScenarioRunner: executes one ScenarioSpec as a checkpointed,
+ * deterministic optimization job.
+ *
+ * The runner materializes the spec (problem -> task, ansatz,
+ * ClusterObjective with the spec's EngineConfig, optimizer), then
+ * drives the optimizer one stepBatch at a time against the objective's
+ * parallel batched evaluation. Every random stream derives from the
+ * spec seed alone (deriveScenarioSeed), so a job's result is a pure
+ * function of its spec — independent of scheduler concurrency,
+ * completion order, and of whether the run was interrupted:
+ *
+ *  - **Checkpointing.** Every spec.checkpointInterval iterations the
+ *    full dynamic state — optimizer internals (saveState), the
+ *    evaluation-noise RNG, the shot ledger balance, the loss
+ *    trajectory and the best-so-far parameters — is serialized to a
+ *    per-job file (atomic tmp+rename, keyed by the spec fingerprint).
+ *  - **Resume.** When the checkpoint file exists and matches the
+ *    fingerprint, the runner restores it and continues; a resumed job
+ *    reaches bit-identical final energies to an uninterrupted run,
+ *    because JSON number round-trips are exact (common/json.h) and
+ *    the iteration loop re-executes the same evaluation sequence.
+ */
+
+#ifndef TREEVQA_SVC_SCENARIO_RUNNER_H
+#define TREEVQA_SVC_SCENARIO_RUNNER_H
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "svc/scenario_spec.h"
+
+namespace treevqa {
+
+/** The persistent record of one scenario job. */
+struct JobResult
+{
+    ScenarioSpec spec;
+    std::string fingerprint;
+    /** False when the run was halted before finishing (simulated
+     * kill); halted jobs are not finalized and not recorded. */
+    bool completed = false;
+    /** True when the run continued from a checkpoint file. */
+    bool resumed = false;
+    int iterations = 0;
+    std::uint64_t shotsUsed = 0;
+    /** Per-iteration noisy loss (the optimizer's view). */
+    std::vector<double> trajectory;
+    /** Lowest trajectory loss and the iterate that produced it. */
+    double bestLoss = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> bestParams;
+    /** Exact (noiseless) task energy at bestParams. */
+    double finalEnergy = std::numeric_limits<double>::quiet_NaN();
+    /** FCI reference and fidelity (NaN unless spec.computeReference). */
+    double groundEnergy = std::numeric_limits<double>::quiet_NaN();
+    double fidelity = std::numeric_limits<double>::quiet_NaN();
+    /** Resolved SimBackend registry name the job executed on. */
+    std::string backend;
+    /** Wall time spent in this process (not restored on resume;
+     * excluded from deterministic summaries). */
+    double wallSeconds = 0.0;
+};
+
+/** Per-run knobs orthogonal to the spec. */
+struct ScenarioRunOptions
+{
+    /** Checkpoint file path; empty disables checkpointing even when
+     * the spec asks for an interval. */
+    std::string checkpointPath;
+    /**
+     * Test/abort hook: stop (without finalizing, without deleting the
+     * checkpoint) after this many iterations *in this call* — the
+     * deterministic stand-in for a mid-job kill. 0 runs to
+     * completion.
+     */
+    int haltAfterIterations = 0;
+    /** Invoked after each durable checkpoint write (the CLI's
+     * --abort-after-checkpoints hook). */
+    std::function<void()> onCheckpoint;
+};
+
+/** Execute one scenario job (resuming from its checkpoint if one
+ * exists). Deterministic: the same spec always yields byte-identical
+ * energy records at any thread-pool size. */
+JobResult runScenario(const ScenarioSpec &spec,
+                      const ScenarioRunOptions &options = {});
+
+} // namespace treevqa
+
+#endif // TREEVQA_SVC_SCENARIO_RUNNER_H

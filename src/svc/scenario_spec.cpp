@@ -1,0 +1,443 @@
+#include "svc/scenario_spec.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "chem/molecule.h"
+#include "circuit/hardware_efficient.h"
+#include "circuit/ma_qaoa.h"
+#include "circuit/uccsd_min.h"
+#include "core/config_io.h"
+#include "ham/maxcut.h"
+#include "ham/spin_chains.h"
+
+namespace treevqa {
+
+namespace {
+
+const std::vector<std::string> kProblems = {"h2", "hchain", "tfim",
+                                            "xxz", "maxcut_ring"};
+const std::vector<std::string> kAnsaetze = {"hea", "uccsd_min",
+                                            "ma_qaoa", "qaoa"};
+const std::vector<std::string> kOptimizers = {
+    "spsa", "cobyla", "nelder_mead", "implicit_filtering"};
+
+const std::vector<std::string> kSpecKeys = {
+    "name",          "problem",       "size",
+    "bond",          "coupling",      "field",
+    "ansatz",        "layers",        "optimizer",
+    "engine",        "maxIterations", "shotBudget",
+    "seed",          "checkpointInterval", "computeReference"};
+
+void
+requireOneOf(const std::string &what, const std::string &value,
+             const std::vector<std::string> &valid)
+{
+    if (std::find(valid.begin(), valid.end(), value) != valid.end())
+        return;
+    throw std::invalid_argument("scenario: unknown " + what + " \""
+                                + value + "\" (valid: "
+                                + jsonJoinQuoted(valid) + ")");
+}
+
+JsonValue
+optimizerToJson(const ScenarioSpec &spec)
+{
+    JsonValue out = JsonValue::object();
+    out.set("name", JsonValue(spec.optimizer));
+    if (spec.optimizer == "spsa") {
+        out.set("a", JsonValue(spec.spsa.a));
+        out.set("c", JsonValue(spec.spsa.c));
+        out.set("bigA", JsonValue(spec.spsa.bigA));
+        out.set("alpha", JsonValue(spec.spsa.alpha));
+        out.set("gamma", JsonValue(spec.spsa.gamma));
+        out.set("maxStepNorm", JsonValue(spec.spsa.maxStepNorm));
+    } else if (spec.optimizer == "cobyla") {
+        out.set("rhoBegin", JsonValue(spec.cobyla.rhoBegin));
+        out.set("rhoEnd", JsonValue(spec.cobyla.rhoEnd));
+        out.set("shrink", JsonValue(spec.cobyla.shrink));
+    } else if (spec.optimizer == "nelder_mead") {
+        out.set("initialStep", JsonValue(spec.nelderMead.initialStep));
+        out.set("alpha", JsonValue(spec.nelderMead.alpha));
+        out.set("gamma", JsonValue(spec.nelderMead.gamma));
+        out.set("rho", JsonValue(spec.nelderMead.rho));
+        out.set("sigma", JsonValue(spec.nelderMead.sigma));
+    } else if (spec.optimizer == "implicit_filtering") {
+        out.set("initialStencil",
+                JsonValue(spec.implicitFiltering.initialStencil));
+        out.set("minStencil",
+                JsonValue(spec.implicitFiltering.minStencil));
+        out.set("shrink", JsonValue(spec.implicitFiltering.shrink));
+        out.set("lineSearchSteps",
+                JsonValue(static_cast<std::int64_t>(
+                    spec.implicitFiltering.lineSearchSteps)));
+    }
+    return out;
+}
+
+void
+optimizerFromJson(const JsonValue &json, ScenarioSpec &spec)
+{
+    if (json.isString()) {
+        // Shorthand: "optimizer": "cobyla" (all defaults).
+        spec.optimizer = json.asString();
+    } else {
+        spec.optimizer = json.at("name").asString();
+    }
+    requireOneOf("optimizer", spec.optimizer, kOptimizers);
+    if (json.isString())
+        return;
+    // Reject typo'd hyperparameters: each optimizer only accepts its
+    // own config keys.
+    if (spec.optimizer == "spsa")
+        jsonRejectUnknownKeys(
+            json, {"name", "a", "c", "bigA", "alpha", "gamma",
+                   "maxStepNorm"},
+            "optimizer spsa");
+    else if (spec.optimizer == "cobyla")
+        jsonRejectUnknownKeys(json,
+                              {"name", "rhoBegin", "rhoEnd", "shrink"},
+                              "optimizer cobyla");
+    else if (spec.optimizer == "nelder_mead")
+        jsonRejectUnknownKeys(
+            json, {"name", "initialStep", "alpha", "gamma", "rho",
+                   "sigma"},
+            "optimizer nelder_mead");
+    else if (spec.optimizer == "implicit_filtering")
+        jsonRejectUnknownKeys(
+            json, {"name", "initialStencil", "minStencil", "shrink",
+                   "lineSearchSteps"},
+            "optimizer implicit_filtering");
+    const auto opt = [&](const char *key, auto &&apply) {
+        jsonMaybe(json, key, apply);
+    };
+    if (spec.optimizer == "spsa") {
+        opt("a", [&](const JsonValue &v) { spec.spsa.a = v.asDouble(); });
+        opt("c", [&](const JsonValue &v) { spec.spsa.c = v.asDouble(); });
+        opt("bigA",
+            [&](const JsonValue &v) { spec.spsa.bigA = v.asDouble(); });
+        opt("alpha",
+            [&](const JsonValue &v) { spec.spsa.alpha = v.asDouble(); });
+        opt("gamma",
+            [&](const JsonValue &v) { spec.spsa.gamma = v.asDouble(); });
+        opt("maxStepNorm", [&](const JsonValue &v) {
+            spec.spsa.maxStepNorm = v.asDouble();
+        });
+    } else if (spec.optimizer == "cobyla") {
+        opt("rhoBegin", [&](const JsonValue &v) {
+            spec.cobyla.rhoBegin = v.asDouble();
+        });
+        opt("rhoEnd", [&](const JsonValue &v) {
+            spec.cobyla.rhoEnd = v.asDouble();
+        });
+        opt("shrink", [&](const JsonValue &v) {
+            spec.cobyla.shrink = v.asDouble();
+        });
+    } else if (spec.optimizer == "nelder_mead") {
+        opt("initialStep", [&](const JsonValue &v) {
+            spec.nelderMead.initialStep = v.asDouble();
+        });
+        opt("alpha", [&](const JsonValue &v) {
+            spec.nelderMead.alpha = v.asDouble();
+        });
+        opt("gamma", [&](const JsonValue &v) {
+            spec.nelderMead.gamma = v.asDouble();
+        });
+        opt("rho", [&](const JsonValue &v) {
+            spec.nelderMead.rho = v.asDouble();
+        });
+        opt("sigma", [&](const JsonValue &v) {
+            spec.nelderMead.sigma = v.asDouble();
+        });
+    } else if (spec.optimizer == "implicit_filtering") {
+        opt("initialStencil", [&](const JsonValue &v) {
+            spec.implicitFiltering.initialStencil = v.asDouble();
+        });
+        opt("minStencil", [&](const JsonValue &v) {
+            spec.implicitFiltering.minStencil = v.asDouble();
+        });
+        opt("shrink", [&](const JsonValue &v) {
+            spec.implicitFiltering.shrink = v.asDouble();
+        });
+        opt("lineSearchSteps", [&](const JsonValue &v) {
+            spec.implicitFiltering.lineSearchSteps =
+                static_cast<int>(v.asInt());
+        });
+    }
+}
+
+/** The spec's MaxCut instance: a ring with seed-derived weights, so
+ * the graph is a pure function of the spec (task builder and QAOA
+ * ansatz builder reconstruct the identical instance). */
+WeightedGraph
+scenarioRingGraph(const ScenarioSpec &spec)
+{
+    WeightedGraph graph;
+    graph.numNodes = spec.size;
+    Rng rng(deriveScenarioSeed(spec.seed, 0xa11ce));
+    for (int i = 0; i < spec.size; ++i) {
+        WeightedEdge edge;
+        edge.u = i;
+        edge.v = (i + 1) % spec.size;
+        edge.weight = rng.uniform(0.5, 1.5);
+        graph.edges.push_back(edge);
+    }
+    return graph;
+}
+
+} // namespace
+
+JsonValue
+scenarioToJson(const ScenarioSpec &spec)
+{
+    JsonValue out = JsonValue::object();
+    out.set("name", JsonValue(spec.name));
+    out.set("problem", JsonValue(spec.problem));
+    out.set("size", JsonValue(static_cast<std::int64_t>(spec.size)));
+    out.set("bond", JsonValue(spec.bond));
+    out.set("coupling", JsonValue(spec.coupling));
+    out.set("field", JsonValue(spec.field));
+    out.set("ansatz", JsonValue(spec.ansatz));
+    out.set("layers", JsonValue(static_cast<std::int64_t>(spec.layers)));
+    out.set("optimizer", optimizerToJson(spec));
+    out.set("engine", engineConfigToJson(spec.engine));
+    out.set("maxIterations",
+            JsonValue(static_cast<std::int64_t>(spec.maxIterations)));
+    out.set("shotBudget", JsonValue(spec.shotBudget));
+    out.set("seed", JsonValue(spec.seed));
+    out.set("checkpointInterval",
+            JsonValue(static_cast<std::int64_t>(
+                spec.checkpointInterval)));
+    out.set("computeReference", JsonValue(spec.computeReference));
+    return out;
+}
+
+ScenarioSpec
+scenarioFromJson(const JsonValue &json)
+{
+    if (!json.isObject())
+        throw std::invalid_argument("scenario: spec must be an object");
+    jsonRejectUnknownKeys(json, kSpecKeys,
+                          "scenario (swept fields belong under "
+                          "\"sweep\")");
+
+    ScenarioSpec spec;
+    const auto opt = [&](const char *key, auto &&apply) {
+        jsonMaybe(json, key, apply);
+    };
+    opt("name",
+        [&](const JsonValue &v) { spec.name = v.asString(); });
+    opt("problem",
+        [&](const JsonValue &v) { spec.problem = v.asString(); });
+    requireOneOf("problem", spec.problem, kProblems);
+    opt("size", [&](const JsonValue &v) {
+        spec.size = static_cast<int>(v.asInt());
+    });
+    if (spec.size < 1)
+        throw std::invalid_argument("scenario: size must be positive");
+    opt("bond", [&](const JsonValue &v) { spec.bond = v.asDouble(); });
+    opt("coupling",
+        [&](const JsonValue &v) { spec.coupling = v.asDouble(); });
+    opt("field", [&](const JsonValue &v) { spec.field = v.asDouble(); });
+    opt("ansatz",
+        [&](const JsonValue &v) { spec.ansatz = v.asString(); });
+    requireOneOf("ansatz", spec.ansatz, kAnsaetze);
+    opt("layers", [&](const JsonValue &v) {
+        spec.layers = static_cast<int>(v.asInt());
+    });
+    if (spec.layers < 1)
+        throw std::invalid_argument("scenario: layers must be positive");
+    opt("optimizer",
+        [&](const JsonValue &v) { optimizerFromJson(v, spec); });
+    opt("engine", [&](const JsonValue &v) {
+        spec.engine = engineConfigFromJson(v);
+    });
+    opt("maxIterations", [&](const JsonValue &v) {
+        spec.maxIterations = static_cast<int>(v.asInt());
+    });
+    if (spec.maxIterations < 1)
+        throw std::invalid_argument(
+            "scenario: maxIterations must be positive");
+    opt("shotBudget",
+        [&](const JsonValue &v) { spec.shotBudget = v.asUint(); });
+    opt("seed", [&](const JsonValue &v) { spec.seed = v.asUint(); });
+    opt("checkpointInterval", [&](const JsonValue &v) {
+        spec.checkpointInterval = static_cast<int>(v.asInt());
+    });
+    if (spec.checkpointInterval < 0)
+        throw std::invalid_argument(
+            "scenario: checkpointInterval must be >= 0");
+    opt("computeReference", [&](const JsonValue &v) {
+        spec.computeReference = v.asBool();
+    });
+    return spec;
+}
+
+std::string
+scenarioFingerprint(const ScenarioSpec &spec)
+{
+    return jsonFingerprint(scenarioToJson(spec));
+}
+
+std::uint64_t
+deriveScenarioSeed(std::uint64_t base, std::uint64_t salt)
+{
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::vector<ScenarioSpec>
+expandScenarios(const JsonValue &request)
+{
+    std::vector<ScenarioSpec> specs;
+    if (request.isArray()) {
+        for (const JsonValue &entry : request.asArray()) {
+            auto sub = expandScenarios(entry);
+            specs.insert(specs.end(), sub.begin(), sub.end());
+        }
+        return specs;
+    }
+    if (!request.isObject())
+        throw std::invalid_argument(
+            "scenario: request must be an object or an array");
+
+    const JsonValue *sweep = request.find("sweep");
+    if (sweep == nullptr) {
+        specs.push_back(scenarioFromJson(request));
+        return specs;
+    }
+    if (!sweep->isObject() || sweep->asObject().empty())
+        throw std::invalid_argument(
+            "scenario: \"sweep\" must be a non-empty object of "
+            "field -> value-array");
+    for (const auto &[key, values] : sweep->asObject()) {
+        if (!values.isArray() || values.asArray().empty())
+            throw std::invalid_argument("scenario: sweep field \"" + key
+                                        + "\" must be a non-empty "
+                                          "array");
+    }
+
+    // Template object without the sweep member.
+    JsonValue base = JsonValue::object();
+    for (const auto &[key, value] : request.asObject())
+        if (key != "sweep")
+            base.set(key, value);
+    const std::string base_name =
+        base.contains("name") ? base.at("name").asString() : "scenario";
+
+    // Cross product in sweep-key order (odometer iteration), so the
+    // expansion order — and every expanded name — is deterministic.
+    const auto &fields = sweep->asObject();
+    std::vector<std::size_t> counter(fields.size(), 0);
+    for (;;) {
+        JsonValue expanded = base;
+        std::string suffix;
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            const auto &[key, values] = fields[f];
+            const JsonValue &value = values.asArray()[counter[f]];
+            expanded.set(key, value);
+            suffix += "/" + key + "="
+                    + (value.isString() ? value.asString()
+                                        : value.dump());
+        }
+        expanded.set("name", JsonValue(base_name + suffix));
+        specs.push_back(scenarioFromJson(expanded));
+
+        // Odometer increment (last field fastest).
+        std::size_t f = fields.size();
+        for (;;) {
+            if (f == 0)
+                return specs;
+            --f;
+            if (++counter[f] < fields[f].second.asArray().size())
+                break;
+            counter[f] = 0;
+        }
+    }
+}
+
+VqaTask
+buildScenarioTask(const ScenarioSpec &spec)
+{
+    VqaTask task;
+    task.name = spec.name;
+    if (spec.problem == "h2") {
+        const MoleculeProblem mol = buildH2(spec.bond);
+        task.hamiltonian = mol.hamiltonian;
+        task.initialBits = mol.hartreeFockBits;
+    } else if (spec.problem == "hchain") {
+        const MoleculeProblem mol = buildHChain(spec.size, spec.bond);
+        task.hamiltonian = mol.hamiltonian;
+        task.initialBits = mol.hartreeFockBits;
+    } else if (spec.problem == "tfim") {
+        task.hamiltonian =
+            transverseFieldIsing(spec.size, spec.coupling, spec.field);
+    } else if (spec.problem == "xxz") {
+        task.hamiltonian =
+            xxzChain(spec.size, spec.coupling, spec.field);
+    } else if (spec.problem == "maxcut_ring") {
+        if (spec.size < 3)
+            throw std::invalid_argument(
+                "scenario: maxcut_ring needs size >= 3");
+        task.hamiltonian = maxcutHamiltonian(scenarioRingGraph(spec));
+    } else {
+        throw std::invalid_argument("scenario: unknown problem \""
+                                    + spec.problem + "\"");
+    }
+    if (spec.computeReference) {
+        std::vector<VqaTask> solved{task};
+        solveGroundEnergies(solved);
+        task = std::move(solved.front());
+    }
+    return task;
+}
+
+Ansatz
+buildScenarioAnsatz(const ScenarioSpec &spec, const VqaTask &task)
+{
+    const int num_qubits = task.hamiltonian.numQubits();
+    if (spec.ansatz == "hea")
+        return makeHardwareEfficientAnsatz(num_qubits, spec.layers,
+                                           task.initialBits);
+    if (spec.ansatz == "uccsd_min") {
+        if (num_qubits != 4)
+            throw std::invalid_argument(
+                "scenario: ansatz \"uccsd_min\" is the 4-qubit minimal "
+                "UCCSD; problem \"" + spec.problem + "\" has "
+                + std::to_string(num_qubits) + " qubits");
+        return makeUccsdMinimalAnsatz();
+    }
+    if (spec.ansatz == "ma_qaoa" || spec.ansatz == "qaoa") {
+        if (spec.problem != "maxcut_ring")
+            throw std::invalid_argument(
+                "scenario: QAOA ansaetze need a graph problem "
+                "(maxcut_ring), got \"" + spec.problem + "\"");
+        const WeightedGraph graph = scenarioRingGraph(spec);
+        return makeMaQaoaAnsatz(num_qubits, maxcutClauses(graph),
+                                spec.layers,
+                                spec.ansatz == "ma_qaoa");
+    }
+    throw std::invalid_argument("scenario: unknown ansatz \""
+                                + spec.ansatz + "\"");
+}
+
+std::unique_ptr<IterativeOptimizer>
+makeScenarioOptimizer(const ScenarioSpec &spec)
+{
+    if (spec.optimizer == "spsa")
+        return std::make_unique<Spsa>(
+            spec.spsa, deriveScenarioSeed(spec.seed, 0x5b5a));
+    if (spec.optimizer == "cobyla")
+        return std::make_unique<Cobyla>(spec.cobyla);
+    if (spec.optimizer == "nelder_mead")
+        return std::make_unique<NelderMead>(spec.nelderMead);
+    if (spec.optimizer == "implicit_filtering")
+        return std::make_unique<ImplicitFiltering>(
+            spec.implicitFiltering);
+    throw std::invalid_argument("scenario: unknown optimizer \""
+                                + spec.optimizer + "\"");
+}
+
+} // namespace treevqa

@@ -18,6 +18,7 @@
 #include "circuit/uccsd_min.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/config_io.h"
 #include "core/objective.h"
 #include "core/sim_backend.h"
 #include "ham/spin_chains.h"
@@ -503,6 +504,74 @@ TEST(SimBackend, SelectionByName)
     bogus.backendName = "tensor-network";
     EXPECT_THROW(ClusterObjective(fam, ansatz, bogus),
                  std::invalid_argument);
+}
+
+TEST(SimBackend, EngineConfigJsonRoundTripIsLossless)
+{
+    // spec -> EngineConfig -> serialized spec must be lossless for
+    // every registered backend, including all numeric knobs.
+    for (const std::string &name : simBackendNames()) {
+        EngineConfig config;
+        config.backendName = name;
+        config.shotsPerTerm = 12345;
+        config.injectShotNoise = false;
+        config.noise = NoiseModel(0.995, 0.98, "test-device");
+        config.propConfig.maxWeight = 5;
+        config.propConfig.coefThreshold = 3.25e-9;
+        config.propConfig.maxTerms = (1ull << 53) + 1; // > 2^53
+        config.propConfig.shards = 4;
+
+        const JsonValue serialized = engineConfigToJson(config);
+        const EngineConfig restored = engineConfigFromJson(serialized);
+        EXPECT_EQ(resolvedBackendName(restored), name);
+        EXPECT_EQ(restored.shotsPerTerm, config.shotsPerTerm);
+        EXPECT_EQ(restored.injectShotNoise, config.injectShotNoise);
+        EXPECT_EQ(restored.noise.gateFidelity(),
+                  config.noise.gateFidelity());
+        EXPECT_EQ(restored.noise.readoutFidelity(),
+                  config.noise.readoutFidelity());
+        EXPECT_EQ(restored.noise.name(), config.noise.name());
+        EXPECT_EQ(restored.propConfig.maxWeight,
+                  config.propConfig.maxWeight);
+        EXPECT_EQ(restored.propConfig.coefThreshold,
+                  config.propConfig.coefThreshold);
+        EXPECT_EQ(restored.propConfig.maxTerms,
+                  config.propConfig.maxTerms);
+        EXPECT_EQ(restored.propConfig.shards,
+                  config.propConfig.shards);
+
+        // Round-trip fixed point: re-serializing the restored config
+        // reproduces the document byte-for-byte.
+        EXPECT_EQ(engineConfigToJson(restored).dump(),
+                  serialized.dump());
+    }
+
+    // The legacy enum resolves to a name on serialization, so enum
+    // configs survive the JSON seam too.
+    EngineConfig legacy;
+    legacy.backend = Backend::PauliPropagation;
+    const EngineConfig restored =
+        engineConfigFromJson(engineConfigToJson(legacy));
+    EXPECT_EQ(resolvedBackendName(restored), "paulprop");
+}
+
+TEST(SimBackend, EngineConfigJsonUnknownBackendFailsClearly)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("backend", JsonValue("tensor-network"));
+    try {
+        engineConfigFromJson(doc);
+        FAIL() << "unknown backend must throw";
+    } catch (const std::invalid_argument &e) {
+        const std::string message = e.what();
+        // The error names the offender and the valid choices.
+        EXPECT_NE(message.find("tensor-network"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("statevector"), std::string::npos)
+            << message;
+        EXPECT_NE(message.find("paulprop"), std::string::npos)
+            << message;
+    }
 }
 
 TEST(SimBackend, NamedBackendsAgreeOnExactEnergies)

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Tests for the scenario-orchestration runtime (src/svc/) and its
+ * foundations: the JSON layer's exact number round-trips, hardened
+ * TREEVQA_NUM_THREADS parsing, optimizer state export/import, sweep
+ * expansion, scheduler determinism at any pool size, kill-and-resume
+ * bit-equivalence, and the append-only result store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "svc/job_scheduler.h"
+#include "svc/result_store.h"
+#include "svc/scenario_runner.h"
+#include "svc/scenario_spec.h"
+
+namespace treevqa {
+namespace {
+
+// ------------------------------------------------------------- helpers
+
+/** Fresh per-test scratch directory under the gtest temp root. */
+std::filesystem::path
+scratchDir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / ("orch_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** A tiny, fast scenario (4-qubit TFIM, 1-layer HEA, SPSA). */
+ScenarioSpec
+tinySpec(const std::string &name, double field, int iterations = 12)
+{
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.problem = "tfim";
+    spec.size = 4;
+    spec.field = field;
+    spec.ansatz = "hea";
+    spec.layers = 1;
+    spec.engine.shotsPerTerm = 256;
+    spec.maxIterations = iterations;
+    spec.seed = 99;
+    spec.checkpointInterval = 4;
+    return spec;
+}
+
+void
+expectJobsBitIdentical(const JobResult &a, const JobResult &b)
+{
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.shotsUsed, b.shotsUsed);
+    ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+    for (std::size_t i = 0; i < a.trajectory.size(); ++i)
+        EXPECT_EQ(a.trajectory[i], b.trajectory[i]) << "iteration " << i;
+    EXPECT_EQ(a.bestLoss, b.bestLoss);
+    ASSERT_EQ(a.bestParams.size(), b.bestParams.size());
+    for (std::size_t i = 0; i < a.bestParams.size(); ++i)
+        EXPECT_EQ(a.bestParams[i], b.bestParams[i]) << "param " << i;
+    EXPECT_EQ(a.finalEnergy, b.finalEnergy);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, ParsesTheBasicShapes)
+{
+    const JsonValue v = JsonValue::parse(
+        R"({"a": 1, "b": [true, null, "x\nA"], "c": -2.5e-3})");
+    EXPECT_EQ(v.at("a").asInt(), 1);
+    const auto &b = v.at("b").asArray();
+    ASSERT_EQ(b.size(), 3u);
+    EXPECT_TRUE(b[0].asBool());
+    EXPECT_TRUE(b[1].isNull());
+    EXPECT_EQ(b[2].asString(), "x\nA");
+    EXPECT_DOUBLE_EQ(v.at("c").asDouble(), -2.5e-3);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, IntegersRoundTripExactlyBeyondDoublePrecision)
+{
+    // 2^53 + 1 is not representable as a double; the store must keep
+    // it exact (seeds and shot budgets live here).
+    const std::int64_t big = (std::int64_t{1} << 53) + 1;
+    const std::uint64_t huge = 18446744073709551615ull;
+    JsonValue obj = JsonValue::object();
+    obj.set("big", JsonValue(big));
+    obj.set("huge", JsonValue(huge));
+    const JsonValue back = JsonValue::parse(obj.dump());
+    EXPECT_EQ(back.at("big").asInt(), big);
+    EXPECT_EQ(back.at("huge").asUint(), huge);
+}
+
+TEST(Json, DoublesRoundTripBitForBit)
+{
+    const std::vector<double> values = {0.1,    1.0 / 3.0, 1e-300,
+                                        -2.5e17, 6.02214076e23,
+                                        -0.0,   1.0000000000000002};
+    for (const double v : values) {
+        JsonValue arr = JsonValue::array();
+        arr.push_back(JsonValue(v));
+        const double back =
+            JsonValue::parse(arr.dump()).asArray()[0].asDouble();
+        EXPECT_EQ(back, v);
+        // Bit-for-bit, not just ==: distinguishes -0.0 from 0.0.
+        EXPECT_EQ(std::signbit(back), std::signbit(v));
+    }
+}
+
+TEST(Json, RejectsPathologicalNestingInsteadOfOverflowing)
+{
+    // 200k open brackets must throw the documented error, not blow
+    // the parser's stack.
+    const std::string deep(200000, '[');
+    EXPECT_THROW(JsonValue::parse(deep + std::string(200000, ']')),
+                 std::runtime_error);
+    // Reasonable nesting still parses.
+    EXPECT_NO_THROW(JsonValue::parse(std::string(100, '[')
+                                     + std::string(100, ']')));
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("1 2"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("\"unterminated"),
+                 std::runtime_error);
+    EXPECT_THROW(JsonValue::parse("nul"), std::runtime_error);
+}
+
+TEST(Json, DumpIsDeterministicAndFingerprintStable)
+{
+    const auto build = [] {
+        JsonValue obj = JsonValue::object();
+        obj.set("z", JsonValue("last"));
+        obj.set("a", JsonValue(std::int64_t{1}));
+        return obj;
+    };
+    EXPECT_EQ(build().dump(), build().dump());
+    EXPECT_EQ(jsonFingerprint(build()), jsonFingerprint(build()));
+    JsonValue other = build();
+    other.set("a", JsonValue(std::int64_t{2}));
+    EXPECT_NE(jsonFingerprint(build()), jsonFingerprint(other));
+}
+
+// ------------------------------------------------- thread-pool env var
+
+TEST(ThreadPoolEnv, HardenedParsing)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t fallback = hw > 0 ? hw : 1;
+
+    const auto with_env = [&](const char *value) {
+        ::setenv("TREEVQA_NUM_THREADS", value, 1);
+        const std::size_t n = defaultThreadCount();
+        ::unsetenv("TREEVQA_NUM_THREADS");
+        return n;
+    };
+
+    EXPECT_EQ(with_env("7"), 7u);
+    EXPECT_EQ(with_env(" 3 "), 3u);
+    EXPECT_EQ(with_env("abc"), fallback);
+    EXPECT_EQ(with_env("4x"), fallback);
+    EXPECT_EQ(with_env("2.5"), fallback);
+    EXPECT_EQ(with_env(""), fallback);
+    EXPECT_EQ(with_env("0"), fallback);
+    EXPECT_EQ(with_env("-3"), fallback);
+    EXPECT_EQ(with_env("1000000"), 512u);
+    EXPECT_EQ(with_env("99999999999999999999"), 512u);
+    ::unsetenv("TREEVQA_NUM_THREADS");
+}
+
+// ------------------------------------------- optimizer state round-trip
+
+TEST(OptimizerState, SaveLoadContinuationIsBitIdentical)
+{
+    // For every shipped optimizer: run a prefix, snapshot, continue
+    // both the original and a restored fresh instance, and require
+    // identical iterates and losses — the foundation of checkpoint
+    // resume.
+    const std::vector<double> target = {0.7, -0.3, 0.4};
+    const BatchObjective quadratic =
+        [&](const std::vector<std::vector<double>> &thetas) {
+            std::vector<double> losses;
+            for (const auto &theta : thetas) {
+                double loss = 0.0;
+                for (std::size_t i = 0; i < theta.size(); ++i)
+                    loss += (theta[i] - target[i])
+                          * (theta[i] - target[i]);
+                losses.push_back(loss);
+            }
+            return losses;
+        };
+
+    for (const std::string &name :
+         {"spsa", "cobyla", "nelder_mead", "implicit_filtering"}) {
+        ScenarioSpec spec;
+        spec.optimizer = name;
+        spec.seed = 1234;
+
+        auto original = makeScenarioOptimizer(spec);
+        original->reset({0.0, 0.0, 0.0});
+        for (int k = 0; k < 4; ++k)
+            original->stepBatch(quadratic);
+
+        const JsonValue snapshot = original->saveState();
+        // The snapshot survives serialization to text and back.
+        const JsonValue restored_snapshot =
+            JsonValue::parse(snapshot.dump());
+
+        auto restored = makeScenarioOptimizer(spec);
+        restored->loadState(restored_snapshot);
+        EXPECT_EQ(restored->iteration(), original->iteration()) << name;
+
+        for (int k = 0; k < 6; ++k) {
+            const double loss_a = original->stepBatch(quadratic);
+            const double loss_b = restored->stepBatch(quadratic);
+            EXPECT_EQ(loss_a, loss_b) << name << " step " << k;
+            const auto &xa = original->params();
+            const auto &xb = restored->params();
+            ASSERT_EQ(xa.size(), xb.size());
+            for (std::size_t i = 0; i < xa.size(); ++i)
+                EXPECT_EQ(xa[i], xb[i]) << name << " step " << k;
+        }
+    }
+}
+
+TEST(OptimizerState, LoadRejectsWrongOptimizer)
+{
+    ScenarioSpec spsa_spec;
+    spsa_spec.optimizer = "spsa";
+    auto spsa = makeScenarioOptimizer(spsa_spec);
+    spsa->reset({0.0, 0.0});
+    const JsonValue snapshot = spsa->saveState();
+
+    ScenarioSpec cobyla_spec;
+    cobyla_spec.optimizer = "cobyla";
+    auto cobyla = makeScenarioOptimizer(cobyla_spec);
+    EXPECT_THROW(cobyla->loadState(snapshot), std::runtime_error);
+}
+
+// ------------------------------------------------ spec + sweep expansion
+
+TEST(ScenarioSpec, JsonRoundTripIsAFixedPoint)
+{
+    for (const std::string &opt :
+         {"spsa", "cobyla", "nelder_mead", "implicit_filtering"}) {
+        ScenarioSpec spec = tinySpec("roundtrip", 1.25);
+        spec.optimizer = opt;
+        spec.engine.backendName = "paulprop";
+        spec.engine.propConfig.maxWeight = 5;
+        spec.shotBudget = (1ull << 62);
+        const JsonValue serialized = scenarioToJson(spec);
+        const ScenarioSpec restored = scenarioFromJson(serialized);
+        EXPECT_EQ(scenarioToJson(restored).dump(), serialized.dump())
+            << opt;
+        EXPECT_EQ(scenarioFingerprint(restored),
+                  scenarioFingerprint(spec))
+            << opt;
+    }
+}
+
+TEST(ScenarioSpec, RejectsUnknownNamesAndKeys)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("problem", JsonValue("ising3d"));
+    EXPECT_THROW(scenarioFromJson(doc), std::invalid_argument);
+
+    JsonValue typo = JsonValue::object();
+    typo.set("problme", JsonValue("tfim"));
+    EXPECT_THROW(scenarioFromJson(typo), std::invalid_argument);
+
+    JsonValue bad_opt = JsonValue::object();
+    bad_opt.set("optimizer", JsonValue("adam"));
+    EXPECT_THROW(scenarioFromJson(bad_opt), std::invalid_argument);
+
+    JsonValue bad_backend = JsonValue::object();
+    JsonValue engine = JsonValue::object();
+    engine.set("backend", JsonValue("gpu-someday"));
+    bad_backend.set("engine", std::move(engine));
+    EXPECT_THROW(scenarioFromJson(bad_backend), std::invalid_argument);
+
+    // Typo'd keys nested inside the optimizer/engine blocks are
+    // rejected too, not silently ignored.
+    JsonValue bad_hyper = JsonValue::object();
+    JsonValue spsa = JsonValue::object();
+    spsa.set("name", JsonValue("spsa"));
+    spsa.set("stepNorm", JsonValue(0.3)); // should be maxStepNorm
+    bad_hyper.set("optimizer", std::move(spsa));
+    EXPECT_THROW(scenarioFromJson(bad_hyper), std::invalid_argument);
+
+    JsonValue bad_engine_key = JsonValue::object();
+    JsonValue engine_typo = JsonValue::object();
+    engine_typo.set("shotsPerTem", JsonValue(std::int64_t{1024}));
+    bad_engine_key.set("engine", std::move(engine_typo));
+    EXPECT_THROW(scenarioFromJson(bad_engine_key),
+                 std::invalid_argument);
+}
+
+TEST(ScenarioSpec, SweepExpandsTheCrossProductDeterministically)
+{
+    JsonValue request = JsonValue::object();
+    request.set("name", JsonValue("grid"));
+    request.set("problem", JsonValue("tfim"));
+    request.set("size", JsonValue(std::int64_t{4}));
+    JsonValue sweep = JsonValue::object();
+    JsonValue fields = JsonValue::array();
+    fields.push_back(JsonValue(0.5));
+    fields.push_back(JsonValue(1.0));
+    fields.push_back(JsonValue(1.5));
+    sweep.set("field", std::move(fields));
+    JsonValue seeds = JsonValue::array();
+    seeds.push_back(JsonValue(std::uint64_t{1}));
+    seeds.push_back(JsonValue(std::uint64_t{2}));
+    sweep.set("seed", std::move(seeds));
+    request.set("sweep", std::move(sweep));
+
+    const std::vector<ScenarioSpec> specs = expandScenarios(request);
+    ASSERT_EQ(specs.size(), 6u);
+    // Last sweep key varies fastest; names encode the assignment.
+    EXPECT_EQ(specs[0].name, "grid/field=0.5/seed=1");
+    EXPECT_EQ(specs[1].name, "grid/field=0.5/seed=2");
+    EXPECT_EQ(specs[2].name, "grid/field=1.0/seed=1");
+    EXPECT_EQ(specs[5].name, "grid/field=1.5/seed=2");
+    EXPECT_EQ(specs[2].field, 1.0);
+    EXPECT_EQ(specs[2].seed, 1u);
+
+    // Every expanded spec has a distinct fingerprint.
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        for (std::size_t j = i + 1; j < specs.size(); ++j)
+            EXPECT_NE(scenarioFingerprint(specs[i]),
+                      scenarioFingerprint(specs[j]));
+
+    // An array request concatenates expansions.
+    JsonValue list = JsonValue::array();
+    list.push_back(request);
+    JsonValue single = JsonValue::object();
+    single.set("name", JsonValue("solo"));
+    list.push_back(std::move(single));
+    EXPECT_EQ(expandScenarios(list).size(), 7u);
+}
+
+// --------------------------------------------- scheduler determinism
+
+TEST(JobScheduler, SweepIsBitIdenticalAtAnyPoolSize)
+{
+    // A 3-scenario sweep must produce byte-identical per-job energy
+    // records whether jobs run serially or share 4 lanes — jobs
+    // derive every stream from their spec, never from scheduling.
+    const std::vector<ScenarioSpec> specs = {tinySpec("a", 0.6),
+                                             tinySpec("b", 1.0),
+                                             tinySpec("c", 1.4)};
+
+    ThreadPool::global().resize(1);
+    const SweepResult serial = JobScheduler().run(specs);
+    ThreadPool::global().resize(4);
+    const SweepResult pooled = JobScheduler().run(specs);
+    ThreadPool::global().resize(0);
+
+    ASSERT_EQ(serial.jobs.size(), 3u);
+    ASSERT_EQ(pooled.jobs.size(), 3u);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_TRUE(serial.jobs[i].completed);
+        expectJobsBitIdentical(serial.jobs[i], pooled.jobs[i]);
+    }
+    // Distinct scenarios reached distinct energies (the sweep did
+    // something).
+    EXPECT_NE(serial.jobs[0].finalEnergy, serial.jobs[1].finalEnergy);
+}
+
+TEST(JobScheduler, RejectsDuplicateSpecs)
+{
+    const std::vector<ScenarioSpec> specs = {tinySpec("same", 1.0),
+                                             tinySpec("same", 1.0)};
+    EXPECT_THROW(JobScheduler().run(specs), std::invalid_argument);
+}
+
+// ------------------------------------------------- checkpoint / resume
+
+TEST(ScenarioRunner, KillAndResumeReachesIdenticalEnergies)
+{
+    const std::filesystem::path dir = scratchDir("resume");
+    ScenarioSpec spec = tinySpec("resume-me", 0.9, 14);
+    spec.checkpointInterval = 4;
+
+    // Uninterrupted reference.
+    const JobResult reference = runScenario(spec);
+    ASSERT_TRUE(reference.completed);
+    EXPECT_FALSE(reference.resumed);
+    EXPECT_EQ(reference.iterations, 14);
+
+    // Interrupted run: halt after 6 iterations. The last durable
+    // checkpoint is at iteration 4, so iterations 5-6 are lost — as
+    // with a real kill — and re-executed on resume.
+    ScenarioRunOptions interrupted;
+    interrupted.checkpointPath = (dir / "job.json").string();
+    interrupted.haltAfterIterations = 6;
+    const JobResult partial = runScenario(spec, interrupted);
+    EXPECT_FALSE(partial.completed);
+    EXPECT_EQ(partial.iterations, 6);
+    EXPECT_TRUE(
+        std::filesystem::exists(interrupted.checkpointPath));
+
+    int checkpoints_after_resume = 0;
+    ScenarioRunOptions resume;
+    resume.checkpointPath = interrupted.checkpointPath;
+    resume.onCheckpoint = [&] { ++checkpoints_after_resume; };
+    const JobResult resumed = runScenario(spec, resume);
+    EXPECT_TRUE(resumed.completed);
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_GT(checkpoints_after_resume, 0);
+
+    expectJobsBitIdentical(reference, resumed);
+    // A finished job retires its checkpoint.
+    EXPECT_FALSE(std::filesystem::exists(resume.checkpointPath));
+}
+
+TEST(ScenarioRunner, MismatchedCheckpointRestartsFresh)
+{
+    const std::filesystem::path dir = scratchDir("mismatch");
+    const std::string path = (dir / "job.json").string();
+
+    // Leave a checkpoint belonging to a *different* spec behind.
+    ScenarioSpec other = tinySpec("other", 1.3, 10);
+    ScenarioRunOptions halt;
+    halt.checkpointPath = path;
+    halt.haltAfterIterations = 5;
+    runScenario(other, halt);
+    ASSERT_TRUE(std::filesystem::exists(path));
+
+    ScenarioSpec spec = tinySpec("fresh", 0.7, 10);
+    ScenarioRunOptions options;
+    options.checkpointPath = path;
+    const JobResult run = runScenario(spec, options);
+    EXPECT_TRUE(run.completed);
+    EXPECT_FALSE(run.resumed); // foreign checkpoint was ignored
+    expectJobsBitIdentical(run, runScenario(spec));
+}
+
+TEST(JobScheduler, StoreResumeSkipsCompletedJobsAndMatchesFreshRun)
+{
+    const std::filesystem::path fresh_dir = scratchDir("store_fresh");
+    const std::filesystem::path killed_dir = scratchDir("store_killed");
+    const std::vector<ScenarioSpec> specs = {tinySpec("a", 0.6),
+                                             tinySpec("b", 1.0),
+                                             tinySpec("c", 1.4)};
+
+    SchedulerConfig fresh_config;
+    fresh_config.outDir = fresh_dir.string();
+    const SweepResult fresh = JobScheduler(fresh_config).run(specs);
+    EXPECT_EQ(fresh.executed, 3u);
+    EXPECT_EQ(fresh.skipped, 0u);
+
+    // "Kill" a second sweep mid-flight: every job halts after 6
+    // iterations with a checkpoint at 4, nothing is recorded.
+    SchedulerConfig killed_config;
+    killed_config.outDir = killed_dir.string();
+    killed_config.haltJobsAfterIterations = 6;
+    const SweepResult killed = JobScheduler(killed_config).run(specs);
+    for (const JobResult &job : killed.jobs)
+        EXPECT_FALSE(job.completed);
+
+    // Relaunch: all three resume from their checkpoints and complete.
+    SchedulerConfig resume_config;
+    resume_config.outDir = killed_dir.string();
+    const SweepResult resumed =
+        JobScheduler(resume_config).run(specs);
+    EXPECT_EQ(resumed.executed, 3u);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_TRUE(resumed.jobs[i].completed);
+        EXPECT_TRUE(resumed.jobs[i].resumed);
+        expectJobsBitIdentical(fresh.jobs[i], resumed.jobs[i]);
+    }
+
+    // Relaunch again: everything is in the store now, nothing runs,
+    // and the loaded records still carry the same energies.
+    const SweepResult skipped =
+        JobScheduler(resume_config).run(specs);
+    EXPECT_EQ(skipped.executed, 0u);
+    EXPECT_EQ(skipped.skipped, 3u);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectJobsBitIdentical(fresh.jobs[i], skipped.jobs[i]);
+
+    // The two stores' deterministic summaries agree byte-for-byte.
+    EXPECT_EQ(sweepSummaryJson(fresh.jobs).dump(2),
+              sweepSummaryJson(skipped.jobs).dump(2));
+}
+
+// --------------------------------------------------------- result store
+
+TEST(ResultStore, RoundTripsRecordsAndToleratesTornLines)
+{
+    const std::filesystem::path dir = scratchDir("store_io");
+    ResultStore store((dir / "results.jsonl").string());
+
+    const JobResult a = runScenario(tinySpec("x", 0.8, 6));
+    const JobResult b = runScenario(tinySpec("y", 1.2, 6));
+    store.append(a);
+
+    // Simulate the torn (newline-less) final line of a killed writer;
+    // the next append must seal it rather than merge into it.
+    {
+        std::ofstream torn(store.path(), std::ios::app);
+        torn << "{\"name\": \"torn-rec";
+    }
+    store.append(b);
+
+    const std::vector<JobResult> loaded = store.load();
+    ASSERT_EQ(loaded.size(), 2u);
+    expectJobsBitIdentical(a, loaded[0]);
+    expectJobsBitIdentical(b, loaded[1]);
+    EXPECT_EQ(loaded[0].spec.name, "x");
+    EXPECT_EQ(loaded[0].backend, "statevector");
+    EXPECT_EQ(loaded[1].spec.name, "y");
+    // Record JSON reconstructs the spec losslessly.
+    EXPECT_EQ(scenarioToJson(loaded[0].spec).dump(),
+              scenarioToJson(a.spec).dump());
+}
+
+} // namespace
+} // namespace treevqa

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * treevqa_run — the scenario-orchestration CLI.
+ *
+ * Turns a declarative spec file (one scenario, an array, or a sweep)
+ * into scheduled jobs over the shared thread pool, with per-job
+ * checkpoint/resume and an append-only JSONL result store.
+ *
+ *   treevqa_run SPEC.json [--out DIR] [--jobs N] [--fresh]
+ *               [--print-specs] [--summary-only]
+ *               [--abort-after-checkpoints N]
+ *
+ *   --out DIR     persist DIR/results.jsonl, DIR/checkpoints/*.json
+ *                 and DIR/summary.json; rerunning with the same DIR
+ *                 skips completed jobs and resumes checkpointed ones
+ *   --jobs N      thread-pool lanes (default: TREEVQA_NUM_THREADS or
+ *                 hardware concurrency); jobs and inner probe batches
+ *                 share these lanes
+ *   --fresh       remove DIR's store/checkpoints before running
+ *   --print-specs expand the request and print the job list, run
+ *                 nothing
+ *   --summary-only
+ *                 print only the deterministic summary JSON (no
+ *                 table; what CI diffs between fresh and resumed
+ *                 sweeps)
+ *   --abort-after-checkpoints N
+ *                 _Exit(75) after the Nth checkpoint write across all
+ *                 jobs — a deterministic stand-in for SIGKILL used by
+ *                 the kill-and-resume smoke test
+ *
+ * Exit codes: 0 success, 1 runtime error, 2 usage error, 75 aborted
+ * by --abort-after-checkpoints.
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "svc/job_scheduler.h"
+
+using namespace treevqa;
+
+namespace {
+
+int
+usage(const char *argv0, bool requested)
+{
+    std::fprintf(requested ? stdout : stderr,
+                 "usage: %s SPEC.json [--out DIR] [--jobs N] [--fresh]\n"
+                 "       [--print-specs] [--summary-only]\n"
+                 "       [--abort-after-checkpoints N]\n",
+                 argv0);
+    return requested ? 0 : 2;
+}
+
+std::atomic<long> g_checkpointsUntilAbort{0};
+
+/** Strict positive-integer flag parse: the whole token must be a
+ * number >= 1 (no silent strtol prefix acceptance). */
+bool
+parsePositive(const char *text, long &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0' || value < 1)
+        return false;
+    out = value;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string spec_path;
+    std::string out_dir;
+    long jobs = 0;
+    bool fresh = false;
+    bool print_specs = false;
+    bool summary_only = false;
+    long abort_after = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next_value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            out_dir = next_value();
+        } else if (arg == "--jobs") {
+            if (!parsePositive(next_value(), jobs)) {
+                std::fprintf(stderr,
+                             "--jobs must be an integer >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--fresh") {
+            fresh = true;
+        } else if (arg == "--print-specs") {
+            print_specs = true;
+        } else if (arg == "--summary-only") {
+            summary_only = true;
+        } else if (arg == "--abort-after-checkpoints") {
+            if (!parsePositive(next_value(), abort_after)) {
+                std::fprintf(stderr,
+                             "--abort-after-checkpoints must be an "
+                             "integer >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], true);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage(argv[0], false);
+        } else if (spec_path.empty()) {
+            spec_path = arg;
+        } else {
+            return usage(argv[0], false);
+        }
+    }
+    if (spec_path.empty())
+        return usage(argv[0], false);
+
+    try {
+        std::ifstream in(spec_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", spec_path.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        const std::vector<ScenarioSpec> specs =
+            expandScenarios(JsonValue::parse(buffer.str()));
+        if (specs.empty()) {
+            std::fprintf(stderr, "%s expands to zero scenarios\n",
+                         spec_path.c_str());
+            return 1;
+        }
+
+        if (print_specs) {
+            JsonValue list = JsonValue::array();
+            for (const ScenarioSpec &spec : specs) {
+                JsonValue entry = scenarioToJson(spec);
+                entry.set("fingerprint",
+                          JsonValue(scenarioFingerprint(spec)));
+                list.push_back(std::move(entry));
+            }
+            std::printf("%s\n", list.dump(2).c_str());
+            return 0;
+        }
+
+        if (jobs > 0)
+            ThreadPool::global().resize(
+                static_cast<std::size_t>(jobs));
+
+        SchedulerConfig config;
+        config.outDir = out_dir;
+        if (fresh && !out_dir.empty()) {
+            std::filesystem::remove(
+                std::filesystem::path(out_dir) / "results.jsonl");
+            std::filesystem::remove(
+                std::filesystem::path(out_dir) / "summary.json");
+            std::filesystem::remove_all(
+                std::filesystem::path(out_dir) / "checkpoints");
+        }
+        if (abort_after > 0) {
+            g_checkpointsUntilAbort.store(abort_after);
+            config.onCheckpoint = [] {
+                if (g_checkpointsUntilAbort.fetch_sub(1) == 1) {
+                    std::fprintf(stderr,
+                                 "treevqa_run: aborting after "
+                                 "checkpoint (simulated kill)\n");
+                    std::fflush(nullptr);
+                    std::_Exit(75);
+                }
+            };
+        }
+
+        JobScheduler scheduler(config);
+        const SweepResult sweep = scheduler.run(specs);
+
+        const JsonValue summary = sweepSummaryJson(sweep.jobs);
+        if (!out_dir.empty()) {
+            std::ofstream summary_out(
+                std::filesystem::path(out_dir) / "summary.json",
+                std::ios::trunc);
+            summary_out << summary.dump(2) << '\n';
+        }
+
+        if (summary_only) {
+            std::printf("%s\n", summary.dump(2).c_str());
+        } else {
+            std::printf("%s", sweepSummaryText(sweep.jobs).c_str());
+            std::printf("(%zu executed, %zu resumed from store",
+                        sweep.executed, sweep.skipped);
+            if (!out_dir.empty())
+                std::printf("; results in %s/results.jsonl",
+                            out_dir.c_str());
+            std::printf(")\n");
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "treevqa_run: %s\n", e.what());
+        return 1;
+    }
+}
