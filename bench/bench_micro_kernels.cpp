@@ -13,16 +13,21 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuit/hardware_efficient.h"
 #include "circuit/uccsd_min.h"
+#include "common/file_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/objective.h"
+#include "dist/worker_daemon.h"
 #include "ham/spin_chains.h"
 #include "ham/synthetic_molecule.h"
 #include "paulprop/pauli_propagation.h"
@@ -408,6 +413,69 @@ benchSchedulerThroughput()
 }
 
 void
+benchDistThroughput()
+{
+    // Distributed-layer series alongside scheduler_throughput_*: the
+    // same class of tiny 12-job sweep drained by 1/2/4 in-process
+    // WorkerDaemons sharing one sweep directory — the full filesystem
+    // protocol (claim files, heartbeats, per-worker shards, final
+    // merge/compaction) is on the clock. The thread pool is pinned to
+    // one lane so worker count is the only parallelism; ref is the
+    // 1-worker time, so the speedup column is the fleet's scaling
+    // (~1.0x on a single-core container) and the ns trajectory tracks
+    // claim/merge overhead across PRs.
+    std::vector<ScenarioSpec> specs;
+    for (int j = 0; j < 12; ++j) {
+        ScenarioSpec spec;
+        spec.name = "dist" + std::to_string(j);
+        spec.problem = "tfim";
+        spec.size = 6;
+        spec.field = 0.5 + 0.1 * j;
+        spec.ansatz = "hea";
+        spec.layers = 1;
+        spec.maxIterations = 6;
+        specs.push_back(spec);
+    }
+
+    ThreadPool::global().resize(1);
+    static int run_counter = 0;
+    const std::filesystem::path root =
+        std::filesystem::temp_directory_path()
+        / ("treevqa_bench_" + localWorkerId());
+    double ref = 0.0;
+    for (const int workers : {1, 2, 4}) {
+        const double ns = timeNs([&] {
+            const std::filesystem::path dir =
+                root / std::to_string(run_counter++);
+            std::filesystem::create_directories(dir);
+            std::vector<std::unique_ptr<WorkerDaemon>> daemons;
+            for (int w = 0; w < workers; ++w) {
+                WorkerOptions options;
+                options.sweepDir = dir.string();
+                options.workerId = "w" + std::to_string(w);
+                options.leaseMs = 60000;
+                options.pollMs = 2;
+                daemons.push_back(
+                    std::make_unique<WorkerDaemon>(options));
+            }
+            std::vector<std::thread> threads;
+            for (auto &daemon : daemons)
+                threads.emplace_back(
+                    [&daemon, &specs] { daemon->run(specs); });
+            for (std::thread &thread : threads)
+                thread.join();
+            std::filesystem::remove_all(dir);
+        });
+        if (workers == 1)
+            ref = ns;
+        record("dist_throughput_" + std::to_string(workers), 6, ns,
+               ref);
+    }
+    std::filesystem::remove_all(root);
+    ThreadPool::global().resize(0); // back to the machine default
+}
+
+void
 writeJson(const std::string &path)
 {
     std::ofstream out(path);
@@ -451,6 +519,7 @@ main()
     benchCompiledPrepSharedPrefix();
     benchPaulpropSharded(10);
     benchSchedulerThroughput();
+    benchDistThroughput();
     writeJson("BENCH_micro_kernels.json");
     std::printf("wrote BENCH_micro_kernels.json (%zu entries)\n",
                 g_results.size());

@@ -1,0 +1,124 @@
+#include "common/file_util.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace treevqa {
+
+bool
+readTextFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad())
+        throw std::runtime_error("file: read failed: " + path);
+    out = buffer.str();
+    return true;
+}
+
+void
+writeTextFileAtomic(const std::string &path, const std::string &content)
+{
+    // The temp name is unique per writer — pid across processes, a
+    // counter across threads of one process (concurrent in-process
+    // daemons can compact the same store) — so staging copies never
+    // clobber each other; the rename at the end is the single atomic
+    // commit point.
+    static std::atomic<unsigned long> stage_counter{0};
+    const std::string tmp = path + ".tmp."
+        + std::to_string(static_cast<long>(::getpid())) + "."
+        + std::to_string(stage_counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("file: cannot write " + tmp);
+        out << content;
+        out.flush();
+        if (!out)
+            throw std::runtime_error("file: write failed: " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        throw std::runtime_error("file: rename to " + path + " failed: "
+                                 + std::strerror(err));
+    }
+}
+
+bool
+tryCreateExclusiveText(const std::string &path,
+                       const std::string &content)
+{
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY,
+                          0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return false;
+        throw std::runtime_error("file: exclusive create of " + path
+                                 + " failed: " + std::strerror(errno));
+    }
+    // One write() call: the only observable intermediate state is the
+    // empty just-created file, and only for the instant before this.
+    std::size_t written = 0;
+    while (written < content.size()) {
+        const ssize_t n = ::write(fd, content.data() + written,
+                                  content.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            throw std::runtime_error("file: write to " + path
+                                     + " failed: " + std::strerror(err));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    return true;
+}
+
+std::int64_t
+unixTimeMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+localWorkerId()
+{
+    char host[256] = {0};
+    if (::gethostname(host, sizeof(host) - 1) != 0)
+        std::snprintf(host, sizeof(host), "host");
+    return sanitizeFileToken(std::string(host)) + "-"
+        + std::to_string(static_cast<long>(::getpid()));
+}
+
+std::string
+sanitizeFileToken(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c == '.' || c == '_'
+            || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace treevqa

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared filesystem primitives for the persistence and distribution
+ * layers: whole-file text I/O, atomic (tmp + rename) replacement, and
+ * exclusive creation — the POSIX building block of the work-claim lock
+ * protocol (src/dist/work_claim.h).
+ *
+ * All paths are plain std::string; errors surface as std::runtime_error
+ * except where a boolean outcome is part of the protocol (a lost
+ * O_EXCL race is an answer, not an error).
+ */
+
+#ifndef TREEVQA_COMMON_FILE_UTIL_H
+#define TREEVQA_COMMON_FILE_UTIL_H
+
+#include <cstdint>
+#include <string>
+
+namespace treevqa {
+
+/** Read a whole file into `out`. Returns false (out untouched) when
+ * the file cannot be opened; throws on a read error mid-stream. */
+bool readTextFile(const std::string &path, std::string &out);
+
+/**
+ * Replace `path` atomically: write a writer-unique sibling temp file
+ * (`path.tmp.<pid>.<n>`, unique across processes and across threads
+ * of one process), flush it, then rename over `path`. Readers see
+ * either the old or the new content, never a torn mix — the write
+ * discipline behind checkpoints, claim renewals and store compaction.
+ * Throws std::runtime_error on any I/O failure.
+ */
+void writeTextFileAtomic(const std::string &path,
+                         const std::string &content);
+
+/**
+ * Create `path` exclusively (O_CREAT|O_EXCL) and write `content`.
+ * Returns true when this call created the file — at most one caller
+ * across all processes sharing the filesystem wins — and false when
+ * the file already existed. Throws on unexpected I/O errors (e.g. a
+ * missing parent directory).
+ */
+bool tryCreateExclusiveText(const std::string &path,
+                            const std::string &content);
+
+/** Milliseconds since the Unix epoch (system clock). Lease deadlines
+ * use this because wall time is the only clock hosts sharing a
+ * filesystem have in common; the lease protocol assumes skew is small
+ * relative to the lease duration. */
+std::int64_t unixTimeMs();
+
+/** "<hostname>-<pid>": a worker identity unique per process on a
+ * shared filesystem (the default --worker-id). */
+std::string localWorkerId();
+
+/** Copy of `name` with every character outside [A-Za-z0-9._-]
+ * replaced by '_' — worker ids and fingerprints become path
+ * components, so they must not smuggle separators. */
+std::string sanitizeFileToken(const std::string &name);
+
+} // namespace treevqa
+
+#endif // TREEVQA_COMMON_FILE_UTIL_H

@@ -1,0 +1,98 @@
+#include "dist/store_merge.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/file_util.h"
+#include "svc/sweep_dir.h"
+
+namespace treevqa {
+
+namespace {
+
+/** Shard paths in sorted order, so the merge input sequence (and
+ * therefore the dedup pick among bit-equal duplicates) is independent
+ * of directory enumeration order. */
+std::vector<std::string>
+sortedShardPaths(const std::string &sweepDir)
+{
+    std::vector<std::string> shards;
+    const std::filesystem::path dir = sweepShardDir(sweepDir);
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file()
+            && entry.path().extension() == ".jsonl")
+            shards.push_back(entry.path().string());
+    }
+    std::sort(shards.begin(), shards.end());
+    return shards;
+}
+
+std::vector<JobResult>
+loadAllRecords(const std::string &sweepDir,
+               std::vector<std::string> &shards, std::size_t &input)
+{
+    std::vector<JobResult> records =
+        ResultStore(sweepStorePath(sweepDir)).load();
+    shards = sortedShardPaths(sweepDir);
+    for (const std::string &shard : shards)
+        for (JobResult &record : ResultStore(shard).load())
+            records.push_back(std::move(record));
+    input = records.size();
+
+    // Canonical/shard overlap is a normal state here (a standalone
+    // merge folds shards without removing them), so collapse it
+    // silently instead of warning like the single-store loaders do.
+    records = dedupeByFingerprint(std::move(records),
+                                  /*warnOnDuplicates=*/false);
+    std::sort(records.begin(), records.end(),
+              [](const JobResult &a, const JobResult &b) {
+                  if (a.spec.name != b.spec.name)
+                      return a.spec.name < b.spec.name;
+                  return a.fingerprint < b.fingerprint;
+              });
+    return records;
+}
+
+} // namespace
+
+std::vector<JobResult>
+loadMergedRecords(const std::string &sweepDir)
+{
+    std::vector<std::string> shards;
+    std::size_t input = 0;
+    return loadAllRecords(sweepDir, shards, input);
+}
+
+SweepMergeStats
+compactSweepStore(const std::string &sweepDir,
+                  bool removeMergedShards)
+{
+    std::vector<std::string> shards;
+    SweepMergeStats stats;
+    const std::vector<JobResult> records =
+        loadAllRecords(sweepDir, shards, stats.inputRecords);
+    stats.uniqueRecords = records.size();
+    stats.shardFiles = shards.size();
+
+    std::string store;
+    for (const JobResult &record : records) {
+        store += jobResultToJson(record).dump();
+        store += '\n';
+    }
+    writeTextFileAtomic(sweepStorePath(sweepDir), store);
+    writeTextFileAtomic(sweepSummaryPath(sweepDir),
+                        sweepSummaryJson(records).dump(2) + "\n");
+
+    // Shard deletion requires the caller's drained proof (see header):
+    // in a drained sweep every record a shard could still receive is a
+    // deterministic duplicate of one already compacted, so removal
+    // after the store is durably in place loses nothing.
+    if (removeMergedShards)
+        for (const std::string &shard : shards)
+            std::remove(shard.c_str());
+    return stats;
+}
+
+} // namespace treevqa

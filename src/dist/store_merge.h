@@ -1,0 +1,75 @@
+/**
+ * @file
+ * StoreMerge: deterministic merge and compaction of a distributed
+ * sweep's result stores.
+ *
+ * Workers append to per-worker shards (`<dir>/workers/<id>.jsonl`)
+ * instead of one shared file, so concurrent processes never interleave
+ * partial lines. The merge pass folds the canonical store plus every
+ * shard into one deduplicated record set and compacts it back into
+ * `<dir>/results.jsonl` (sorted by job name) and `<dir>/summary.json`
+ * — byte-identical, timing fields excluded, to what a single-process
+ * JobScheduler run of the same spec would have produced, because every
+ * record is a pure function of its spec and the summary excludes wall
+ * time.
+ *
+ * Compaction is idempotent and safe to run concurrently: all writes
+ * are atomic whole-file replacements and duplicate records are
+ * bit-identical where it matters, so racing compactors produce the
+ * same bytes. No merge lock is needed. Shard *deletion* is the one
+ * step that needs a precondition: it is only safe once the sweep is
+ * drained (no worker can still append), so only the drained-worker
+ * path requests it — a standalone merge over a live fleet folds the
+ * shards without removing them.
+ */
+
+#ifndef TREEVQA_DIST_STORE_MERGE_H
+#define TREEVQA_DIST_STORE_MERGE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "svc/result_store.h"
+
+namespace treevqa {
+
+/** What a compaction pass saw and did. */
+struct SweepMergeStats
+{
+    /** Records read across the canonical store and all shards. */
+    std::size_t inputRecords = 0;
+    /** Records surviving fingerprint deduplication. */
+    std::size_t uniqueRecords = 0;
+    /** Worker shard files merged (and, when requested, removed). */
+    std::size_t shardFiles = 0;
+};
+
+/**
+ * Load every record of the sweep directory — the canonical store
+ * first, then worker shards in sorted filename order — deduplicated
+ * by fingerprint (newest complete record wins) and sorted by job name
+ * (ties broken by fingerprint). The read-only merged view used by
+ * worker scan loops and `treevqa_run --status`.
+ */
+std::vector<JobResult> loadMergedRecords(const std::string &sweepDir);
+
+/**
+ * Merge shards into the canonical store: atomically rewrite
+ * `results.jsonl` with the deduplicated name-sorted record set and
+ * write the deterministic `summary.json`.
+ *
+ * `removeMergedShards` deletes the shard files afterwards; pass true
+ * only when the sweep is provably drained (every job recorded — the
+ * worker daemon's merge-on-drain path), because a live worker could
+ * otherwise append a completed job's record to a shard between our
+ * load and its deletion, losing that record. With false (the
+ * `--merge-only` CLI), shards are folded in but left for the draining
+ * fleet to retire.
+ */
+SweepMergeStats compactSweepStore(const std::string &sweepDir,
+                                  bool removeMergedShards);
+
+} // namespace treevqa
+
+#endif // TREEVQA_DIST_STORE_MERGE_H

@@ -1,0 +1,179 @@
+#include "dist/work_claim.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/file_util.h"
+
+namespace treevqa {
+
+JsonValue
+claimToJson(const ClaimInfo &info)
+{
+    JsonValue out = JsonValue::object();
+    out.set("fingerprint", JsonValue(info.fingerprint));
+    out.set("owner", JsonValue(info.owner));
+    out.set("acquiredMs", JsonValue(info.acquiredMs));
+    out.set("deadlineMs", JsonValue(info.deadlineMs));
+    out.set("leaseMs", JsonValue(info.leaseMs));
+    out.set("renewals", JsonValue(info.renewals));
+    return out;
+}
+
+ClaimInfo
+claimFromJson(const JsonValue &json)
+{
+    ClaimInfo info;
+    info.fingerprint = json.at("fingerprint").asString();
+    info.owner = json.at("owner").asString();
+    info.acquiredMs = json.at("acquiredMs").asInt();
+    info.deadlineMs = json.at("deadlineMs").asInt();
+    info.leaseMs = json.at("leaseMs").asInt();
+    info.renewals = json.at("renewals").asInt();
+    return info;
+}
+
+std::string
+WorkClaim::claimPath(const std::string &claimDir,
+                     const std::string &fingerprint)
+{
+    return (std::filesystem::path(claimDir)
+            / (sanitizeFileToken(fingerprint) + ".lock"))
+        .string();
+}
+
+WorkClaim::WorkClaim(WorkClaim &&other) noexcept
+    : path_(std::move(other.path_)), info_(std::move(other.info_))
+{
+    other.path_.clear();
+}
+
+WorkClaim &
+WorkClaim::operator=(WorkClaim &&other) noexcept
+{
+    if (this != &other) {
+        path_ = std::move(other.path_);
+        info_ = std::move(other.info_);
+        other.path_.clear();
+    }
+    return *this;
+}
+
+std::optional<WorkClaim>
+WorkClaim::tryAcquire(const std::string &claimDir,
+                      const std::string &fingerprint,
+                      const std::string &owner, std::int64_t leaseMs,
+                      bool *reapedStale)
+{
+    if (reapedStale)
+        *reapedStale = false;
+    const std::string path = claimPath(claimDir, fingerprint);
+
+    ClaimInfo mine;
+    mine.fingerprint = fingerprint;
+    mine.owner = owner;
+    mine.acquiredMs = unixTimeMs();
+    mine.deadlineMs = mine.acquiredMs + leaseMs;
+    mine.leaseMs = leaseMs;
+    const std::string content = claimToJson(mine).dump() + "\n";
+
+    if (tryCreateExclusiveText(path, content))
+        return WorkClaim(path, mine);
+
+    // Someone holds (or held) it: expired and torn claims are
+    // reapable, live ones are not.
+    std::string text;
+    if (!readTextFile(path, text))
+        return std::nullopt; // released between our create and read
+    bool stale = false;
+    try {
+        stale = unixTimeMs() > claimFromJson(JsonValue::parse(text))
+                                   .deadlineMs;
+    } catch (const std::exception &) {
+        // Unparseable: the creator died mid-write (the window is one
+        // write() call) or the file was corrupted — reapable either
+        // way; a double claim only costs duplicate (identical) work.
+        stale = true;
+    }
+    if (!stale)
+        return std::nullopt;
+
+    // Takeover: rename the stale lock to a reaper-private name.
+    // rename() succeeds for exactly one contender (the source is gone
+    // for everyone after), so the winner alone re-creates the lock.
+    const std::string reaped =
+        path + ".reap." + sanitizeFileToken(owner);
+    if (std::rename(path.c_str(), reaped.c_str()) != 0)
+        return std::nullopt;
+    std::remove(reaped.c_str());
+    mine.acquiredMs = unixTimeMs();
+    mine.deadlineMs = mine.acquiredMs + leaseMs;
+    if (!tryCreateExclusiveText(path, claimToJson(mine).dump() + "\n"))
+        return std::nullopt; // someone slid in after our rename
+    if (reapedStale)
+        *reapedStale = true;
+    return WorkClaim(path, mine);
+}
+
+std::optional<ClaimInfo>
+WorkClaim::peek(const std::string &claimDir,
+                const std::string &fingerprint)
+{
+    std::string text;
+    if (!readTextFile(claimPath(claimDir, fingerprint), text))
+        return std::nullopt;
+    try {
+        return claimFromJson(JsonValue::parse(text));
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+bool
+WorkClaim::renew()
+{
+    if (path_.empty())
+        return false;
+    std::string text;
+    if (!readTextFile(path_, text)) {
+        path_.clear(); // reaped from under us
+        return false;
+    }
+    try {
+        const ClaimInfo held = claimFromJson(JsonValue::parse(text));
+        if (held.owner != info_.owner || held.fingerprint
+                != info_.fingerprint) {
+            path_.clear(); // someone took over after expiry
+            return false;
+        }
+        info_.renewals = held.renewals + 1;
+    } catch (const std::exception &) {
+        path_.clear();
+        return false;
+    }
+    info_.deadlineMs = unixTimeMs() + info_.leaseMs;
+    writeTextFileAtomic(path_, claimToJson(info_).dump() + "\n");
+    return true;
+}
+
+void
+WorkClaim::release()
+{
+    if (path_.empty())
+        return;
+    // Delete only if still ours: after a lost lease the file (if any)
+    // belongs to the worker that reaped it.
+    std::string text;
+    if (readTextFile(path_, text)) {
+        try {
+            if (claimFromJson(JsonValue::parse(text)).owner
+                == info_.owner)
+                std::remove(path_.c_str());
+        } catch (const std::exception &) {
+            // Corrupt content under our path: leave it for a reaper.
+        }
+    }
+    path_.clear();
+}
+
+} // namespace treevqa

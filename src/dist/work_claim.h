@@ -1,0 +1,121 @@
+/**
+ * @file
+ * WorkClaim: filesystem-coordinated job leases for the distributed
+ * execution layer (src/dist/).
+ *
+ * One claim file per job fingerprint (`<sweep>/claims/<fp>.lock`)
+ * carries the owner id and a wall-clock lease deadline. The protocol
+ * needs only three POSIX guarantees that hold on a shared filesystem:
+ *
+ *  - **Acquire** is `open(O_CREAT|O_EXCL)` — at most one process
+ *    across all hosts creates the file.
+ *  - **Heartbeat** renewal atomically rewrites the claim (tmp +
+ *    rename) with an extended deadline; a renewal that finds the file
+ *    gone or owned by someone else reports the lease as lost.
+ *  - **Stale takeover** is `rename()` of the expired lock to a
+ *    reaper-private name: rename fails for every contender but one, so
+ *    exactly one worker wins the right to re-create the lock and
+ *    resume the dead worker's job from its fingerprint-keyed
+ *    checkpoint.
+ *
+ * Clock model: deadlines are Unix wall-clock milliseconds — the only
+ * clock hosts sharing a filesystem have in common — so the lease
+ * duration must dominate clock skew (seconds of lease vs millis of
+ * skew). The layer above stays correct even if a lease is ever stolen
+ * from a live-but-stalled worker: jobs are pure functions of their
+ * spec, both contenders produce bit-identical records, and store
+ * merging deduplicates by fingerprint. Claims are a scheduling
+ * optimization (don't run a job twice), never a correctness
+ * requirement.
+ */
+
+#ifndef TREEVQA_DIST_WORK_CLAIM_H
+#define TREEVQA_DIST_WORK_CLAIM_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+
+namespace treevqa {
+
+/** The persisted content of one claim file. */
+struct ClaimInfo
+{
+    std::string fingerprint;
+    std::string owner;
+    /** When the claim was first acquired (Unix ms). */
+    std::int64_t acquiredMs = 0;
+    /** Lease expiry (Unix ms); past this the claim is reapable. */
+    std::int64_t deadlineMs = 0;
+    /** Lease duration used for renewals (ms). */
+    std::int64_t leaseMs = 0;
+    /** Heartbeat count (diagnostic; shown by --status). */
+    std::int64_t renewals = 0;
+};
+
+JsonValue claimToJson(const ClaimInfo &info);
+ClaimInfo claimFromJson(const JsonValue &json);
+
+/**
+ * A held lease on one job fingerprint. Not thread-safe: a claim is
+ * owned by one worker loop (the daemon serializes its heartbeat thread
+ * against renew/release). Release is explicit — a crashed holder is
+ * exactly the case the lease deadline exists for.
+ */
+class WorkClaim
+{
+  public:
+    WorkClaim() = default;
+    WorkClaim(WorkClaim &&other) noexcept;
+    WorkClaim &operator=(WorkClaim &&other) noexcept;
+    WorkClaim(const WorkClaim &) = delete;
+    WorkClaim &operator=(const WorkClaim &) = delete;
+
+    /** The lock file path a fingerprint maps to under `claimDir`. */
+    static std::string claimPath(const std::string &claimDir,
+                                 const std::string &fingerprint);
+
+    /**
+     * Try to claim `fingerprint`. Returns the held claim on success;
+     * nullopt when another worker holds an unexpired lease (or won a
+     * takeover race). An expired or unparseable (torn) claim is
+     * reaped via the rename protocol; `reapedStale`, when non-null,
+     * reports whether this acquisition took over a stale lease.
+     */
+    static std::optional<WorkClaim>
+    tryAcquire(const std::string &claimDir,
+               const std::string &fingerprint, const std::string &owner,
+               std::int64_t leaseMs, bool *reapedStale = nullptr);
+
+    /** Read a claim file without touching it (the --status view).
+     * nullopt when absent or unreadable. */
+    static std::optional<ClaimInfo>
+    peek(const std::string &claimDir, const std::string &fingerprint);
+
+    /** Extend the lease by another leaseMs from now (heartbeat).
+     * Returns false — and invalidates this claim — when the lock was
+     * lost (file gone or re-owned after a takeover). */
+    bool renew();
+
+    /** Delete the lock if still owned; safe to call when already
+     * released or lost. */
+    void release();
+
+    bool held() const { return !path_.empty(); }
+    const ClaimInfo &info() const { return info_; }
+
+  private:
+    WorkClaim(std::string path, ClaimInfo info)
+        : path_(std::move(path)), info_(std::move(info))
+    {
+    }
+
+    std::string path_;
+    ClaimInfo info_;
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_DIST_WORK_CLAIM_H

@@ -1,0 +1,278 @@
+#include "dist/worker_daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "common/file_util.h"
+#include "dist/store_merge.h"
+#include "svc/result_store.h"
+#include "svc/sweep_dir.h"
+
+namespace treevqa {
+
+namespace {
+
+/** FNV-1a of the worker id: a stable per-worker scan offset so a
+ * fleet fans out over the pending jobs instead of stampeding the
+ * first claim file. */
+std::size_t
+workerScanOffset(const std::string &workerId)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (const char c : workerId) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(hash);
+}
+
+std::set<std::string>
+completedFingerprints(const std::vector<JobResult> &records)
+{
+    std::set<std::string> done;
+    for (const JobResult &record : records)
+        if (record.completed)
+            done.insert(record.fingerprint);
+    return done;
+}
+
+} // namespace
+
+WorkerDaemon::WorkerDaemon(WorkerOptions options)
+    : options_(std::move(options))
+{
+    if (options_.sweepDir.empty())
+        throw std::invalid_argument("worker: sweepDir must be set");
+    if (options_.workerId.empty())
+        options_.workerId = localWorkerId();
+    if (options_.workerId != sanitizeFileToken(options_.workerId))
+        throw std::invalid_argument(
+            "worker: worker id \"" + options_.workerId
+            + "\" must contain only [A-Za-z0-9._-] (it names claim "
+              "and shard files)");
+    if (options_.leaseMs < 10)
+        throw std::invalid_argument(
+            "worker: leaseMs must be at least 10");
+    if (options_.pollMs < 1)
+        options_.pollMs = 1;
+}
+
+std::vector<ScenarioSpec>
+WorkerDaemon::loadSweepSpecs(const std::string &sweepDir)
+{
+    std::string text;
+    const std::string path = sweepSpecPath(sweepDir);
+    if (!readTextFile(path, text))
+        throw std::runtime_error(
+            "worker: cannot read " + path
+            + " (seed the sweep directory with treevqa_run --out or "
+              "treevqa_worker --spec)");
+    return expandScenarios(JsonValue::parse(text));
+}
+
+WorkerReport
+WorkerDaemon::run()
+{
+    return runLoop(
+        [this] { return loadSweepSpecs(options_.sweepDir); });
+}
+
+WorkerReport
+WorkerDaemon::run(const std::vector<ScenarioSpec> &specs)
+{
+    return runLoop([&specs] { return specs; });
+}
+
+WorkerReport
+WorkerDaemon::runLoop(
+    const std::function<std::vector<ScenarioSpec>()> &specSource)
+{
+    const std::string &dir = options_.sweepDir;
+    std::filesystem::create_directories(sweepClaimDir(dir));
+    std::filesystem::create_directories(sweepCheckpointDir(dir));
+    std::filesystem::create_directories(sweepShardDir(dir));
+
+    WorkerReport report;
+    const std::size_t scan_salt = workerScanOffset(options_.workerId);
+
+    while (!stop_.load()) {
+        const std::vector<ScenarioSpec> specs = specSource();
+        std::vector<std::string> fingerprints;
+        fingerprints.reserve(specs.size());
+        std::set<std::string> distinct;
+        for (const ScenarioSpec &spec : specs) {
+            std::string fp = scenarioFingerprint(spec);
+            if (!distinct.insert(fp).second)
+                throw std::invalid_argument(
+                    "worker: sweep contains duplicate spec \""
+                    + spec.name + "\" (fingerprint " + fp
+                    + "); de-duplicate the request");
+            fingerprints.push_back(std::move(fp));
+        }
+
+        const std::set<std::string> done =
+            completedFingerprints(loadMergedRecords(dir));
+        std::vector<std::size_t> pending;
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            if (done.count(fingerprints[i]) == 0)
+                pending.push_back(i);
+
+        if (pending.empty()) {
+            report.drained = true;
+            if (options_.drainAndExit)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options_.pollMs));
+            continue;
+        }
+        report.drained = false;
+
+        bool progress = false;
+        const std::size_t offset = scan_salt % pending.size();
+        for (std::size_t k = 0; k < pending.size() && !stop_.load();
+             ++k) {
+            const std::size_t index =
+                pending[(k + offset) % pending.size()];
+            bool reaped = false;
+            std::optional<WorkClaim> claim = WorkClaim::tryAcquire(
+                sweepClaimDir(dir), fingerprints[index],
+                options_.workerId, options_.leaseMs, &reaped);
+            if (!claim)
+                continue; // live lease elsewhere, or takeover lost
+            if (reaped)
+                ++report.reapedLeases;
+
+            // The job may have been recorded between our scan and
+            // this claim (its worker finished); don't run it twice.
+            if (completedFingerprints(loadMergedRecords(dir))
+                    .count(fingerprints[index])) {
+                claim->release();
+                progress = true;
+                continue;
+            }
+
+            const JobOutcome outcome = runClaimedJob(
+                specs[index], fingerprints[index], *claim, report);
+            progress = true;
+            if (outcome == JobOutcome::SimulatedCrash) {
+                report.simulatedCrash = true;
+                return report; // claim + checkpoint left in place
+            }
+            if (options_.maxJobs > 0
+                && report.completed
+                    >= static_cast<std::size_t>(options_.maxJobs))
+                return report;
+        }
+
+        // Nothing claimable this round: every pending job is leased
+        // to a live worker. Wait for completions or lease expiry.
+        if (!progress && !stop_.load())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options_.pollMs));
+    }
+
+    if (report.drained && options_.mergeOnDrain && !stop_.load()) {
+        // Drained = every job recorded, so shard removal is safe.
+        compactSweepStore(dir, /*removeMergedShards=*/true);
+        report.merged = true;
+    }
+    return report;
+}
+
+WorkerDaemon::JobOutcome
+WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
+                            const std::string &fingerprint,
+                            WorkClaim &claim, WorkerReport &report)
+{
+    ScenarioRunOptions run_options;
+    run_options.checkpointPath =
+        sweepCheckpointPath(options_.sweepDir, fingerprint);
+    run_options.haltAfterIterations = options_.haltJobsAfterIterations;
+    run_options.onCheckpoint = options_.onCheckpoint;
+
+    // Heartbeat: the lease is renewed on a timer thread (checkpoint
+    // cadence is spec-controlled and may be slower than the lease).
+    // The thread is the claim's only writer while the job runs; it is
+    // joined before the main thread touches the claim again.
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::atomic<bool> hb_lost{false};
+    const auto hb_interval = std::chrono::milliseconds(
+        std::clamp<std::int64_t>(options_.leaseMs / 3, 5, 5000));
+    std::thread heartbeat([&] {
+        std::unique_lock<std::mutex> lock(hb_mutex);
+        while (!hb_cv.wait_for(lock, hb_interval,
+                               [&] { return hb_stop; })) {
+            // A renewal I/O failure (ENOSPC, network-filesystem
+            // hiccup) must degrade to "lease lost" — the recoverable
+            // outcome this thread exists to report — not escape the
+            // thread and terminate the process.
+            try {
+                if (claim.renew())
+                    continue;
+            } catch (const std::exception &) {
+            }
+            hb_lost.store(true);
+            return;
+        }
+    });
+    const auto join_heartbeat = [&] {
+        {
+            std::lock_guard<std::mutex> lock(hb_mutex);
+            hb_stop = true;
+        }
+        hb_cv.notify_all();
+        heartbeat.join();
+    };
+
+    JobResult result;
+    try {
+        result = runScenario(spec, run_options);
+    } catch (...) {
+        // A throwing job (defective spec) fails the whole worker, as
+        // it fails the single-process scheduler; release so a --fixed
+        // rerun isn't blocked behind our stale lease.
+        join_heartbeat();
+        claim.release();
+        throw;
+    }
+    join_heartbeat();
+
+    if (!result.completed)
+        return JobOutcome::SimulatedCrash;
+
+    // Append only while provably still the owner; a lost lease means
+    // the reaper will record the (bit-identical) result instead. Like
+    // the heartbeat, an I/O failure during this ownership re-check
+    // degrades to "lease lost" rather than killing the worker with
+    // the claim still held.
+    bool still_owner = !hb_lost.load();
+    if (still_owner) {
+        try {
+            still_owner = claim.renew();
+        } catch (const std::exception &) {
+            still_owner = false;
+        }
+    }
+    if (!still_owner) {
+        ++report.lostClaims;
+        claim.release();
+        return JobOutcome::LostClaim;
+    }
+    ResultStore(sweepShardPath(options_.sweepDir, options_.workerId))
+        .append(result);
+    ++report.completed;
+    if (result.resumed)
+        ++report.resumed;
+    claim.release();
+    return JobOutcome::Completed;
+}
+
+} // namespace treevqa

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * WorkerDaemon: the scan→claim→run→record loop that lets N independent
+ * processes (possibly on different hosts sharing a filesystem)
+ * cooperatively drain one sweep directory.
+ *
+ * Each round the daemon expands the sweep's job list, loads the merged
+ * record view (canonical store + all worker shards), and walks the
+ * still-unrecorded jobs in a worker-specific rotation (so a fleet
+ * doesn't stampede the same claim file). For every job it can claim
+ * (WorkClaim) it drives the existing checkpointed ScenarioRunner — a
+ * job interrupted by a crashed worker resumes from that worker's last
+ * checkpoint — while a heartbeat thread renews the lease, then appends
+ * the completed record to this worker's private JSONL shard
+ * (`<dir>/workers/<id>.jsonl`; per-worker files make cross-process
+ * append interleaving impossible). When the sweep is drained the
+ * daemon compacts the shards into the canonical store and summary
+ * (store_merge.h).
+ *
+ * Determinism: jobs are pure functions of their specs, so any worker
+ * count, any claim interleaving and any kill schedule produce the same
+ * final energies — bit-identical, timing excluded, to a
+ * single-process JobScheduler run (tests/test_dist.cpp and the CI
+ * two-worker smoke job enforce this).
+ */
+
+#ifndef TREEVQA_DIST_WORKER_DAEMON_H
+#define TREEVQA_DIST_WORKER_DAEMON_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/work_claim.h"
+#include "svc/scenario_runner.h"
+
+namespace treevqa {
+
+/** Worker configuration (CLI: tools/treevqa_worker.cpp). */
+struct WorkerOptions
+{
+    /** The shared sweep directory (see svc/sweep_dir.h layout). */
+    std::string sweepDir;
+    /** Identity written into claims and the shard filename; must be a
+     * filesystem-safe token, unique per worker process (default:
+     * "<host>-<pid>"). */
+    std::string workerId;
+    /** Lease duration; a crashed worker's claim becomes reapable this
+     * long after its last heartbeat. Must dominate host clock skew. */
+    std::int64_t leaseMs = 30000;
+    /** Stop after completing this many jobs (0 = unbounded). */
+    int maxJobs = 0;
+    /** True: exit once every job has a record (waiting out live
+     * leases of other workers). False: keep polling for new work —
+     * run() re-reads sweep.json each round, so appending scenarios to
+     * the request document feeds a running fleet. */
+    bool drainAndExit = true;
+    /** Idle wait between scan rounds when nothing was claimable. */
+    std::int64_t pollMs = 200;
+    /** Compact shards into the canonical store + summary.json after
+     * draining (idempotent; concurrent drained workers may race
+     * harmlessly). */
+    bool mergeOnDrain = true;
+    /**
+     * Crash simulation for tests: halt the current job after this
+     * many iterations *without* finalizing, releasing the claim, or
+     * continuing the loop — the on-disk state (stale claim + durable
+     * checkpoint) is exactly what a SIGKILL at that instant leaves.
+     */
+    int haltJobsAfterIterations = 0;
+    /** Invoked after each durable checkpoint write (the worker CLI's
+     * --sigkill-after-checkpoints hook). */
+    std::function<void()> onCheckpoint;
+};
+
+/** What one run() accomplished. */
+struct WorkerReport
+{
+    /** Jobs this worker ran to completion and recorded. */
+    std::size_t completed = 0;
+    /** Of those, jobs resumed from another (or a previous) worker's
+     * checkpoint. */
+    std::size_t resumed = 0;
+    /** Stale leases taken over from crashed workers. */
+    std::size_t reapedLeases = 0;
+    /** Jobs whose lease was lost mid-run; their records were
+     * discarded (the reaper produces bit-identical ones). */
+    std::size_t lostClaims = 0;
+    /** Every job in the sweep had a completed record when we left. */
+    bool drained = false;
+    /** This worker ran the shard compaction. */
+    bool merged = false;
+    /** The haltJobsAfterIterations hook fired. */
+    bool simulatedCrash = false;
+};
+
+/** One worker process's drain loop over a shared sweep directory. */
+class WorkerDaemon
+{
+  public:
+    /** Validates options (throws std::invalid_argument on an empty
+     * sweep dir or a non-token worker id). */
+    explicit WorkerDaemon(WorkerOptions options);
+
+    const WorkerOptions &options() const { return options_; }
+
+    /** Parse `<sweepDir>/sweep.json` and expand it into the job list.
+     * Throws std::runtime_error when the file is missing. */
+    static std::vector<ScenarioSpec>
+    loadSweepSpecs(const std::string &sweepDir);
+
+    /** Drain loop over the sweep.json job list (re-read every scan
+     * round in daemon mode). */
+    WorkerReport run();
+
+    /** Drain loop over a fixed job list (tests, benches). */
+    WorkerReport run(const std::vector<ScenarioSpec> &specs);
+
+    /** Ask the loop to stop after the job in flight (signal-safe:
+     * only sets an atomic flag). */
+    void requestStop() { stop_.store(true); }
+
+  private:
+    enum class JobOutcome
+    {
+        Completed,
+        LostClaim,
+        SimulatedCrash
+    };
+
+    WorkerReport
+    runLoop(const std::function<std::vector<ScenarioSpec>()> &specs);
+    JobOutcome runClaimedJob(const ScenarioSpec &spec,
+                             const std::string &fingerprint,
+                             WorkClaim &claim, WorkerReport &report);
+
+    WorkerOptions options_;
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace treevqa
+
+#endif // TREEVQA_DIST_WORKER_DAEMON_H

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/thread_pool.h"
+#include "svc/sweep_dir.h"
 
 namespace treevqa {
 
@@ -19,8 +20,7 @@ JobScheduler::resultStorePath() const
 {
     if (config_.outDir.empty())
         return "";
-    return (std::filesystem::path(config_.outDir) / "results.jsonl")
-        .string();
+    return sweepStorePath(config_.outDir);
 }
 
 std::string
@@ -28,9 +28,8 @@ JobScheduler::checkpointPathFor(const ScenarioSpec &spec) const
 {
     if (config_.outDir.empty())
         return "";
-    return (std::filesystem::path(config_.outDir) / "checkpoints"
-            / (scenarioFingerprint(spec) + ".json"))
-        .string();
+    return sweepCheckpointPath(config_.outDir,
+                               scenarioFingerprint(spec));
 }
 
 SweepResult
@@ -59,10 +58,14 @@ JobScheduler::run(const std::vector<ScenarioSpec> &specs)
     std::map<std::string, JobResult> recorded;
     if (!config_.outDir.empty()) {
         std::filesystem::create_directories(
-            std::filesystem::path(config_.outDir) / "checkpoints");
+            sweepCheckpointDir(config_.outDir));
         store = std::make_unique<ResultStore>(resultStorePath());
         if (config_.resume)
-            for (JobResult &record : store->load())
+            // A reused run directory may hold duplicate records for a
+            // fingerprint; the dedup pass keeps the newest complete
+            // one (warning once), so the skip decision is well-defined.
+            for (JobResult &record :
+                 dedupeByFingerprint(store->load()))
                 if (record.completed)
                     recorded.emplace(record.fingerprint,
                                      std::move(record));

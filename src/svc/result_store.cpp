@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <stdexcept>
 
 namespace treevqa {
@@ -134,6 +136,38 @@ ResultStore::append(const JobResult &result)
     out.flush();
     if (!out)
         throw std::runtime_error("result store: write failed: " + path_);
+}
+
+std::vector<JobResult>
+dedupeByFingerprint(std::vector<JobResult> records,
+                    bool warnOnDuplicates)
+{
+    // index of the kept record per fingerprint, in first-seen order.
+    std::vector<JobResult> kept;
+    std::map<std::string, std::size_t> by_fingerprint;
+    std::set<std::string> warned;
+    for (JobResult &record : records) {
+        const auto [it, inserted] =
+            by_fingerprint.emplace(record.fingerprint, kept.size());
+        if (inserted) {
+            kept.push_back(std::move(record));
+            continue;
+        }
+        JobResult &held = kept[it->second];
+        if (warnOnDuplicates
+            && warned.insert(record.fingerprint).second)
+            std::fprintf(stderr,
+                         "treevqa: duplicate records for job \"%s\" "
+                         "(fingerprint %s); keeping the newest "
+                         "complete one\n",
+                         record.spec.name.c_str(),
+                         record.fingerprint.c_str());
+        // Later = newer (append order); never replace a complete
+        // record with an incomplete one.
+        if (record.completed || !held.completed)
+            held = std::move(record);
+    }
+    return kept;
 }
 
 JsonValue

@@ -56,6 +56,24 @@ class ResultStore
 };
 
 /**
+ * Collapse duplicate-fingerprint records to one per job. Duplicates
+ * arise when a run directory is reused with resume disabled, or when
+ * per-worker store shards from a distributed sweep are merged after a
+ * lease was reclaimed mid-job. Keeps the newest complete record per
+ * fingerprint — records are in append order, so the last complete
+ * occurrence wins; when none completed, the last occurrence wins —
+ * and, with `warnOnDuplicates`, warns on stderr once per duplicated
+ * fingerprint. Callers for whom overlap is expected (the merged
+ * canonical+shard view of a distributed sweep after a standalone
+ * merge) pass false to keep the warning meaningful for the case it
+ * exists for: a genuinely reused run directory. The surviving records
+ * keep first-occurrence order.
+ */
+std::vector<JobResult>
+dedupeByFingerprint(std::vector<JobResult> records,
+                    bool warnOnDuplicates = true);
+
+/**
  * Deterministic aggregate summary: jobs sorted by name, per-job
  * energies/iterations/shots/backend, sweep totals. Contains no
  * timing, so two runs of the same sweep (fresh, resumed, any

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/file_util.h"
 #include "core/metrics.h"
 #include "core/objective.h"
 
@@ -45,22 +46,13 @@ checkpointToJson(const std::string &fingerprint, const RunState &state,
 }
 
 /** Atomic (tmp + rename) checkpoint write; a kill mid-write leaves
- * the previous checkpoint intact. */
+ * the previous checkpoint intact. The temp name is process-unique
+ * (file_util), so even a misconfigured fleet whose lease protocol
+ * failed cannot tear a checkpoint — the last rename wins whole. */
 void
 writeCheckpoint(const std::string &path, const JsonValue &checkpoint)
 {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out)
-            throw std::runtime_error("checkpoint: cannot write " + tmp);
-        out << checkpoint.dump(2) << '\n';
-        out.flush();
-        if (!out)
-            throw std::runtime_error("checkpoint: write failed: " + tmp);
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        throw std::runtime_error("checkpoint: rename failed: " + path);
+    writeTextFileAtomic(path, checkpoint.dump(2) + "\n");
 }
 
 /** Restore loop state from a checkpoint file. Returns false (fresh
@@ -235,6 +227,24 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
                              std::chrono::steady_clock::now() - t0)
                              .count();
     return result;
+}
+
+std::optional<CheckpointPeek>
+peekCheckpoint(const std::string &path)
+{
+    std::string text;
+    if (!readTextFile(path, text))
+        return std::nullopt;
+    try {
+        const JsonValue checkpoint = JsonValue::parse(text);
+        CheckpointPeek peek;
+        peek.fingerprint = checkpoint.at("fingerprint").asString();
+        peek.iteration =
+            static_cast<int>(checkpoint.at("iteration").asInt());
+        return peek;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
 }
 
 } // namespace treevqa

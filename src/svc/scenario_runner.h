@@ -28,6 +28,7 @@
 
 #include <functional>
 #include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,18 @@ struct ScenarioRunOptions
  * energy records at any thread-pool size. */
 JobResult runScenario(const ScenarioSpec &spec,
                       const ScenarioRunOptions &options = {});
+
+/** The little a progress view needs from a checkpoint file. */
+struct CheckpointPeek
+{
+    std::string fingerprint;
+    int iteration = 0;
+};
+
+/** Read a checkpoint's identity and progress without restoring it
+ * (the `treevqa_run --status` view). nullopt when the file is absent
+ * or unparseable. */
+std::optional<CheckpointPeek> peekCheckpoint(const std::string &path);
 
 } // namespace treevqa
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The shared sweep-directory layout: every path the orchestration and
+ * distribution layers agree on lives here, so a JobScheduler run, an
+ * N-process worker fleet (src/dist/), the merge/compaction pass and
+ * the `treevqa_run --status` view all read and write the same files.
+ *
+ *   <dir>/sweep.json                  the request document (written by
+ *                                     treevqa_run --out / --spec; what
+ *                                     workers expand into their job
+ *                                     list)
+ *   <dir>/results.jsonl               canonical append-only store
+ *   <dir>/summary.json                deterministic aggregate view
+ *   <dir>/checkpoints/<fp>.json       per-job resume state
+ *   <dir>/claims/<fp>.lock            per-job work claim (lease)
+ *   <dir>/workers/<worker>.jsonl      per-worker store shard (merged
+ *                                     into results.jsonl on
+ *                                     compaction)
+ */
+
+#ifndef TREEVQA_SVC_SWEEP_DIR_H
+#define TREEVQA_SVC_SWEEP_DIR_H
+
+#include <filesystem>
+#include <string>
+
+namespace treevqa {
+
+inline std::string
+sweepSpecPath(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "sweep.json").string();
+}
+
+inline std::string
+sweepStorePath(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "results.jsonl").string();
+}
+
+inline std::string
+sweepSummaryPath(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "summary.json").string();
+}
+
+inline std::string
+sweepCheckpointDir(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "checkpoints").string();
+}
+
+inline std::string
+sweepCheckpointPath(const std::string &dir,
+                    const std::string &fingerprint)
+{
+    return (std::filesystem::path(dir) / "checkpoints"
+            / (fingerprint + ".json"))
+        .string();
+}
+
+inline std::string
+sweepClaimDir(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "claims").string();
+}
+
+inline std::string
+sweepShardDir(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "workers").string();
+}
+
+inline std::string
+sweepShardPath(const std::string &dir, const std::string &workerId)
+{
+    return (std::filesystem::path(dir) / "workers"
+            / (workerId + ".jsonl"))
+        .string();
+}
+
+} // namespace treevqa
+
+#endif // TREEVQA_SVC_SWEEP_DIR_H

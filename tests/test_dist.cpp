@@ -1,0 +1,542 @@
+/**
+ * @file
+ * Tests for the distributed work-claiming execution layer (src/dist/):
+ * file-lock claims with lease expiry and stale takeover, the worker
+ * daemon's scan→claim→run→record loop, per-worker store shards and
+ * their deterministic merge/compaction, and the invariant the whole
+ * layer exists to keep — any worker count, any kill schedule, same
+ * final energies as a single-process JobScheduler run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/file_util.h"
+#include "dist/store_merge.h"
+#include "dist/work_claim.h"
+#include "dist/worker_daemon.h"
+#include "svc/job_scheduler.h"
+#include "svc/sweep_dir.h"
+
+namespace treevqa {
+namespace {
+
+// ------------------------------------------------------------- helpers
+
+std::filesystem::path
+scratchDir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / ("dist_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** A tiny, fast scenario (4-qubit TFIM, 1-layer HEA, SPSA). */
+ScenarioSpec
+tinySpec(const std::string &name, double field, int iterations = 12)
+{
+    ScenarioSpec spec;
+    spec.name = name;
+    spec.problem = "tfim";
+    spec.size = 4;
+    spec.field = field;
+    spec.ansatz = "hea";
+    spec.layers = 1;
+    spec.engine.shotsPerTerm = 256;
+    spec.maxIterations = iterations;
+    spec.seed = 99;
+    spec.checkpointInterval = 4;
+    return spec;
+}
+
+std::vector<ScenarioSpec>
+tinySweep(int jobs = 4)
+{
+    std::vector<ScenarioSpec> specs;
+    for (int j = 0; j < jobs; ++j)
+        specs.push_back(
+            tinySpec("job" + std::to_string(j), 0.5 + 0.2 * j));
+    return specs;
+}
+
+void
+expectJobsBitIdentical(const JobResult &a, const JobResult &b)
+{
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.shotsUsed, b.shotsUsed);
+    ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+    for (std::size_t i = 0; i < a.trajectory.size(); ++i)
+        EXPECT_EQ(a.trajectory[i], b.trajectory[i]) << "iteration " << i;
+    EXPECT_EQ(a.bestLoss, b.bestLoss);
+    ASSERT_EQ(a.bestParams.size(), b.bestParams.size());
+    for (std::size_t i = 0; i < a.bestParams.size(); ++i)
+        EXPECT_EQ(a.bestParams[i], b.bestParams[i]) << "param " << i;
+    EXPECT_EQ(a.finalEnergy, b.finalEnergy);
+}
+
+/** Single-process reference run of the same sweep in its own dir. */
+std::vector<JobResult>
+referenceRun(const std::vector<ScenarioSpec> &specs,
+             const std::string &name)
+{
+    SchedulerConfig config;
+    config.outDir = scratchDir(name).string();
+    return JobScheduler(config).run(specs).jobs;
+}
+
+// ------------------------------------------------------------ file util
+
+TEST(FileUtil, ExclusiveCreateAdmitsExactlyOneWriter)
+{
+    const auto dir = scratchDir("excl");
+    const std::string path = (dir / "token").string();
+    EXPECT_TRUE(tryCreateExclusiveText(path, "first"));
+    EXPECT_FALSE(tryCreateExclusiveText(path, "second"));
+    std::string content;
+    ASSERT_TRUE(readTextFile(path, content));
+    EXPECT_EQ(content, "first");
+}
+
+TEST(FileUtil, AtomicWriteReplacesWholeFile)
+{
+    const auto dir = scratchDir("atomic");
+    const std::string path = (dir / "f").string();
+    writeTextFileAtomic(path, "one");
+    writeTextFileAtomic(path, "two");
+    std::string content;
+    ASSERT_TRUE(readTextFile(path, content));
+    EXPECT_EQ(content, "two");
+    // No staging temp left behind.
+    std::size_t entries = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        (void)entry;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+}
+
+TEST(FileUtil, SanitizeFileTokenStripsSeparators)
+{
+    EXPECT_EQ(sanitizeFileToken("host-1_a.B"), "host-1_a.B");
+    EXPECT_EQ(sanitizeFileToken("../evil/../x"), ".._evil_.._x");
+    EXPECT_EQ(sanitizeFileToken("a b:c"), "a_b_c");
+}
+
+// ----------------------------------------------------------- work claim
+
+TEST(WorkClaim, AcquireIsExclusiveUntilReleased)
+{
+    const auto dir = scratchDir("claim_excl");
+    auto first = WorkClaim::tryAcquire(dir.string(), "fp1", "alice",
+                                       60000);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_TRUE(first->held());
+    EXPECT_EQ(first->info().owner, "alice");
+
+    bool reaped = true;
+    EXPECT_FALSE(WorkClaim::tryAcquire(dir.string(), "fp1", "bob",
+                                       60000, &reaped)
+                     .has_value());
+    EXPECT_FALSE(reaped);
+    // A different fingerprint is independent.
+    EXPECT_TRUE(WorkClaim::tryAcquire(dir.string(), "fp2", "bob",
+                                      60000)
+                    .has_value());
+
+    first->release();
+    EXPECT_FALSE(first->held());
+    EXPECT_TRUE(WorkClaim::tryAcquire(dir.string(), "fp1", "bob",
+                                      60000)
+                    .has_value());
+}
+
+TEST(WorkClaim, RenewExtendsTheDeadline)
+{
+    const auto dir = scratchDir("claim_renew");
+    auto claim = WorkClaim::tryAcquire(dir.string(), "fp", "w", 60000);
+    ASSERT_TRUE(claim.has_value());
+    const std::int64_t before = claim->info().deadlineMs;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(claim->renew());
+    const auto peeked = WorkClaim::peek(dir.string(), "fp");
+    ASSERT_TRUE(peeked.has_value());
+    EXPECT_GT(peeked->deadlineMs, before);
+    EXPECT_EQ(peeked->renewals, 1);
+    EXPECT_EQ(peeked->owner, "w");
+}
+
+TEST(WorkClaim, StaleLeaseIsReapedAndLoserLearnsIt)
+{
+    const auto dir = scratchDir("claim_stale");
+    auto dead = WorkClaim::tryAcquire(dir.string(), "fp", "crashed",
+                                      20);
+    ASSERT_TRUE(dead.has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    bool reaped = false;
+    auto taken = WorkClaim::tryAcquire(dir.string(), "fp", "survivor",
+                                       60000, &reaped);
+    ASSERT_TRUE(taken.has_value());
+    EXPECT_TRUE(reaped);
+    EXPECT_EQ(taken->info().owner, "survivor");
+
+    // The original holder discovers the loss on its next heartbeat and
+    // must not delete the new owner's lock on release.
+    EXPECT_FALSE(dead->renew());
+    dead->release();
+    const auto peeked = WorkClaim::peek(dir.string(), "fp");
+    ASSERT_TRUE(peeked.has_value());
+    EXPECT_EQ(peeked->owner, "survivor");
+}
+
+TEST(WorkClaim, TornClaimFileIsReapable)
+{
+    const auto dir = scratchDir("claim_torn");
+    const std::string path = WorkClaim::claimPath(dir.string(), "fp");
+    {
+        std::ofstream torn(path);
+        torn << "{\"owner\": \"half-writ";
+    }
+    bool reaped = false;
+    auto claim = WorkClaim::tryAcquire(dir.string(), "fp", "w", 60000,
+                                       &reaped);
+    ASSERT_TRUE(claim.has_value());
+    EXPECT_TRUE(reaped);
+}
+
+TEST(WorkClaim, InfoJsonRoundTrips)
+{
+    ClaimInfo info;
+    info.fingerprint = "abc123";
+    info.owner = "host-42";
+    info.acquiredMs = 1753660800000;
+    info.deadlineMs = 1753660830000;
+    info.leaseMs = 30000;
+    info.renewals = 7;
+    const ClaimInfo back =
+        claimFromJson(JsonValue::parse(claimToJson(info).dump()));
+    EXPECT_EQ(back.fingerprint, info.fingerprint);
+    EXPECT_EQ(back.owner, info.owner);
+    EXPECT_EQ(back.acquiredMs, info.acquiredMs);
+    EXPECT_EQ(back.deadlineMs, info.deadlineMs);
+    EXPECT_EQ(back.leaseMs, info.leaseMs);
+    EXPECT_EQ(back.renewals, info.renewals);
+}
+
+// -------------------------------------------------- store dedup + merge
+
+TEST(ResultStoreDedupe, KeepsTheNewestCompleteRecord)
+{
+    JobResult stale;
+    stale.spec = tinySpec("dup", 1.0);
+    stale.fingerprint = "F";
+    stale.completed = false;
+    stale.iterations = 3;
+
+    JobResult complete = stale;
+    complete.completed = true;
+    complete.iterations = 12;
+
+    JobResult other;
+    other.spec = tinySpec("other", 0.5);
+    other.fingerprint = "G";
+    other.completed = true;
+    other.iterations = 12;
+
+    // Incomplete-then-complete: the complete one wins.
+    auto deduped = dedupeByFingerprint({stale, other, complete});
+    ASSERT_EQ(deduped.size(), 2u);
+    EXPECT_EQ(deduped[0].fingerprint, "F");
+    EXPECT_TRUE(deduped[0].completed);
+    EXPECT_EQ(deduped[1].fingerprint, "G");
+
+    // Complete-then-incomplete: the complete one still wins.
+    deduped = dedupeByFingerprint({complete, stale});
+    ASSERT_EQ(deduped.size(), 1u);
+    EXPECT_TRUE(deduped[0].completed);
+
+    // Two complete duplicates: the later (newer) one wins.
+    JobResult newer = complete;
+    newer.iterations = 24;
+    deduped = dedupeByFingerprint({complete, newer});
+    ASSERT_EQ(deduped.size(), 1u);
+    EXPECT_EQ(deduped[0].iterations, 24);
+}
+
+TEST(StoreMerge, FoldsShardsIntoTheCanonicalStore)
+{
+    const auto dir = scratchDir("merge");
+    std::filesystem::create_directories(sweepShardDir(dir.string()));
+
+    const JobResult a = runScenario(tinySpec("a", 0.7, 6));
+    const JobResult b = runScenario(tinySpec("b", 1.1, 6));
+    const JobResult c = runScenario(tinySpec("c", 1.5, 6));
+
+    // Canonical holds a; two shards hold b, c, and a duplicate of a.
+    ResultStore(sweepStorePath(dir.string())).append(a);
+    ResultStore(sweepShardPath(dir.string(), "w1")).append(c);
+    ResultStore(sweepShardPath(dir.string(), "w2")).append(b);
+    ResultStore(sweepShardPath(dir.string(), "w2")).append(a);
+
+    const std::vector<JobResult> merged =
+        loadMergedRecords(dir.string());
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_EQ(merged[0].spec.name, "a"); // name-sorted
+    EXPECT_EQ(merged[1].spec.name, "b");
+    EXPECT_EQ(merged[2].spec.name, "c");
+    expectJobsBitIdentical(merged[0], a);
+    expectJobsBitIdentical(merged[1], b);
+    expectJobsBitIdentical(merged[2], c);
+
+    // A merge over a possibly-live fleet folds shards but keeps them.
+    const SweepMergeStats live = compactSweepStore(dir.string(), false);
+    EXPECT_EQ(live.inputRecords, 4u);
+    EXPECT_EQ(live.uniqueRecords, 3u);
+    EXPECT_EQ(live.shardFiles, 2u);
+    EXPECT_TRUE(std::filesystem::exists(
+        sweepShardPath(dir.string(), "w1")));
+
+    // The drained-sweep compaction retires the shards.
+    const SweepMergeStats stats = compactSweepStore(dir.string(), true);
+    EXPECT_EQ(stats.uniqueRecords, 3u);
+    EXPECT_FALSE(std::filesystem::exists(
+        sweepShardPath(dir.string(), "w1")));
+    EXPECT_FALSE(std::filesystem::exists(
+        sweepShardPath(dir.string(), "w2")));
+
+    // The compacted canonical store round-trips and the summary is on
+    // disk; a second compaction is a byte-identical no-op.
+    std::string store_once, summary_once;
+    ASSERT_TRUE(readTextFile(sweepStorePath(dir.string()), store_once));
+    ASSERT_TRUE(
+        readTextFile(sweepSummaryPath(dir.string()), summary_once));
+    compactSweepStore(dir.string(), true);
+    std::string store_twice, summary_twice;
+    ASSERT_TRUE(
+        readTextFile(sweepStorePath(dir.string()), store_twice));
+    ASSERT_TRUE(
+        readTextFile(sweepSummaryPath(dir.string()), summary_twice));
+    EXPECT_EQ(store_once, store_twice);
+    EXPECT_EQ(summary_once, summary_twice);
+    EXPECT_EQ(summary_once,
+              sweepSummaryJson(merged).dump(2) + "\n");
+}
+
+// -------------------------------------------------------- worker daemon
+
+TEST(WorkerDaemon, SingleWorkerDrainsMatchingTheScheduler)
+{
+    const auto dir = scratchDir("one_worker");
+    const std::vector<ScenarioSpec> specs = tinySweep(4);
+    const std::vector<JobResult> reference =
+        referenceRun(specs, "one_worker_ref");
+
+    WorkerOptions options;
+    options.sweepDir = dir.string();
+    options.workerId = "w1";
+    options.leaseMs = 60000;
+    const WorkerReport report = WorkerDaemon(options).run(specs);
+
+    EXPECT_EQ(report.completed, 4u);
+    EXPECT_EQ(report.lostClaims, 0u);
+    EXPECT_EQ(report.reapedLeases, 0u);
+    EXPECT_TRUE(report.drained);
+    EXPECT_TRUE(report.merged);
+
+    const std::vector<JobResult> merged =
+        loadMergedRecords(dir.string());
+    ASSERT_EQ(merged.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectJobsBitIdentical(merged[i], reference[i]);
+    // The deterministic summary agrees byte for byte.
+    std::string summary;
+    ASSERT_TRUE(readTextFile(sweepSummaryPath(dir.string()), summary));
+    EXPECT_EQ(summary, sweepSummaryJson(reference).dump(2) + "\n");
+    // No claims left behind.
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_FALSE(
+            WorkClaim::peek(sweepClaimDir(dir.string()),
+                            scenarioFingerprint(specs[i]))
+                .has_value());
+}
+
+TEST(WorkerDaemon, TwoConcurrentWorkersShareOneSweep)
+{
+    const auto dir = scratchDir("two_workers");
+    const std::vector<ScenarioSpec> specs = tinySweep(6);
+    const std::vector<JobResult> reference =
+        referenceRun(specs, "two_workers_ref");
+
+    const auto make_options = [&](const char *id) {
+        WorkerOptions options;
+        options.sweepDir = dir.string();
+        options.workerId = id;
+        options.leaseMs = 60000; // never expires within the test
+        options.pollMs = 5;
+        return options;
+    };
+    WorkerDaemon wa(make_options("wa"));
+    WorkerDaemon wb(make_options("wb"));
+    WorkerReport ra, rb;
+    std::thread ta([&] { ra = wa.run(specs); });
+    std::thread tb([&] { rb = wb.run(specs); });
+    ta.join();
+    tb.join();
+
+    // Every job ran exactly once across the fleet (no lease expired,
+    // so no double work), and both workers saw the sweep drained.
+    EXPECT_EQ(ra.completed + rb.completed, specs.size());
+    EXPECT_EQ(ra.lostClaims + rb.lostClaims, 0u);
+    EXPECT_TRUE(ra.drained);
+    EXPECT_TRUE(rb.drained);
+
+    const std::vector<JobResult> merged =
+        loadMergedRecords(dir.string());
+    ASSERT_EQ(merged.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectJobsBitIdentical(merged[i], reference[i]);
+    std::string summary;
+    ASSERT_TRUE(readTextFile(sweepSummaryPath(dir.string()), summary));
+    EXPECT_EQ(summary, sweepSummaryJson(reference).dump(2) + "\n");
+}
+
+TEST(WorkerDaemon, CrashedWorkersJobIsReclaimedFromItsCheckpoint)
+{
+    const auto dir = scratchDir("takeover");
+    const std::vector<ScenarioSpec> specs = tinySweep(3);
+    const std::vector<JobResult> reference =
+        referenceRun(specs, "takeover_ref");
+
+    // Worker A "crashes" mid-job: the halt hook stops its first job
+    // after 6 iterations (durable checkpoint at 4) and the daemon
+    // returns without releasing the claim — the exact on-disk state a
+    // SIGKILL leaves behind.
+    WorkerOptions crash_options;
+    crash_options.sweepDir = dir.string();
+    crash_options.workerId = "crasher";
+    crash_options.leaseMs = 200;
+    crash_options.haltJobsAfterIterations = 6;
+    const WorkerReport crashed =
+        WorkerDaemon(crash_options).run(specs);
+    EXPECT_TRUE(crashed.simulatedCrash);
+    EXPECT_EQ(crashed.completed, 0u);
+
+    // Exactly one claim (the crashed job's) and its checkpoint remain.
+    std::size_t leftover_claims = 0;
+    std::string crashed_fp;
+    for (const ScenarioSpec &spec : specs) {
+        const std::string fp = scenarioFingerprint(spec);
+        if (WorkClaim::peek(sweepClaimDir(dir.string()), fp)) {
+            ++leftover_claims;
+            crashed_fp = fp;
+        }
+    }
+    ASSERT_EQ(leftover_claims, 1u);
+    const auto peeked =
+        peekCheckpoint(sweepCheckpointPath(dir.string(), crashed_fp));
+    ASSERT_TRUE(peeked.has_value());
+    EXPECT_EQ(peeked->fingerprint, crashed_fp);
+    EXPECT_EQ(peeked->iteration, 4);
+
+    // The survivor waits out the stale lease, reaps it, resumes the
+    // job from the checkpoint, and drains the rest of the sweep.
+    WorkerOptions survivor_options;
+    survivor_options.sweepDir = dir.string();
+    survivor_options.workerId = "survivor";
+    survivor_options.leaseMs = 60000;
+    survivor_options.pollMs = 10;
+    const WorkerReport survived =
+        WorkerDaemon(survivor_options).run(specs);
+    EXPECT_EQ(survived.completed, specs.size());
+    EXPECT_GE(survived.reapedLeases, 1u);
+    EXPECT_GE(survived.resumed, 1u);
+    EXPECT_TRUE(survived.drained);
+    EXPECT_TRUE(survived.merged);
+
+    // The kill schedule is invisible in the results: bit-identical to
+    // the uninterrupted single-process run, including the job that
+    // crossed two workers.
+    const std::vector<JobResult> merged =
+        loadMergedRecords(dir.string());
+    ASSERT_EQ(merged.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectJobsBitIdentical(merged[i], reference[i]);
+    std::string summary;
+    ASSERT_TRUE(readTextFile(sweepSummaryPath(dir.string()), summary));
+    EXPECT_EQ(summary, sweepSummaryJson(reference).dump(2) + "\n");
+}
+
+TEST(WorkerDaemon, SkipsJobsAlreadyRecordedAndStopsAtMaxJobs)
+{
+    const auto dir = scratchDir("skip");
+    const std::vector<ScenarioSpec> specs = tinySweep(4);
+
+    WorkerOptions options;
+    options.sweepDir = dir.string();
+    options.workerId = "first";
+    options.leaseMs = 60000;
+    options.maxJobs = 1;
+    options.mergeOnDrain = false;
+    const WorkerReport first = WorkerDaemon(options).run(specs);
+    EXPECT_EQ(first.completed, 1u);
+    EXPECT_FALSE(first.drained);
+
+    options.workerId = "second";
+    options.maxJobs = 0;
+    const WorkerReport second = WorkerDaemon(options).run(specs);
+    EXPECT_EQ(second.completed, specs.size() - 1);
+    EXPECT_TRUE(second.drained);
+
+    // A third worker finds nothing to do.
+    options.workerId = "third";
+    const WorkerReport third = WorkerDaemon(options).run(specs);
+    EXPECT_EQ(third.completed, 0u);
+    EXPECT_TRUE(third.drained);
+}
+
+TEST(WorkerDaemon, RejectsBadOptionsAndDuplicateSpecs)
+{
+    WorkerOptions no_dir;
+    EXPECT_THROW(WorkerDaemon{no_dir}, std::invalid_argument);
+
+    WorkerOptions bad_id;
+    bad_id.sweepDir = scratchDir("bad_id").string();
+    bad_id.workerId = "no/slashes allowed";
+    EXPECT_THROW(WorkerDaemon{bad_id}, std::invalid_argument);
+
+    WorkerOptions options;
+    options.sweepDir = scratchDir("dup_specs").string();
+    options.workerId = "w";
+    const std::vector<ScenarioSpec> dupes = {tinySpec("same", 1.0),
+                                             tinySpec("same", 1.0)};
+    EXPECT_THROW(WorkerDaemon(options).run(dupes),
+                 std::invalid_argument);
+}
+
+TEST(WorkerDaemon, LoadsSweepSpecsFromTheSharedDirectory)
+{
+    const auto dir = scratchDir("spec_file");
+    EXPECT_THROW(WorkerDaemon::loadSweepSpecs(dir.string()),
+                 std::runtime_error);
+    writeTextFileAtomic(
+        sweepSpecPath(dir.string()),
+        R"({"name": "s", "problem": "tfim", "size": 4,
+            "sweep": {"field": [0.5, 1.0]}})");
+    const std::vector<ScenarioSpec> specs =
+        WorkerDaemon::loadSweepSpecs(dir.string());
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].name, "s/field=0.5");
+}
+
+} // namespace
+} // namespace treevqa

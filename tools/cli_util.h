@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Argument-parsing helpers shared by the treevqa CLIs.
+ */
+
+#ifndef TREEVQA_TOOLS_CLI_UTIL_H
+#define TREEVQA_TOOLS_CLI_UTIL_H
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace treevqa {
+
+/** Strict positive-integer flag parse: the whole token must be a
+ * number >= 1 (no silent strtol prefix acceptance). */
+inline bool
+parsePositive(const char *text, long &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0' || value < 1)
+        return false;
+    out = value;
+    return true;
+}
+
+} // namespace treevqa
+
+#endif // TREEVQA_TOOLS_CLI_UTIL_H

@@ -7,18 +7,30 @@
  * checkpoint/resume and an append-only JSONL result store.
  *
  *   treevqa_run SPEC.json [--out DIR] [--jobs N] [--fresh]
- *               [--print-specs] [--summary-only]
+ *               [--print-specs] [--validate] [--summary-only]
  *               [--abort-after-checkpoints N]
+ *   treevqa_run [SPEC.json] --status --out DIR
  *
- *   --out DIR     persist DIR/results.jsonl, DIR/checkpoints/*.json
- *                 and DIR/summary.json; rerunning with the same DIR
- *                 skips completed jobs and resumes checkpointed ones
+ *   --out DIR     persist DIR/results.jsonl, DIR/checkpoints/*.json,
+ *                 DIR/summary.json and the request itself as
+ *                 DIR/sweep.json (which seeds treevqa_worker
+ *                 processes); rerunning with the same DIR skips
+ *                 completed jobs and resumes checkpointed ones
  *   --jobs N      thread-pool lanes (default: TREEVQA_NUM_THREADS or
  *                 hardware concurrency); jobs and inner probe batches
  *                 share these lanes
- *   --fresh       remove DIR's store/checkpoints before running
+ *   --fresh       remove DIR's store/checkpoints/claims/shards before
+ *                 running
  *   --print-specs expand the request and print the job list, run
  *                 nothing
+ *   --validate    dry run: parse + expand the request, report the job
+ *                 count and fingerprints, exit non-zero on any error;
+ *                 never touches the output directory
+ *   --status      progress view over a (possibly live) sweep
+ *                 directory: per job, whether it is recorded, claimed
+ *                 by a worker (owner + lease), checkpointed, or
+ *                 pending. SPEC.json may be omitted when DIR holds
+ *                 sweep.json
  *   --summary-only
  *                 print only the deterministic summary JSON (no
  *                 table; what CI diffs between fresh and resumed
@@ -39,11 +51,18 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <map>
 #include <string>
 
+#include "common/file_util.h"
 #include "common/thread_pool.h"
+#include "dist/store_merge.h"
+#include "dist/work_claim.h"
+#include "dist/worker_daemon.h"
 #include "svc/job_scheduler.h"
+#include "svc/sweep_dir.h"
+
+#include "cli_util.h"
 
 using namespace treevqa;
 
@@ -54,26 +73,88 @@ usage(const char *argv0, bool requested)
 {
     std::fprintf(requested ? stdout : stderr,
                  "usage: %s SPEC.json [--out DIR] [--jobs N] [--fresh]\n"
-                 "       [--print-specs] [--summary-only]\n"
-                 "       [--abort-after-checkpoints N]\n",
-                 argv0);
+                 "       [--print-specs] [--validate] [--summary-only]\n"
+                 "       [--abort-after-checkpoints N]\n"
+                 "       %s [SPEC.json] --status --out DIR\n",
+                 argv0, argv0);
     return requested ? 0 : 2;
 }
 
 std::atomic<long> g_checkpointsUntilAbort{0};
 
-/** Strict positive-integer flag parse: the whole token must be a
- * number >= 1 (no silent strtol prefix acceptance). */
-bool
-parsePositive(const char *text, long &out)
+/**
+ * --status: one line per job — recorded / claimed (owner, lease) /
+ * stale claim / checkpointed / pending — assembled read-only from the
+ * sweep directory's records, claim files and checkpoints. Safe to run
+ * while a worker fleet is live.
+ */
+void
+printStatus(const std::vector<ScenarioSpec> &specs,
+            const std::string &dir)
 {
-    char *end = nullptr;
-    errno = 0;
-    const long value = std::strtol(text, &end, 10);
-    if (errno == ERANGE || end == text || *end != '\0' || value < 1)
-        return false;
-    out = value;
-    return true;
+    std::map<std::string, const JobResult *> recorded;
+    const std::vector<JobResult> records = loadMergedRecords(dir);
+    for (const JobResult &record : records)
+        if (record.completed)
+            recorded.emplace(record.fingerprint, &record);
+
+    const std::int64_t now = unixTimeMs();
+    std::size_t done = 0, running = 0, stale = 0, paused = 0,
+                pending = 0;
+    std::printf("%-32s %-10s %s\n", "job", "state", "detail");
+    for (const ScenarioSpec &spec : specs) {
+        const std::string fp = scenarioFingerprint(spec);
+        char detail[160] = {0};
+        const char *state = "pending";
+
+        const auto it = recorded.find(fp);
+        const std::optional<ClaimInfo> claim =
+            WorkClaim::peek(sweepClaimDir(dir), fp);
+        const std::optional<CheckpointPeek> checkpoint =
+            peekCheckpoint(sweepCheckpointPath(dir, fp));
+        const int iteration =
+            checkpoint ? checkpoint->iteration : 0;
+
+        if (it != recorded.end()) {
+            state = "done";
+            ++done;
+            std::snprintf(detail, sizeof(detail),
+                          "energy=%.8f iters=%d", it->second->finalEnergy,
+                          it->second->iterations);
+        } else if (claim && now <= claim->deadlineMs) {
+            state = "running";
+            ++running;
+            std::snprintf(detail, sizeof(detail),
+                          "worker=%s lease=%lldms iter=%d/%d",
+                          claim->owner.c_str(),
+                          static_cast<long long>(claim->deadlineMs
+                                                 - now),
+                          iteration, spec.maxIterations);
+        } else if (claim) {
+            state = "stale";
+            ++stale;
+            std::snprintf(detail, sizeof(detail),
+                          "worker=%s expired %lldms ago iter=%d/%d "
+                          "(reclaimable)",
+                          claim->owner.c_str(),
+                          static_cast<long long>(now
+                                                 - claim->deadlineMs),
+                          iteration, spec.maxIterations);
+        } else if (checkpoint) {
+            state = "paused";
+            ++paused;
+            std::snprintf(detail, sizeof(detail),
+                          "checkpoint at iter %d/%d", iteration,
+                          spec.maxIterations);
+        } else {
+            ++pending;
+        }
+        std::printf("%-32s %-10s %s\n", spec.name.c_str(), state,
+                    detail);
+    }
+    std::printf("%zu jobs: %zu done, %zu running, %zu stale, "
+                "%zu paused, %zu pending\n",
+                specs.size(), done, running, stale, paused, pending);
 }
 
 } // namespace
@@ -86,6 +167,8 @@ main(int argc, char **argv)
     long jobs = 0;
     bool fresh = false;
     bool print_specs = false;
+    bool validate = false;
+    bool status = false;
     bool summary_only = false;
     long abort_after = 0;
 
@@ -110,6 +193,10 @@ main(int argc, char **argv)
             fresh = true;
         } else if (arg == "--print-specs") {
             print_specs = true;
+        } else if (arg == "--validate") {
+            validate = true;
+        } else if (arg == "--status") {
+            status = true;
         } else if (arg == "--summary-only") {
             summary_only = true;
         } else if (arg == "--abort-after-checkpoints") {
@@ -130,23 +217,64 @@ main(int argc, char **argv)
             return usage(argv[0], false);
         }
     }
-    if (spec_path.empty())
+    if (status && out_dir.empty()) {
+        std::fprintf(stderr, "--status needs --out DIR\n");
+        return 2;
+    }
+    // --status can take the job list from DIR/sweep.json; every other
+    // mode needs the spec file.
+    if (spec_path.empty() && !status)
         return usage(argv[0], false);
 
     try {
-        std::ifstream in(spec_path);
-        if (!in) {
-            std::fprintf(stderr, "cannot read %s\n", spec_path.c_str());
+        std::string request_text;
+        if (!spec_path.empty()) {
+            if (!readTextFile(spec_path, request_text)) {
+                std::fprintf(stderr, "cannot read %s\n",
+                             spec_path.c_str());
+                return 1;
+            }
+        } else if (!readTextFile(sweepSpecPath(out_dir),
+                                 request_text)) {
+            std::fprintf(stderr,
+                         "no SPEC.json given and %s is absent\n",
+                         sweepSpecPath(out_dir).c_str());
             return 1;
         }
-        std::stringstream buffer;
-        buffer << in.rdbuf();
         const std::vector<ScenarioSpec> specs =
-            expandScenarios(JsonValue::parse(buffer.str()));
+            expandScenarios(JsonValue::parse(request_text));
         if (specs.empty()) {
             std::fprintf(stderr, "%s expands to zero scenarios\n",
                          spec_path.c_str());
             return 1;
+        }
+
+        if (status) {
+            printStatus(specs, out_dir);
+            return 0;
+        }
+
+        if (validate) {
+            // Dry run: report what would be scheduled, catching the
+            // errors a real run would hit (parse/expansion failures
+            // throw above; duplicate fingerprints here) without
+            // touching any output directory.
+            std::map<std::string, std::string> seen;
+            for (const ScenarioSpec &spec : specs) {
+                const std::string fp = scenarioFingerprint(spec);
+                const auto [it, inserted] = seen.emplace(fp, spec.name);
+                if (!inserted) {
+                    std::fprintf(stderr,
+                                 "duplicate specs \"%s\" and \"%s\" "
+                                 "(fingerprint %s)\n",
+                                 it->second.c_str(), spec.name.c_str(),
+                                 fp.c_str());
+                    return 1;
+                }
+                std::printf("%s  %s\n", fp.c_str(), spec.name.c_str());
+            }
+            std::printf("%zu job(s), all valid\n", specs.size());
+            return 0;
         }
 
         if (print_specs) {
@@ -168,12 +296,18 @@ main(int argc, char **argv)
         SchedulerConfig config;
         config.outDir = out_dir;
         if (fresh && !out_dir.empty()) {
-            std::filesystem::remove(
-                std::filesystem::path(out_dir) / "results.jsonl");
-            std::filesystem::remove(
-                std::filesystem::path(out_dir) / "summary.json");
-            std::filesystem::remove_all(
-                std::filesystem::path(out_dir) / "checkpoints");
+            std::filesystem::remove(sweepStorePath(out_dir));
+            std::filesystem::remove(sweepSummaryPath(out_dir));
+            std::filesystem::remove_all(sweepCheckpointDir(out_dir));
+            std::filesystem::remove_all(sweepClaimDir(out_dir));
+            std::filesystem::remove_all(sweepShardDir(out_dir));
+        }
+        if (!out_dir.empty()) {
+            // Seed the directory with the request document so worker
+            // processes (treevqa_worker --sweep-dir) can join this
+            // sweep without being handed the spec file separately.
+            std::filesystem::create_directories(out_dir);
+            writeTextFileAtomic(sweepSpecPath(out_dir), request_text);
         }
         if (abort_after > 0) {
             g_checkpointsUntilAbort.store(abort_after);
@@ -192,12 +326,12 @@ main(int argc, char **argv)
         const SweepResult sweep = scheduler.run(specs);
 
         const JsonValue summary = sweepSummaryJson(sweep.jobs);
-        if (!out_dir.empty()) {
-            std::ofstream summary_out(
-                std::filesystem::path(out_dir) / "summary.json",
-                std::ios::trunc);
-            summary_out << summary.dump(2) << '\n';
-        }
+        if (!out_dir.empty())
+            // Atomic like every other writer of the shared directory:
+            // a concurrent --status or compaction reader must never
+            // see a torn summary.
+            writeTextFileAtomic(sweepSummaryPath(out_dir),
+                                summary.dump(2) + "\n");
 
         if (summary_only) {
             std::printf("%s\n", summary.dump(2).c_str());

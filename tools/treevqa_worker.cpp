@@ -1,0 +1,217 @@
+/**
+ * @file
+ * treevqa_worker — one distributed-sweep worker process.
+ *
+ * N of these (on any hosts sharing a filesystem) cooperatively drain
+ * one sweep directory: each scans for unrecorded jobs, claims one via
+ * an atomic lease file, runs it through the checkpointed scenario
+ * runner (heartbeating the lease), and appends the record to its
+ * private store shard. A crashed worker's lease expires and a
+ * survivor resumes the job from its last checkpoint. See
+ * src/dist/worker_daemon.h for the protocol.
+ *
+ *   treevqa_worker --sweep-dir DIR [--spec FILE] [--worker-id ID]
+ *                  [--lease-ms N] [--max-jobs N] [--drain-and-exit]
+ *                  [--poll-ms N] [--no-merge] [--merge-only]
+ *                  [--sigkill-after-checkpoints N]
+ *
+ *   --sweep-dir DIR  the shared sweep directory (required)
+ *   --spec FILE      seed DIR/sweep.json from FILE (validated first);
+ *                    other workers need only --sweep-dir
+ *   --worker-id ID   claim/shard identity (default "<host>-<pid>";
+ *                    must be unique per worker)
+ *   --lease-ms N     claim lease duration (default 30000); a crashed
+ *                    worker's job becomes reclaimable after this
+ *   --max-jobs N     exit after completing N jobs
+ *   --drain-and-exit exit once every job has a record (default: keep
+ *                    polling sweep.json for new work)
+ *   --poll-ms N      idle rescan interval (default 200)
+ *   --no-merge       skip the shard→store compaction after draining
+ *   --merge-only     just run the merge/compaction pass and exit
+ *   --sigkill-after-checkpoints N
+ *                    raise(SIGKILL) after the Nth durable checkpoint
+ *                    write — a genuinely uncleaned death at a
+ *                    deterministic instant, used by the CI takeover
+ *                    smoke test
+ *
+ * SIGINT/SIGTERM stop the loop after the job in flight. Exit codes:
+ * 0 success, 1 runtime error, 2 usage error (a --sigkill death shows
+ * as signal 9 / shell status 137).
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "common/file_util.h"
+#include "dist/store_merge.h"
+#include "dist/worker_daemon.h"
+#include "svc/sweep_dir.h"
+
+#include "cli_util.h"
+
+using namespace treevqa;
+
+namespace {
+
+int
+usage(const char *argv0, bool requested)
+{
+    std::fprintf(
+        requested ? stdout : stderr,
+        "usage: %s --sweep-dir DIR [--spec FILE] [--worker-id ID]\n"
+        "       [--lease-ms N] [--max-jobs N] [--drain-and-exit]\n"
+        "       [--poll-ms N] [--no-merge] [--merge-only]\n"
+        "       [--sigkill-after-checkpoints N]\n",
+        argv0);
+    return requested ? 0 : 2;
+}
+
+WorkerDaemon *g_daemon = nullptr;
+std::atomic<long> g_checkpointsUntilSigkill{0};
+
+extern "C" void
+handleStopSignal(int)
+{
+    if (g_daemon != nullptr)
+        g_daemon->requestStop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string sweep_dir;
+    std::string spec_path;
+    std::string worker_id;
+    long lease_ms = 30000;
+    long max_jobs = 0;
+    long poll_ms = 200;
+    bool drain_and_exit = false;
+    bool merge_on_drain = true;
+    bool merge_only = false;
+    long sigkill_after = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next_value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        const auto next_positive = [&](long &out) {
+            if (!parsePositive(next_value(), out)) {
+                std::fprintf(stderr,
+                             "%s must be an integer >= 1\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+        };
+        if (arg == "--sweep-dir") {
+            sweep_dir = next_value();
+        } else if (arg == "--spec") {
+            spec_path = next_value();
+        } else if (arg == "--worker-id") {
+            worker_id = next_value();
+        } else if (arg == "--lease-ms") {
+            next_positive(lease_ms);
+        } else if (arg == "--max-jobs") {
+            next_positive(max_jobs);
+        } else if (arg == "--poll-ms") {
+            next_positive(poll_ms);
+        } else if (arg == "--drain-and-exit") {
+            drain_and_exit = true;
+        } else if (arg == "--no-merge") {
+            merge_on_drain = false;
+        } else if (arg == "--merge-only") {
+            merge_only = true;
+        } else if (arg == "--sigkill-after-checkpoints") {
+            next_positive(sigkill_after);
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], true);
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage(argv[0], false);
+        }
+    }
+    if (sweep_dir.empty())
+        return usage(argv[0], false);
+
+    try {
+        if (!spec_path.empty()) {
+            // Validate before seeding the shared directory: a broken
+            // request must fail here, not in every worker.
+            std::string text;
+            if (!readTextFile(spec_path, text)) {
+                std::fprintf(stderr, "cannot read %s\n",
+                             spec_path.c_str());
+                return 1;
+            }
+            expandScenarios(JsonValue::parse(text));
+            std::filesystem::create_directories(sweep_dir);
+            writeTextFileAtomic(sweepSpecPath(sweep_dir), text);
+        }
+
+        if (merge_only) {
+            // The fleet may still be live, so fold the shards without
+            // deleting them; the drained worker retires them.
+            const SweepMergeStats stats = compactSweepStore(
+                sweep_dir, /*removeMergedShards=*/false);
+            std::printf("merged %zu records (%zu unique) from %zu "
+                        "shard(s) into %s (shards kept)\n",
+                        stats.inputRecords, stats.uniqueRecords,
+                        stats.shardFiles,
+                        sweepStorePath(sweep_dir).c_str());
+            return 0;
+        }
+
+        WorkerOptions options;
+        options.sweepDir = sweep_dir;
+        options.workerId = worker_id;
+        options.leaseMs = lease_ms;
+        options.maxJobs = static_cast<int>(max_jobs);
+        options.pollMs = poll_ms;
+        options.drainAndExit = drain_and_exit;
+        options.mergeOnDrain = merge_on_drain;
+        if (sigkill_after > 0) {
+            g_checkpointsUntilSigkill.store(sigkill_after);
+            options.onCheckpoint = [] {
+                if (g_checkpointsUntilSigkill.fetch_sub(1) == 1) {
+                    std::fprintf(stderr,
+                                 "treevqa_worker: SIGKILLing self "
+                                 "after checkpoint (crash drill)\n");
+                    std::fflush(nullptr);
+                    ::raise(SIGKILL);
+                }
+            };
+        }
+
+        WorkerDaemon daemon(options);
+        g_daemon = &daemon;
+        std::signal(SIGINT, handleStopSignal);
+        std::signal(SIGTERM, handleStopSignal);
+
+        const WorkerReport report = daemon.run();
+        g_daemon = nullptr;
+        std::printf("worker %s: completed=%zu resumed=%zu reaped=%zu "
+                    "lost=%zu drained=%s merged=%s%s\n",
+                    daemon.options().workerId.c_str(),
+                    report.completed, report.resumed,
+                    report.reapedLeases, report.lostClaims,
+                    report.drained ? "yes" : "no",
+                    report.merged ? "yes" : "no",
+                    report.simulatedCrash ? " (simulated crash)" : "");
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "treevqa_worker: %s\n", e.what());
+        return 1;
+    }
+}
