@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -23,6 +24,7 @@
 
 #include "circuit/hardware_efficient.h"
 #include "circuit/uccsd_min.h"
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -36,6 +38,7 @@
 #include "sim/reference_kernels.h"
 #include "sim/workspace_pool.h"
 #include "svc/job_scheduler.h"
+#include "svc/result_store.h"
 
 using namespace treevqa;
 
@@ -476,6 +479,83 @@ benchDistThroughput()
 }
 
 void
+benchFaultPointsDisarmed()
+{
+    // Guard series for the fault-injection layer: a disarmed
+    // FAULT_POINT must stay one relaxed atomic load, so the hardened
+    // claim/append hot paths pay nothing unless a chaos plan is armed.
+    // fast = registry fully disarmed, ref = registry armed on an
+    // *unrelated* site (every site then takes the evaluate() slow
+    // path and misses), so the speedup column reads "what the
+    // disarmed fast path saves" and the disarmed ns trajectory guards
+    // against work creeping back onto it.
+    constexpr int kCalls = 4096;
+    const auto fault_loop = [] {
+        for (int i = 0; i < kCalls; ++i)
+            if (const FaultHit hit = FAULT_POINT("bench.disarmed"))
+                std::abort(); // no plan ever targets this site
+    };
+    const std::string unrelated_plan = "{\"seed\": 7, \"faults\": "
+        "[{\"site\": \"bench.unrelated\", \"action\": \"fail-errno\", "
+        "\"errno\": \"EIO\", \"hit\": 1}]}";
+
+    FaultInjection::instance().disarm();
+    const double site_disarmed = timeNs(fault_loop) / kCalls;
+    FaultInjection::instance().arm(unrelated_plan);
+    const double site_armed = timeNs(fault_loop) / kCalls;
+    FaultInjection::instance().disarm();
+    record("fault_points_disarmed", 0, site_disarmed, site_armed);
+
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path()
+        / ("treevqa_bench_fp_" + localWorkerId());
+    std::filesystem::create_directories(dir);
+
+    // The two hardened hot paths a worker hammers: the claim
+    // acquire/renew/release cycle (4 sites) and a durable store
+    // append (3 sites). Same fast/ref convention as above.
+    const auto claim_cycle = [&] {
+        auto claim = WorkClaim::tryAcquire(dir.string(), "benchfp",
+                                           "bench-worker", 60000);
+        if (!claim) {
+            std::fprintf(stderr, "bench claim unexpectedly contended\n");
+            std::abort();
+        }
+        claim->renew();
+        claim->release();
+    };
+    const double claim_disarmed = timeNs(claim_cycle);
+    FaultInjection::instance().arm(unrelated_plan);
+    const double claim_armed = timeNs(claim_cycle);
+    FaultInjection::instance().disarm();
+    record("fault_points_claim_cycle", 0, claim_disarmed, claim_armed);
+
+    JobResult sample;
+    sample.spec.name = "benchfp";
+    sample.spec.problem = "tfim";
+    sample.spec.size = 6;
+    sample.spec.ansatz = "hea";
+    sample.spec.layers = 1;
+    sample.spec.maxIterations = 4;
+    sample.fingerprint = scenarioFingerprint(sample.spec);
+    sample.completed = true;
+    sample.iterations = 4;
+    sample.trajectory = {1.0, 0.5, 0.25, 0.125};
+    sample.bestLoss = 0.125;
+    sample.finalEnergy = -1.0;
+    ResultStore store((dir / "bench.jsonl").string());
+    const auto append_once = [&] { store.append(sample); };
+    const double append_disarmed = timeNs(append_once);
+    FaultInjection::instance().arm(unrelated_plan);
+    const double append_armed = timeNs(append_once);
+    FaultInjection::instance().disarm();
+    record("fault_points_store_append", 0, append_disarmed,
+           append_armed);
+
+    std::filesystem::remove_all(dir);
+}
+
+void
 writeJson(const std::string &path)
 {
     std::ofstream out(path);
@@ -520,6 +600,7 @@ main()
     benchPaulpropSharded(10);
     benchSchedulerThroughput();
     benchDistThroughput();
+    benchFaultPointsDisarmed();
     writeJson("BENCH_micro_kernels.json");
     std::printf("wrote BENCH_micro_kernels.json (%zu entries)\n",
                 g_results.size());

@@ -524,6 +524,19 @@ JsonValue::set(const std::string &key, JsonValue v)
     members_.emplace_back(key, std::move(v));
 }
 
+bool
+JsonValue::erase(const std::string &key)
+{
+    Members &members = asObject();
+    for (auto it = members.begin(); it != members.end(); ++it) {
+        if (it->first == key) {
+            members.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 JsonValue::dumpTo(std::string &out, int indent, int depth) const
 {

@@ -107,6 +107,11 @@ class JsonValue
     const JsonValue &at(const std::string &key) const;
     /** Object insert-or-assign (preserves position on reassign). */
     void set(const std::string &key, JsonValue v);
+    /** Remove an object member; returns whether it existed. The other
+     * members keep their order, so erasing a trailing checksum field
+     * restores the exact pre-checksum serialization (the CRC contract
+     * of store records and checkpoints). */
+    bool erase(const std::string &key);
     bool contains(const std::string &key) const
     {
         return find(key) != nullptr;

@@ -1,6 +1,7 @@
 #include "dist/store_merge.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 #include "common/file_util.h"
@@ -29,16 +30,31 @@ sortedShardPaths(const std::string &sweepDir)
     return shards;
 }
 
+/** One input store and what loading it saw. */
+struct StoreInput
+{
+    std::string path;
+    StoreLoadStats stats;
+};
+
 std::vector<JobResult>
 loadAllRecords(const std::string &sweepDir,
-               std::vector<std::string> &shards, std::size_t &input)
+               std::vector<StoreInput> &shards, std::size_t &input,
+               std::size_t &corrupt)
 {
+    StoreLoadStats canonicalStats;
     std::vector<JobResult> records =
-        ResultStore(sweepStorePath(sweepDir)).load();
-    shards = sortedShardPaths(sweepDir);
-    for (const std::string &shard : shards)
-        for (JobResult &record : ResultStore(shard).load())
+        ResultStore(sweepStorePath(sweepDir)).load(&canonicalStats);
+    corrupt = canonicalStats.corrupt();
+    for (const std::string &path : sortedShardPaths(sweepDir)) {
+        StoreInput shard;
+        shard.path = path;
+        for (JobResult &record :
+             ResultStore(path).load(&shard.stats))
             records.push_back(std::move(record));
+        corrupt += shard.stats.corrupt();
+        shards.push_back(std::move(shard));
+    }
     input = records.size();
 
     // Canonical/shard overlap is a normal state here (a standalone
@@ -55,30 +71,62 @@ loadAllRecords(const std::string &sweepDir,
     return records;
 }
 
+/** Move a shard whose load saw corruption into `<dir>/quarantine/`
+ * (never deleting evidence; best-effort — a failed rename leaves the
+ * shard where it was). Returns whether the shard was moved. */
+bool
+quarantineShard(const std::string &shardPath)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = quarantineDirFor(shardPath);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    // ".shard" keeps whole quarantined shards apart from the per-line
+    // envelope files result_store writes under the same directory.
+    const std::string base =
+        fs::path(shardPath).filename().string() + ".shard";
+    fs::path target = fs::path(dir) / base;
+    // Keep prior quarantined generations instead of overwriting them.
+    for (int n = 1; fs::exists(target, ec); ++n)
+        target = fs::path(dir) / (base + "." + std::to_string(n));
+    fs::rename(shardPath, target, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "treevqa: failed to quarantine shard %s: %s\n",
+                     shardPath.c_str(), ec.message().c_str());
+        return false;
+    }
+    std::fprintf(stderr,
+                 "treevqa: quarantined corrupt shard %s -> %s\n",
+                 shardPath.c_str(), target.string().c_str());
+    return true;
+}
+
 } // namespace
 
 std::vector<JobResult>
 loadMergedRecords(const std::string &sweepDir)
 {
-    std::vector<std::string> shards;
+    std::vector<StoreInput> shards;
     std::size_t input = 0;
-    return loadAllRecords(sweepDir, shards, input);
+    std::size_t corrupt = 0;
+    return loadAllRecords(sweepDir, shards, input, corrupt);
 }
 
 SweepMergeStats
 compactSweepStore(const std::string &sweepDir,
                   bool removeMergedShards)
 {
-    std::vector<std::string> shards;
+    std::vector<StoreInput> shards;
     SweepMergeStats stats;
-    const std::vector<JobResult> records =
-        loadAllRecords(sweepDir, shards, stats.inputRecords);
+    const std::vector<JobResult> records = loadAllRecords(
+        sweepDir, shards, stats.inputRecords, stats.corruptLines);
     stats.uniqueRecords = records.size();
     stats.shardFiles = shards.size();
 
     std::string store;
     for (const JobResult &record : records) {
-        store += jobResultToJson(record).dump();
+        store += jobResultToStoredLine(record);
         store += '\n';
     }
     writeTextFileAtomic(sweepStorePath(sweepDir), store);
@@ -88,10 +136,17 @@ compactSweepStore(const std::string &sweepDir,
     // Shard deletion requires the caller's drained proof (see header):
     // in a drained sweep every record a shard could still receive is a
     // deterministic duplicate of one already compacted, so removal
-    // after the store is durably in place loses nothing.
-    if (removeMergedShards)
-        for (const std::string &shard : shards)
-            std::remove(shard.c_str());
+    // after the store is durably in place loses nothing. A shard that
+    // failed validation is quarantined instead of deleted, whatever
+    // the caller asked for — corrupt bytes are evidence, not waste.
+    for (const StoreInput &shard : shards) {
+        if (shard.stats.corrupt() > 0) {
+            if (quarantineShard(shard.path))
+                ++stats.quarantinedShards;
+        } else if (removeMergedShards) {
+            std::remove(shard.path.c_str());
+        }
+    }
     return stats;
 }
 

@@ -43,6 +43,14 @@ struct SweepMergeStats
     std::size_t uniqueRecords = 0;
     /** Worker shard files merged (and, when requested, removed). */
     std::size_t shardFiles = 0;
+    /** Lines that failed validation (torn, CRC or fingerprint
+     * mismatch) across the canonical store and all shards. */
+    std::size_t corruptLines = 0;
+    /** Shards moved to `<dir>/quarantine/` instead of deleted because
+     * at least one of their lines failed validation. A quarantined
+     * shard's healthy records were still folded into the canonical
+     * store; the file is preserved only as forensic evidence. */
+    std::size_t quarantinedShards = 0;
 };
 
 /**
@@ -66,6 +74,11 @@ std::vector<JobResult> loadMergedRecords(const std::string &sweepDir);
  * load and its deletion, losing that record. With false (the
  * `--merge-only` CLI), shards are folded in but left for the draining
  * fleet to retire.
+ *
+ * A shard containing any line that fails validation is never deleted:
+ * it is renamed into `<dir>/quarantine/` (counted in
+ * quarantinedShards) so the corrupt evidence survives compaction. The
+ * `--merge-only` CLI exits non-zero when corruptLines > 0.
  */
 SweepMergeStats compactSweepStore(const std::string &sweepDir,
                                   bool removeMergedShards);

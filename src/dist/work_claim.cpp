@@ -1,11 +1,29 @@
 #include "dist/work_claim.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 
 namespace treevqa {
+
+bool
+claimIsStale(const ClaimInfo &info, std::int64_t nowMs,
+             std::int64_t skewGraceMs)
+{
+    const std::int64_t grace =
+        std::min(skewGraceMs, std::max<std::int64_t>(
+                                  0, info.leaseMs / 2));
+    // No owner within the tolerated skew can write a deadline more
+    // than one lease (plus grace) ahead of real time, so a deadline
+    // out past that bound is corrupt or written by a runaway clock —
+    // reapable now, not in an hour.
+    if (info.deadlineMs > nowMs + info.leaseMs + grace)
+        return true;
+    return nowMs > info.deadlineMs + grace;
+}
 
 JsonValue
 claimToJson(const ClaimInfo &info)
@@ -63,10 +81,13 @@ std::optional<WorkClaim>
 WorkClaim::tryAcquire(const std::string &claimDir,
                       const std::string &fingerprint,
                       const std::string &owner, std::int64_t leaseMs,
-                      bool *reapedStale)
+                      bool *reapedStale, std::int64_t skewGraceMs)
 {
     if (reapedStale)
         *reapedStale = false;
+    if (const FaultHit hit = FAULT_POINT("claim.acquire"))
+        if (hit.action == FaultAction::FailErrno)
+            return std::nullopt; // behaves as a contended claim
     const std::string path = claimPath(claimDir, fingerprint);
 
     ClaimInfo mine;
@@ -87,8 +108,8 @@ WorkClaim::tryAcquire(const std::string &claimDir,
         return std::nullopt; // released between our create and read
     bool stale = false;
     try {
-        stale = unixTimeMs() > claimFromJson(JsonValue::parse(text))
-                                   .deadlineMs;
+        stale = claimIsStale(claimFromJson(JsonValue::parse(text)),
+                             unixTimeMs(), skewGraceMs);
     } catch (const std::exception &) {
         // Unparseable: the creator died mid-write (the window is one
         // write() call) or the file was corrupted — reapable either
@@ -103,6 +124,9 @@ WorkClaim::tryAcquire(const std::string &claimDir,
     // for everyone after), so the winner alone re-creates the lock.
     const std::string reaped =
         path + ".reap." + sanitizeFileToken(owner);
+    if (const FaultHit hit = FAULT_POINT("claim.rename"))
+        if (hit.action == FaultAction::FailErrno)
+            return std::nullopt; // behaves as a lost takeover race
     if (std::rename(path.c_str(), reaped.c_str()) != 0)
         return std::nullopt;
     std::remove(reaped.c_str());
@@ -134,6 +158,14 @@ WorkClaim::renew()
 {
     if (path_.empty())
         return false;
+    if (const FaultHit hit = FAULT_POINT("claim.renew"))
+        if (hit.action == FaultAction::FailErrno) {
+            // Injected heartbeat loss: the owner believes the lease
+            // is gone and abandons the claim, leaving the (now
+            // unrenewed) lock for a reaper.
+            path_.clear();
+            return false;
+        }
     std::string text;
     if (!readTextFile(path_, text)) {
         path_.clear(); // reaped from under us
@@ -161,6 +193,13 @@ WorkClaim::release()
 {
     if (path_.empty())
         return;
+    if (const FaultHit hit = FAULT_POINT("claim.release"))
+        if (hit.action == FaultAction::FailErrno) {
+            // Unlink "fails": the lock is left behind and must be
+            // reaped as stale by whoever wants the job's slot next.
+            path_.clear();
+            return;
+        }
     // Delete only if still ours: after a lost lease the file (if any)
     // belongs to the worker that reaped it.
     std::string text;

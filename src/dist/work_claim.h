@@ -21,12 +21,26 @@
  * Clock model: deadlines are Unix wall-clock milliseconds — the only
  * clock hosts sharing a filesystem have in common — so the lease
  * duration must dominate clock skew (seconds of lease vs millis of
- * skew). The layer above stays correct even if a lease is ever stolen
- * from a live-but-stalled worker: jobs are pure functions of their
- * spec, both contenders produce bit-identical records, and store
- * merging deduplicates by fingerprint. Claims are a scheduling
+ * skew). Staleness is additionally skew-tolerant in both directions:
+ * a claim is reaped only once `now > deadline + grace` where grace =
+ * min(skewGraceMs, leaseMs/2) — a reaper whose clock runs *ahead* of
+ * the owner's by less than the grace will not steal a live lease —
+ * and a deadline implausibly far in the future (beyond now + leaseMs
+ * + grace, which no owner within the tolerated skew can write) marks
+ * the claim corrupt-or-runaway-clock and therefore immediately
+ * reapable, so a dead skewed owner cannot pin a lock forever. The layer above stays correct even if a lease is ever
+ * stolen from a live-but-stalled worker: jobs are pure functions of
+ * their spec, both contenders produce bit-identical records, and
+ * store merging deduplicates by fingerprint. Claims are a scheduling
  * optimization (don't run a job twice), never a correctness
  * requirement.
+ *
+ * Fault sites (common/fault_injection.h): "claim.acquire" (the
+ * O_EXCL create behaves as failed → acquisition reports contended),
+ * "claim.rename" (the takeover rename behaves as lost race),
+ * "claim.renew" (the heartbeat rewrite fails → lease reported lost,
+ * the injectable heartbeat-loss drill), "claim.release" (the unlink
+ * is skipped → lock left behind for a reaper).
  */
 
 #ifndef TREEVQA_DIST_WORK_CLAIM_H
@@ -58,6 +72,20 @@ struct ClaimInfo
 JsonValue claimToJson(const ClaimInfo &info);
 ClaimInfo claimFromJson(const JsonValue &json);
 
+/** Default tolerated reaper/owner wall-clock skew (ms). */
+inline constexpr std::int64_t kClaimSkewGraceMs = 1000;
+
+/**
+ * Skew-tolerant staleness: the claim is reapable at `nowMs` iff its
+ * deadline plus the effective grace has passed. The grace is
+ * min(skewGraceMs, leaseMs/2) so short test leases are never swamped
+ * by the skew margin, and a deadline beyond nowMs + leaseMs + grace —
+ * which no owner within the tolerated skew can write — is immediately
+ * reapable. Exposed for the skew tests.
+ */
+bool claimIsStale(const ClaimInfo &info, std::int64_t nowMs,
+                  std::int64_t skewGraceMs = kClaimSkewGraceMs);
+
 /**
  * A held lease on one job fingerprint. Not thread-safe: a claim is
  * owned by one worker loop (the daemon serializes its heartbeat thread
@@ -80,14 +108,16 @@ class WorkClaim
     /**
      * Try to claim `fingerprint`. Returns the held claim on success;
      * nullopt when another worker holds an unexpired lease (or won a
-     * takeover race). An expired or unparseable (torn) claim is
-     * reaped via the rename protocol; `reapedStale`, when non-null,
-     * reports whether this acquisition took over a stale lease.
+     * takeover race). An expired (per claimIsStale, under
+     * `skewGraceMs`) or unparseable (torn) claim is reaped via the
+     * rename protocol; `reapedStale`, when non-null, reports whether
+     * this acquisition took over a stale lease.
      */
     static std::optional<WorkClaim>
     tryAcquire(const std::string &claimDir,
                const std::string &fingerprint, const std::string &owner,
-               std::int64_t leaseMs, bool *reapedStale = nullptr);
+               std::int64_t leaseMs, bool *reapedStale = nullptr,
+               std::int64_t skewGraceMs = kClaimSkewGraceMs);
 
     /** Read a claim file without touching it (the --status view).
      * nullopt when absent or unreadable. */

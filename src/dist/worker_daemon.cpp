@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <set>
@@ -32,12 +33,15 @@ workerScanOffset(const std::string &workerId)
     return static_cast<std::size_t>(hash);
 }
 
+/** Fingerprints with a *resolving* record: completed, or poison-
+ * quarantined (failed=true). Both stop the drain from revisiting the
+ * job — a poison job would only throw again. */
 std::set<std::string>
-completedFingerprints(const std::vector<JobResult> &records)
+resolvedFingerprints(const std::vector<JobResult> &records)
 {
     std::set<std::string> done;
     for (const JobResult &record : records)
-        if (record.completed)
+        if (record.completed || record.failed)
             done.insert(record.fingerprint);
     return done;
 }
@@ -61,6 +65,13 @@ WorkerDaemon::WorkerDaemon(WorkerOptions options)
             "worker: leaseMs must be at least 10");
     if (options_.pollMs < 1)
         options_.pollMs = 1;
+    if (options_.maxJobAttempts < 1)
+        throw std::invalid_argument(
+            "worker: maxJobAttempts must be at least 1");
+    if (options_.retryBackoffMs < 0)
+        options_.retryBackoffMs = 0;
+    if (options_.skewGraceMs < 0)
+        options_.skewGraceMs = 0;
 }
 
 std::vector<ScenarioSpec>
@@ -116,8 +127,9 @@ WorkerDaemon::runLoop(
             fingerprints.push_back(std::move(fp));
         }
 
-        const std::set<std::string> done =
-            completedFingerprints(loadMergedRecords(dir));
+        std::set<std::string> done =
+            resolvedFingerprints(loadMergedRecords(dir));
+        done.insert(poisoned_.begin(), poisoned_.end());
         std::vector<std::size_t> pending;
         for (std::size_t i = 0; i < specs.size(); ++i)
             if (done.count(fingerprints[i]) == 0)
@@ -142,7 +154,8 @@ WorkerDaemon::runLoop(
             bool reaped = false;
             std::optional<WorkClaim> claim = WorkClaim::tryAcquire(
                 sweepClaimDir(dir), fingerprints[index],
-                options_.workerId, options_.leaseMs, &reaped);
+                options_.workerId, options_.leaseMs, &reaped,
+                options_.skewGraceMs);
             if (!claim)
                 continue; // live lease elsewhere, or takeover lost
             if (reaped)
@@ -150,7 +163,7 @@ WorkerDaemon::runLoop(
 
             // The job may have been recorded between our scan and
             // this claim (its worker finished); don't run it twice.
-            if (completedFingerprints(loadMergedRecords(dir))
+            if (resolvedFingerprints(loadMergedRecords(dir))
                     .count(fingerprints[index])) {
                 claim->release();
                 progress = true;
@@ -232,20 +245,40 @@ WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
         heartbeat.join();
     };
 
+    // Retry budget: a throwing job (defective spec, transient I/O on
+    // its checkpoint) is retried with exponential backoff while the
+    // heartbeat keeps the lease; after the budget it degrades to a
+    // poison-quarantine record instead of killing the worker — the
+    // sweep drains around the job, and the failure is on the record.
     JobResult result;
-    try {
-        result = runScenario(spec, run_options);
-    } catch (...) {
-        // A throwing job (defective spec) fails the whole worker, as
-        // it fails the single-process scheduler; release so a --fixed
-        // rerun isn't blocked behind our stale lease.
-        join_heartbeat();
-        claim.release();
-        throw;
+    std::string last_error;
+    bool job_ok = false;
+    for (int attempt = 1; attempt <= options_.maxJobAttempts;
+         ++attempt) {
+        try {
+            result = runScenario(spec, run_options);
+            job_ok = true;
+            break;
+        } catch (const std::exception &e) {
+            last_error = e.what();
+        } catch (...) {
+            last_error = "unknown error";
+        }
+        ++report.failedAttempts;
+        std::fprintf(stderr,
+                     "treevqa: worker %s: job %s attempt %d/%d "
+                     "failed: %s\n",
+                     options_.workerId.c_str(), spec.name.c_str(),
+                     attempt, options_.maxJobAttempts,
+                     last_error.c_str());
+        if (attempt < options_.maxJobAttempts
+            && options_.retryBackoffMs > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                options_.retryBackoffMs << (attempt - 1)));
     }
     join_heartbeat();
 
-    if (!result.completed)
+    if (job_ok && !result.completed)
         return JobOutcome::SimulatedCrash;
 
     // Append only while provably still the owner; a lost lease means
@@ -266,8 +299,28 @@ WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
         claim.release();
         return JobOutcome::LostClaim;
     }
-    ResultStore(sweepShardPath(options_.sweepDir, options_.workerId))
-        .append(result);
+    ResultStore shard(
+        sweepShardPath(options_.sweepDir, options_.workerId));
+    if (!job_ok) {
+        // Poison quarantine: record the failure so the drain treats
+        // the job as resolved instead of reclaiming it forever.
+        JobResult poison;
+        poison.spec = spec;
+        poison.fingerprint = fingerprint;
+        poison.failed = true;
+        poison.errorMessage = last_error;
+        shard.append(poison);
+        poisoned_.insert(fingerprint);
+        ++report.poisoned;
+        std::fprintf(stderr,
+                     "treevqa: worker %s: quarantined poison job %s "
+                     "(%s)\n",
+                     options_.workerId.c_str(), spec.name.c_str(),
+                     last_error.c_str());
+        claim.release();
+        return JobOutcome::Poisoned;
+    }
+    shard.append(result);
     ++report.completed;
     if (result.resumed)
         ++report.resumed;

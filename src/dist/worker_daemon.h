@@ -17,6 +17,12 @@
  * daemon compacts the shards into the canonical store and summary
  * (store_merge.h).
  *
+ * A job that throws is retried within a per-job budget
+ * (maxJobAttempts, exponential backoff); when the budget is spent the
+ * job is quarantined as *poison* — a failed=true record is appended
+ * so the sweep can drain around a defective spec instead of wedging
+ * or killing the fleet.
+ *
  * Determinism: jobs are pure functions of their specs, so any worker
  * count, any claim interleaving and any kill schedule produce the same
  * final energies — bit-identical, timing excluded, to a
@@ -30,6 +36,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -63,6 +70,17 @@ struct WorkerOptions
      * draining (idempotent; concurrent drained workers may race
      * harmlessly). */
     bool mergeOnDrain = true;
+    /** Per-job retry budget: a job that throws is retried (with
+     * exponential backoff) up to this many total attempts, then
+     * quarantined as a poison job — recorded with failed=true so the
+     * drain can finish instead of wedging on a defective spec. */
+    int maxJobAttempts = 3;
+    /** Base backoff between attempts of a throwing job; attempt k
+     * waits retryBackoffMs << (k-1). */
+    std::int64_t retryBackoffMs = 50;
+    /** Tolerated reaper/owner wall-clock skew for stale-lease
+     * takeover (work_claim.h: claimIsStale). */
+    std::int64_t skewGraceMs = kClaimSkewGraceMs;
     /**
      * Crash simulation for tests: halt the current job after this
      * many iterations *without* finalizing, releasing the claim, or
@@ -88,7 +106,13 @@ struct WorkerReport
     /** Jobs whose lease was lost mid-run; their records were
      * discarded (the reaper produces bit-identical ones). */
     std::size_t lostClaims = 0;
-    /** Every job in the sweep had a completed record when we left. */
+    /** Job attempts that threw and were retried (or gave up). */
+    std::size_t failedAttempts = 0;
+    /** Poison jobs quarantined: every attempt in the budget threw, so
+     * a failed=true record was appended to resolve the job. */
+    std::size_t poisoned = 0;
+    /** Every job in the sweep had a resolving record (completed or
+     * poison-quarantined) when we left. */
     bool drained = false;
     /** This worker ran the shard compaction. */
     bool merged = false;
@@ -127,7 +151,9 @@ class WorkerDaemon
     {
         Completed,
         LostClaim,
-        SimulatedCrash
+        SimulatedCrash,
+        /** Every attempt threw; a failed=true record was appended. */
+        Poisoned
     };
 
     WorkerReport
@@ -138,6 +164,12 @@ class WorkerDaemon
 
     WorkerOptions options_;
     std::atomic<bool> stop_{false};
+    /** Fingerprints this process poison-quarantined. Liveness guard:
+     * the scan treats them as resolved even if the appended poison
+     * record cannot be re-loaded (e.g. its spec no longer passes
+     * validation), so a drain can never loop on re-running a job
+     * this process has already given up on. */
+    std::set<std::string> poisoned_;
 };
 
 } // namespace treevqa

@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+
+#include "common/fault_injection.h"
+#include "common/file_util.h"
 
 namespace treevqa {
 
@@ -27,7 +34,66 @@ sortedByName(const std::vector<JobResult> &results)
     return sorted;
 }
 
+/**
+ * Quarantine one corrupt store line: wrap it (with provenance and the
+ * reason it was rejected) in a JSON envelope appended to
+ * `<quarantine>/<store-file>`. Best effort — a quarantine that cannot
+ * be written must not turn a tolerated corruption into a crash — and
+ * once per (store, line, content) per process, because scan loops
+ * reload stores many times per corrupt line's lifetime.
+ */
+void
+quarantineStoreLine(const std::string &storePath,
+                    std::size_t lineNumber, const std::string &line,
+                    const std::string &reason)
+{
+    static std::mutex mutex;
+    static std::set<std::string> seen;
+    const std::string key = storePath + ":"
+        + std::to_string(lineNumber) + ":" + crc32Hex(line);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!seen.insert(key).second)
+            return;
+    }
+    std::fprintf(stderr,
+                 "treevqa: quarantining corrupt record %s:%zu (%s)\n",
+                 storePath.c_str(), lineNumber, reason.c_str());
+    try {
+        const std::filesystem::path dir = quarantineDirFor(storePath);
+        std::filesystem::create_directories(dir);
+        JsonValue envelope = JsonValue::object();
+        envelope.set("source", JsonValue(storePath));
+        envelope.set("line",
+                     JsonValue(static_cast<std::int64_t>(lineNumber)));
+        envelope.set("reason", JsonValue(reason));
+        envelope.set("data", JsonValue(line));
+        appendTextDurable(
+            (dir
+             / std::filesystem::path(storePath).filename())
+                .string(),
+            envelope.dump() + "\n");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "treevqa: quarantine of %s:%zu failed (%s)\n",
+                     storePath.c_str(), lineNumber, e.what());
+    }
+}
+
 } // namespace
+
+std::string
+quarantineDirFor(const std::string &storePath)
+{
+    std::filesystem::path parent =
+        std::filesystem::path(storePath).parent_path();
+    // Worker shards live one level down (<sweep>/workers/<id>.jsonl);
+    // their quarantine belongs with the sweep's, in <sweep>/quarantine
+    // (sweep_dir.h layout).
+    if (parent.filename() == "workers")
+        parent = parent.parent_path();
+    return (parent / "quarantine").string();
+}
 
 JsonValue
 jobResultToJson(const JobResult &result)
@@ -38,6 +104,13 @@ jobResultToJson(const JobResult &result)
     out.set("spec", scenarioToJson(result.spec));
     out.set("completed", JsonValue(result.completed));
     out.set("resumed", JsonValue(result.resumed));
+    // Poison-job quarantine records only; absent on healthy records
+    // so their serialization (and any byte-level diff against older
+    // stores) is unchanged.
+    if (result.failed) {
+        out.set("failed", JsonValue(true));
+        out.set("error", JsonValue(result.errorMessage));
+    }
     out.set("backend", JsonValue(result.backend));
     out.set("iterations",
             JsonValue(static_cast<std::int64_t>(result.iterations)));
@@ -60,6 +133,12 @@ jobResultFromJson(const JsonValue &json)
     result.fingerprint = json.at("fingerprint").asString();
     result.completed = json.at("completed").asBool();
     result.resumed = json.at("resumed").asBool();
+    jsonMaybe(json, "failed", [&](const JsonValue &v) {
+        result.failed = v.asBool();
+    });
+    jsonMaybe(json, "error", [&](const JsonValue &v) {
+        result.errorMessage = v.asString();
+    });
     result.backend = json.at("backend").asString();
     result.iterations = static_cast<int>(json.at("iterations").asInt());
     result.shotsUsed = json.at("shotsUsed").asUint();
@@ -80,62 +159,98 @@ jobResultFromJson(const JsonValue &json)
 
 ResultStore::ResultStore(std::string path) : path_(std::move(path)) {}
 
+std::string
+jobResultToStoredLine(const JobResult &result)
+{
+    JsonValue record = jobResultToJson(result);
+    // The CRC covers the serialization *without* the crc member; the
+    // member is appended last, so erasing it at load time restores
+    // the exact checksummed bytes (JsonValue preserves member order).
+    record.set("crc", JsonValue(crc32Hex(record.dump())));
+    return record.dump();
+}
+
 std::vector<JobResult>
-ResultStore::load() const
+ResultStore::load(StoreLoadStats *stats) const
 {
     std::vector<JobResult> records;
-    std::ifstream in(path_);
-    if (!in)
+    StoreLoadStats local;
+    std::string text;
+    if (!readTextFile(path_, text)) {
+        if (stats)
+            *stats = local;
         return records;
+    }
+    std::istringstream in(text);
     std::string line;
     std::size_t line_number = 0;
     while (std::getline(in, line)) {
         ++line_number;
         if (line.empty())
             continue;
+        JsonValue json;
         try {
-            records.push_back(
-                jobResultFromJson(JsonValue::parse(line)));
+            json = JsonValue::parse(line);
         } catch (const std::exception &e) {
             // Most likely the torn final line of a killed writer;
             // resume re-runs that job from its checkpoint.
-            std::fprintf(stderr,
-                         "treevqa: skipping corrupt record %s:%zu "
-                         "(%s)\n",
-                         path_.c_str(), line_number, e.what());
+            ++local.parseFailures;
+            quarantineStoreLine(path_, line_number, line,
+                                std::string("unparseable: ")
+                                    + e.what());
+            continue;
         }
+        if (json.isObject() && json.contains("crc")) {
+            const std::string expected = json.at("crc").asString();
+            json.erase("crc");
+            if (crc32Hex(json.dump()) != expected) {
+                ++local.crcMismatches;
+                quarantineStoreLine(path_, line_number, line,
+                                    "crc mismatch");
+                continue;
+            }
+        }
+        JobResult record;
+        try {
+            record = jobResultFromJson(json);
+        } catch (const std::exception &e) {
+            ++local.parseFailures;
+            quarantineStoreLine(path_, line_number, line,
+                                std::string("invalid record: ")
+                                    + e.what());
+            continue;
+        }
+        // A record whose stored fingerprint contradicts its own spec
+        // was corrupted (or forged) in a way the CRC cannot see when
+        // the whole line was rewritten consistently.
+        if (record.fingerprint != scenarioFingerprint(record.spec)) {
+            ++local.fingerprintMismatches;
+            quarantineStoreLine(path_, line_number, line,
+                                "fingerprint does not match spec");
+            continue;
+        }
+        ++local.records;
+        records.push_back(std::move(record));
     }
+    if (stats)
+        *stats = local;
     return records;
 }
 
 void
 ResultStore::append(const JobResult &result)
 {
-    const std::string line = jobResultToJson(result).dump();
+    std::string line = jobResultToStoredLine(result) + "\n";
     std::lock_guard<std::mutex> lock(mutex_);
-    // A kill mid-append leaves a torn line without a newline; sealing
-    // it first keeps the new record on its own line instead of
-    // merging with (and corrupting) the fragment.
-    bool seal_torn_line = false;
-    {
-        std::ifstream check(path_, std::ios::binary | std::ios::ate);
-        if (check && check.tellg() > 0) {
-            check.seekg(-1, std::ios::end);
-            char last = '\n';
-            check.get(last);
-            seal_torn_line = last != '\n';
-        }
+    if (const FaultHit hit = FAULT_POINT("store.append")) {
+        if (hit.action == FaultAction::FailErrno)
+            throw std::runtime_error(
+                "result store: cannot append to " + path_ + ": "
+                + std::strerror(hit.err));
+        if (hit.action == FaultAction::TornWrite)
+            line.resize(hit.tornPrefix(line.size()));
     }
-    std::ofstream out(path_, std::ios::app);
-    if (!out)
-        throw std::runtime_error("result store: cannot append to "
-                                 + path_);
-    if (seal_torn_line)
-        out << '\n';
-    out << line << '\n';
-    out.flush();
-    if (!out)
-        throw std::runtime_error("result store: write failed: " + path_);
+    appendTextDurable(path_, line);
 }
 
 std::vector<JobResult>

@@ -5,11 +5,17 @@
  *
  * Each completed job appends exactly one JSON object per line (spec +
  * fingerprint, energy trajectory, evaluation counts, wall time,
- * backend). Lines are written under a mutex and flushed per record,
- * so a killed sweep loses at most the line being written; load()
- * tolerates a truncated trailing line, which together with the
- * scheduler's fingerprint skip makes the store the job-level resume
- * ledger.
+ * backend) carrying a trailing "crc" member — the CRC32 of the record
+ * serialization without it — so a torn or corrupted line is
+ * *detected*, never silently half-parsed. Lines are written under a
+ * mutex through the durable append path (file_util: torn-line
+ * sealing, EINTR retries, fsync), so a killed sweep loses at most the
+ * line being written; load() quarantines any line that fails to
+ * parse, fails its CRC, or whose stored fingerprint contradicts its
+ * spec, copying it to `<dir>/quarantine/<store-file>` (once per
+ * process) and skipping it — which together with the scheduler's
+ * fingerprint skip makes the store the job-level resume ledger: a
+ * quarantined record's job simply reruns.
  *
  * Line *order* is completion order (nondeterministic under a
  * concurrent scheduler); record *content* is deterministic except for
@@ -29,9 +35,33 @@
 
 namespace treevqa {
 
-/** JobResult <-> one JSONL record. */
+/** JobResult <-> one JSONL record (without the "crc" member). */
 JsonValue jobResultToJson(const JobResult &result);
 JobResult jobResultFromJson(const JsonValue &json);
+
+/** The canonical stored line for a record: its JSON serialization
+ * with the trailing "crc" member stamped in (no newline). Append and
+ * compaction both write this form. */
+std::string jobResultToStoredLine(const JobResult &result);
+
+/** What a load pass saw. corrupt() is the lines that failed any
+ * validation and were skipped (and, best-effort, quarantined). */
+struct StoreLoadStats
+{
+    /** Records that parsed and validated. */
+    std::size_t records = 0;
+    /** Lines that failed to parse as a record at all. */
+    std::size_t parseFailures = 0;
+    /** Parseable lines whose CRC32 contradicted their content. */
+    std::size_t crcMismatches = 0;
+    /** Records whose stored fingerprint contradicted their spec. */
+    std::size_t fingerprintMismatches = 0;
+
+    std::size_t corrupt() const
+    {
+        return parseFailures + crcMismatches + fingerprintMismatches;
+    }
+};
 
 /** Append-only JSONL file of job records. */
 class ResultStore
@@ -42,18 +72,24 @@ class ResultStore
 
     const std::string &path() const { return path_; }
 
-    /** Parse all stored records. A truncated or corrupt line (killed
-     * writer) is skipped with a warning instead of failing the
-     * resume. */
-    std::vector<JobResult> load() const;
+    /** Parse all stored records. A line that fails validation (torn,
+     * corrupt, CRC or fingerprint mismatch) is quarantined to
+     * `<dir>/quarantine/` and skipped instead of failing the resume;
+     * `stats`, when non-null, reports what was seen. */
+    std::vector<JobResult> load(StoreLoadStats *stats = nullptr) const;
 
-    /** Append one record as a single line and flush. Thread-safe. */
+    /** Append one CRC-stamped record as a single durable line
+     * (fsynced; fault site "store.append"). Thread-safe. */
     void append(const JobResult &result);
 
   private:
     std::string path_;
     std::mutex mutex_;
 };
+
+/** The quarantine directory used for corrupt lines and shards of the
+ * stores under `parentDir` (i.e. `<parentDir>/quarantine`). */
+std::string quarantineDirFor(const std::string &storePath);
 
 /**
  * Collapse duplicate-fingerprint records to one per job. Duplicates

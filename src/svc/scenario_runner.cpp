@@ -2,10 +2,10 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <cstring>
 #include <stdexcept>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "core/metrics.h"
 #include "core/objective.h"
@@ -45,30 +45,69 @@ checkpointToJson(const std::string &fingerprint, const RunState &state,
     return out;
 }
 
-/** Atomic (tmp + rename) checkpoint write; a kill mid-write leaves
- * the previous checkpoint intact. The temp name is process-unique
- * (file_util), so even a misconfigured fleet whose lease protocol
- * failed cannot tear a checkpoint — the last rename wins whole. */
+/** The last-good previous checkpoint generation kept beside the
+ * current file (rotated on every write, consumed by restore when the
+ * current file fails validation). */
+std::string
+checkpointPrevPath(const std::string &path)
+{
+    return path + ".prev";
+}
+
+/**
+ * Durable checkpoint write: the CRC32 of the compact serialization is
+ * stamped in as a trailing "crc" member (restore erases it and
+ * re-dumps to verify — common/json.h erase contract), the previous
+ * checkpoint is rotated to `<path>.prev` as the last-good fallback,
+ * and the new file lands via atomic tmp + rename, so a kill at any
+ * instant leaves at least one valid generation on disk. Fault site
+ * "checkpoint.write": fail-errno throws (the worker retry budget's
+ * food), torn-write truncates the body so a *renamed-whole but
+ * internally corrupt* checkpoint lands — the case the CRC exists for
+ * — and crash kills the process right before the write (the
+ * crash-at-checkpoint-index drill).
+ */
 void
 writeCheckpoint(const std::string &path, const JsonValue &checkpoint)
 {
-    writeTextFileAtomic(path, checkpoint.dump(2) + "\n");
+    JsonValue stamped = checkpoint;
+    stamped.set("crc", JsonValue(crc32Hex(stamped.dump())));
+    std::string body = stamped.dump(2) + "\n";
+    if (const FaultHit hit = FAULT_POINT("checkpoint.write")) {
+        if (hit.action == FaultAction::FailErrno)
+            throw std::runtime_error("checkpoint write failed: " + path
+                                     + ": "
+                                     + std::strerror(hit.err));
+        if (hit.action == FaultAction::TornWrite)
+            body.resize(hit.tornPrefix(body.size()));
+    }
+    // Rotate the current (validated-on-write, so presumed good)
+    // generation out of harm's way before replacing it; a failed
+    // rotate (first write: no current file) is fine.
+    std::rename(path.c_str(), checkpointPrevPath(path).c_str());
+    writeTextFileAtomic(path, body);
 }
 
-/** Restore loop state from a checkpoint file. Returns false (fresh
- * start) when the file is absent, unreadable, or belongs to a
- * different spec. */
+/** Restore loop state from one checkpoint file. Returns false (and
+ * warns when the file existed) when it is absent, unreadable, fails
+ * its CRC, or belongs to a different spec. */
 bool
-tryRestore(const std::string &path, const std::string &fingerprint,
-           RunState &state, IterativeOptimizer &optimizer, Rng &rng)
+tryRestoreFile(const std::string &path, const std::string &fingerprint,
+               RunState &state, IterativeOptimizer &optimizer, Rng &rng)
 {
-    std::ifstream in(path);
-    if (!in)
+    std::string text;
+    if (!readTextFile(path, text))
         return false;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
     try {
-        const JsonValue checkpoint = JsonValue::parse(buffer.str());
+        JsonValue checkpoint = JsonValue::parse(text);
+        if (checkpoint.isObject() && checkpoint.contains("crc")) {
+            const std::string expected =
+                checkpoint.at("crc").asString();
+            checkpoint.erase("crc");
+            if (crc32Hex(checkpoint.dump()) != expected)
+                throw std::runtime_error("crc mismatch (torn or "
+                                         "corrupted write)");
+        }
         if (checkpoint.at("version").asInt() != kCheckpointVersion)
             throw std::runtime_error("unsupported checkpoint version");
         if (checkpoint.at("fingerprint").asString() != fingerprint)
@@ -91,11 +130,29 @@ tryRestore(const std::string &path, const std::string &fingerprint,
         return true;
     } catch (const std::exception &e) {
         std::fprintf(stderr,
-                     "treevqa: ignoring checkpoint %s (%s); restarting "
-                     "job from scratch\n",
+                     "treevqa: ignoring checkpoint %s (%s)\n",
                      path.c_str(), e.what());
         return false;
     }
+}
+
+/** Restore from the current checkpoint, falling back to the rotated
+ * last-good `.prev` generation when the current file fails
+ * validation. False = fresh start. */
+bool
+tryRestore(const std::string &path, const std::string &fingerprint,
+           RunState &state, IterativeOptimizer &optimizer, Rng &rng)
+{
+    if (tryRestoreFile(path, fingerprint, state, optimizer, rng))
+        return true;
+    if (tryRestoreFile(checkpointPrevPath(path), fingerprint, state,
+                       optimizer, rng)) {
+        std::fprintf(stderr,
+                     "treevqa: restored last-good checkpoint %s\n",
+                     checkpointPrevPath(path).c_str());
+        return true;
+    }
+    return false;
 }
 
 } // namespace
@@ -219,9 +276,12 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
     result.completed = true;
 
     // The job is durably finished; its record supersedes the
-    // checkpoint.
-    if (!options.checkpointPath.empty())
+    // checkpoint (both generations).
+    if (!options.checkpointPath.empty()) {
         std::remove(options.checkpointPath.c_str());
+        std::remove(
+            checkpointPrevPath(options.checkpointPath).c_str());
+    }
 
     result.wallSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - t0)

@@ -15,12 +15,16 @@
  *    full dynamic state — optimizer internals (saveState), the
  *    evaluation-noise RNG, the shot ledger balance, the loss
  *    trajectory and the best-so-far parameters — is serialized to a
- *    per-job file (atomic tmp+rename, keyed by the spec fingerprint).
- *  - **Resume.** When the checkpoint file exists and matches the
- *    fingerprint, the runner restores it and continues; a resumed job
- *    reaches bit-identical final energies to an uninterrupted run,
- *    because JSON number round-trips are exact (common/json.h) and
- *    the iteration loop re-executes the same evaluation sequence.
+ *    per-job file (atomic tmp+rename, keyed by the spec fingerprint)
+ *    carrying a CRC32 self-check; the previous generation is rotated
+ *    to `<path>.prev` as the last-good fallback.
+ *  - **Resume.** When the checkpoint file exists, passes its CRC and
+ *    matches the fingerprint, the runner restores it and continues; a
+ *    corrupt current file falls back to `.prev`, and a job resumed
+ *    from either generation reaches bit-identical final energies to
+ *    an uninterrupted run, because JSON number round-trips are exact
+ *    (common/json.h) and the iteration loop re-executes the same
+ *    evaluation sequence.
  */
 
 #ifndef TREEVQA_SVC_SCENARIO_RUNNER_H
@@ -46,6 +50,13 @@ struct JobResult
     bool completed = false;
     /** True when the run continued from a checkpoint file. */
     bool resumed = false;
+    /** True for a poison-job quarantine record: the job threw on
+     * every attempt within the worker's retry budget and was recorded
+     * as failed so the drain can finish (worker_daemon.h). Always
+     * false on completed records. */
+    bool failed = false;
+    /** The last attempt's error, for failed records. */
+    std::string errorMessage;
     int iterations = 0;
     std::uint64_t shotsUsed = 0;
     /** Per-iteration noisy loss (the optimizer's view). */

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -231,6 +232,147 @@ TEST(WorkClaim, InfoJsonRoundTrips)
     EXPECT_EQ(back.deadlineMs, info.deadlineMs);
     EXPECT_EQ(back.leaseMs, info.leaseMs);
     EXPECT_EQ(back.renewals, info.renewals);
+}
+
+TEST(WorkClaim, StalenessToleratesClockSkewBothWays)
+{
+    ClaimInfo info;
+    info.leaseMs = 10000;
+    info.deadlineMs = 1753660830000;
+    const std::int64_t grace = 1000; // < leaseMs/2, used as-is
+
+    // Reaper's clock behind the owner's: deadline still in the
+    // reaper's future — never stale.
+    EXPECT_FALSE(claimIsStale(info, info.deadlineMs - 5000, grace));
+    // Reaper's clock ahead by less than the grace: not stale, the
+    // owner may be alive and about to renew.
+    EXPECT_FALSE(claimIsStale(info, info.deadlineMs + grace, grace));
+    // Past the grace the lease is genuinely dead.
+    EXPECT_TRUE(
+        claimIsStale(info, info.deadlineMs + grace + 1, grace));
+
+    // Short leases clamp the grace to leaseMs/2 so expiry tests (and
+    // fast-reaping fleets) aren't swamped by the skew margin.
+    ClaimInfo quick = info;
+    quick.leaseMs = 20;
+    EXPECT_FALSE(claimIsStale(quick, quick.deadlineMs + 10, grace));
+    EXPECT_TRUE(claimIsStale(quick, quick.deadlineMs + 11, grace));
+}
+
+TEST(WorkClaim, ImplausiblyFutureDeadlineIsImmediatelyStale)
+{
+    // A deadline more than leaseMs + grace ahead of the reaper's
+    // clock cannot have been written by any owner within the
+    // tolerated skew — corrupt content or a runaway clock. It must
+    // not pin the lock for an hour.
+    ClaimInfo info;
+    info.leaseMs = 1000;
+    info.deadlineMs = 1753660830000;
+    const std::int64_t grace = 400; // min(400, 500) = 400
+    const std::int64_t now = info.deadlineMs - 3600000;
+    EXPECT_TRUE(claimIsStale(info, now, grace));
+    // Right at the plausibility bound it is a normal live lease.
+    EXPECT_FALSE(claimIsStale(
+        info, info.deadlineMs - info.leaseMs - grace, grace));
+}
+
+TEST(WorkClaim, ReaperAheadOfOwnerDoesNotStealLiveLease)
+{
+    const auto dir = scratchDir("claim_skew_ahead");
+    // Simulate an owner whose clock runs ~1.5s behind ours: the
+    // deadline it wrote is already past on our clock, but within the
+    // skew grace for its 60s lease.
+    ClaimInfo owner;
+    owner.fingerprint = "fp";
+    owner.owner = "slow-clock";
+    owner.leaseMs = 60000;
+    owner.acquiredMs = unixTimeMs() - 61500;
+    owner.deadlineMs = unixTimeMs() - 1500;
+    writeTextFileAtomic(WorkClaim::claimPath(dir.string(), "fp"),
+                        claimToJson(owner).dump() + "\n");
+
+    // Default grace (1000ms) — expired beyond it, reapable.
+    bool reaped = false;
+    EXPECT_TRUE(WorkClaim::tryAcquire(dir.string(), "fp", "us", 60000,
+                                      &reaped)
+                    .has_value());
+    EXPECT_TRUE(reaped);
+
+    // With a grace that covers the skew, the lease is respected.
+    writeTextFileAtomic(WorkClaim::claimPath(dir.string(), "fp2"),
+                        claimToJson(owner).dump() + "\n");
+    EXPECT_FALSE(WorkClaim::tryAcquire(dir.string(), "fp2", "us",
+                                       60000, &reaped,
+                                       /*skewGraceMs=*/5000)
+                     .has_value());
+}
+
+TEST(WorkClaim, OwnerAheadOfReaperCannotPinTheLockForever)
+{
+    const auto dir = scratchDir("claim_skew_behind");
+    // An owner whose clock ran far ahead wrote a deadline an hour in
+    // our future before dying; its 100ms lease says no honest renewal
+    // chain can explain that. The lock must be reapable now.
+    ClaimInfo owner;
+    owner.fingerprint = "fp";
+    owner.owner = "fast-clock";
+    owner.leaseMs = 100;
+    owner.acquiredMs = unixTimeMs();
+    owner.deadlineMs = unixTimeMs() + 3600000;
+    writeTextFileAtomic(WorkClaim::claimPath(dir.string(), "fp"),
+                        claimToJson(owner).dump() + "\n");
+
+    bool reaped = false;
+    auto claim = WorkClaim::tryAcquire(dir.string(), "fp", "us", 60000,
+                                       &reaped);
+    ASSERT_TRUE(claim.has_value());
+    EXPECT_TRUE(reaped);
+}
+
+TEST(WorkClaim, DoubleReapRaceAdmitsExactlyOneWinner)
+{
+    const auto dir = scratchDir("claim_double_reap");
+    // Two contenders race to reap the same stale claim, repeatedly:
+    // the rename protocol must admit exactly one per round, and the
+    // loser must see a clean "not acquired", never a second lease.
+    for (int round = 0; round < 25; ++round) {
+        const std::string fp = "fp" + std::to_string(round);
+        ClaimInfo dead;
+        dead.fingerprint = fp;
+        dead.owner = "crashed";
+        dead.leaseMs = 20;
+        dead.acquiredMs = unixTimeMs() - 1000;
+        dead.deadlineMs = unixTimeMs() - 980;
+        writeTextFileAtomic(WorkClaim::claimPath(dir.string(), fp),
+                            claimToJson(dead).dump() + "\n");
+
+        std::atomic<int> wins{0};
+        std::atomic<int> reaps{0};
+        const auto contender = [&](const std::string &owner) {
+            bool reaped = false;
+            auto claim = WorkClaim::tryAcquire(dir.string(), fp,
+                                               owner, 60000, &reaped);
+            if (claim.has_value()) {
+                ++wins;
+                if (reaped)
+                    ++reaps;
+            }
+        };
+        std::thread a(contender, "alice");
+        std::thread b(contender, "bob");
+        a.join();
+        b.join();
+        ASSERT_EQ(wins.load(), 1) << "round " << round;
+        // Reap attribution is best-effort: the loser's rename may
+        // clear the stale lock just before the winner's fresh O_EXCL
+        // create, in which case the winner never saw the old claim.
+        // What must never happen is two contenders both counting it.
+        ASSERT_LE(reaps.load(), 1) << "round " << round;
+        const auto peeked = WorkClaim::peek(dir.string(), fp);
+        ASSERT_TRUE(peeked.has_value());
+        EXPECT_TRUE(peeked->owner == "alice"
+                    || peeked->owner == "bob");
+    }
 }
 
 // -------------------------------------------------- store dedup + merge

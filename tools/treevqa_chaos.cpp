@@ -1,0 +1,371 @@
+/**
+ * @file
+ * treevqa_chaos — deterministic chaos drills for the distributed
+ * sweep stack.
+ *
+ * The harness asserts the stack's one end-to-end robustness claim:
+ * under any injected fault schedule (failed syscalls, torn writes,
+ * heartbeat loss, mid-job SIGKILL at every checkpoint index), a sweep
+ * still drains to a `summary.json` byte-identical to the fault-free
+ * run — because jobs are pure functions of their specs and every
+ * recovery path (checkpoint resume, lease reaping, record
+ * re-execution, corrupt-line quarantine) converges on the same
+ * records.
+ *
+ *   treevqa_chaos --seed S [--out DIR] [--jobs N] [--print-matrix]
+ *
+ *   --seed S         base seed for the drill matrix; the same seed
+ *                    produces the identical fault schedule (drills,
+ *                    plan seeds, probability streams)
+ *   --out DIR        scratch root (default ./chaos_scratch); wiped
+ *   --jobs N         sweep size (default 6 tiny 4-qubit TFIM jobs)
+ *   --print-matrix   print the drill matrix (name + fault plan) and
+ *                    exit — two invocations with the same seed must
+ *                    print identical bytes
+ *
+ * Per drill: a fresh sweep directory, the fault plan written to disk,
+ * one worker child re-executed with TREEVQA_FAULT_PLAN pointing at it
+ * (arming happens in the child's static init; the parent stays
+ * disarmed), then a fault-free recovery child to drain whatever the
+ * faulted child left behind, then a byte compare of summary.json
+ * against the fault-free reference. Results land in
+ * `<out>/chaos_report.json`. Exit 0 iff every drill converged.
+ *
+ * Internal --drill-child mode: run one drain-and-exit worker over
+ * --sweep-dir (the harness re-execs itself instead of fork() — the
+ * parent is threadless but the worker is not, and exec'ing fresh also
+ * gives the child its own fault-plan bootstrap).
+ */
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/json.h"
+#include "dist/worker_daemon.h"
+#include "svc/sweep_dir.h"
+
+#include "cli_util.h"
+
+using namespace treevqa;
+
+namespace {
+
+int
+usage(const char *argv0, bool requested)
+{
+    std::fprintf(requested ? stdout : stderr,
+                 "usage: %s --seed S [--out DIR] [--jobs N] "
+                 "[--print-matrix]\n",
+                 argv0);
+    return requested ? 0 : 2;
+}
+
+/** The same tiny, fast scenario family the dist tests drain (4-qubit
+ * TFIM, 1-layer HEA, SPSA); checkpointInterval 4 over 12 iterations
+ * gives every job interior checkpoints for the crash drills. */
+std::vector<ScenarioSpec>
+chaosSweep(int jobs)
+{
+    std::vector<ScenarioSpec> specs;
+    for (int j = 0; j < jobs; ++j) {
+        ScenarioSpec spec;
+        spec.name = "chaos" + std::to_string(j);
+        spec.problem = "tfim";
+        spec.size = 4;
+        spec.field = 0.5 + 0.2 * j;
+        spec.ansatz = "hea";
+        spec.layers = 1;
+        spec.engine.shotsPerTerm = 256;
+        spec.maxIterations = 12;
+        spec.seed = 99;
+        spec.checkpointInterval = 4;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+/** One drill: a name and the TREEVQA_FAULT_PLAN document (without its
+ * "seed" member, which the harness derives from --seed + index so the
+ * whole schedule keys off one number). */
+struct Drill
+{
+    std::string name;
+    std::string faults; // the "faults" array, as JSON text
+};
+
+/**
+ * The fault matrix: ≥12 distinct site/action combinations covering
+ * every recovery path — syscall failures on the atomic-write and
+ * claim hot paths, torn store records and torn checkpoints (the CRC
+ * quarantine paths), heartbeat loss, abandoned locks, injected I/O
+ * latency, a probabilistic acquire-failure schedule, and mid-job
+ * SIGKILL before the 1st/2nd/3rd/5th checkpoint write of the sweep
+ * (crash at every checkpoint index a job has).
+ */
+std::vector<Drill>
+drillMatrix()
+{
+    return {
+        {"rename-fails-once",
+         R"([{"site": "file.write_atomic.rename", "action": "fail-errno", "errno": "EIO", "hit": 1}])"},
+        {"fsync-fails-once",
+         R"([{"site": "file.write_atomic.fsync", "action": "fail-errno", "errno": "EIO", "hit": 1}])"},
+        {"read-fails-once",
+         R"([{"site": "file.read", "action": "fail-errno", "errno": "EIO", "hit": 2}])"},
+        {"stage-write-torn",
+         R"([{"site": "file.write_atomic.stage", "action": "torn-write", "keepFraction": 0.5, "hit": 1}])"},
+        {"claim-acquire-fails",
+         R"([{"site": "claim.acquire", "action": "fail-errno", "errno": "EAGAIN", "hit": 1, "times": 3}])"},
+        {"claim-acquire-flaky",
+         R"([{"site": "claim.acquire", "action": "fail-errno", "errno": "EAGAIN", "probability": 0.3, "times": 0}])"},
+        {"heartbeat-loss",
+         R"([{"site": "claim.renew", "action": "fail-errno", "errno": "EIO", "hit": 1}])"},
+        {"release-leaves-lock",
+         R"([{"site": "claim.release", "action": "fail-errno", "errno": "EIO", "hit": 1, "times": 2}])"},
+        {"store-append-fails",
+         R"([{"site": "store.append", "action": "fail-errno", "errno": "EIO", "hit": 1}])"},
+        {"store-append-torn",
+         R"([{"site": "store.append", "action": "torn-write", "keepFraction": 0.4, "hit": 1}])"},
+        {"checkpoint-torn-then-crash",
+         R"([{"site": "checkpoint.write", "action": "torn-write", "keepFraction": 0.6, "hit": 2}, {"site": "checkpoint.write", "action": "crash", "hit": 3}])"},
+        {"checkpoint-write-slow",
+         R"([{"site": "checkpoint.write", "action": "delay-ms", "ms": 600, "hit": 1}])"},
+        {"crash-at-checkpoint-1",
+         R"([{"site": "checkpoint.write", "action": "crash", "hit": 1}])"},
+        {"crash-at-checkpoint-2",
+         R"([{"site": "checkpoint.write", "action": "crash", "hit": 2}])"},
+        {"crash-at-checkpoint-3",
+         R"([{"site": "checkpoint.write", "action": "crash", "hit": 3}])"},
+        {"crash-at-checkpoint-5",
+         R"([{"site": "checkpoint.write", "action": "crash", "hit": 5}])"},
+    };
+}
+
+/** SplitMix64 step: per-drill plan seed from the base seed, so one
+ * --seed pins every probability stream in the matrix. */
+std::uint64_t
+drillPlanSeed(std::uint64_t base, std::size_t index)
+{
+    std::uint64_t z =
+        base + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(index) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::string
+drillPlanJson(const Drill &drill, std::uint64_t base, std::size_t index)
+{
+    return "{\"seed\": " + std::to_string(drillPlanSeed(base, index))
+        + ", \"faults\": " + drill.faults + "}";
+}
+
+/** Run one worker child over `sweepDir`; returns the shell status
+ * decoded to "exit code or 128+signal". `planPath` empty = disarmed. */
+int
+runWorkerChild(const std::string &self, const std::string &sweepDir,
+               int jobs, const std::string &planPath,
+               const std::string &logPath)
+{
+    if (planPath.empty())
+        ::unsetenv("TREEVQA_FAULT_PLAN");
+    else
+        ::setenv("TREEVQA_FAULT_PLAN", planPath.c_str(), 1);
+    const std::string command = "\"" + self + "\" --drill-child"
+        + " --sweep-dir \"" + sweepDir + "\" --jobs "
+        + std::to_string(jobs) + " >> \"" + logPath + "\" 2>&1";
+    const int status = std::system(command.c_str());
+    ::unsetenv("TREEVQA_FAULT_PLAN");
+    if (status == -1)
+        return -1;
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return WEXITSTATUS(status);
+}
+
+int
+runDrillChild(const std::string &sweepDir, int jobs)
+{
+    WorkerOptions options;
+    options.sweepDir = sweepDir;
+    // Short leases keep the abandoned-lock / heartbeat-loss drills
+    // fast: recovery only ever waits lease + skew grace (clamped to
+    // leaseMs/2) before reaping.
+    options.leaseMs = 400;
+    options.pollMs = 25;
+    options.drainAndExit = true;
+    options.mergeOnDrain = true;
+    options.maxJobAttempts = 3;
+    options.retryBackoffMs = 10;
+    WorkerDaemon daemon(options);
+    const WorkerReport report = daemon.run(chaosSweep(jobs));
+    std::printf("drill child: completed=%zu resumed=%zu reaped=%zu "
+                "lost=%zu poisoned=%zu drained=%s\n",
+                report.completed, report.resumed, report.reapedLeases,
+                report.lostClaims, report.poisoned,
+                report.drained ? "yes" : "no");
+    return report.drained ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 0;
+    bool have_seed = false;
+    std::string out_root = "chaos_scratch";
+    long jobs = 6;
+    bool print_matrix = false;
+    bool drill_child = false;
+    std::string sweep_dir;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next_value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            seed = std::strtoull(next_value(), nullptr, 10);
+            have_seed = true;
+        } else if (arg == "--out") {
+            out_root = next_value();
+        } else if (arg == "--jobs") {
+            if (!parsePositive(next_value(), jobs)) {
+                std::fprintf(stderr, "--jobs must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--print-matrix") {
+            print_matrix = true;
+        } else if (arg == "--drill-child") {
+            drill_child = true;
+        } else if (arg == "--sweep-dir") {
+            sweep_dir = next_value();
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], true);
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage(argv[0], false);
+        }
+    }
+
+    try {
+        if (drill_child) {
+            if (sweep_dir.empty())
+                return usage(argv[0], false);
+            return runDrillChild(sweep_dir, static_cast<int>(jobs));
+        }
+        if (!have_seed)
+            return usage(argv[0], false);
+
+        const std::vector<Drill> drills = drillMatrix();
+        if (print_matrix) {
+            for (std::size_t i = 0; i < drills.size(); ++i)
+                std::printf("%zu %s %s\n", i, drills[i].name.c_str(),
+                            drillPlanJson(drills[i], seed, i).c_str());
+            return 0;
+        }
+
+        namespace fs = std::filesystem;
+        fs::remove_all(out_root);
+        fs::create_directories(out_root);
+        const std::string self = argv[0];
+
+        // Fault-free reference: the bytes every drill must converge to.
+        const std::string ref_dir =
+            (fs::path(out_root) / "reference").string();
+        fs::create_directories(ref_dir);
+        const int ref_status = runWorkerChild(
+            self, ref_dir, static_cast<int>(jobs), "",
+            (fs::path(out_root) / "reference.log").string());
+        std::string reference;
+        if (ref_status != 0
+            || !readTextFile(sweepSummaryPath(ref_dir), reference)) {
+            std::fprintf(stderr,
+                         "treevqa_chaos: fault-free reference run "
+                         "failed (status %d)\n",
+                         ref_status);
+            return 1;
+        }
+
+        JsonValue report_drills = JsonValue::array();
+        std::size_t failures = 0;
+        for (std::size_t i = 0; i < drills.size(); ++i) {
+            const Drill &drill = drills[i];
+            const std::string dir =
+                (fs::path(out_root) / drill.name).string();
+            const std::string log =
+                (fs::path(out_root) / (drill.name + ".log")).string();
+            fs::create_directories(dir);
+            const std::string plan_path =
+                (fs::path(out_root) / (drill.name + ".plan.json"))
+                    .string();
+            writeTextFileAtomic(plan_path,
+                                drillPlanJson(drill, seed, i) + "\n");
+
+            const int faulted_status = runWorkerChild(
+                self, dir, static_cast<int>(jobs), plan_path, log);
+            // Always run a disarmed recovery pass: it drains whatever
+            // the faulted child left (stale claims, torn records,
+            // corrupt checkpoints) and is a no-op when the faulted
+            // child already finished.
+            const int recovery_status = runWorkerChild(
+                self, dir, static_cast<int>(jobs), "", log);
+
+            std::string summary;
+            const bool summary_read =
+                readTextFile(sweepSummaryPath(dir), summary);
+            const bool converged = recovery_status == 0 && summary_read
+                && summary == reference;
+            if (!converged)
+                ++failures;
+            std::printf("drill %-28s fault-child=%-3d recovery=%-3d "
+                        "summary=%s\n",
+                        drill.name.c_str(), faulted_status,
+                        recovery_status,
+                        converged        ? "identical"
+                            : summary_read ? "DIFFERENT"
+                                           : "MISSING");
+
+            JsonValue entry = JsonValue::object();
+            entry.set("name", JsonValue(drill.name));
+            entry.set("plan",
+                      JsonValue::parse(drillPlanJson(drill, seed, i)));
+            entry.set("faultedChildStatus", JsonValue(faulted_status));
+            entry.set("recoveryStatus", JsonValue(recovery_status));
+            entry.set("summaryIdentical", JsonValue(converged));
+            report_drills.push_back(std::move(entry));
+        }
+
+        JsonValue report = JsonValue::object();
+        report.set("seed", JsonValue(seed));
+        report.set("jobs", JsonValue(static_cast<std::int64_t>(jobs)));
+        report.set("drills", std::move(report_drills));
+        report.set("failures",
+                   JsonValue(static_cast<std::int64_t>(failures)));
+        writeTextFileAtomic(
+            (fs::path(out_root) / "chaos_report.json").string(),
+            report.dump(2) + "\n");
+
+        std::printf("chaos: %zu/%zu drills converged (report: %s)\n",
+                    drills.size() - failures, drills.size(),
+                    (fs::path(out_root) / "chaos_report.json")
+                        .string()
+                        .c_str());
+        return failures == 0 ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "treevqa_chaos: %s\n", e.what());
+        return 1;
+    }
+}

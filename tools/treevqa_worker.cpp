@@ -27,7 +27,15 @@
  *                    polling sweep.json for new work)
  *   --poll-ms N      idle rescan interval (default 200)
  *   --no-merge       skip the shard→store compaction after draining
- *   --merge-only     just run the merge/compaction pass and exit
+ *   --merge-only     just run the merge/compaction pass and exit;
+ *                    exits 1 when corrupt store lines were found (the
+ *                    lines are quarantined, their shards moved to
+ *                    DIR/quarantine/, never deleted)
+ *   --max-job-attempts N
+ *                    retry budget for throwing jobs before poison
+ *                    quarantine (default 3)
+ *   --retry-backoff-ms N
+ *                    base backoff between attempts (default 50)
  *   --sigkill-after-checkpoints N
  *                    raise(SIGKILL) after the Nth durable checkpoint
  *                    write — a genuinely uncleaned death at a
@@ -67,6 +75,7 @@ usage(const char *argv0, bool requested)
         "usage: %s --sweep-dir DIR [--spec FILE] [--worker-id ID]\n"
         "       [--lease-ms N] [--max-jobs N] [--drain-and-exit]\n"
         "       [--poll-ms N] [--no-merge] [--merge-only]\n"
+        "       [--max-job-attempts N] [--retry-backoff-ms N]\n"
         "       [--sigkill-after-checkpoints N]\n",
         argv0);
     return requested ? 0 : 2;
@@ -97,6 +106,8 @@ main(int argc, char **argv)
     bool merge_on_drain = true;
     bool merge_only = false;
     long sigkill_after = 0;
+    long max_job_attempts = 3;
+    long retry_backoff_ms = 50;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -133,6 +144,10 @@ main(int argc, char **argv)
             merge_on_drain = false;
         } else if (arg == "--merge-only") {
             merge_only = true;
+        } else if (arg == "--max-job-attempts") {
+            next_positive(max_job_attempts);
+        } else if (arg == "--retry-backoff-ms") {
+            next_positive(retry_backoff_ms);
         } else if (arg == "--sigkill-after-checkpoints") {
             next_positive(sigkill_after);
         } else if (arg == "--help" || arg == "-h") {
@@ -170,6 +185,21 @@ main(int argc, char **argv)
                         stats.inputRecords, stats.uniqueRecords,
                         stats.shardFiles,
                         sweepStorePath(sweep_dir).c_str());
+            if (stats.corruptLines > 0) {
+                // Corruption is an operator-visible condition: the
+                // bad lines were quarantined (and their shards moved
+                // aside, never deleted), but a clean exit would hide
+                // that jobs may rerun. Fail the merge so scripts see.
+                std::fprintf(stderr,
+                             "treevqa_worker: %zu corrupt line(s) "
+                             "quarantined (%zu shard(s) moved to %s); "
+                             "failing --merge-only\n",
+                             stats.corruptLines,
+                             stats.quarantinedShards,
+                             quarantineDirFor(sweepStorePath(sweep_dir))
+                                 .c_str());
+                return 1;
+            }
             return 0;
         }
 
@@ -181,6 +211,8 @@ main(int argc, char **argv)
         options.pollMs = poll_ms;
         options.drainAndExit = drain_and_exit;
         options.mergeOnDrain = merge_on_drain;
+        options.maxJobAttempts = static_cast<int>(max_job_attempts);
+        options.retryBackoffMs = retry_backoff_ms;
         if (sigkill_after > 0) {
             g_checkpointsUntilSigkill.store(sigkill_after);
             options.onCheckpoint = [] {
@@ -202,11 +234,11 @@ main(int argc, char **argv)
         const WorkerReport report = daemon.run();
         g_daemon = nullptr;
         std::printf("worker %s: completed=%zu resumed=%zu reaped=%zu "
-                    "lost=%zu drained=%s merged=%s%s\n",
+                    "lost=%zu poisoned=%zu drained=%s merged=%s%s\n",
                     daemon.options().workerId.c_str(),
                     report.completed, report.resumed,
                     report.reapedLeases, report.lostClaims,
-                    report.drained ? "yes" : "no",
+                    report.poisoned, report.drained ? "yes" : "no",
                     report.merged ? "yes" : "no",
                     report.simulatedCrash ? " (simulated crash)" : "");
         return 0;
