@@ -29,6 +29,8 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/objective.h"
+#include "dist/supervisor.h"
+#include "dist/work_claim.h"
 #include "dist/worker_daemon.h"
 #include "ham/spin_chains.h"
 #include "ham/synthetic_molecule.h"
@@ -39,6 +41,7 @@
 #include "sim/workspace_pool.h"
 #include "svc/job_scheduler.h"
 #include "svc/result_store.h"
+#include "svc/sweep_dir.h"
 
 using namespace treevqa;
 
@@ -556,6 +559,77 @@ benchFaultPointsDisarmed()
 }
 
 void
+benchFleetSupervision()
+{
+    // PR 7 fleet-supervision series. heartbeat_progress_stamp: the
+    // worker heartbeat now stamps monotonic progress into the claim on
+    // every renew (the watchdog's liveness signal). fast = renew with
+    // a progress stamp, ref = the plain renew it replaced, so the
+    // speedup column reads ~1.0x when the stamp is free (both are one
+    // atomic tmp+rename rewrite) and drifts below 1.0 if stamping ever
+    // grows extra I/O.
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path()
+        / ("treevqa_bench_sup_" + localWorkerId());
+    std::filesystem::create_directories(dir);
+
+    auto claim = WorkClaim::tryAcquire(dir.string(), "benchhb",
+                                       "bench-worker", 60000);
+    if (!claim) {
+        std::fprintf(stderr, "bench claim unexpectedly contended\n");
+        std::abort();
+    }
+    std::int64_t progress = 0;
+    const double stamped_ns =
+        timeNs([&] { claim->renew(++progress); });
+    const double plain_ns = timeNs([&] { claim->renew(); });
+    claim->release();
+    record("heartbeat_progress_stamp", 0, stamped_ns, plain_ns);
+
+    // supervisor_overhead: the fixed cost of one Supervisor::run()
+    // over an already-drained one-job sweep with a trivial worker
+    // command — spec load, drained check, health publish and the
+    // shutdown cascade, with no real work to hide behind. No ref
+    // counterpart; the ns trajectory guards the supervise loop's
+    // per-sweep floor across PRs.
+    ScenarioSpec spec;
+    spec.name = "benchsup";
+    spec.problem = "tfim";
+    spec.size = 4;
+    spec.ansatz = "hea";
+    spec.layers = 1;
+    spec.maxIterations = 4;
+    JsonValue sweep = JsonValue::array();
+    sweep.push_back(scenarioToJson(spec));
+    writeTextFileAtomic(sweepSpecPath(dir.string()),
+                        sweep.dump(2) + "\n");
+    JobResult done;
+    done.spec = spec;
+    done.fingerprint = scenarioFingerprint(spec);
+    done.completed = true;
+    done.iterations = 4;
+    done.trajectory = {1.0, 0.5, 0.25, 0.125};
+    done.bestLoss = 0.125;
+    done.finalEnergy = -1.0;
+    ResultStore(sweepStorePath(dir.string())).append(done);
+
+    SupervisorOptions options;
+    options.sweepDir = dir.string();
+    options.workerCommand = {"/bin/true"};
+    options.workers = 1;
+    options.idPrefix = "bench";
+    options.pollMs = 1;
+    options.gracePeriodMs = 500;
+    options.redirectChildLogs = false;
+    options.mergeOnDrain = false;
+    const double supervise_ns =
+        timeNs([&] { Supervisor(options).run(); });
+    record("supervisor_overhead", 0, supervise_ns, 0.0);
+
+    std::filesystem::remove_all(dir);
+}
+
+void
 writeJson(const std::string &path)
 {
     std::ofstream out(path);
@@ -601,6 +675,7 @@ main()
     benchSchedulerThroughput();
     benchDistThroughput();
     benchFaultPointsDisarmed();
+    benchFleetSupervision();
     writeJson("BENCH_micro_kernels.json");
     std::printf("wrote BENCH_micro_kernels.json (%zu entries)\n",
                 g_results.size());

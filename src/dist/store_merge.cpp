@@ -105,12 +105,17 @@ quarantineShard(const std::string &shardPath)
 } // namespace
 
 std::vector<JobResult>
-loadMergedRecords(const std::string &sweepDir)
+loadMergedRecords(const std::string &sweepDir,
+                  std::size_t *corruptLines)
 {
     std::vector<StoreInput> shards;
     std::size_t input = 0;
     std::size_t corrupt = 0;
-    return loadAllRecords(sweepDir, shards, input, corrupt);
+    std::vector<JobResult> records =
+        loadAllRecords(sweepDir, shards, input, corrupt);
+    if (corruptLines)
+        *corruptLines = corrupt;
+    return records;
 }
 
 SweepMergeStats

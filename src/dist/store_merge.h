@@ -58,9 +58,13 @@ struct SweepMergeStats
  * first, then worker shards in sorted filename order — deduplicated
  * by fingerprint (newest complete record wins) and sorted by job name
  * (ties broken by fingerprint). The read-only merged view used by
- * worker scan loops and `treevqa_run --status`.
+ * worker scan loops and `treevqa_run --status`. `corruptLines`, when
+ * non-null, reports the count of lines that failed validation (and
+ * were quarantined) across the canonical store and all shards.
  */
-std::vector<JobResult> loadMergedRecords(const std::string &sweepDir);
+std::vector<JobResult>
+loadMergedRecords(const std::string &sweepDir,
+                  std::size_t *corruptLines = nullptr);
 
 /**
  * Merge shards into the canonical store: atomically rewrite

@@ -35,6 +35,7 @@ claimToJson(const ClaimInfo &info)
     out.set("deadlineMs", JsonValue(info.deadlineMs));
     out.set("leaseMs", JsonValue(info.leaseMs));
     out.set("renewals", JsonValue(info.renewals));
+    out.set("progress", JsonValue(info.progress));
     return out;
 }
 
@@ -48,6 +49,11 @@ claimFromJson(const JsonValue &json)
     info.deadlineMs = json.at("deadlineMs").asInt();
     info.leaseMs = json.at("leaseMs").asInt();
     info.renewals = json.at("renewals").asInt();
+    // Absent on claims written before progress stamping existed; -1
+    // reads as "owner never reported progress".
+    jsonMaybe(json, "progress", [&](const JsonValue &v) {
+        info.progress = v.asInt();
+    });
     return info;
 }
 
@@ -154,7 +160,7 @@ WorkClaim::peek(const std::string &claimDir,
 }
 
 bool
-WorkClaim::renew()
+WorkClaim::renew(std::int64_t progress)
 {
     if (path_.empty())
         return false;
@@ -184,6 +190,8 @@ WorkClaim::renew()
         return false;
     }
     info_.deadlineMs = unixTimeMs() + info_.leaseMs;
+    if (progress >= 0)
+        info_.progress = progress;
     writeTextFileAtomic(path_, claimToJson(info_).dump() + "\n");
     return true;
 }

@@ -67,6 +67,15 @@ struct ClaimInfo
     std::int64_t leaseMs = 0;
     /** Heartbeat count (diagnostic; shown by --status). */
     std::int64_t renewals = 0;
+    /**
+     * Monotonic job-progress counter (the optimizer iteration)
+     * stamped into the claim by the owner's heartbeat. The hung-job
+     * watchdog's signal: a lease whose deadline keeps advancing while
+     * `progress` does not is a wedged job, not a live one — the
+     * heartbeat thread is alive but the work it guards is stuck. -1
+     * until the owner first reports progress.
+     */
+    std::int64_t progress = -1;
 };
 
 JsonValue claimToJson(const ClaimInfo &info);
@@ -124,10 +133,12 @@ class WorkClaim
     static std::optional<ClaimInfo>
     peek(const std::string &claimDir, const std::string &fingerprint);
 
-    /** Extend the lease by another leaseMs from now (heartbeat).
-     * Returns false — and invalidates this claim — when the lock was
-     * lost (file gone or re-owned after a takeover). */
-    bool renew();
+    /** Extend the lease by another leaseMs from now (heartbeat),
+     * optionally stamping the owner's current progress counter into
+     * the claim (`progress` < 0 keeps the previous stamp). Returns
+     * false — and invalidates this claim — when the lock was lost
+     * (file gone or re-owned after a takeover). */
+    bool renew(std::int64_t progress = -1);
 
     /** Delete the lock if still owned; safe to call when already
      * released or lost. */

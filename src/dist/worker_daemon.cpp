@@ -4,12 +4,16 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
 
+#include <unistd.h>
+
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "dist/store_merge.h"
 #include "svc/result_store.h"
@@ -33,20 +37,56 @@ workerScanOffset(const std::string &workerId)
     return static_cast<std::size_t>(hash);
 }
 
-/** Fingerprints with a *resolving* record: completed, or poison-
- * quarantined (failed=true). Both stop the drain from revisiting the
- * job — a poison job would only throw again. */
+/**
+ * Attempts a failed record accounts for, as seen through the poison
+ * budget. A legacy record (attempts == 0, written before attempt
+ * accounting) reads as budget-exhausted — the pre-fleet-budget
+ * semantics those records were written under.
+ */
+int
+effectiveAttempts(const JobResult &record, int maxJobAttempts)
+{
+    return record.attempts == 0 ? maxJobAttempts : record.attempts;
+}
+
+} // namespace
+
 std::set<std::string>
-resolvedFingerprints(const std::vector<JobResult> &records)
+resolvedFingerprints(const std::vector<JobResult> &records,
+                     int maxJobAttempts)
 {
     std::set<std::string> done;
     for (const JobResult &record : records)
-        if (record.completed || record.failed)
+        if (record.completed
+            || (record.failed
+                && effectiveAttempts(record, maxJobAttempts)
+                    >= maxJobAttempts))
             done.insert(record.fingerprint);
     return done;
 }
 
-} // namespace
+int
+priorFailedAttempts(const std::vector<JobResult> &records,
+                    const std::string &fingerprint, int maxJobAttempts)
+{
+    for (const JobResult &record : records)
+        if (record.fingerprint == fingerprint && record.failed
+            && !record.completed)
+            return effectiveAttempts(record, maxJobAttempts);
+    return 0;
+}
+
+std::int64_t
+jitteredPollMs(std::int64_t pollMs, const std::string &workerId)
+{
+    // [0.75, 1.25] scaling from the same stable FNV-1a the scan
+    // offset uses; integer arithmetic so every platform agrees.
+    const std::uint64_t hash =
+        static_cast<std::uint64_t>(workerScanOffset(workerId));
+    const std::int64_t permille = 750 + static_cast<std::int64_t>(
+                                      hash % 501); // 750..1250
+    return std::max<std::int64_t>(1, pollMs * permille / 1000);
+}
 
 WorkerDaemon::WorkerDaemon(WorkerOptions options)
     : options_(std::move(options))
@@ -72,6 +112,24 @@ WorkerDaemon::WorkerDaemon(WorkerOptions options)
         options_.retryBackoffMs = 0;
     if (options_.skewGraceMs < 0)
         options_.skewGraceMs = 0;
+    if (options_.jobTimeoutMs < 0)
+        options_.jobTimeoutMs = 0;
+    health_.id = options_.workerId;
+    health_.pid = static_cast<std::int64_t>(::getpid());
+    health_.role = "worker";
+    health_.state = "starting";
+    health_.startedMs = unixTimeMs();
+}
+
+void
+WorkerDaemon::publishHealth(
+    const std::function<void(WorkerHealth &)> &fn)
+{
+    if (!options_.healthSnapshots)
+        return;
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    fn(health_);
+    writeHealthSnapshot(options_.sweepDir, health_);
 }
 
 std::vector<ScenarioSpec>
@@ -111,6 +169,7 @@ WorkerDaemon::runLoop(
 
     WorkerReport report;
     const std::size_t scan_salt = workerScanOffset(options_.workerId);
+    publishHealth([](WorkerHealth &h) { h.state = "idle"; });
 
     while (!stop_.load()) {
         const std::vector<ScenarioSpec> specs = specSource();
@@ -127,8 +186,8 @@ WorkerDaemon::runLoop(
             fingerprints.push_back(std::move(fp));
         }
 
-        std::set<std::string> done =
-            resolvedFingerprints(loadMergedRecords(dir));
+        std::set<std::string> done = resolvedFingerprints(
+            loadMergedRecords(dir), options_.maxJobAttempts);
         done.insert(poisoned_.begin(), poisoned_.end());
         std::vector<std::size_t> pending;
         for (std::size_t i = 0; i < specs.size(); ++i)
@@ -139,8 +198,10 @@ WorkerDaemon::runLoop(
             report.drained = true;
             if (options_.drainAndExit)
                 break;
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(options_.pollMs));
+            publishHealth(
+                [](WorkerHealth &h) { h.state = "idle"; });
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                jitteredPollMs(options_.pollMs, options_.workerId)));
             continue;
         }
         report.drained = false;
@@ -161,21 +222,35 @@ WorkerDaemon::runLoop(
             if (reaped)
                 ++report.reapedLeases;
 
-            // The job may have been recorded between our scan and
-            // this claim (its worker finished); don't run it twice.
-            if (resolvedFingerprints(loadMergedRecords(dir))
+            // The job may have been recorded (or its failure budget
+            // spent) between our scan and this claim; re-load the
+            // merged view while holding the claim — claims serialize
+            // writers per fingerprint, so the attempt count read here
+            // cannot be raced past the budget.
+            const std::vector<JobResult> merged =
+                loadMergedRecords(dir);
+            if (resolvedFingerprints(merged, options_.maxJobAttempts)
                     .count(fingerprints[index])) {
                 claim->release();
                 progress = true;
                 continue;
             }
+            const int prior_attempts = priorFailedAttempts(
+                merged, fingerprints[index], options_.maxJobAttempts);
 
-            const JobOutcome outcome = runClaimedJob(
-                specs[index], fingerprints[index], *claim, report);
+            const JobOutcome outcome =
+                runClaimedJob(specs[index], fingerprints[index],
+                              prior_attempts, *claim, report);
             progress = true;
             if (outcome == JobOutcome::SimulatedCrash) {
                 report.simulatedCrash = true;
                 return report; // claim + checkpoint left in place
+            }
+            if (outcome == JobOutcome::Interrupted) {
+                // Graceful stop: checkpoint sealed, claim released.
+                publishHealth(
+                    [](WorkerHealth &h) { h.state = "stopped"; });
+                return report;
             }
             if (options_.maxJobs > 0
                 && report.completed
@@ -185,51 +260,96 @@ WorkerDaemon::runLoop(
 
         // Nothing claimable this round: every pending job is leased
         // to a live worker. Wait for completions or lease expiry.
-        if (!progress && !stop_.load())
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(options_.pollMs));
+        if (!progress && !stop_.load()) {
+            publishHealth([](WorkerHealth &h) { h.state = "idle"; });
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                jitteredPollMs(options_.pollMs, options_.workerId)));
+        }
     }
 
     if (report.drained && options_.mergeOnDrain && !stop_.load()) {
         // Drained = every job recorded, so shard removal is safe.
+        publishHealth([](WorkerHealth &h) { h.state = "draining"; });
         compactSweepStore(dir, /*removeMergedShards=*/true);
         report.merged = true;
     }
+    publishHealth([](WorkerHealth &h) { h.state = "stopped"; });
     return report;
 }
 
 WorkerDaemon::JobOutcome
 WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
                             const std::string &fingerprint,
-                            WorkClaim &claim, WorkerReport &report)
+                            int priorAttempts, WorkClaim &claim,
+                            WorkerReport &report)
 {
+    // Live progress surface: the runner stores the optimizer
+    // iteration here; the heartbeat stamps it into lease renewals
+    // (and the health snapshot), and the in-process watchdog reads it
+    // for stall detection.
+    std::atomic<std::int64_t> progress_counter{-1};
+
     ScenarioRunOptions run_options;
     run_options.checkpointPath =
         sweepCheckpointPath(options_.sweepDir, fingerprint);
     run_options.haltAfterIterations = options_.haltJobsAfterIterations;
     run_options.onCheckpoint = options_.onCheckpoint;
+    run_options.progressCounter = &progress_counter;
+    run_options.shouldStop = [this] { return stop_.load(); };
+
+    publishHealth([&](WorkerHealth &h) {
+        h.state = "running";
+        h.jobFingerprint = fingerprint;
+        h.jobName = spec.name;
+        h.jobProgress = -1;
+        h.jobAttempt = 1;
+    });
 
     // Heartbeat: the lease is renewed on a timer thread (checkpoint
     // cadence is spec-controlled and may be slower than the lease).
     // The thread is the claim's only writer while the job runs; it is
-    // joined before the main thread touches the claim again.
+    // joined before the main thread touches the claim again. It is
+    // also the in-process hung-job watchdog: when the progress stamp
+    // freezes past jobTimeoutMs it stops renewing — deliberately
+    // letting the lease expire so a reaper can take the job — because
+    // a wedged runScenario cannot be interrupted from inside.
     std::mutex hb_mutex;
     std::condition_variable hb_cv;
     bool hb_stop = false;
     std::atomic<bool> hb_lost{false};
+    std::atomic<bool> hb_timed_out{false};
     const auto hb_interval = std::chrono::milliseconds(
         std::clamp<std::int64_t>(options_.leaseMs / 3, 5, 5000));
     std::thread heartbeat([&] {
+        std::int64_t last_progress = progress_counter.load();
+        auto last_advance = std::chrono::steady_clock::now();
         std::unique_lock<std::mutex> lock(hb_mutex);
         while (!hb_cv.wait_for(lock, hb_interval,
                                [&] { return hb_stop; })) {
+            const std::int64_t now_progress = progress_counter.load();
+            if (now_progress != last_progress) {
+                last_progress = now_progress;
+                last_advance = std::chrono::steady_clock::now();
+            } else if (options_.jobTimeoutMs > 0
+                       && std::chrono::steady_clock::now()
+                               - last_advance
+                           > std::chrono::milliseconds(
+                               options_.jobTimeoutMs)) {
+                hb_timed_out.store(true);
+                hb_lost.store(true);
+                return;
+            }
             // A renewal I/O failure (ENOSPC, network-filesystem
             // hiccup) must degrade to "lease lost" — the recoverable
             // outcome this thread exists to report — not escape the
             // thread and terminate the process.
             try {
-                if (claim.renew())
+                if (claim.renew(now_progress)) {
+                    publishHealth([&](WorkerHealth &h) {
+                        h.jobProgress = now_progress;
+                    });
                     continue;
+                }
             } catch (const std::exception &) {
             }
             hb_lost.store(true);
@@ -250,12 +370,25 @@ WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
     // heartbeat keeps the lease; after the budget it degrades to a
     // poison-quarantine record instead of killing the worker — the
     // sweep drains around the job, and the failure is on the record.
+    // Only the budget *remaining* after prior recorded fleet failures
+    // is spent here, so the whole fleet stays within maxJobAttempts.
+    const int attempt_budget =
+        std::max(1, options_.maxJobAttempts - priorAttempts);
     JobResult result;
     std::string last_error;
     bool job_ok = false;
-    for (int attempt = 1; attempt <= options_.maxJobAttempts;
-         ++attempt) {
+    int attempts_made = 0;
+    for (int attempt = 1; attempt <= attempt_budget; ++attempt) {
+        if (hb_lost.load())
+            break; // lease gone (or watchdog fired): stop burning CPU
+        ++attempts_made;
+        publishHealth([&](WorkerHealth &h) { h.jobAttempt = attempt; });
         try {
+            if (const FaultHit hit = FAULT_POINT("worker.job"))
+                if (hit.action == FaultAction::FailErrno)
+                    throw std::runtime_error(
+                        "injected job failure: "
+                        + std::string(std::strerror(hit.err)));
             result = runScenario(spec, run_options);
             job_ok = true;
             break;
@@ -269,17 +402,48 @@ WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
                      "treevqa: worker %s: job %s attempt %d/%d "
                      "failed: %s\n",
                      options_.workerId.c_str(), spec.name.c_str(),
-                     attempt, options_.maxJobAttempts,
+                     priorAttempts + attempt, options_.maxJobAttempts,
                      last_error.c_str());
-        if (attempt < options_.maxJobAttempts
-            && options_.retryBackoffMs > 0)
+        if (attempt < attempt_budget && options_.retryBackoffMs > 0)
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 options_.retryBackoffMs << (attempt - 1)));
     }
     join_heartbeat();
 
-    if (job_ok && !result.completed)
+    if (hb_timed_out.load()) {
+        // The watchdog abandoned the lease while runScenario was
+        // wedged; whatever it eventually returned is stale — the job
+        // belongs to whoever reaps the expired claim (or to the
+        // supervisor's SIGKILL, whichever lands first).
+        ++report.timedOut;
+        publishHealth([&](WorkerHealth &h) {
+            ++h.jobsTimedOut;
+            h.state = "idle";
+            h.jobFingerprint.clear();
+            h.jobName.clear();
+            h.jobProgress = -1;
+            h.jobAttempt = 0;
+        });
+        std::fprintf(stderr,
+                     "treevqa: worker %s: job %s hung (no progress "
+                     "for %lld ms); lease abandoned\n",
+                     options_.workerId.c_str(), spec.name.c_str(),
+                     static_cast<long long>(options_.jobTimeoutMs));
+        claim.release();
+        return JobOutcome::TimedOut;
+    }
+
+    if (job_ok && !result.completed) {
+        if (stop_.load()) {
+            // Graceful stop: the runner sealed a checkpoint at the
+            // current iteration; release the claim so the next
+            // claimant can resume immediately.
+            ++report.interrupted;
+            claim.release();
+            return JobOutcome::Interrupted;
+        }
         return JobOutcome::SimulatedCrash;
+    }
 
     // Append only while provably still the owner; a lost lease means
     // the reaper will record the (bit-identical) result instead. Like
@@ -302,21 +466,34 @@ WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
     ResultStore shard(
         sweepShardPath(options_.sweepDir, options_.workerId));
     if (!job_ok) {
-        // Poison quarantine: record the failure so the drain treats
-        // the job as resolved instead of reclaiming it forever.
+        // Poison quarantine: record the failure — carrying exactly the
+        // attempts *this* claim session spent, so the merged view's
+        // accumulated count stays a true fleet-wide total — and treat
+        // the job as resolved locally. Whether the rest of the fleet
+        // agrees depends on the accumulated count reaching the budget.
         JobResult poison;
         poison.spec = spec;
         poison.fingerprint = fingerprint;
         poison.failed = true;
         poison.errorMessage = last_error;
+        poison.attempts = attempts_made;
         shard.append(poison);
         poisoned_.insert(fingerprint);
         ++report.poisoned;
+        publishHealth([&](WorkerHealth &h) {
+            ++h.jobsFailed;
+            h.state = "idle";
+            h.jobFingerprint.clear();
+            h.jobName.clear();
+            h.jobProgress = -1;
+            h.jobAttempt = 0;
+        });
         std::fprintf(stderr,
                      "treevqa: worker %s: quarantined poison job %s "
-                     "(%s)\n",
+                     "after %d/%d fleet-wide attempts (%s)\n",
                      options_.workerId.c_str(), spec.name.c_str(),
-                     last_error.c_str());
+                     priorAttempts + attempts_made,
+                     options_.maxJobAttempts, last_error.c_str());
         claim.release();
         return JobOutcome::Poisoned;
     }
@@ -324,6 +501,14 @@ WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
     ++report.completed;
     if (result.resumed)
         ++report.resumed;
+    publishHealth([&](WorkerHealth &h) {
+        ++h.jobsCompleted;
+        h.state = "idle";
+        h.jobFingerprint.clear();
+        h.jobName.clear();
+        h.jobProgress = -1;
+        h.jobAttempt = 0;
+    });
     claim.release();
     return JobOutcome::Completed;
 }

@@ -21,7 +21,27 @@
  * (maxJobAttempts, exponential backoff); when the budget is spent the
  * job is quarantined as *poison* — a failed=true record is appended
  * so the sweep can drain around a defective spec instead of wedging
- * or killing the fleet.
+ * or killing the fleet. The budget is **fleet-wide**: failed records
+ * persist the attempt count they account for, dedupeByFingerprint
+ * accumulates counts across workers' records, and every worker treats
+ * a job as poison-resolved once the *cumulative* attempts reach its
+ * own maxJobAttempts — so a defective spec costs at most
+ * maxJobAttempts attempts across the whole fleet, not that many per
+ * worker. A worker claiming a job with prior recorded failures only
+ * spends the remaining budget.
+ *
+ * Liveness watchdog: the heartbeat thread stamps the job's monotonic
+ * progress counter (optimizer iteration) into every lease renewal.
+ * With jobTimeoutMs set, a lease whose renewals keep landing while
+ * progress stays frozen past the timeout is a *hung* job — the
+ * heartbeat stops renewing (abandoning the lease so another worker
+ * can reap it) and the attempt is reported as timed out. The fleet
+ * supervisor (dist/supervisor.h) watches the same progress stamps
+ * from outside and SIGKILLs the wedged process.
+ *
+ * Each worker also publishes an atomic health snapshot
+ * (`<dir>/health/<id>.json`, dist/health.h) every heartbeat and state
+ * transition — pure observability, never read by the protocol.
  *
  * Determinism: jobs are pure functions of their specs, so any worker
  * count, any claim interleaving and any kill schedule produce the same
@@ -36,10 +56,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "dist/health.h"
 #include "dist/work_claim.h"
 #include "svc/scenario_runner.h"
 
@@ -71,9 +93,10 @@ struct WorkerOptions
      * harmlessly). */
     bool mergeOnDrain = true;
     /** Per-job retry budget: a job that throws is retried (with
-     * exponential backoff) up to this many total attempts, then
-     * quarantined as a poison job — recorded with failed=true so the
-     * drain can finish instead of wedging on a defective spec. */
+     * exponential backoff) up to this many total attempts — counted
+     * across the whole fleet via attempt-carrying failed records —
+     * then quarantined as a poison job: recorded with failed=true so
+     * the drain can finish instead of wedging on a defective spec. */
     int maxJobAttempts = 3;
     /** Base backoff between attempts of a throwing job; attempt k
      * waits retryBackoffMs << (k-1). */
@@ -91,7 +114,50 @@ struct WorkerOptions
     /** Invoked after each durable checkpoint write (the worker CLI's
      * --sigkill-after-checkpoints hook). */
     std::function<void()> onCheckpoint;
+    /**
+     * In-process hung-job watchdog (0 = disabled): when the job's
+     * progress counter stays frozen this long while the heartbeat
+     * thread is alive, the heartbeat *stops renewing* — abandoning the
+     * lease so another worker can reap the job — and the attempt is
+     * reported as timed out. Must comfortably exceed the wall time of
+     * one optimizer iteration. The supervisor enforces the same
+     * timeout from outside with a SIGKILL (dist/supervisor.h).
+     */
+    std::int64_t jobTimeoutMs = 0;
+    /** Publish per-process health snapshots to `<dir>/health/`
+     * (dist/health.h). Off only for benchmarks that measure the loop
+     * itself. */
+    bool healthSnapshots = true;
 };
+
+/**
+ * Deterministic per-worker idle-poll jitter: pollMs scaled into
+ * [0.75, 1.25] by a stable hash of the worker id (never below 1 ms).
+ * A fleet started in lockstep — exactly what the supervisor does —
+ * would otherwise re-scan the sweep in synchronized bursts forever;
+ * the per-identity skew spreads the filesystem load without any
+ * nondeterminism. Exposed for tests.
+ */
+std::int64_t jitteredPollMs(std::int64_t pollMs,
+                            const std::string &workerId);
+
+/**
+ * Fingerprints with a *resolving* record: completed, or failed with
+ * the cumulative fleet-wide attempt count at (or past)
+ * `maxJobAttempts`. A failed record below the budget leaves the job
+ * pending — another worker may still spend the remaining attempts. A
+ * legacy failed record (attempts == 0) reads as budget-exhausted.
+ * Shared by the worker scan loop and the supervisor's drained check.
+ */
+std::set<std::string>
+resolvedFingerprints(const std::vector<JobResult> &records,
+                     int maxJobAttempts);
+
+/** Cumulative recorded failed attempts for one fingerprint in a
+ * deduped record view (0 when it has no failed record). */
+int priorFailedAttempts(const std::vector<JobResult> &records,
+                        const std::string &fingerprint,
+                        int maxJobAttempts);
 
 /** What one run() accomplished. */
 struct WorkerReport
@@ -108,9 +174,17 @@ struct WorkerReport
     std::size_t lostClaims = 0;
     /** Job attempts that threw and were retried (or gave up). */
     std::size_t failedAttempts = 0;
-    /** Poison jobs quarantined: every attempt in the budget threw, so
-     * a failed=true record was appended to resolve the job. */
+    /** Poison jobs quarantined: every attempt in the (remaining
+     * fleet-wide) budget threw, so a failed=true record carrying the
+     * attempt count was appended. */
     std::size_t poisoned = 0;
+    /** Jobs abandoned by the in-process hung-job watchdog: progress
+     * stalled past jobTimeoutMs, the lease was dropped for a reaper. */
+    std::size_t timedOut = 0;
+    /** Jobs sealed mid-run by a graceful stop (requestStop): the
+     * checkpoint was written at the current iteration and the claim
+     * released, so the next claimant resumes bit-identically. */
+    std::size_t interrupted = 0;
     /** Every job in the sweep had a resolving record (completed or
      * poison-quarantined) when we left. */
     bool drained = false;
@@ -142,8 +216,11 @@ class WorkerDaemon
     /** Drain loop over a fixed job list (tests, benches). */
     WorkerReport run(const std::vector<ScenarioSpec> &specs);
 
-    /** Ask the loop to stop after the job in flight (signal-safe:
-     * only sets an atomic flag). */
+    /** Ask the loop to stop (signal-safe: only sets an atomic flag).
+     * A job in flight is *sealed*, not finished: the runner writes a
+     * checkpoint at its current iteration, the claim is released, and
+     * no record is appended — the next claimant resumes exactly
+     * there. */
     void requestStop() { stop_.store(true); }
 
   private:
@@ -153,17 +230,29 @@ class WorkerDaemon
         LostClaim,
         SimulatedCrash,
         /** Every attempt threw; a failed=true record was appended. */
-        Poisoned
+        Poisoned,
+        /** The in-process watchdog abandoned the lease: progress
+         * stalled past jobTimeoutMs. No record; a reaper reruns. */
+        TimedOut,
+        /** requestStop sealed the job mid-run (checkpoint written,
+         * claim released, no record). */
+        Interrupted
     };
 
     WorkerReport
     runLoop(const std::function<std::vector<ScenarioSpec>()> &specs);
     JobOutcome runClaimedJob(const ScenarioSpec &spec,
                              const std::string &fingerprint,
-                             WorkClaim &claim, WorkerReport &report);
+                             int priorAttempts, WorkClaim &claim,
+                             WorkerReport &report);
+    /** Mutate the health snapshot under its lock and publish it
+     * (best-effort; no-op when healthSnapshots is off). */
+    void publishHealth(const std::function<void(WorkerHealth &)> &fn);
 
     WorkerOptions options_;
     std::atomic<bool> stop_{false};
+    std::mutex healthMutex_;
+    WorkerHealth health_;
     /** Fingerprints this process poison-quarantined. Liveness guard:
      * the scan treats them as resolved even if the appended poison
      * record cannot be re-loaded (e.g. its spec no longer passes

@@ -110,6 +110,9 @@ jobResultToJson(const JobResult &result)
     if (result.failed) {
         out.set("failed", JsonValue(true));
         out.set("error", JsonValue(result.errorMessage));
+        out.set("attempts",
+                JsonValue(static_cast<std::int64_t>(result.attempts)));
+        out.set("timedOut", JsonValue(result.timedOut));
     }
     out.set("backend", JsonValue(result.backend));
     out.set("iterations",
@@ -138,6 +141,12 @@ jobResultFromJson(const JsonValue &json)
     });
     jsonMaybe(json, "error", [&](const JsonValue &v) {
         result.errorMessage = v.asString();
+    });
+    jsonMaybe(json, "attempts", [&](const JsonValue &v) {
+        result.attempts = static_cast<int>(v.asInt());
+    });
+    jsonMaybe(json, "timedOut", [&](const JsonValue &v) {
+        result.timedOut = v.asBool();
     });
     result.backend = json.at("backend").asString();
     result.iterations = static_cast<int>(json.at("iterations").asInt());
@@ -277,10 +286,26 @@ dedupeByFingerprint(std::vector<JobResult> records,
                          "complete one\n",
                          record.spec.name.c_str(),
                          record.fingerprint.c_str());
+        // Fleet-wide poison accounting: when two workers each wrote a
+        // failed record for the same job, the surviving record carries
+        // the *sum* of their attempt counts (order-independent, so the
+        // merged view is deterministic) and a sticky timedOut flag. A
+        // legacy failed record (attempts == 0, written before attempt
+        // accounting) means budget-exhausted and dominates the sum.
+        const bool merge_failure_counts = record.failed && held.failed;
+        const int merged_attempts =
+            (record.attempts == 0 || held.attempts == 0)
+            ? 0
+            : record.attempts + held.attempts;
+        const bool merged_timed_out = record.timedOut || held.timedOut;
         // Later = newer (append order); never replace a complete
         // record with an incomplete one.
         if (record.completed || !held.completed)
             held = std::move(record);
+        if (merge_failure_counts && held.failed) {
+            held.attempts = merged_attempts;
+            held.timedOut = merged_timed_out;
+        }
     }
     return kept;
 }

@@ -103,7 +103,10 @@ std::string quarantineDirFor(const std::string &storePath);
  * canonical+shard view of a distributed sweep after a standalone
  * merge) pass false to keep the warning meaningful for the case it
  * exists for: a genuinely reused run directory. The surviving records
- * keep first-occurrence order.
+ * keep first-occurrence order. When duplicates are all failed records
+ * (each worker in a fleet writes its own), the survivor accumulates
+ * their attempt counts — the substrate of the fleet-wide poison
+ * budget (dist/worker_daemon.h) — and a sticky timedOut flag.
  */
 std::vector<JobResult>
 dedupeByFingerprint(std::vector<JobResult> records,

@@ -213,6 +213,9 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
     const bool checkpoints_enabled = !options.checkpointPath.empty()
         && spec.checkpointInterval > 0;
 
+    if (options.progressCounter)
+        options.progressCounter->store(state.iteration);
+
     int executed_this_call = 0;
     bool halted = false;
     while (state.iteration < spec.maxIterations) {
@@ -221,9 +224,17 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
         if (spec.shotBudget != 0
             && state.shots + step_bound > spec.shotBudget)
             break;
+        // Injectable wedge (delay-ms): the optimizer step stalls while
+        // the heartbeat thread keeps renewing the lease with an
+        // unchanged progress stamp — exactly the signature the
+        // hung-job watchdog kills on.
+        if (const FaultHit hit = FAULT_POINT("worker.hang"))
+            (void)hit; // delay already served inside evaluate()
         const double loss = optimizer->stepBatch(batch);
         ++state.iteration;
         ++executed_this_call;
+        if (options.progressCounter)
+            options.progressCounter->store(state.iteration);
         state.trajectory.push_back(loss);
         if (loss < state.bestLoss) {
             state.bestLoss = loss;
@@ -242,6 +253,20 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
         if (options.haltAfterIterations > 0
             && executed_this_call >= options.haltAfterIterations
             && state.iteration < spec.maxIterations) {
+            halted = true;
+            break;
+        }
+        // Graceful stop (SIGTERM cascade): seal a checkpoint at this
+        // exact iteration so the next claimant resumes here instead of
+        // replaying from the last interval-aligned write, then report
+        // the job as interrupted (completed=false, nothing recorded).
+        if (options.shouldStop && state.iteration < spec.maxIterations
+            && options.shouldStop()) {
+            if (checkpoints_enabled)
+                writeCheckpoint(options.checkpointPath,
+                                checkpointToJson(result.fingerprint,
+                                                 state, *optimizer,
+                                                 eval_rng));
             halted = true;
             break;
         }

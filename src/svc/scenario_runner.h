@@ -30,6 +30,7 @@
 #ifndef TREEVQA_SVC_SCENARIO_RUNNER_H
 #define TREEVQA_SVC_SCENARIO_RUNNER_H
 
+#include <atomic>
 #include <functional>
 #include <limits>
 #include <optional>
@@ -57,6 +58,20 @@ struct JobResult
     bool failed = false;
     /** The last attempt's error, for failed records. */
     std::string errorMessage;
+    /**
+     * Failed attempts this record accounts for. Persisted on
+     * failed=true records so the *fleet-wide* poison budget works: the
+     * merged record view accumulates attempts across every worker's
+     * failure records (dedupeByFingerprint sums them), and any worker
+     * that observes >= its --max-job-attempts cumulative attempts
+     * skips the spec durably — one budget for the whole fleet, not
+     * one per worker. 0 on legacy failed records (written before
+     * attempt accounting), which read as budget-exhausted. */
+    int attempts = 0;
+    /** True when this failure was a hung-job timeout (the watchdog
+     * killed or abandoned the attempt because the lease kept renewing
+     * while progress stalled), not a thrown error. */
+    bool timedOut = false;
     int iterations = 0;
     std::uint64_t shotsUsed = 0;
     /** Per-iteration noisy loss (the optimizer's view). */
@@ -92,6 +107,25 @@ struct ScenarioRunOptions
     /** Invoked after each durable checkpoint write (the CLI's
      * --abort-after-checkpoints hook). */
     std::function<void()> onCheckpoint;
+    /**
+     * Live progress surface: when non-null, the runner stores the
+     * completed-iteration count here after every optimizer step. The
+     * worker daemon's heartbeat thread reads it to stamp progress into
+     * lease renewals (the hung-job watchdog's signal) and the health
+     * snapshot. The runner only writes; it never reads the value back,
+     * so sharing the atomic costs nothing determinism-wise.
+     */
+    std::atomic<std::int64_t> *progressCounter = nullptr;
+    /**
+     * Graceful-stop poll: checked after every iteration. When it
+     * returns true the runner *seals* the job — writes a checkpoint at
+     * the current iteration (even off the checkpointInterval grid) and
+     * returns with completed=false — so a SIGTERM'd worker hands the
+     * job to the next claimant at iteration granularity instead of
+     * running to completion past its grace window. Resume from a
+     * sealed checkpoint is bit-identical to an uninterrupted run.
+     */
+    std::function<bool()> shouldStop;
 };
 
 /** Execute one scenario job (resuming from its checkpoint if one

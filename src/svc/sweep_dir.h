@@ -16,6 +16,12 @@
  *   <dir>/workers/<worker>.jsonl      per-worker store shard (merged
  *                                     into results.jsonl on
  *                                     compaction)
+ *   <dir>/health/<worker>.json        atomic per-process health
+ *                                     snapshot (dist/health.h);
+ *                                     supervisor.json for the fleet
+ *                                     supervisor
+ *   <dir>/logs/<worker>.log           child stdout/stderr when spawned
+ *                                     by the supervisor
  */
 
 #ifndef TREEVQA_SVC_SWEEP_DIR_H
@@ -76,6 +82,34 @@ sweepShardPath(const std::string &dir, const std::string &workerId)
 {
     return (std::filesystem::path(dir) / "workers"
             / (workerId + ".jsonl"))
+        .string();
+}
+
+inline std::string
+sweepHealthDir(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "health").string();
+}
+
+inline std::string
+sweepHealthPath(const std::string &dir, const std::string &workerId)
+{
+    return (std::filesystem::path(dir) / "health"
+            / (workerId + ".json"))
+        .string();
+}
+
+inline std::string
+sweepLogDir(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "logs").string();
+}
+
+inline std::string
+sweepLogPath(const std::string &dir, const std::string &workerId)
+{
+    return (std::filesystem::path(dir) / "logs"
+            / (workerId + ".log"))
         .string();
 }
 

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "dist/store_merge.h"
 #include "dist/work_claim.h"
@@ -678,6 +679,240 @@ TEST(WorkerDaemon, LoadsSweepSpecsFromTheSharedDirectory)
         WorkerDaemon::loadSweepSpecs(dir.string());
     ASSERT_EQ(specs.size(), 2u);
     EXPECT_EQ(specs[0].name, "s/field=0.5");
+}
+
+// ---------------------------------------------- fleet robustness layer
+
+TEST(WorkClaim, RenewStampsMonotonicProgressIntoTheClaim)
+{
+    const auto dir = scratchDir("progress");
+    auto claim = WorkClaim::tryAcquire(dir.string(), "FP", "w", 60000);
+    ASSERT_TRUE(claim.has_value());
+    EXPECT_EQ(claim->info().progress, -1);
+
+    ASSERT_TRUE(claim->renew(3));
+    auto peeked = WorkClaim::peek(dir.string(), "FP");
+    ASSERT_TRUE(peeked.has_value());
+    EXPECT_EQ(peeked->progress, 3);
+
+    // A renewal without a progress value keeps the previous stamp —
+    // the watchdog distinguishes "lease alive, job frozen" from
+    // "lease alive, job advancing".
+    ASSERT_TRUE(claim->renew());
+    peeked = WorkClaim::peek(dir.string(), "FP");
+    ASSERT_TRUE(peeked.has_value());
+    EXPECT_EQ(peeked->progress, 3);
+
+    ASSERT_TRUE(claim->renew(7));
+    peeked = WorkClaim::peek(dir.string(), "FP");
+    ASSERT_TRUE(peeked.has_value());
+    EXPECT_EQ(peeked->progress, 7);
+
+    // And the stamp round-trips through the JSON claim format.
+    const ClaimInfo back = claimFromJson(claimToJson(*peeked));
+    EXPECT_EQ(back.progress, 7);
+    claim->release();
+}
+
+TEST(WorkerDaemon, JitteredPollIsDeterministicAndBounded)
+{
+    // Same identity, same jitter — poll cadence must never introduce
+    // run-to-run nondeterminism.
+    EXPECT_EQ(jitteredPollMs(200, "w0"), jitteredPollMs(200, "w0"));
+    // Distinct identities land in [0.75, 1.25] * pollMs, never below
+    // 1 ms, and actually spread (not all on one value).
+    std::set<std::int64_t> seen;
+    for (int k = 0; k < 16; ++k) {
+        const std::int64_t ms =
+            jitteredPollMs(200, "worker-" + std::to_string(k));
+        EXPECT_GE(ms, 150);
+        EXPECT_LE(ms, 250);
+        seen.insert(ms);
+    }
+    EXPECT_GT(seen.size(), 4u);
+    EXPECT_GE(jitteredPollMs(1, "w"), 1);
+}
+
+TEST(ResultStoreDedupe, AccumulatesFailedAttemptsAcrossRecords)
+{
+    JobResult one;
+    one.spec = tinySpec("poison", 1.0);
+    one.fingerprint = "F";
+    one.failed = true;
+    one.attempts = 1;
+    one.timedOut = true;
+
+    JobResult two = one;
+    two.attempts = 2;
+    two.timedOut = false;
+
+    // Two failure records of the same job from different workers: the
+    // fleet-wide budget sees their *sum*, and timedOut is sticky.
+    auto deduped = dedupeByFingerprint({one, two});
+    ASSERT_EQ(deduped.size(), 1u);
+    EXPECT_TRUE(deduped[0].failed);
+    EXPECT_EQ(deduped[0].attempts, 3);
+    EXPECT_TRUE(deduped[0].timedOut);
+
+    // A legacy budget-exhausted record (attempts == 0) dominates: the
+    // sum is unknowable, so the merged record stays "exhausted".
+    JobResult legacy = one;
+    legacy.attempts = 0;
+    legacy.timedOut = false;
+    deduped = dedupeByFingerprint({one, legacy});
+    ASSERT_EQ(deduped.size(), 1u);
+    EXPECT_EQ(deduped[0].attempts, 0);
+    EXPECT_TRUE(deduped[0].timedOut);
+
+    // A completed record supersedes the failure history outright.
+    JobResult done;
+    done.spec = one.spec;
+    done.fingerprint = "F";
+    done.completed = true;
+    deduped = dedupeByFingerprint({one, done, two});
+    ASSERT_EQ(deduped.size(), 1u);
+    EXPECT_TRUE(deduped[0].completed);
+    EXPECT_FALSE(deduped[0].failed);
+}
+
+TEST(WorkerDaemon, ResolvedFingerprintsHonorTheFleetBudget)
+{
+    JobResult done;
+    done.fingerprint = "DONE";
+    done.completed = true;
+
+    JobResult partial;
+    partial.fingerprint = "PARTIAL";
+    partial.failed = true;
+    partial.attempts = 2;
+
+    JobResult legacy;
+    legacy.fingerprint = "LEGACY";
+    legacy.failed = true;
+    legacy.attempts = 0;
+
+    const std::vector<JobResult> records = {done, partial, legacy};
+    // Budget 3: two recorded attempts leave one to spend — the job is
+    // still pending fleet-wide. Legacy failed records read as
+    // exhausted whatever the budget.
+    auto resolved = resolvedFingerprints(records, 3);
+    EXPECT_EQ(resolved.count("DONE"), 1u);
+    EXPECT_EQ(resolved.count("PARTIAL"), 0u);
+    EXPECT_EQ(resolved.count("LEGACY"), 1u);
+    // Budget 2: the partial failure is now spent too.
+    resolved = resolvedFingerprints(records, 2);
+    EXPECT_EQ(resolved.count("PARTIAL"), 1u);
+
+    EXPECT_EQ(priorFailedAttempts(records, "PARTIAL", 3), 2);
+    EXPECT_EQ(priorFailedAttempts(records, "LEGACY", 3), 3);
+    EXPECT_EQ(priorFailedAttempts(records, "DONE", 3), 0);
+    EXPECT_EQ(priorFailedAttempts(records, "ABSENT", 3), 0);
+}
+
+TEST(WorkerDaemon, PoisonBudgetIsFleetWideAcrossWorkers)
+{
+    const auto dir = scratchDir("fleet_budget");
+    const std::vector<ScenarioSpec> specs = tinySweep(2);
+    const std::vector<JobResult> reference =
+        referenceRun(specs, "fleet_budget_ref");
+
+    // Worker A: every attempt throws; budget 2 → both jobs poisoned
+    // with attempt-carrying records.
+    FaultInjection::instance().arm(
+        R"({"seed": 1, "faults": [{"site": "worker.job",
+            "action": "fail-errno", "errno": "EIO",
+            "hit": 1, "times": 0}]})");
+    WorkerOptions options;
+    options.sweepDir = dir.string();
+    options.workerId = "wa";
+    options.leaseMs = 60000;
+    options.maxJobAttempts = 2;
+    options.retryBackoffMs = 1;
+    options.mergeOnDrain = false;
+    const WorkerReport poisoner = WorkerDaemon(options).run(specs);
+    FaultInjection::instance().disarm();
+    EXPECT_EQ(poisoner.poisoned, specs.size());
+    EXPECT_EQ(poisoner.completed, 0u);
+    EXPECT_TRUE(poisoner.drained); // degraded: all jobs resolved-failed
+
+    // Worker B, same budget: the fleet already spent it — nothing to
+    // do, no extra attempts, even though B itself never failed once.
+    options.workerId = "wb";
+    const WorkerReport skipper = WorkerDaemon(options).run(specs);
+    EXPECT_EQ(skipper.completed, 0u);
+    EXPECT_EQ(skipper.failedAttempts, 0u);
+    EXPECT_EQ(skipper.poisoned, 0u);
+    EXPECT_TRUE(skipper.drained);
+    for (const JobResult &record : loadMergedRecords(dir.string())) {
+        EXPECT_TRUE(record.failed);
+        EXPECT_EQ(record.attempts, 2);
+    }
+
+    // Worker C with a larger budget sees the jobs as unresolved again
+    // (2 of 5 attempts spent), re-runs them fault-free, and the
+    // completed records supersede the failure history bit-identically.
+    options.workerId = "wc";
+    options.maxJobAttempts = 5;
+    options.mergeOnDrain = true;
+    const WorkerReport healer = WorkerDaemon(options).run(specs);
+    EXPECT_EQ(healer.completed, specs.size());
+    EXPECT_TRUE(healer.drained);
+    const std::vector<JobResult> merged =
+        loadMergedRecords(dir.string());
+    ASSERT_EQ(merged.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectJobsBitIdentical(merged[i], reference[i]);
+}
+
+TEST(WorkerDaemon, GracefulStopSealsCheckpointAndResumesBitIdentical)
+{
+    const auto dir = scratchDir("graceful");
+    const std::vector<ScenarioSpec> specs = {tinySpec("seal", 1.3)};
+    const std::vector<JobResult> reference =
+        referenceRun(specs, "graceful_ref");
+
+    // Stop is requested from inside the first durable checkpoint
+    // write (iteration 4 of 12) — the moment a SIGTERM handler would
+    // flip the same flag. The runner must seal a checkpoint at the
+    // current iteration, release the claim, and record nothing.
+    WorkerDaemon *running = nullptr;
+    WorkerOptions options;
+    options.sweepDir = dir.string();
+    options.workerId = "stopped";
+    options.leaseMs = 60000;
+    options.onCheckpoint = [&running] {
+        if (running != nullptr)
+            running->requestStop();
+    };
+    WorkerDaemon daemon(options);
+    running = &daemon;
+    const WorkerReport report = daemon.run(specs);
+    EXPECT_EQ(report.interrupted, 1u);
+    EXPECT_EQ(report.completed, 0u);
+    EXPECT_FALSE(report.drained);
+
+    const std::string fp = scenarioFingerprint(specs[0]);
+    EXPECT_FALSE(
+        WorkClaim::peek(sweepClaimDir(dir.string()), fp).has_value());
+    EXPECT_TRUE(loadMergedRecords(dir.string()).empty());
+    const auto sealed =
+        peekCheckpoint(sweepCheckpointPath(dir.string(), fp));
+    ASSERT_TRUE(sealed.has_value());
+    EXPECT_GE(sealed->iteration, 4);
+    EXPECT_LT(sealed->iteration, specs[0].maxIterations);
+
+    // The next claimant resumes from the sealed checkpoint and the
+    // interruption is invisible in the results.
+    options.workerId = "resumer";
+    options.onCheckpoint = nullptr;
+    const WorkerReport resumed = WorkerDaemon(options).run(specs);
+    EXPECT_EQ(resumed.completed, 1u);
+    EXPECT_GE(resumed.resumed, 1u);
+    EXPECT_TRUE(resumed.drained);
+    const std::vector<JobResult> merged =
+        loadMergedRecords(dir.string());
+    ASSERT_EQ(merged.size(), 1u);
+    expectJobsBitIdentical(merged[0], reference[0]);
 }
 
 } // namespace

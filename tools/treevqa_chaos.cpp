@@ -31,6 +31,18 @@
  * against the fault-free reference. Results land in
  * `<out>/chaos_report.json`. Exit 0 iff every drill converged.
  *
+ * The matrix ends with four supervisor drills exercising the
+ * self-healing fleet layer: an in-process Supervisor fork/execs real
+ * treevqa_worker children (which inherit the armed TREEVQA_FAULT_PLAN;
+ * the parent consumed its own, empty, plan at static init and stays
+ * disarmed) — a fleet-wide SIGKILL storm healed by restarts, a hung
+ * job SIGKILLed by the frozen-progress watchdog, a crash-looping plan
+ * that retires every slot through the circuit breaker, and a
+ * poison-everything plan asserting the cumulative attempt budget is
+ * fleet-wide (≤ max-job-attempts per job in total, not per worker).
+ * Each supervisor drill ends with the same disarmed recovery worker
+ * and byte compare against the fault-free reference.
+ *
  * Internal --drill-child mode: run one drain-and-exit worker over
  * --sweep-dir (the harness re-execs itself instead of fork() — the
  * parent is threadless but the worker is not, and exec'ing fresh also
@@ -38,6 +50,7 @@
  */
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,7 +61,10 @@
 
 #include "common/file_util.h"
 #include "common/json.h"
+#include "dist/store_merge.h"
+#include "dist/supervisor.h"
 #include "dist/worker_daemon.h"
+#include "svc/scenario_spec.h"
 #include "svc/sweep_dir.h"
 
 #include "cli_util.h"
@@ -161,10 +177,11 @@ drillPlanSeed(std::uint64_t base, std::size_t index)
 }
 
 std::string
-drillPlanJson(const Drill &drill, std::uint64_t base, std::size_t index)
+drillPlanJson(const std::string &faults, std::uint64_t base,
+              std::size_t index)
 {
     return "{\"seed\": " + std::to_string(drillPlanSeed(base, index))
-        + ", \"faults\": " + drill.faults + "}";
+        + ", \"faults\": " + faults + "}";
 }
 
 /** Run one worker child over `sweepDir`; returns the shell status
@@ -183,6 +200,151 @@ runWorkerChild(const std::string &self, const std::string &sweepDir,
         + std::to_string(jobs) + " >> \"" + logPath + "\" 2>&1";
     const int status = std::system(command.c_str());
     ::unsetenv("TREEVQA_FAULT_PLAN");
+    if (status == -1)
+        return -1;
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return WEXITSTATUS(status);
+}
+
+/** Seed `<dir>/sweep.json` with the chaos specs so the supervisor's
+ * exec'd treevqa_worker children (and its drained check) expand them
+ * to the exact fingerprints the drill-child reference produced —
+ * scenarioToJson/scenarioFromJson round-trip bit-exactly. */
+void
+writeChaosSpec(const std::string &sweepDir, int jobs)
+{
+    JsonValue request = JsonValue::array();
+    for (const ScenarioSpec &spec : chaosSweep(jobs))
+        request.push_back(scenarioToJson(spec));
+    std::filesystem::create_directories(sweepDir);
+    writeTextFileAtomic(sweepSpecPath(sweepDir),
+                        request.dump(2) + "\n");
+}
+
+/** treevqa_worker beside this binary (the build tree), falling back
+ * to a PATH lookup. */
+std::string
+chaosWorkerBin()
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        const std::filesystem::path sibling =
+            std::filesystem::path(buf).parent_path()
+            / "treevqa_worker";
+        std::error_code ec;
+        if (std::filesystem::exists(sibling, ec))
+            return sibling.string();
+    }
+    return "treevqa_worker";
+}
+
+/** One supervisor drill: fault plan, fleet knobs, expectations on the
+ * SupervisorReport, and the recovery worker's attempt budget. */
+struct SupervisorDrill
+{
+    std::string name;
+    std::string faults; // "[]" = the fleet runs disarmed
+    std::vector<std::string> workerArgs;
+    long jobTimeoutMs = 0;
+    int crashLoopBudget = 5;
+    int maxJobAttempts = 3;
+    long recoveryMaxAttempts = 3;
+    bool expectDrained = true;
+    std::size_t expectRetired = 0;
+    std::size_t minCrashes = 0;
+    std::size_t minWatchdogKills = 0;
+    std::size_t minTimeoutRecords = 0;
+    bool checkAttemptBudget = false;
+};
+
+std::vector<SupervisorDrill>
+supervisorDrillMatrix()
+{
+    std::vector<SupervisorDrill> drills;
+    {
+        // Child SIGKILL storm: exactly two fleet-wide kills via the
+        // worker's O_EXCL killstorm tokens (a per-process counter
+        // would re-fire in every restarted child). The supervisor
+        // restarts the dead slots and the fleet still drains itself.
+        SupervisorDrill d;
+        d.name = "supervisor-kill-storm";
+        d.faults = "[]";
+        d.workerArgs = {"--sigkill-storm", "2"};
+        d.minCrashes = 2;
+        drills.push_back(std::move(d));
+    }
+    {
+        // Hung job: worker.hang wedges the second scenario iteration
+        // of every child life for 3 s. The heartbeat keeps renewing
+        // the lease with a frozen progress stamp, so the supervisor
+        // watchdog SIGKILLs the child and appends a timedOut attempt
+        // record. Restarted children re-arm and hang again, so every
+        // job drains by exhausting the fleet-wide attempt budget; the
+        // disarmed recovery worker then re-runs them all.
+        SupervisorDrill d;
+        d.name = "supervisor-hang-timeout";
+        d.faults =
+            R"([{"site": "worker.hang", "action": "delay-ms", "ms": 3000, "hit": 2}])";
+        d.jobTimeoutMs = 300;
+        d.expectDrained = true;
+        d.minWatchdogKills = 1;
+        d.minTimeoutRecords = 1;
+        d.recoveryMaxAttempts = 100;
+        drills.push_back(std::move(d));
+    }
+    {
+        // Crash loop: every child life SIGKILLs at its first
+        // checkpoint write, so the circuit breaker retires all three
+        // slots (two abnormal exits each) and the supervisor gives up
+        // without draining. The disarmed recovery worker converges.
+        SupervisorDrill d;
+        d.name = "supervisor-crash-loop-retire";
+        d.faults =
+            R"([{"site": "checkpoint.write", "action": "crash", "hit": 1}])";
+        d.crashLoopBudget = 2;
+        d.expectDrained = false;
+        d.expectRetired = 3;
+        d.minCrashes = 6;
+        drills.push_back(std::move(d));
+    }
+    {
+        // Fleet-wide poison: every attempt of every job throws in
+        // every child. The cumulative attempt records must cap each
+        // job at maxJobAttempts across the whole fleet — not
+        // maxJobAttempts per worker — after which every worker skips
+        // it durably and the sweep drains degraded (all failed).
+        SupervisorDrill d;
+        d.name = "fleet-poison-skip";
+        d.faults =
+            R"([{"site": "worker.job", "action": "fail-errno", "errno": "EIO", "hit": 1, "times": 0}])";
+        d.checkAttemptBudget = true;
+        d.recoveryMaxAttempts = 100;
+        drills.push_back(std::move(d));
+    }
+    return drills;
+}
+
+/** Disarmed recovery worker (the real binary) draining whatever the
+ * supervised fleet left behind; decoded shell status like
+ * runWorkerChild. `maxAttempts` above the drill's budget makes
+ * poisoned records unresolved again so the jobs re-run fault-free. */
+int
+runRecoveryWorker(const std::string &workerBin,
+                  const std::string &sweepDir, long maxAttempts,
+                  const std::string &logPath)
+{
+    ::unsetenv("TREEVQA_FAULT_PLAN");
+    const std::string command = "\"" + workerBin + "\" --sweep-dir \""
+        + sweepDir
+        + "\" --drain-and-exit --worker-id recovery --lease-ms 400"
+        + " --poll-ms 25 --retry-backoff-ms 10 --max-job-attempts "
+        + std::to_string(maxAttempts) + " >> \"" + logPath
+        + "\" 2>&1";
+    const int status = std::system(command.c_str());
     if (status == -1)
         return -1;
     if (WIFSIGNALED(status))
@@ -270,10 +432,20 @@ main(int argc, char **argv)
             return usage(argv[0], false);
 
         const std::vector<Drill> drills = drillMatrix();
+        const std::vector<SupervisorDrill> sup_drills =
+            supervisorDrillMatrix();
         if (print_matrix) {
             for (std::size_t i = 0; i < drills.size(); ++i)
-                std::printf("%zu %s %s\n", i, drills[i].name.c_str(),
-                            drillPlanJson(drills[i], seed, i).c_str());
+                std::printf(
+                    "%zu %s %s\n", i, drills[i].name.c_str(),
+                    drillPlanJson(drills[i].faults, seed, i).c_str());
+            for (std::size_t k = 0; k < sup_drills.size(); ++k) {
+                const std::size_t i = drills.size() + k;
+                std::printf(
+                    "%zu %s %s\n", i, sup_drills[k].name.c_str(),
+                    drillPlanJson(sup_drills[k].faults, seed, i)
+                        .c_str());
+            }
             return 0;
         }
 
@@ -311,8 +483,8 @@ main(int argc, char **argv)
             const std::string plan_path =
                 (fs::path(out_root) / (drill.name + ".plan.json"))
                     .string();
-            writeTextFileAtomic(plan_path,
-                                drillPlanJson(drill, seed, i) + "\n");
+            writeTextFileAtomic(
+                plan_path, drillPlanJson(drill.faults, seed, i) + "\n");
 
             const int faulted_status = runWorkerChild(
                 self, dir, static_cast<int>(jobs), plan_path, log);
@@ -340,9 +512,172 @@ main(int argc, char **argv)
 
             JsonValue entry = JsonValue::object();
             entry.set("name", JsonValue(drill.name));
-            entry.set("plan",
-                      JsonValue::parse(drillPlanJson(drill, seed, i)));
+            entry.set("plan", JsonValue::parse(
+                                  drillPlanJson(drill.faults, seed, i)));
             entry.set("faultedChildStatus", JsonValue(faulted_status));
+            entry.set("recoveryStatus", JsonValue(recovery_status));
+            entry.set("summaryIdentical", JsonValue(converged));
+            report_drills.push_back(std::move(entry));
+        }
+
+        // --- Supervisor drills: the self-healing fleet layer. ---
+        const std::string worker_bin = chaosWorkerBin();
+        for (std::size_t k = 0; k < sup_drills.size(); ++k) {
+            const SupervisorDrill &drill = sup_drills[k];
+            const std::size_t plan_index = drills.size() + k;
+            const std::string dir =
+                (fs::path(out_root) / drill.name).string();
+            const std::string log =
+                (fs::path(out_root) / (drill.name + ".log")).string();
+            fs::create_directories(dir);
+            writeChaosSpec(dir, static_cast<int>(jobs));
+
+            const bool armed = drill.faults != "[]";
+            if (armed) {
+                const std::string plan_path =
+                    (fs::path(out_root) / (drill.name + ".plan.json"))
+                        .string();
+                writeTextFileAtomic(
+                    plan_path,
+                    drillPlanJson(drill.faults, seed, plan_index)
+                        + "\n");
+                // The in-process Supervisor already consumed the (
+                // empty) env plan at static init; only the exec'd
+                // worker children arm from this.
+                ::setenv("TREEVQA_FAULT_PLAN", plan_path.c_str(), 1);
+            } else {
+                ::unsetenv("TREEVQA_FAULT_PLAN");
+            }
+
+            SupervisorOptions options;
+            options.sweepDir = dir;
+            options.workers = 3;
+            options.idPrefix = "chaos";
+            options.restartBackoffMs = 50;
+            options.crashLoopBudget = drill.crashLoopBudget;
+            options.crashLoopWindowMs = 60000;
+            options.jobTimeoutMs = drill.jobTimeoutMs;
+            options.maxJobAttempts = drill.maxJobAttempts;
+            options.gracePeriodMs = 2000;
+            options.pollMs = 25;
+            options.workerCommand = {
+                worker_bin,       "--sweep-dir",
+                dir,              "--drain-and-exit",
+                "--no-merge",     "--lease-ms",
+                "400",            "--poll-ms",
+                "25",             "--retry-backoff-ms",
+                "10",             "--max-job-attempts",
+                std::to_string(drill.maxJobAttempts)};
+            if (drill.jobTimeoutMs > 0) {
+                options.workerCommand.push_back("--job-timeout-ms");
+                options.workerCommand.push_back(
+                    std::to_string(drill.jobTimeoutMs));
+            }
+            options.workerCommand.insert(options.workerCommand.end(),
+                                         drill.workerArgs.begin(),
+                                         drill.workerArgs.end());
+
+            Supervisor supervisor(std::move(options));
+            const SupervisorReport rep = supervisor.run();
+            ::unsetenv("TREEVQA_FAULT_PLAN");
+
+            std::string problems;
+            const auto expect = [&](bool ok, const std::string &what) {
+                if (!ok) {
+                    if (!problems.empty())
+                        problems += "; ";
+                    problems += what;
+                }
+            };
+            expect(rep.drained == drill.expectDrained,
+                   std::string("drained=")
+                       + (rep.drained ? "yes" : "no") + " expected "
+                       + (drill.expectDrained ? "yes" : "no"));
+            expect(rep.retiredSlots.size() == drill.expectRetired,
+                   "retired " + std::to_string(rep.retiredSlots.size())
+                       + " slots, expected "
+                       + std::to_string(drill.expectRetired));
+            expect(rep.crashes >= drill.minCrashes,
+                   "crashes " + std::to_string(rep.crashes) + " < "
+                       + std::to_string(drill.minCrashes));
+            expect(rep.watchdogKills >= drill.minWatchdogKills,
+                   "watchdog kills " + std::to_string(rep.watchdogKills)
+                       + " < "
+                       + std::to_string(drill.minWatchdogKills));
+            expect(rep.timeoutRecords >= drill.minTimeoutRecords,
+                   "timeout records "
+                       + std::to_string(rep.timeoutRecords) + " < "
+                       + std::to_string(drill.minTimeoutRecords));
+            expect(fs::exists(sweepHealthPath(dir, "supervisor")),
+                   "missing supervisor health snapshot");
+            if (drill.checkAttemptBudget) {
+                // The fleet-wide circuit breaker's contract: per job,
+                // cumulative attempts ≤ budget even with 3 workers.
+                std::size_t failed_records = 0;
+                std::size_t over_budget = 0;
+                for (const JobResult &r : loadMergedRecords(dir)) {
+                    if (!r.failed)
+                        continue;
+                    ++failed_records;
+                    if (r.attempts < 1
+                        || r.attempts > drill.maxJobAttempts)
+                        ++over_budget;
+                }
+                expect(failed_records
+                           == static_cast<std::size_t>(jobs),
+                       std::to_string(failed_records)
+                           + " poisoned jobs, expected "
+                           + std::to_string(jobs));
+                expect(over_budget == 0,
+                       std::to_string(over_budget)
+                           + " job(s) exceeded the fleet-wide "
+                             "attempt budget");
+            }
+
+            const int recovery_status = runRecoveryWorker(
+                worker_bin, dir, drill.recoveryMaxAttempts, log);
+            std::string summary;
+            const bool summary_read =
+                readTextFile(sweepSummaryPath(dir), summary);
+            const bool converged = problems.empty()
+                && recovery_status == 0 && summary_read
+                && summary == reference;
+            if (!converged)
+                ++failures;
+            std::printf("drill %-28s supervisor(sp=%zu re=%zu cr=%zu "
+                        "wd=%zu rt=%zu) recovery=%-3d summary=%s%s%s\n",
+                        drill.name.c_str(), rep.spawns, rep.restarts,
+                        rep.crashes, rep.watchdogKills,
+                        rep.retiredSlots.size(), recovery_status,
+                        !summary_read          ? "MISSING"
+                            : summary == reference ? "identical"
+                                                   : "DIFFERENT",
+                        problems.empty() ? "" : " PROBLEMS: ",
+                        problems.c_str());
+
+            JsonValue entry = JsonValue::object();
+            entry.set("name", JsonValue(drill.name));
+            entry.set("mode", JsonValue(std::string("supervisor")));
+            entry.set("plan",
+                      JsonValue::parse(drillPlanJson(
+                          drill.faults, seed, plan_index)));
+            entry.set("spawns", JsonValue(static_cast<std::int64_t>(
+                                    rep.spawns)));
+            entry.set("restarts", JsonValue(static_cast<std::int64_t>(
+                                      rep.restarts)));
+            entry.set("crashes", JsonValue(static_cast<std::int64_t>(
+                                     rep.crashes)));
+            entry.set("watchdogKills",
+                      JsonValue(static_cast<std::int64_t>(
+                          rep.watchdogKills)));
+            entry.set("timeoutRecords",
+                      JsonValue(static_cast<std::int64_t>(
+                          rep.timeoutRecords)));
+            entry.set("retiredSlots",
+                      JsonValue(static_cast<std::int64_t>(
+                          rep.retiredSlots.size())));
+            entry.set("drained", JsonValue(rep.drained));
+            entry.set("problems", JsonValue(problems));
             entry.set("recoveryStatus", JsonValue(recovery_status));
             entry.set("summaryIdentical", JsonValue(converged));
             report_drills.push_back(std::move(entry));
@@ -358,8 +693,9 @@ main(int argc, char **argv)
             (fs::path(out_root) / "chaos_report.json").string(),
             report.dump(2) + "\n");
 
+        const std::size_t total = drills.size() + sup_drills.size();
         std::printf("chaos: %zu/%zu drills converged (report: %s)\n",
-                    drills.size() - failures, drills.size(),
+                    total - failures, total,
                     (fs::path(out_root) / "chaos_report.json")
                         .string()
                         .c_str());

@@ -10,6 +10,7 @@
  *               [--print-specs] [--validate] [--summary-only]
  *               [--abort-after-checkpoints N]
  *   treevqa_run [SPEC.json] --status --out DIR
+ *   treevqa_run --health --out DIR
  *
  *   --out DIR     persist DIR/results.jsonl, DIR/checkpoints/*.json,
  *                 DIR/summary.json and the request itself as
@@ -27,10 +28,15 @@
  *                 count and fingerprints, exit non-zero on any error;
  *                 never touches the output directory
  *   --status      progress view over a (possibly live) sweep
- *                 directory: per job, whether it is recorded, claimed
- *                 by a worker (owner + lease), checkpointed, or
- *                 pending. SPEC.json may be omitted when DIR holds
- *                 sweep.json
+ *                 directory: per job, whether it is recorded (done /
+ *                 failed / timed-out / poisoned), claimed by a worker
+ *                 (owner + lease + progress), checkpointed, or
+ *                 pending, plus the count of corrupt store lines that
+ *                 were quarantined. SPEC.json may be omitted when DIR
+ *                 holds sweep.json
+ *   --health      aggregate the fleet's health snapshots
+ *                 (DIR/health/*.json — workers and supervisor) into
+ *                 one JSON document on stdout
  *   --summary-only
  *                 print only the deterministic summary JSON (no
  *                 table; what CI diffs between fresh and resumed
@@ -56,6 +62,7 @@
 
 #include "common/file_util.h"
 #include "common/thread_pool.h"
+#include "dist/health.h"
 #include "dist/store_merge.h"
 #include "dist/work_claim.h"
 #include "dist/worker_daemon.h"
@@ -75,8 +82,9 @@ usage(const char *argv0, bool requested)
                  "usage: %s SPEC.json [--out DIR] [--jobs N] [--fresh]\n"
                  "       [--print-specs] [--validate] [--summary-only]\n"
                  "       [--abort-after-checkpoints N]\n"
-                 "       %s [SPEC.json] --status --out DIR\n",
-                 argv0, argv0);
+                 "       %s [SPEC.json] --status --out DIR\n"
+                 "       %s --health --out DIR\n",
+                 argv0, argv0, argv0);
     return requested ? 0 : 2;
 }
 
@@ -93,14 +101,16 @@ printStatus(const std::vector<ScenarioSpec> &specs,
             const std::string &dir)
 {
     std::map<std::string, const JobResult *> recorded;
-    const std::vector<JobResult> records = loadMergedRecords(dir);
+    std::size_t quarantined_lines = 0;
+    const std::vector<JobResult> records =
+        loadMergedRecords(dir, &quarantined_lines);
     for (const JobResult &record : records)
-        if (record.completed)
+        if (record.completed || record.failed)
             recorded.emplace(record.fingerprint, &record);
 
     const std::int64_t now = unixTimeMs();
-    std::size_t done = 0, running = 0, stale = 0, paused = 0,
-                pending = 0;
+    std::size_t done = 0, failed = 0, timed_out = 0, poisoned = 0,
+                running = 0, stale = 0, paused = 0, pending = 0;
     std::printf("%-32s %-10s %s\n", "job", "state", "detail");
     for (const ScenarioSpec &spec : specs) {
         const std::string fp = scenarioFingerprint(spec);
@@ -115,21 +125,45 @@ printStatus(const std::vector<ScenarioSpec> &specs,
         const int iteration =
             checkpoint ? checkpoint->iteration : 0;
 
-        if (it != recorded.end()) {
+        if (it != recorded.end() && it->second->completed) {
             state = "done";
             ++done;
             std::snprintf(detail, sizeof(detail),
                           "energy=%.8f iters=%d", it->second->finalEnergy,
                           it->second->iterations);
+        } else if (it != recorded.end()) {
+            // A failure record: "poisoned" once the cumulative
+            // attempts reach the default fleet budget (attempts==0 is
+            // a legacy budget-exhausted record) — a default fleet
+            // skips the job durably; otherwise "timed-out" when the
+            // hung-job watchdog wrote it, else plain "failed", both
+            // still retryable.
+            const JobResult &r = *it->second;
+            const int default_budget = WorkerOptions{}.maxJobAttempts;
+            if (r.attempts == 0 || r.attempts >= default_budget) {
+                state = "poisoned";
+                ++poisoned;
+            } else if (r.timedOut) {
+                state = "timed-out";
+                ++timed_out;
+            } else {
+                state = "failed";
+                ++failed;
+            }
+            std::snprintf(detail, sizeof(detail),
+                          "attempts=%d error=%.100s", r.attempts,
+                          r.errorMessage.c_str());
         } else if (claim && now <= claim->deadlineMs) {
             state = "running";
             ++running;
             std::snprintf(detail, sizeof(detail),
-                          "worker=%s lease=%lldms iter=%d/%d",
+                          "worker=%s lease=%lldms iter=%d/%d "
+                          "progress=%lld",
                           claim->owner.c_str(),
                           static_cast<long long>(claim->deadlineMs
                                                  - now),
-                          iteration, spec.maxIterations);
+                          iteration, spec.maxIterations,
+                          static_cast<long long>(claim->progress));
         } else if (claim) {
             state = "stale";
             ++stale;
@@ -152,9 +186,11 @@ printStatus(const std::vector<ScenarioSpec> &specs,
         std::printf("%-32s %-10s %s\n", spec.name.c_str(), state,
                     detail);
     }
-    std::printf("%zu jobs: %zu done, %zu running, %zu stale, "
-                "%zu paused, %zu pending\n",
-                specs.size(), done, running, stale, paused, pending);
+    std::printf("%zu jobs: %zu done, %zu failed, %zu timed-out, "
+                "%zu poisoned, %zu running, %zu stale, %zu paused, "
+                "%zu pending; %zu quarantined line(s)\n",
+                specs.size(), done, failed, timed_out, poisoned,
+                running, stale, paused, pending, quarantined_lines);
 }
 
 } // namespace
@@ -169,6 +205,7 @@ main(int argc, char **argv)
     bool print_specs = false;
     bool validate = false;
     bool status = false;
+    bool health = false;
     bool summary_only = false;
     long abort_after = 0;
 
@@ -197,6 +234,8 @@ main(int argc, char **argv)
             validate = true;
         } else if (arg == "--status") {
             status = true;
+        } else if (arg == "--health") {
+            health = true;
         } else if (arg == "--summary-only") {
             summary_only = true;
         } else if (arg == "--abort-after-checkpoints") {
@@ -217,9 +256,16 @@ main(int argc, char **argv)
             return usage(argv[0], false);
         }
     }
-    if (status && out_dir.empty()) {
-        std::fprintf(stderr, "--status needs --out DIR\n");
+    if ((status || health) && out_dir.empty()) {
+        std::fprintf(stderr, "--status/--health need --out DIR\n");
         return 2;
+    }
+    if (health) {
+        // Pure read of DIR/health/*.json; needs no spec at all.
+        const JsonValue doc = aggregateHealthJson(
+            readHealthSnapshots(out_dir), unixTimeMs());
+        std::printf("%s\n", doc.dump(2).c_str());
+        return 0;
     }
     // --status can take the job list from DIR/sweep.json; every other
     // mode needs the spec file.

@@ -36,11 +36,26 @@
  *                    quarantine (default 3)
  *   --retry-backoff-ms N
  *                    base backoff between attempts (default 50)
+ *   --job-timeout-ms N
+ *                    in-process hung-job watchdog: when the job's
+ *                    progress counter stalls this long the heartbeat
+ *                    abandons the lease so another worker can reap
+ *                    the job (default off; the supervisor adds the
+ *                    external SIGKILL variant)
  *   --sigkill-after-checkpoints N
  *                    raise(SIGKILL) after the Nth durable checkpoint
  *                    write — a genuinely uncleaned death at a
  *                    deterministic instant, used by the CI takeover
  *                    smoke test
+ *   --sigkill-storm N
+ *                    fleet-wide SIGKILL budget: at every checkpoint
+ *                    the worker tries to claim one of N O_EXCL token
+ *                    files under DIR/killstorm/ and SIGKILLs itself
+ *                    on success — exactly N kills across the whole
+ *                    (supervised, restarting) fleet, however many
+ *                    times children re-arm. The supervised-restart
+ *                    drill needs this: a per-process kill counter
+ *                    would re-fire in every restarted child forever.
  *
  * SIGINT/SIGTERM stop the loop after the job in flight. Exit codes:
  * 0 success, 1 runtime error, 2 usage error (a --sigkill death shows
@@ -76,13 +91,34 @@ usage(const char *argv0, bool requested)
         "       [--lease-ms N] [--max-jobs N] [--drain-and-exit]\n"
         "       [--poll-ms N] [--no-merge] [--merge-only]\n"
         "       [--max-job-attempts N] [--retry-backoff-ms N]\n"
-        "       [--sigkill-after-checkpoints N]\n",
+        "       [--job-timeout-ms N] [--sigkill-after-checkpoints N]\n"
+        "       [--sigkill-storm N]\n",
         argv0);
     return requested ? 0 : 2;
 }
 
 WorkerDaemon *g_daemon = nullptr;
 std::atomic<long> g_checkpointsUntilSigkill{0};
+std::string g_stormDir;
+long g_stormBudget = 0;
+
+/** Claim one of the fleet-wide kill tokens; SIGKILL on success. */
+void
+maybeStormSigkill()
+{
+    for (long k = 0; k < g_stormBudget; ++k) {
+        const std::string token =
+            g_stormDir + "/token-" + std::to_string(k);
+        if (tryCreateExclusiveText(token, "claimed\n")) {
+            std::fprintf(stderr,
+                         "treevqa_worker: SIGKILL storm token %ld "
+                         "claimed; dying (crash drill)\n",
+                         k);
+            std::fflush(nullptr);
+            ::raise(SIGKILL);
+        }
+    }
+}
 
 extern "C" void
 handleStopSignal(int)
@@ -106,8 +142,10 @@ main(int argc, char **argv)
     bool merge_on_drain = true;
     bool merge_only = false;
     long sigkill_after = 0;
+    long sigkill_storm = 0;
     long max_job_attempts = 3;
     long retry_backoff_ms = 50;
+    long job_timeout_ms = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -148,8 +186,12 @@ main(int argc, char **argv)
             next_positive(max_job_attempts);
         } else if (arg == "--retry-backoff-ms") {
             next_positive(retry_backoff_ms);
+        } else if (arg == "--job-timeout-ms") {
+            next_positive(job_timeout_ms);
         } else if (arg == "--sigkill-after-checkpoints") {
             next_positive(sigkill_after);
+        } else if (arg == "--sigkill-storm") {
+            next_positive(sigkill_storm);
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0], true);
         } else {
@@ -213,10 +255,22 @@ main(int argc, char **argv)
         options.mergeOnDrain = merge_on_drain;
         options.maxJobAttempts = static_cast<int>(max_job_attempts);
         options.retryBackoffMs = retry_backoff_ms;
-        if (sigkill_after > 0) {
+        options.jobTimeoutMs = job_timeout_ms;
+        if (sigkill_storm > 0) {
+            g_stormDir = (std::filesystem::path(sweep_dir)
+                          / "killstorm")
+                             .string();
+            std::filesystem::create_directories(g_stormDir);
+            g_stormBudget = sigkill_storm;
+        }
+        if (sigkill_after > 0)
             g_checkpointsUntilSigkill.store(sigkill_after);
+        if (sigkill_after > 0 || sigkill_storm > 0) {
             options.onCheckpoint = [] {
-                if (g_checkpointsUntilSigkill.fetch_sub(1) == 1) {
+                if (g_stormBudget > 0)
+                    maybeStormSigkill();
+                if (g_checkpointsUntilSigkill.load() > 0
+                    && g_checkpointsUntilSigkill.fetch_sub(1) == 1) {
                     std::fprintf(stderr,
                                  "treevqa_worker: SIGKILLing self "
                                  "after checkpoint (crash drill)\n");
@@ -234,11 +288,13 @@ main(int argc, char **argv)
         const WorkerReport report = daemon.run();
         g_daemon = nullptr;
         std::printf("worker %s: completed=%zu resumed=%zu reaped=%zu "
-                    "lost=%zu poisoned=%zu drained=%s merged=%s%s\n",
+                    "lost=%zu poisoned=%zu timedout=%zu "
+                    "interrupted=%zu drained=%s merged=%s%s\n",
                     daemon.options().workerId.c_str(),
                     report.completed, report.resumed,
                     report.reapedLeases, report.lostClaims,
-                    report.poisoned, report.drained ? "yes" : "no",
+                    report.poisoned, report.timedOut,
+                    report.interrupted, report.drained ? "yes" : "no",
                     report.merged ? "yes" : "no",
                     report.simulatedCrash ? " (simulated crash)" : "");
         return 0;
