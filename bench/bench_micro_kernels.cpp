@@ -482,6 +482,110 @@ benchDistThroughput()
 }
 
 void
+benchClaimPath()
+{
+    // PR 8 claim-path scaling series: one worker drains N synthetic
+    // no-op jobs (options.jobRunner returns a fixed completed record,
+    // so the claim/scan/record protocol is the *whole* cost) and the
+    // rows report counters, not timings — store bytes read per drained
+    // job, WorkClaim::tryAcquire round-trips per drained job, and scan
+    // rounds per drain. The full-rescan baseline (incrementalScan =
+    // false: the merged store re-read every round) is O(N) bytes per
+    // job and is measured at 500/2000 jobs; the incremental tail
+    // reader is measured at 2000/10000 — with shard rolling + tier
+    // folding live at 10000 — and must stay asymptotically flat. The
+    // ref column of dist_scan_bytes_job_incr_2000 is the equal-N
+    // full-rescan figure, so its speedup column is the measured I/O
+    // reduction.
+    const std::filesystem::path root =
+        std::filesystem::temp_directory_path()
+        / ("treevqa_bench_claim_" + localWorkerId());
+    int run_counter = 0;
+
+    const auto specs_for = [](int n) {
+        std::vector<ScenarioSpec> specs;
+        for (int j = 0; j < n; ++j) {
+            ScenarioSpec spec;
+            spec.name = "claim" + std::to_string(j);
+            spec.problem = "tfim";
+            spec.size = 4;
+            spec.field = 0.25 + 1e-4 * j;
+            spec.ansatz = "hea";
+            spec.layers = 1;
+            spec.maxIterations = 1;
+            spec.checkpointInterval = 0;
+            specs.push_back(spec);
+        }
+        return specs;
+    };
+
+    struct Config
+    {
+        const char *tag;
+        int jobs;
+        bool incremental;
+        std::int64_t rollBytes;
+    };
+    const Config configs[] = {
+        {"full_500", 500, false, 0},
+        {"full_2000", 2000, false, 0},
+        {"incr_2000", 2000, true, 0},
+        {"incr_10000", 10000, true, 256 * 1024},
+    };
+    double full2000_bytes_job = 0.0;
+    for (const Config &config : configs) {
+        const std::vector<ScenarioSpec> specs =
+            specs_for(config.jobs);
+        const std::filesystem::path dir =
+            root / std::to_string(run_counter++);
+        std::filesystem::create_directories(dir);
+
+        WorkerOptions options;
+        options.sweepDir = dir.string();
+        options.workerId = "bench";
+        options.leaseMs = 60000;
+        options.pollMs = 1;
+        options.claimBatch = 8;
+        options.incrementalScan = config.incremental;
+        options.shardRollBytes = config.rollBytes;
+        options.healthSnapshots = false;
+        options.jobRunner = [](const ScenarioSpec &spec,
+                               const ScenarioRunOptions &) {
+            JobResult r;
+            r.spec = spec;
+            r.fingerprint = scenarioFingerprint(spec);
+            r.completed = true;
+            r.iterations = 1;
+            r.trajectory = {1.0};
+            r.bestLoss = 1.0;
+            r.finalEnergy = -spec.field;
+            return r;
+        };
+        WorkerDaemon daemon(options);
+        const WorkerReport report = daemon.run(specs);
+        if (report.completed != static_cast<std::size_t>(config.jobs))
+            std::fprintf(stderr,
+                         "claim-path bench %s: drained %zu of %d\n",
+                         config.tag, report.completed, config.jobs);
+
+        const double jobs = static_cast<double>(config.jobs);
+        const double bytes_job =
+            static_cast<double>(report.storeBytesRead) / jobs;
+        if (std::string(config.tag) == "full_2000")
+            full2000_bytes_job = bytes_job;
+        const bool paired = std::string(config.tag) == "incr_2000";
+        record(std::string("dist_scan_bytes_job_") + config.tag, 0,
+               bytes_job, paired ? full2000_bytes_job : 0.0);
+        record(std::string("dist_claim_ops_job_") + config.tag, 0,
+               static_cast<double>(report.claimAttempts) / jobs, 0.0);
+        record(std::string("dist_scans_drain_") + config.tag, 0,
+               static_cast<double>(report.scanRounds), 0.0);
+        std::filesystem::remove_all(dir);
+    }
+    std::filesystem::remove_all(root);
+}
+
+void
 benchFaultPointsDisarmed()
 {
     // Guard series for the fault-injection layer: a disarmed
@@ -674,6 +778,7 @@ main()
     benchPaulpropSharded(10);
     benchSchedulerThroughput();
     benchDistThroughput();
+    benchClaimPath();
     benchFaultPointsDisarmed();
     benchFleetSupervision();
     writeJson("BENCH_micro_kernels.json");

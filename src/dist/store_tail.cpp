@@ -1,0 +1,222 @@
+#include "dist/store_tail.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "svc/sweep_dir.h"
+
+namespace treevqa {
+
+namespace {
+
+void
+collectJsonl(const std::string &dir, std::vector<std::string> &out)
+{
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file()
+            && entry.path().extension() == ".jsonl")
+            out.push_back(entry.path().string());
+    }
+}
+
+} // namespace
+
+void
+JobResolution::fold(const JobResult &record)
+{
+    if (record.completed) {
+        // Duplicates of a completed record are bit-identical (pure
+        // function of the spec), so the first one seen is the verdict;
+        // any failure history it supersedes is cleared, matching
+        // dedupeByFingerprint's complete-record-wins rule.
+        if (!completed) {
+            completed = true;
+            failed = false;
+            timedOut = false;
+            attempts = 0;
+            iterations = record.iterations;
+            finalEnergy = record.finalEnergy;
+            shotsUsed = record.shotsUsed;
+            errorMessage.clear();
+        }
+        return;
+    }
+    if (completed)
+        return; // never degrade a completed verdict
+    if (record.failed) {
+        if (failed) {
+            // Fleet-wide poison accounting: concurrent workers'
+            // failure records sum their attempt counts
+            // (order-independent); a legacy attempts == 0 record
+            // means budget-exhausted and dominates the sum.
+            attempts = (attempts == 0 || record.attempts == 0)
+                ? 0
+                : attempts + record.attempts;
+            timedOut = timedOut || record.timedOut;
+        } else {
+            failed = true;
+            attempts = record.attempts;
+            timedOut = record.timedOut;
+            iterations = record.iterations;
+            finalEnergy = record.finalEnergy;
+            shotsUsed = record.shotsUsed;
+            errorMessage = record.errorMessage;
+        }
+        return;
+    }
+    // A halted partial record (single-process --halt runs): display
+    // scalars only, never a verdict.
+    if (!failed) {
+        iterations = record.iterations;
+        finalEnergy = record.finalEnergy;
+        shotsUsed = record.shotsUsed;
+    }
+}
+
+int
+JobResolution::priorAttempts(int maxJobAttempts) const
+{
+    if (!failed || completed)
+        return 0;
+    return attempts == 0 ? maxJobAttempts : attempts;
+}
+
+bool
+JobResolution::resolved(int maxJobAttempts) const
+{
+    if (completed)
+        return true;
+    return failed && priorAttempts(maxJobAttempts) >= maxJobAttempts;
+}
+
+StoreTailReader::StoreTailReader(std::string sweepDir)
+    : sweepDir_(std::move(sweepDir))
+{
+}
+
+void
+StoreTailReader::invalidate()
+{
+    forceRescan_ = true;
+}
+
+bool
+StoreTailReader::consumeAppends(const std::string &path,
+                                Cursor &cursor)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return false; // vanished between enumeration and read
+    if (cursor.inode == 0)
+        cursor.inode = static_cast<std::uint64_t>(st.st_ino);
+    else if (cursor.inode != static_cast<std::uint64_t>(st.st_ino))
+        return false; // atomically replaced under the cursor
+    const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+    if (size < cursor.offset)
+        return false; // truncated under the cursor
+    if (size == cursor.offset)
+        return true;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    in.seekg(static_cast<std::streamoff>(cursor.offset));
+    std::string chunk(static_cast<std::size_t>(size - cursor.offset),
+                      '\0');
+    in.read(chunk.data(),
+            static_cast<std::streamsize>(chunk.size()));
+    chunk.resize(static_cast<std::size_t>(
+        std::max<std::streamsize>(0, in.gcount())));
+    counters_.bytesRead += chunk.size();
+
+    // Consume complete lines only: a chunk ending without '\n' is an
+    // append in flight (or the torn tail of a killed writer, which
+    // the next durable append seals with a newline) — leave the
+    // cursor at the line start and re-read it once terminated.
+    std::size_t pos = 0;
+    for (;;) {
+        const std::size_t nl = chunk.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        const std::string line = chunk.substr(pos, nl - pos);
+        ++cursor.lines;
+        if (!line.empty()) {
+            ++counters_.linesParsed;
+            JobResult record;
+            std::string reason;
+            if (decodeStoredLine(line, record, &reason)
+                == StoredLineStatus::Ok) {
+                resolutions_[record.fingerprint].fold(record);
+            } else {
+                ++counters_.quarantinedLines;
+                quarantineStoreLine(
+                    path, static_cast<std::size_t>(cursor.lines),
+                    line, reason);
+            }
+        }
+        pos = nl + 1;
+    }
+    cursor.offset += pos;
+    return true;
+}
+
+void
+StoreTailReader::refresh()
+{
+    ++counters_.refreshes;
+    // A pass that loses a race with a concurrent roll/fold (a file
+    // vanishing between enumeration and read) resets and retries;
+    // a consistent snapshot always exists because every mutation
+    // writes its replacement before deleting its input.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        std::vector<std::string> files;
+        const std::string canonical = sweepStorePath(sweepDir_);
+        std::error_code ec;
+        if (std::filesystem::exists(canonical, ec))
+            files.push_back(canonical);
+        collectJsonl(sweepTierDir(sweepDir_), files);
+        collectJsonl(sweepShardDir(sweepDir_), files);
+        std::sort(files.begin(), files.end());
+
+        bool reset = forceRescan_;
+        if (!reset) {
+            // Any tracked file gone from the current set means the
+            // layout mutated (roll, fold, compaction): the map may
+            // hold folds of bytes that now live elsewhere, so the
+            // only safe continuation is from scratch.
+            for (const auto &[path, cursor] : cursors_) {
+                (void)cursor;
+                if (!std::binary_search(files.begin(), files.end(),
+                                        path)) {
+                    reset = true;
+                    break;
+                }
+            }
+        }
+        if (reset) {
+            cursors_.clear();
+            resolutions_.clear();
+            forceRescan_ = false;
+            ++counters_.fullRescans;
+        }
+
+        bool collided = false;
+        for (const std::string &path : files) {
+            if (!consumeAppends(path, cursors_[path])) {
+                collided = true;
+                break;
+            }
+        }
+        if (!collided)
+            return;
+        forceRescan_ = true;
+    }
+}
+
+} // namespace treevqa

@@ -317,15 +317,16 @@ Supervisor::watchdogScan(std::int64_t nowMs)
         ++report_.restarts;
         removeClaimsOwnedBy(options_.sweepDir, owner->id);
 
-        const auto spec = specByFp_.find(info.fingerprint);
+        const ScenarioSpec *spec =
+            index_ ? index_->byFingerprint(info.fingerprint) : nullptr;
         const bool resolved =
             resolvedFingerprints(loadMergedRecords(options_.sweepDir),
                                  options_.maxJobAttempts)
                 .count(info.fingerprint)
             > 0;
-        if (spec != specByFp_.end() && !resolved) {
+        if (spec && !resolved) {
             JobResult timeout;
-            timeout.spec = spec->second;
+            timeout.spec = *spec;
             timeout.fingerprint = info.fingerprint;
             timeout.failed = true;
             timeout.timedOut = true;
@@ -407,26 +408,38 @@ Supervisor::shutdownCascade()
 bool
 Supervisor::sweepDrained()
 {
-    std::vector<ScenarioSpec> specs;
+    if (!index_)
+        index_ = std::make_unique<SweepIndex>(options_.sweepDir);
     try {
-        specs = WorkerDaemon::loadSweepSpecs(options_.sweepDir);
+        index_->refresh();
     } catch (const std::exception &) {
         return false; // no sweep.json yet: nothing to drain
     }
-    specByFp_.clear();
-    std::vector<std::string> fingerprints;
-    fingerprints.reserve(specs.size());
-    for (ScenarioSpec &spec : specs) {
-        std::string fp = scenarioFingerprint(spec);
-        fingerprints.push_back(fp);
-        specByFp_.emplace(std::move(fp), std::move(spec));
+    if (!tail_)
+        tail_ = std::make_unique<StoreTailReader>(options_.sweepDir);
+    tail_->refresh();
+    const auto &resolutions = tail_->resolutions();
+    for (const std::string &fp : index_->fingerprints()) {
+        const auto it = resolutions.find(fp);
+        if (it == resolutions.end()
+            || !it->second.resolved(options_.maxJobAttempts))
+            return false;
     }
+    // The incremental view is advisory (a racing compaction window can
+    // transiently over-count attempts); confirm a drained-looking tail
+    // with one authoritative full load per job-list generation before
+    // tearing the fleet down.
+    if (drainConfirmedFor_ == index_->expansions())
+        return true;
     const std::set<std::string> resolved =
         resolvedFingerprints(loadMergedRecords(options_.sweepDir),
                              options_.maxJobAttempts);
-    for (const std::string &fp : fingerprints)
-        if (resolved.count(fp) == 0)
+    for (const std::string &fp : index_->fingerprints())
+        if (resolved.count(fp) == 0) {
+            tail_->invalidate();
             return false;
+        }
+    drainConfirmedFor_ = index_->expansions();
     return true;
 }
 

@@ -51,14 +51,16 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <sys/types.h>
 
 #include "common/json.h"
+#include "dist/store_tail.h"
 #include "svc/scenario_spec.h"
+#include "svc/sweep_index.h"
 
 namespace treevqa {
 
@@ -182,9 +184,20 @@ class Supervisor
     SupervisorReport report_;
     std::int64_t startedUnixMs_ = 0;
     std::vector<std::pair<std::string, ProgressWatch>> watches_;
-    /** fingerprint -> spec, refreshed by every drained check, so the
-     * watchdog can embed the spec in its timedOut records. */
-    std::map<std::string, ScenarioSpec> specByFp_;
+    /**
+     * The drained check runs every poll (default 100 ms); a full
+     * re-expansion + merged-record load per poll is O(N) work that
+     * dwarfs supervision at 10^5+ jobs. The index re-expands only
+     * when sweep.json changes and the tail reader parses only
+     * appended record bytes; a drained-looking tail view is confirmed
+     * once per job-list generation by an authoritative full load
+     * (drainConfirmedFor_). The index also serves the watchdog's
+     * fingerprint → spec lookups. Lazily created (the sweep dir must
+     * exist first).
+     */
+    std::unique_ptr<SweepIndex> index_;
+    std::unique_ptr<StoreTailReader> tail_;
+    std::uint64_t drainConfirmedFor_ = 0;
 };
 
 } // namespace treevqa

@@ -18,6 +18,7 @@
 #include "dist/store_merge.h"
 #include "svc/result_store.h"
 #include "svc/sweep_dir.h"
+#include "svc/sweep_index.h"
 
 namespace treevqa {
 
@@ -47,6 +48,34 @@ int
 effectiveAttempts(const JobResult &record, int maxJobAttempts)
 {
     return record.attempts == 0 ? maxJobAttempts : record.attempts;
+}
+
+/** Total on-disk bytes of the sweep's record stores (canonical +
+ * tiers + shards): what one full-rescan round costs to read — the
+ * O(N)-baseline half of the dist_throughput bench accounting. */
+std::uint64_t
+sweepStoreBytes(const std::string &sweepDir)
+{
+    namespace fs = std::filesystem;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    const auto size = fs::file_size(sweepStorePath(sweepDir), ec);
+    if (!ec)
+        total += size;
+    for (const std::string &dir :
+         {sweepTierDir(sweepDir), sweepShardDir(sweepDir)}) {
+        std::error_code dec;
+        for (const auto &entry : fs::directory_iterator(dir, dec)) {
+            if (!entry.is_regular_file()
+                || entry.path().extension() != ".jsonl")
+                continue;
+            std::error_code fec;
+            const auto bytes = entry.file_size(fec);
+            if (!fec)
+                total += bytes;
+        }
+    }
+    return total;
 }
 
 } // namespace
@@ -114,6 +143,16 @@ WorkerDaemon::WorkerDaemon(WorkerOptions options)
         options_.skewGraceMs = 0;
     if (options_.jobTimeoutMs < 0)
         options_.jobTimeoutMs = 0;
+    if (options_.claimBatch < 1)
+        options_.claimBatch = 1;
+    if (options_.shardRollBytes < 0)
+        options_.shardRollBytes = 0;
+    if (options_.tierFanout < 2)
+        options_.tierFanout = 2;
+    // Wall-clock base makes roll names unique across restarts of one
+    // worker id — a roll must never rename onto a prior incarnation's
+    // still-unfolded tier.
+    rollSeq_ = static_cast<std::uint64_t>(unixTimeMs());
     health_.id = options_.workerId;
     health_.pid = static_cast<std::int64_t>(::getpid());
     health_.role = "worker";
@@ -148,19 +187,44 @@ WorkerDaemon::loadSweepSpecs(const std::string &sweepDir)
 WorkerReport
 WorkerDaemon::run()
 {
-    return runLoop(
-        [this] { return loadSweepSpecs(options_.sweepDir); });
+    SweepIndex index(options_.sweepDir);
+    return runLoop([&index]() {
+        index.refresh();
+        JobSet jobs;
+        jobs.specs = &index.specs();
+        jobs.fingerprints = &index.fingerprints();
+        jobs.expansions = index.expansions();
+        return jobs;
+    });
 }
 
 WorkerReport
 WorkerDaemon::run(const std::vector<ScenarioSpec> &specs)
 {
-    return runLoop([&specs] { return specs; });
+    const std::vector<std::string> fingerprints =
+        fingerprintSpecs(specs);
+    return runLoop([&]() {
+        JobSet jobs;
+        jobs.specs = &specs;
+        jobs.fingerprints = &fingerprints;
+        jobs.expansions = 1;
+        return jobs;
+    });
 }
 
 WorkerReport
-WorkerDaemon::runLoop(
-    const std::function<std::vector<ScenarioSpec>()> &specSource)
+WorkerDaemon::runLoop(const std::function<JobSet()> &source)
+{
+    StoreTailReader tail(options_.sweepDir);
+    WorkerReport report = scanLoop(source, tail);
+    report.storeBytesRead += tail.counters().bytesRead;
+    report.fullRescans = tail.counters().fullRescans;
+    return report;
+}
+
+WorkerReport
+WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
+                       StoreTailReader &tail)
 {
     const std::string &dir = options_.sweepDir;
     std::filesystem::create_directories(sweepClaimDir(dir));
@@ -171,28 +235,61 @@ WorkerDaemon::runLoop(
     const std::size_t scan_salt = workerScanOffset(options_.workerId);
     publishHealth([](WorkerHealth &h) { h.state = "idle"; });
 
+    // Drained verdicts are confirmed by one authoritative full load;
+    // remembering which job-list generation was confirmed keeps a
+    // daemon-mode idle loop from paying that O(N) load every poll.
+    std::uint64_t drain_confirmed_for = 0;
+
     while (!stop_.load()) {
-        const std::vector<ScenarioSpec> specs = specSource();
-        std::vector<std::string> fingerprints;
-        fingerprints.reserve(specs.size());
-        std::set<std::string> distinct;
-        for (const ScenarioSpec &spec : specs) {
-            std::string fp = scenarioFingerprint(spec);
-            if (!distinct.insert(fp).second)
-                throw std::invalid_argument(
-                    "worker: sweep contains duplicate spec \""
-                    + spec.name + "\" (fingerprint " + fp
-                    + "); de-duplicate the request");
-            fingerprints.push_back(std::move(fp));
+        const JobSet jobs = source();
+        const std::vector<ScenarioSpec> &specs = *jobs.specs;
+        const std::vector<std::string> &fingerprints =
+            *jobs.fingerprints;
+        report.specExpansions = jobs.expansions;
+        ++report.scanRounds;
+
+        std::vector<std::size_t> pending;
+        if (options_.incrementalScan) {
+            tail.refresh();
+            const auto &resolutions = tail.resolutions();
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                if (poisoned_.count(fingerprints[i]))
+                    continue;
+                const auto it = resolutions.find(fingerprints[i]);
+                if (it != resolutions.end()
+                    && it->second.resolved(options_.maxJobAttempts))
+                    continue;
+                pending.push_back(i);
+            }
+        } else {
+            report.storeBytesRead += sweepStoreBytes(dir);
+            std::set<std::string> done = resolvedFingerprints(
+                loadMergedRecords(dir), options_.maxJobAttempts);
+            done.insert(poisoned_.begin(), poisoned_.end());
+            for (std::size_t i = 0; i < specs.size(); ++i)
+                if (done.count(fingerprints[i]) == 0)
+                    pending.push_back(i);
         }
 
-        std::set<std::string> done = resolvedFingerprints(
-            loadMergedRecords(dir), options_.maxJobAttempts);
-        done.insert(poisoned_.begin(), poisoned_.end());
-        std::vector<std::size_t> pending;
-        for (std::size_t i = 0; i < specs.size(); ++i)
-            if (done.count(fingerprints[i]) == 0)
-                pending.push_back(i);
+        if (pending.empty() && options_.incrementalScan
+            && drain_confirmed_for != jobs.expansions) {
+            // The incremental view is an optimization, never the
+            // drain proof: one full merged load arbitrates. A
+            // mismatch (the tail over-resolved through a transient
+            // fold-overlap double count, or lost a race) rebuilds the
+            // view and keeps scanning.
+            report.storeBytesRead += sweepStoreBytes(dir);
+            std::set<std::string> done = resolvedFingerprints(
+                loadMergedRecords(dir), options_.maxJobAttempts);
+            done.insert(poisoned_.begin(), poisoned_.end());
+            for (std::size_t i = 0; i < specs.size(); ++i)
+                if (done.count(fingerprints[i]) == 0)
+                    pending.push_back(i);
+            if (pending.empty())
+                drain_confirmed_for = jobs.expansions;
+            else
+                tail.invalidate();
+        }
 
         if (pending.empty()) {
             report.drained = true;
@@ -206,13 +303,26 @@ WorkerDaemon::runLoop(
         }
         report.drained = false;
 
-        bool progress = false;
+        // Gather up to claimBatch leases in one walk over the pending
+        // rotation.
+        std::size_t batch_target = static_cast<std::size_t>(
+            std::max(1, options_.claimBatch));
+        if (options_.maxJobs > 0) {
+            const std::size_t limit =
+                static_cast<std::size_t>(options_.maxJobs);
+            batch_target = std::min(
+                batch_target,
+                limit > report.completed ? limit - report.completed
+                                         : std::size_t{1});
+        }
+        std::vector<BatchSlot> batch;
         const std::size_t offset = scan_salt % pending.size();
         for (std::size_t k = 0; k < pending.size() && !stop_.load();
              ++k) {
             const std::size_t index =
                 pending[(k + offset) % pending.size()];
             bool reaped = false;
+            ++report.claimAttempts;
             std::optional<WorkClaim> claim = WorkClaim::tryAcquire(
                 sweepClaimDir(dir), fingerprints[index],
                 options_.workerId, options_.leaseMs, &reaped,
@@ -221,103 +331,164 @@ WorkerDaemon::runLoop(
                 continue; // live lease elsewhere, or takeover lost
             if (reaped)
                 ++report.reapedLeases;
+            BatchSlot slot;
+            slot.index = index;
+            slot.claim = std::move(*claim);
+            batch.push_back(std::move(slot));
+            if (batch.size() >= batch_target)
+                break;
+        }
 
-            // The job may have been recorded (or its failure budget
-            // spent) between our scan and this claim; re-load the
-            // merged view while holding the claim — claims serialize
-            // writers per fingerprint, so the attempt count read here
-            // cannot be raced past the budget.
-            const std::vector<JobResult> merged =
-                loadMergedRecords(dir);
-            if (resolvedFingerprints(merged, options_.maxJobAttempts)
-                    .count(fingerprints[index])) {
-                claim->release();
-                progress = true;
-                continue;
-            }
-            const int prior_attempts = priorFailedAttempts(
-                merged, fingerprints[index], options_.maxJobAttempts);
-
-            const JobOutcome outcome =
-                runClaimedJob(specs[index], fingerprints[index],
-                              prior_attempts, *claim, report);
-            progress = true;
-            if (outcome == JobOutcome::SimulatedCrash) {
-                report.simulatedCrash = true;
-                return report; // claim + checkpoint left in place
-            }
-            if (outcome == JobOutcome::Interrupted) {
-                // Graceful stop: checkpoint sealed, claim released.
+        if (batch.empty()) {
+            // Nothing claimable this round: every pending job is
+            // leased to a live worker. Wait for completions or lease
+            // expiry.
+            if (!stop_.load()) {
                 publishHealth(
-                    [](WorkerHealth &h) { h.state = "stopped"; });
-                return report;
+                    [](WorkerHealth &h) { h.state = "idle"; });
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    jitteredPollMs(options_.pollMs,
+                                   options_.workerId)));
             }
-            if (options_.maxJobs > 0
-                && report.completed
-                    >= static_cast<std::size_t>(options_.maxJobs))
-                return report;
+            continue;
         }
 
-        // Nothing claimable this round: every pending job is leased
-        // to a live worker. Wait for completions or lease expiry.
-        if (!progress && !stop_.load()) {
-            publishHealth([](WorkerHealth &h) { h.state = "idle"; });
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                jitteredPollMs(options_.pollMs, options_.workerId)));
+        // Jobs may have been recorded (or their failure budget spent)
+        // between our scan and these claims; re-check once under the
+        // held claims — claims serialize failure writers per
+        // fingerprint, so the attempt counts read here cannot be
+        // raced past the budget while we hold the leases.
+        {
+            std::set<std::string> done;
+            std::vector<JobResult> merged;
+            const std::map<std::string, JobResolution> *resolutions =
+                nullptr;
+            if (options_.incrementalScan) {
+                tail.refresh();
+                resolutions = &tail.resolutions();
+            } else {
+                report.storeBytesRead += sweepStoreBytes(dir);
+                merged = loadMergedRecords(dir);
+                done = resolvedFingerprints(merged,
+                                            options_.maxJobAttempts);
+            }
+            std::vector<BatchSlot> live;
+            for (BatchSlot &slot : batch) {
+                const std::string &fp = fingerprints[slot.index];
+                bool resolved = poisoned_.count(fp) != 0;
+                int prior = 0;
+                if (resolutions) {
+                    const auto it = resolutions->find(fp);
+                    if (it != resolutions->end()) {
+                        resolved = resolved
+                            || it->second.resolved(
+                                options_.maxJobAttempts);
+                        prior = it->second.priorAttempts(
+                            options_.maxJobAttempts);
+                    }
+                } else {
+                    resolved = resolved || done.count(fp) != 0;
+                    prior = priorFailedAttempts(
+                        merged, fp, options_.maxJobAttempts);
+                }
+                if (resolved) {
+                    slot.claim.release();
+                    continue;
+                }
+                slot.priorAttempts = prior;
+                live.push_back(std::move(slot));
+            }
+            batch = std::move(live);
         }
+        if (batch.empty())
+            continue; // progress happened elsewhere; rescan now
+
+        const JobOutcome outcome =
+            runClaimedBatch(jobs, batch, report);
+        if (outcome == JobOutcome::SimulatedCrash) {
+            report.simulatedCrash = true;
+            return report; // whole batch's claims + checkpoint left
+        }
+        if (outcome == JobOutcome::Interrupted) {
+            // Graceful stop: checkpoint sealed, claims released.
+            publishHealth(
+                [](WorkerHealth &h) { h.state = "stopped"; });
+            return report;
+        }
+        if (options_.maxJobs > 0
+            && report.completed
+                >= static_cast<std::size_t>(options_.maxJobs))
+            return report;
     }
 
     if (report.drained && options_.mergeOnDrain && !stop_.load()) {
-        // Drained = every job recorded, so shard removal is safe.
+        // Drained = every job recorded (full-load confirmed), so
+        // shard/tier removal is safe.
         publishHealth([](WorkerHealth &h) { h.state = "draining"; });
         compactSweepStore(dir, /*removeMergedShards=*/true);
         report.merged = true;
+        tail.invalidate(); // canonical store was rewritten under us
     }
     publishHealth([](WorkerHealth &h) { h.state = "stopped"; });
     return report;
 }
 
-WorkerDaemon::JobOutcome
-WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
-                            const std::string &fingerprint,
-                            int priorAttempts, WorkClaim &claim,
+void
+WorkerDaemon::appendToShard(const JobResult &record,
                             WorkerReport &report)
 {
+    ResultStore shard(
+        sweepShardPath(options_.sweepDir, options_.workerId));
+    shard.append(record);
+    if (options_.shardRollBytes <= 0)
+        return;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(shard.path(), ec);
+    if (ec || size < static_cast<std::uint64_t>(
+            options_.shardRollBytes))
+        return;
+    if (!rollShardToTier(options_.sweepDir, options_.workerId,
+                         rollSeq_++))
+        return;
+    ++report.shardRolls;
+    report.tierFolds +=
+        maintainTiers(options_.sweepDir, options_.tierFanout);
+}
+
+WorkerDaemon::JobOutcome
+WorkerDaemon::runClaimedBatch(const JobSet &jobs,
+                              std::vector<BatchSlot> &batch,
+                              WorkerReport &report)
+{
+    const std::vector<ScenarioSpec> &specs = *jobs.specs;
+    const std::vector<std::string> &fingerprints = *jobs.fingerprints;
+
     // Live progress surface: the runner stores the optimizer
-    // iteration here; the heartbeat stamps it into lease renewals
-    // (and the health snapshot), and the in-process watchdog reads it
-    // for stall detection.
+    // iteration here; the heartbeat derives the batch tick from it
+    // (and publishes it in the health snapshot), and the in-process
+    // watchdog reads it for stall detection.
     std::atomic<std::int64_t> progress_counter{-1};
 
-    ScenarioRunOptions run_options;
-    run_options.checkpointPath =
-        sweepCheckpointPath(options_.sweepDir, fingerprint);
-    run_options.haltAfterIterations = options_.haltJobsAfterIterations;
-    run_options.onCheckpoint = options_.onCheckpoint;
-    run_options.progressCounter = &progress_counter;
-    run_options.shouldStop = [this] { return stop_.load(); };
+    // Serializes every WorkClaim touch (renew/release) and the
+    // done/lost flags between this thread and the heartbeat.
+    std::mutex batch_mutex;
 
-    publishHealth([&](WorkerHealth &h) {
-        h.state = "running";
-        h.jobFingerprint = fingerprint;
-        h.jobName = spec.name;
-        h.jobProgress = -1;
-        h.jobAttempt = 1;
-    });
-
-    // Heartbeat: the lease is renewed on a timer thread (checkpoint
-    // cadence is spec-controlled and may be slower than the lease).
-    // The thread is the claim's only writer while the job runs; it is
-    // joined before the main thread touches the claim again. It is
-    // also the in-process hung-job watchdog: when the progress stamp
-    // freezes past jobTimeoutMs it stops renewing — deliberately
-    // letting the lease expire so a reaper can take the job — because
-    // a wedged runScenario cannot be interrupted from inside.
+    // Heartbeat: every held lease is renewed round-robin on one timer
+    // thread (checkpoint cadence is spec-controlled and may be slower
+    // than the lease). Renewals stamp a batch-wide monotonic tick
+    // that advances whenever the running job's progress moves — so
+    // queued claims of a live worker keep advancing for the
+    // supervisor's external watchdog, and only a genuine wedge
+    // freezes the whole batch. It is also the in-process hung-job
+    // watchdog: when the progress stamp freezes past jobTimeoutMs it
+    // stops renewing — deliberately letting every lease expire so
+    // reapers can take the jobs — because a wedged runScenario cannot
+    // be interrupted from inside.
     std::mutex hb_mutex;
     std::condition_variable hb_cv;
     bool hb_stop = false;
-    std::atomic<bool> hb_lost{false};
     std::atomic<bool> hb_timed_out{false};
+    std::int64_t batch_tick = 0;
     const auto hb_interval = std::chrono::milliseconds(
         std::clamp<std::int64_t>(options_.leaseMs / 3, 5, 5000));
     std::thread heartbeat([&] {
@@ -330,30 +501,40 @@ WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
             if (now_progress != last_progress) {
                 last_progress = now_progress;
                 last_advance = std::chrono::steady_clock::now();
+                ++batch_tick;
             } else if (options_.jobTimeoutMs > 0
                        && std::chrono::steady_clock::now()
                                - last_advance
                            > std::chrono::milliseconds(
                                options_.jobTimeoutMs)) {
                 hb_timed_out.store(true);
-                hb_lost.store(true);
-                return;
+                return; // abandon every lease for the reapers
             }
             // A renewal I/O failure (ENOSPC, network-filesystem
             // hiccup) must degrade to "lease lost" — the recoverable
             // outcome this thread exists to report — not escape the
             // thread and terminate the process.
-            try {
-                if (claim.renew(now_progress)) {
-                    publishHealth([&](WorkerHealth &h) {
-                        h.jobProgress = now_progress;
-                    });
-                    continue;
+            bool any_live = false;
+            {
+                std::lock_guard<std::mutex> batch_lock(batch_mutex);
+                for (BatchSlot &slot : batch) {
+                    if (slot.done || slot.lost)
+                        continue;
+                    try {
+                        if (slot.claim.renew(batch_tick)) {
+                            any_live = true;
+                            continue;
+                        }
+                    } catch (const std::exception &) {
+                    }
+                    slot.lost = true;
                 }
-            } catch (const std::exception &) {
             }
-            hb_lost.store(true);
-            return;
+            if (!any_live)
+                return;
+            publishHealth([&](WorkerHealth &h) {
+                h.jobProgress = now_progress;
+            });
         }
     });
     const auto join_heartbeat = [&] {
@@ -364,58 +545,215 @@ WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
         hb_cv.notify_all();
         heartbeat.join();
     };
-
-    // Retry budget: a throwing job (defective spec, transient I/O on
-    // its checkpoint) is retried with exponential backoff while the
-    // heartbeat keeps the lease; after the budget it degrades to a
-    // poison-quarantine record instead of killing the worker — the
-    // sweep drains around the job, and the failure is on the record.
-    // Only the budget *remaining* after prior recorded fleet failures
-    // is spent here, so the whole fleet stays within maxJobAttempts.
-    const int attempt_budget =
-        std::max(1, options_.maxJobAttempts - priorAttempts);
-    JobResult result;
-    std::string last_error;
-    bool job_ok = false;
-    int attempts_made = 0;
-    for (int attempt = 1; attempt <= attempt_budget; ++attempt) {
-        if (hb_lost.load())
-            break; // lease gone (or watchdog fired): stop burning CPU
-        ++attempts_made;
-        publishHealth([&](WorkerHealth &h) { h.jobAttempt = attempt; });
-        try {
-            if (const FaultHit hit = FAULT_POINT("worker.job"))
-                if (hit.action == FaultAction::FailErrno)
-                    throw std::runtime_error(
-                        "injected job failure: "
-                        + std::string(std::strerror(hit.err)));
-            result = runScenario(spec, run_options);
-            job_ok = true;
-            break;
-        } catch (const std::exception &e) {
-            last_error = e.what();
-        } catch (...) {
-            last_error = "unknown error";
+    const auto slot_lost = [&](const BatchSlot &slot) {
+        std::lock_guard<std::mutex> lock(batch_mutex);
+        return slot.lost;
+    };
+    const auto release_undone = [&] {
+        std::lock_guard<std::mutex> lock(batch_mutex);
+        for (BatchSlot &slot : batch) {
+            if (!slot.done)
+                slot.claim.release();
+            slot.done = true;
         }
-        ++report.failedAttempts;
-        std::fprintf(stderr,
-                     "treevqa: worker %s: job %s attempt %d/%d "
-                     "failed: %s\n",
-                     options_.workerId.c_str(), spec.name.c_str(),
-                     priorAttempts + attempt, options_.maxJobAttempts,
-                     last_error.c_str());
-        if (attempt < attempt_budget && options_.retryBackoffMs > 0)
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                options_.retryBackoffMs << (attempt - 1)));
-    }
-    join_heartbeat();
+    };
 
+    for (BatchSlot &slot : batch) {
+        if (hb_timed_out.load())
+            break;
+        if (stop_.load()) {
+            // Stop requested between jobs: nothing to seal for the
+            // queued jobs — just hand their leases back.
+            join_heartbeat();
+            release_undone();
+            return JobOutcome::Interrupted;
+        }
+        if (slot_lost(slot)) {
+            ++report.lostClaims;
+            std::lock_guard<std::mutex> lock(batch_mutex);
+            slot.claim.release();
+            slot.done = true;
+            continue;
+        }
+        const ScenarioSpec &spec = specs[slot.index];
+        const std::string &fingerprint = fingerprints[slot.index];
+
+        ScenarioRunOptions run_options;
+        run_options.checkpointPath =
+            sweepCheckpointPath(options_.sweepDir, fingerprint);
+        run_options.haltAfterIterations =
+            options_.haltJobsAfterIterations;
+        run_options.onCheckpoint = options_.onCheckpoint;
+        run_options.progressCounter = &progress_counter;
+        run_options.shouldStop = [this] { return stop_.load(); };
+
+        publishHealth([&](WorkerHealth &h) {
+            h.state = "running";
+            h.jobFingerprint = fingerprint;
+            h.jobName = spec.name;
+            h.jobProgress = -1;
+            h.jobAttempt = 1;
+        });
+        progress_counter.store(-1); // fresh stall window per job
+
+        // Retry budget: a throwing job (defective spec, transient I/O
+        // on its checkpoint) is retried with exponential backoff
+        // while the heartbeat keeps the leases; after the budget it
+        // degrades to a poison-quarantine record instead of killing
+        // the worker — the sweep drains around the job, and the
+        // failure is on the record. Only the budget *remaining* after
+        // prior recorded fleet failures is spent here, so the whole
+        // fleet stays within maxJobAttempts.
+        const int attempt_budget =
+            std::max(1, options_.maxJobAttempts - slot.priorAttempts);
+        JobResult result;
+        std::string last_error;
+        bool job_ok = false;
+        int attempts_made = 0;
+        for (int attempt = 1; attempt <= attempt_budget; ++attempt) {
+            if (slot_lost(slot) || hb_timed_out.load())
+                break; // lease gone or watchdog fired: stop burning
+            ++attempts_made;
+            publishHealth(
+                [&](WorkerHealth &h) { h.jobAttempt = attempt; });
+            try {
+                if (const FaultHit hit = FAULT_POINT("worker.job"))
+                    if (hit.action == FaultAction::FailErrno)
+                        throw std::runtime_error(
+                            "injected job failure: "
+                            + std::string(std::strerror(hit.err)));
+                result = options_.jobRunner
+                    ? options_.jobRunner(spec, run_options)
+                    : runScenario(spec, run_options);
+                job_ok = true;
+                break;
+            } catch (const std::exception &e) {
+                last_error = e.what();
+            } catch (...) {
+                last_error = "unknown error";
+            }
+            ++report.failedAttempts;
+            std::fprintf(stderr,
+                         "treevqa: worker %s: job %s attempt %d/%d "
+                         "failed: %s\n",
+                         options_.workerId.c_str(), spec.name.c_str(),
+                         slot.priorAttempts + attempt,
+                         options_.maxJobAttempts, last_error.c_str());
+            if (attempt < attempt_budget
+                && options_.retryBackoffMs > 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    options_.retryBackoffMs << (attempt - 1)));
+        }
+
+        if (hb_timed_out.load())
+            break; // common timeout unwind below
+
+        if (job_ok && !result.completed) {
+            if (stop_.load()) {
+                // Graceful stop: the runner sealed a checkpoint at
+                // the current iteration; release every lease so the
+                // next claimant can resume immediately.
+                ++report.interrupted;
+                join_heartbeat();
+                release_undone();
+                return JobOutcome::Interrupted;
+            }
+            // Simulated crash: leave every held claim and the
+            // checkpoint exactly as a SIGKILL would.
+            join_heartbeat();
+            return JobOutcome::SimulatedCrash;
+        }
+
+        // Append only while provably still the owner; a lost lease
+        // means the reaper will record the (bit-identical) result
+        // instead. Like the heartbeat, an I/O failure during this
+        // ownership re-check degrades to "lease lost" rather than
+        // killing the worker with claims still held.
+        bool still_owner;
+        {
+            std::lock_guard<std::mutex> lock(batch_mutex);
+            still_owner = !slot.lost;
+            if (still_owner) {
+                try {
+                    still_owner = slot.claim.renew();
+                } catch (const std::exception &) {
+                    still_owner = false;
+                }
+                if (!still_owner)
+                    slot.lost = true;
+            }
+        }
+        if (!still_owner) {
+            ++report.lostClaims;
+            std::lock_guard<std::mutex> lock(batch_mutex);
+            slot.claim.release();
+            slot.done = true;
+            continue;
+        }
+        if (!job_ok) {
+            // Poison quarantine: record the failure — carrying
+            // exactly the attempts *this* claim session spent, so the
+            // merged view's accumulated count stays a true fleet-wide
+            // total — and treat the job as resolved locally. Whether
+            // the rest of the fleet agrees depends on the accumulated
+            // count reaching the budget.
+            JobResult poison;
+            poison.spec = spec;
+            poison.fingerprint = fingerprint;
+            poison.failed = true;
+            poison.errorMessage = last_error;
+            poison.attempts = attempts_made;
+            appendToShard(poison, report);
+            poisoned_.insert(fingerprint);
+            ++report.poisoned;
+            publishHealth([&](WorkerHealth &h) {
+                ++h.jobsFailed;
+                h.state = "idle";
+                h.jobFingerprint.clear();
+                h.jobName.clear();
+                h.jobProgress = -1;
+                h.jobAttempt = 0;
+            });
+            std::fprintf(
+                stderr,
+                "treevqa: worker %s: quarantined poison job %s "
+                "after %d/%d fleet-wide attempts (%s)\n",
+                options_.workerId.c_str(), spec.name.c_str(),
+                slot.priorAttempts + attempts_made,
+                options_.maxJobAttempts, last_error.c_str());
+        } else {
+            appendToShard(result, report);
+            ++report.completed;
+            if (result.resumed)
+                ++report.resumed;
+            publishHealth([&](WorkerHealth &h) {
+                ++h.jobsCompleted;
+                h.state = "idle";
+                h.jobFingerprint.clear();
+                h.jobName.clear();
+                h.jobProgress = -1;
+                h.jobAttempt = 0;
+            });
+        }
+        {
+            std::lock_guard<std::mutex> lock(batch_mutex);
+            slot.claim.release();
+            slot.done = true;
+        }
+        if (options_.maxJobs > 0
+            && report.completed
+                >= static_cast<std::size_t>(options_.maxJobs))
+            break; // queued leases released below
+    }
+
+    join_heartbeat();
     if (hb_timed_out.load()) {
-        // The watchdog abandoned the lease while runScenario was
-        // wedged; whatever it eventually returned is stale — the job
-        // belongs to whoever reaps the expired claim (or to the
+        // The watchdog abandoned every lease while runScenario was
+        // wedged; whatever it eventually returned is stale — the jobs
+        // belong to whoever reaps the expired claims (or to the
         // supervisor's SIGKILL, whichever lands first).
         ++report.timedOut;
+        release_undone();
         publishHealth([&](WorkerHealth &h) {
             ++h.jobsTimedOut;
             h.state = "idle";
@@ -425,91 +763,15 @@ WorkerDaemon::runClaimedJob(const ScenarioSpec &spec,
             h.jobAttempt = 0;
         });
         std::fprintf(stderr,
-                     "treevqa: worker %s: job %s hung (no progress "
-                     "for %lld ms); lease abandoned\n",
-                     options_.workerId.c_str(), spec.name.c_str(),
+                     "treevqa: worker %s: job hung (no progress for "
+                     "%lld ms); batch leases abandoned\n",
+                     options_.workerId.c_str(),
                      static_cast<long long>(options_.jobTimeoutMs));
-        claim.release();
         return JobOutcome::TimedOut;
     }
-
-    if (job_ok && !result.completed) {
-        if (stop_.load()) {
-            // Graceful stop: the runner sealed a checkpoint at the
-            // current iteration; release the claim so the next
-            // claimant can resume immediately.
-            ++report.interrupted;
-            claim.release();
-            return JobOutcome::Interrupted;
-        }
-        return JobOutcome::SimulatedCrash;
-    }
-
-    // Append only while provably still the owner; a lost lease means
-    // the reaper will record the (bit-identical) result instead. Like
-    // the heartbeat, an I/O failure during this ownership re-check
-    // degrades to "lease lost" rather than killing the worker with
-    // the claim still held.
-    bool still_owner = !hb_lost.load();
-    if (still_owner) {
-        try {
-            still_owner = claim.renew();
-        } catch (const std::exception &) {
-            still_owner = false;
-        }
-    }
-    if (!still_owner) {
-        ++report.lostClaims;
-        claim.release();
-        return JobOutcome::LostClaim;
-    }
-    ResultStore shard(
-        sweepShardPath(options_.sweepDir, options_.workerId));
-    if (!job_ok) {
-        // Poison quarantine: record the failure — carrying exactly the
-        // attempts *this* claim session spent, so the merged view's
-        // accumulated count stays a true fleet-wide total — and treat
-        // the job as resolved locally. Whether the rest of the fleet
-        // agrees depends on the accumulated count reaching the budget.
-        JobResult poison;
-        poison.spec = spec;
-        poison.fingerprint = fingerprint;
-        poison.failed = true;
-        poison.errorMessage = last_error;
-        poison.attempts = attempts_made;
-        shard.append(poison);
-        poisoned_.insert(fingerprint);
-        ++report.poisoned;
-        publishHealth([&](WorkerHealth &h) {
-            ++h.jobsFailed;
-            h.state = "idle";
-            h.jobFingerprint.clear();
-            h.jobName.clear();
-            h.jobProgress = -1;
-            h.jobAttempt = 0;
-        });
-        std::fprintf(stderr,
-                     "treevqa: worker %s: quarantined poison job %s "
-                     "after %d/%d fleet-wide attempts (%s)\n",
-                     options_.workerId.c_str(), spec.name.c_str(),
-                     priorAttempts + attempts_made,
-                     options_.maxJobAttempts, last_error.c_str());
-        claim.release();
-        return JobOutcome::Poisoned;
-    }
-    shard.append(result);
-    ++report.completed;
-    if (result.resumed)
-        ++report.resumed;
-    publishHealth([&](WorkerHealth &h) {
-        ++h.jobsCompleted;
-        h.state = "idle";
-        h.jobFingerprint.clear();
-        h.jobName.clear();
-        h.jobProgress = -1;
-        h.jobAttempt = 0;
-    });
-    claim.release();
+    // Normal exit (or maxJobs cutoff): hand back any leases we never
+    // got to.
+    release_undone();
     return JobOutcome::Completed;
 }
 

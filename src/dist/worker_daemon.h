@@ -4,50 +4,64 @@
  * processes (possibly on different hosts sharing a filesystem)
  * cooperatively drain one sweep directory.
  *
- * Each round the daemon expands the sweep's job list, loads the merged
- * record view (canonical store + all worker shards), and walks the
+ * Each round the daemon refreshes the sweep's job list (SweepIndex:
+ * parsed and fingerprinted once, re-expanded only when sweep.json
+ * actually changes), brings its incremental merged-record view up to
+ * date (StoreTailReader: per-file byte cursors, only appended lines
+ * parsed; a full loadMergedRecords rescan is the fallback after
+ * compaction or any cursor invalidation), and walks the
  * still-unrecorded jobs in a worker-specific rotation (so a fleet
- * doesn't stampede the same claim file). For every job it can claim
- * (WorkClaim) it drives the existing checkpointed ScenarioRunner — a
- * job interrupted by a crashed worker resumes from that worker's last
- * checkpoint — while a heartbeat thread renews the lease, then appends
- * the completed record to this worker's private JSONL shard
+ * doesn't stampede the same claim file). It claims up to `claimBatch`
+ * jobs per pass (WorkClaim) and runs them back to back under one
+ * heartbeat thread that renews every held lease round-robin — so the
+ * per-job claim traffic is one acquire and one release amortized over
+ * a batch, not one scan each. Each job drives the existing
+ * checkpointed ScenarioRunner — a job interrupted by a crashed worker
+ * resumes from that worker's last checkpoint — and its record is
+ * appended to this worker's private JSONL shard
  * (`<dir>/workers/<id>.jsonl`; per-worker files make cross-process
- * append interleaving impossible). When the sweep is drained the
- * daemon compacts the shards into the canonical store and summary
- * (store_merge.h).
+ * append interleaving impossible). With `shardRollBytes` set the
+ * shard is sealed into a `tiers/` L0 file once it passes the
+ * threshold and same-level tiers are folded `tierFanout`-to-1
+ * (store_merge.h), keeping the file set a reader must visit O(log) in
+ * records. When the incremental view says the sweep is drained, one
+ * authoritative full-merge load confirms it (the incremental view is
+ * an optimization, never the drain proof); then the daemon compacts
+ * everything into the canonical store and summary.
  *
  * A job that throws is retried within a per-job budget
  * (maxJobAttempts, exponential backoff); when the budget is spent the
  * job is quarantined as *poison* — a failed=true record is appended
  * so the sweep can drain around a defective spec instead of wedging
  * or killing the fleet. The budget is **fleet-wide**: failed records
- * persist the attempt count they account for, dedupeByFingerprint
- * accumulates counts across workers' records, and every worker treats
+ * persist the attempt count they account for, the merged views
+ * accumulate counts across workers' records, and every worker treats
  * a job as poison-resolved once the *cumulative* attempts reach its
  * own maxJobAttempts — so a defective spec costs at most
  * maxJobAttempts attempts across the whole fleet, not that many per
  * worker. A worker claiming a job with prior recorded failures only
  * spends the remaining budget.
  *
- * Liveness watchdog: the heartbeat thread stamps the job's monotonic
- * progress counter (optimizer iteration) into every lease renewal.
- * With jobTimeoutMs set, a lease whose renewals keep landing while
- * progress stays frozen past the timeout is a *hung* job — the
- * heartbeat stops renewing (abandoning the lease so another worker
- * can reap it) and the attempt is reported as timed out. The fleet
- * supervisor (dist/supervisor.h) watches the same progress stamps
- * from outside and SIGKILLs the wedged process.
+ * Liveness watchdog: the heartbeat thread stamps a batch-wide
+ * monotonic progress tick (advanced whenever the running job's
+ * optimizer iteration moves) into every lease renewal, so queued
+ * claims of a live worker keep advancing and only a genuine wedge
+ * freezes them. With jobTimeoutMs set, leases whose renewals keep
+ * landing while progress stays frozen past the timeout are a *hung*
+ * batch — the heartbeat stops renewing (abandoning every lease so
+ * other workers can reap them) and the attempt is reported as timed
+ * out. The fleet supervisor (dist/supervisor.h) watches the same
+ * progress stamps from outside and SIGKILLs the wedged process.
  *
  * Each worker also publishes an atomic health snapshot
  * (`<dir>/health/<id>.json`, dist/health.h) every heartbeat and state
  * transition — pure observability, never read by the protocol.
  *
  * Determinism: jobs are pure functions of their specs, so any worker
- * count, any claim interleaving and any kill schedule produce the same
- * final energies — bit-identical, timing excluded, to a
- * single-process JobScheduler run (tests/test_dist.cpp and the CI
- * two-worker smoke job enforce this).
+ * count, any claim batch size, any roll/fold schedule and any kill
+ * schedule produce the same final energies — bit-identical, timing
+ * excluded, to a single-process JobScheduler run (tests/test_dist.cpp
+ * and the CI smoke jobs enforce this).
  */
 
 #ifndef TREEVQA_DIST_WORKER_DAEMON_H
@@ -62,6 +76,7 @@
 #include <vector>
 
 #include "dist/health.h"
+#include "dist/store_tail.h"
 #include "dist/work_claim.h"
 #include "svc/scenario_runner.h"
 
@@ -83,13 +98,14 @@ struct WorkerOptions
     int maxJobs = 0;
     /** True: exit once every job has a record (waiting out live
      * leases of other workers). False: keep polling for new work —
-     * run() re-reads sweep.json each round, so appending scenarios to
-     * the request document feeds a running fleet. */
+     * run() re-checks sweep.json each round (one stat when
+     * unchanged), so appending scenarios to the request document
+     * feeds a running fleet. */
     bool drainAndExit = true;
     /** Idle wait between scan rounds when nothing was claimable. */
     std::int64_t pollMs = 200;
-    /** Compact shards into the canonical store + summary.json after
-     * draining (idempotent; concurrent drained workers may race
+    /** Compact shards/tiers into the canonical store + summary.json
+     * after draining (idempotent; concurrent drained workers may race
      * harmlessly). */
     bool mergeOnDrain = true;
     /** Per-job retry budget: a job that throws is retried (with
@@ -105,10 +121,38 @@ struct WorkerOptions
      * takeover (work_claim.h: claimIsStale). */
     std::int64_t skewGraceMs = kClaimSkewGraceMs;
     /**
+     * Jobs leased per scan pass. A worker acquires up to this many
+     * claims in one walk over the pending set, then runs them back to
+     * back under a single heartbeat, so claim-file round-trips per
+     * drained job stay O(1) instead of one scan pass each. 1
+     * degenerates to the pre-batching claim-per-scan behavior.
+     */
+    int claimBatch = 8;
+    /**
+     * Use the incremental tail-reader record view (O(appended bytes)
+     * per scan) instead of a full merged load per round. The drain
+     * decision is always confirmed by a full load either way; false
+     * exists for the dist_throughput bench's O(N)-rescan baseline and
+     * as an escape hatch.
+     */
+    bool incrementalScan = true;
+    /**
+     * Roll (seal) this worker's private shard into a `tiers/` L0 file
+     * once it exceeds this many bytes, then fold tiers `tierFanout`-
+     * to-1 (store_merge.h: rollShardToTier / maintainTiers). 0
+     * disables rolling — the right default below ~10^4 jobs, where
+     * one shard per worker stays cheap to tail.
+     */
+    std::int64_t shardRollBytes = 0;
+    /** Tier fold arity: fold a level once it accumulates this many
+     * files (min 2; only meaningful with shardRollBytes > 0). */
+    int tierFanout = 8;
+    /**
      * Crash simulation for tests: halt the current job after this
-     * many iterations *without* finalizing, releasing the claim, or
-     * continuing the loop — the on-disk state (stale claim + durable
-     * checkpoint) is exactly what a SIGKILL at that instant leaves.
+     * many iterations *without* finalizing, releasing any claim
+     * (including the rest of the batch), or continuing the loop — the
+     * on-disk state (stale claims + durable checkpoint) is exactly
+     * what a SIGKILL at that instant leaves.
      */
     int haltJobsAfterIterations = 0;
     /** Invoked after each durable checkpoint write (the worker CLI's
@@ -117,17 +161,28 @@ struct WorkerOptions
     /**
      * In-process hung-job watchdog (0 = disabled): when the job's
      * progress counter stays frozen this long while the heartbeat
-     * thread is alive, the heartbeat *stops renewing* — abandoning the
-     * lease so another worker can reap the job — and the attempt is
-     * reported as timed out. Must comfortably exceed the wall time of
-     * one optimizer iteration. The supervisor enforces the same
-     * timeout from outside with a SIGKILL (dist/supervisor.h).
+     * thread is alive, the heartbeat *stops renewing* — abandoning
+     * every held lease so other workers can reap the batch — and the
+     * attempt is reported as timed out. Must comfortably exceed the
+     * wall time of one optimizer iteration. The supervisor enforces
+     * the same timeout from outside with a SIGKILL
+     * (dist/supervisor.h).
      */
     std::int64_t jobTimeoutMs = 0;
     /** Publish per-process health snapshots to `<dir>/health/`
      * (dist/health.h). Off only for benchmarks that measure the loop
      * itself. */
     bool healthSnapshots = true;
+    /**
+     * Replace runScenario as the job body (benchmarks: synthetic
+     * no-op jobs that measure the claim path itself, not the
+     * simulator). The returned record is appended verbatim; it must
+     * carry the given spec and fingerprint. Null = run the real
+     * scenario runner.
+     */
+    std::function<JobResult(const ScenarioSpec &,
+                            const ScenarioRunOptions &)>
+        jobRunner;
 };
 
 /**
@@ -147,7 +202,8 @@ std::int64_t jitteredPollMs(std::int64_t pollMs,
  * `maxJobAttempts`. A failed record below the budget leaves the job
  * pending — another worker may still spend the remaining attempts. A
  * legacy failed record (attempts == 0) reads as budget-exhausted.
- * Shared by the worker scan loop and the supervisor's drained check.
+ * Shared by the worker's drain confirmation and the supervisor's
+ * drained check.
  */
 std::set<std::string>
 resolvedFingerprints(const std::vector<JobResult> &records,
@@ -179,10 +235,11 @@ struct WorkerReport
      * attempt count was appended. */
     std::size_t poisoned = 0;
     /** Jobs abandoned by the in-process hung-job watchdog: progress
-     * stalled past jobTimeoutMs, the lease was dropped for a reaper. */
+     * stalled past jobTimeoutMs, the leases were dropped for a
+     * reaper. */
     std::size_t timedOut = 0;
     /** Jobs sealed mid-run by a graceful stop (requestStop): the
-     * checkpoint was written at the current iteration and the claim
+     * checkpoint was written at the current iteration and the claims
      * released, so the next claimant resumes bit-identically. */
     std::size_t interrupted = 0;
     /** Every job in the sweep had a resolving record (completed or
@@ -192,6 +249,24 @@ struct WorkerReport
     bool merged = false;
     /** The haltJobsAfterIterations hook fired. */
     bool simulatedCrash = false;
+
+    // Claim-path cost counters (the dist_throughput bench currency).
+    /** Scan rounds over the pending set. */
+    std::size_t scanRounds = 0;
+    /** WorkClaim::tryAcquire round-trips (successful or not). */
+    std::size_t claimAttempts = 0;
+    /** Store bytes read building record views (incremental: tail
+     * appends consumed, plus full-load fallbacks; rescan mode: whole
+     * store per round). */
+    std::uint64_t storeBytesRead = 0;
+    /** Tail-reader cursor invalidations that forced a full rescan. */
+    std::uint64_t fullRescans = 0;
+    /** Times the sweep cross-product was (re-)expanded. */
+    std::uint64_t specExpansions = 0;
+    /** Private-shard rolls into L0 tiers. */
+    std::size_t shardRolls = 0;
+    /** Tier folds performed by this worker. */
+    std::size_t tierFolds = 0;
 };
 
 /** One worker process's drain loop over a shared sweep directory. */
@@ -209,8 +284,8 @@ class WorkerDaemon
     static std::vector<ScenarioSpec>
     loadSweepSpecs(const std::string &sweepDir);
 
-    /** Drain loop over the sweep.json job list (re-read every scan
-     * round in daemon mode). */
+    /** Drain loop over the sweep.json job list (re-checked every scan
+     * round in daemon mode; re-expanded only on change). */
     WorkerReport run();
 
     /** Drain loop over a fixed job list (tests, benches). */
@@ -218,12 +293,33 @@ class WorkerDaemon
 
     /** Ask the loop to stop (signal-safe: only sets an atomic flag).
      * A job in flight is *sealed*, not finished: the runner writes a
-     * checkpoint at its current iteration, the claim is released, and
-     * no record is appended — the next claimant resumes exactly
-     * there. */
+     * checkpoint at its current iteration, every held claim is
+     * released, and no record is appended — the next claimant resumes
+     * exactly there. */
     void requestStop() { stop_.store(true); }
 
   private:
+    /** One claim gathered into the current batch. */
+    struct BatchSlot
+    {
+        std::size_t index = 0;
+        WorkClaim claim;
+        int priorAttempts = 0;
+        /** Job finished (claim released/abandoned); heartbeat must
+         * not touch the claim anymore. */
+        bool done = false;
+        /** Lease lost (renewal failed or watchdog abandoned it). */
+        bool lost = false;
+    };
+
+    /** The fixed-for-one-round job list a scan operates on. */
+    struct JobSet
+    {
+        const std::vector<ScenarioSpec> *specs = nullptr;
+        const std::vector<std::string> *fingerprints = nullptr;
+        std::uint64_t expansions = 0;
+    };
+
     enum class JobOutcome
     {
         Completed,
@@ -231,20 +327,26 @@ class WorkerDaemon
         SimulatedCrash,
         /** Every attempt threw; a failed=true record was appended. */
         Poisoned,
-        /** The in-process watchdog abandoned the lease: progress
-         * stalled past jobTimeoutMs. No record; a reaper reruns. */
+        /** The in-process watchdog abandoned every held lease:
+         * progress stalled past jobTimeoutMs. No record; reapers
+         * rerun. */
         TimedOut,
         /** requestStop sealed the job mid-run (checkpoint written,
-         * claim released, no record). */
+         * claims released, no record). */
         Interrupted
     };
 
-    WorkerReport
-    runLoop(const std::function<std::vector<ScenarioSpec>()> &specs);
-    JobOutcome runClaimedJob(const ScenarioSpec &spec,
-                             const std::string &fingerprint,
-                             int priorAttempts, WorkClaim &claim,
-                             WorkerReport &report);
+    WorkerReport runLoop(const std::function<JobSet()> &source);
+    /** The scan/claim/run rounds; split out so runLoop can fold the
+     * tail-reader counters into the report on every exit path. */
+    WorkerReport scanLoop(const std::function<JobSet()> &source,
+                          StoreTailReader &tail);
+    JobOutcome runClaimedBatch(const JobSet &jobs,
+                               std::vector<BatchSlot> &batch,
+                               WorkerReport &report);
+    /** Append `record` to this worker's shard and roll/fold when past
+     * the size threshold. */
+    void appendToShard(const JobResult &record, WorkerReport &report);
     /** Mutate the health snapshot under its lock and publish it
      * (best-effort; no-op when healthSnapshots is off). */
     void publishHealth(const std::function<void(WorkerHealth &)> &fn);
@@ -259,6 +361,9 @@ class WorkerDaemon
      * validation), so a drain can never loop on re-running a job
      * this process has already given up on. */
     std::set<std::string> poisoned_;
+    /** Roll sequence base: unique across restarts of one worker id so
+     * a roll never renames onto a previous incarnation's tier. */
+    std::uint64_t rollSeq_ = 0;
 };
 
 } // namespace treevqa

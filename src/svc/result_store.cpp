@@ -34,14 +34,8 @@ sortedByName(const std::vector<JobResult> &results)
     return sorted;
 }
 
-/**
- * Quarantine one corrupt store line: wrap it (with provenance and the
- * reason it was rejected) in a JSON envelope appended to
- * `<quarantine>/<store-file>`. Best effort — a quarantine that cannot
- * be written must not turn a tolerated corruption into a crash — and
- * once per (store, line, content) per process, because scan loops
- * reload stores many times per corrupt line's lifetime.
- */
+} // namespace
+
 void
 quarantineStoreLine(const std::string &storePath,
                     std::size_t lineNumber, const std::string &line,
@@ -80,17 +74,57 @@ quarantineStoreLine(const std::string &storePath,
     }
 }
 
-} // namespace
+StoredLineStatus
+decodeStoredLine(const std::string &line, JobResult &record,
+                 std::string *reason)
+{
+    const auto reject = [&](const std::string &why) {
+        if (reason)
+            *reason = why;
+    };
+    JsonValue json;
+    try {
+        json = JsonValue::parse(line);
+    } catch (const std::exception &e) {
+        // Most likely the torn final line of a killed writer; resume
+        // re-runs that job from its checkpoint.
+        reject(std::string("unparseable: ") + e.what());
+        return StoredLineStatus::ParseFailure;
+    }
+    if (json.isObject() && json.contains("crc")) {
+        const std::string expected = json.at("crc").asString();
+        json.erase("crc");
+        if (crc32Hex(json.dump()) != expected) {
+            reject("crc mismatch");
+            return StoredLineStatus::CrcMismatch;
+        }
+    }
+    try {
+        record = jobResultFromJson(json);
+    } catch (const std::exception &e) {
+        reject(std::string("invalid record: ") + e.what());
+        return StoredLineStatus::ParseFailure;
+    }
+    // A record whose stored fingerprint contradicts its own spec was
+    // corrupted (or forged) in a way the CRC cannot see when the whole
+    // line was rewritten consistently.
+    if (record.fingerprint != scenarioFingerprint(record.spec)) {
+        reject("fingerprint does not match spec");
+        return StoredLineStatus::FingerprintMismatch;
+    }
+    return StoredLineStatus::Ok;
+}
 
 std::string
 quarantineDirFor(const std::string &storePath)
 {
     std::filesystem::path parent =
         std::filesystem::path(storePath).parent_path();
-    // Worker shards live one level down (<sweep>/workers/<id>.jsonl);
+    // Worker shards and sealed tiers live one level down
+    // (<sweep>/workers/<id>.jsonl, <sweep>/tiers/L<k>-<tag>.jsonl);
     // their quarantine belongs with the sweep's, in <sweep>/quarantine
     // (sweep_dir.h layout).
-    if (parent.filename() == "workers")
+    if (parent.filename() == "workers" || parent.filename() == "tiers")
         parent = parent.parent_path();
     return (parent / "quarantine").string();
 }
@@ -197,49 +231,24 @@ ResultStore::load(StoreLoadStats *stats) const
         ++line_number;
         if (line.empty())
             continue;
-        JsonValue json;
-        try {
-            json = JsonValue::parse(line);
-        } catch (const std::exception &e) {
-            // Most likely the torn final line of a killed writer;
-            // resume re-runs that job from its checkpoint.
-            ++local.parseFailures;
-            quarantineStoreLine(path_, line_number, line,
-                                std::string("unparseable: ")
-                                    + e.what());
-            continue;
-        }
-        if (json.isObject() && json.contains("crc")) {
-            const std::string expected = json.at("crc").asString();
-            json.erase("crc");
-            if (crc32Hex(json.dump()) != expected) {
-                ++local.crcMismatches;
-                quarantineStoreLine(path_, line_number, line,
-                                    "crc mismatch");
-                continue;
-            }
-        }
         JobResult record;
-        try {
-            record = jobResultFromJson(json);
-        } catch (const std::exception &e) {
+        std::string reason;
+        switch (decodeStoredLine(line, record, &reason)) {
+        case StoredLineStatus::Ok:
+            ++local.records;
+            records.push_back(std::move(record));
+            continue;
+        case StoredLineStatus::ParseFailure:
             ++local.parseFailures;
-            quarantineStoreLine(path_, line_number, line,
-                                std::string("invalid record: ")
-                                    + e.what());
-            continue;
-        }
-        // A record whose stored fingerprint contradicts its own spec
-        // was corrupted (or forged) in a way the CRC cannot see when
-        // the whole line was rewritten consistently.
-        if (record.fingerprint != scenarioFingerprint(record.spec)) {
+            break;
+        case StoredLineStatus::CrcMismatch:
+            ++local.crcMismatches;
+            break;
+        case StoredLineStatus::FingerprintMismatch:
             ++local.fingerprintMismatches;
-            quarantineStoreLine(path_, line_number, line,
-                                "fingerprint does not match spec");
-            continue;
+            break;
         }
-        ++local.records;
-        records.push_back(std::move(record));
+        quarantineStoreLine(path_, line_number, line, reason);
     }
     if (stats)
         *stats = local;

@@ -44,6 +44,44 @@ JobResult jobResultFromJson(const JsonValue &json);
  * compaction both write this form. */
 std::string jobResultToStoredLine(const JobResult &result);
 
+/** Verdict of validating one stored JSONL line (the full PR-6 chain:
+ * JSON parse → CRC check → record decode → fingerprint-vs-spec).
+ * Shared by ResultStore::load and the incremental tail reader
+ * (dist/store_tail.h) so both paths reject exactly the same lines. */
+enum class StoredLineStatus
+{
+    Ok,
+    /** The line did not parse as JSON, or parsed but was not a valid
+     * record (missing/mistyped fields). */
+    ParseFailure,
+    /** The line's trailing "crc" member contradicted its content. */
+    CrcMismatch,
+    /** The stored fingerprint contradicted the stored spec. */
+    FingerprintMismatch
+};
+
+/** Run the full validation chain on one stored line. On Ok, `record`
+ * receives the decoded record; otherwise `reason` (when non-null)
+ * receives a human-readable rejection reason. Pure — quarantining is
+ * the caller's job (quarantineStoreLine). */
+StoredLineStatus decodeStoredLine(const std::string &line,
+                                  JobResult &record,
+                                  std::string *reason = nullptr);
+
+/**
+ * Quarantine one corrupt store line: wrap it (with provenance and the
+ * rejection reason) in a JSON envelope appended under
+ * `quarantineDirFor(storePath)`. Best effort — a quarantine that
+ * cannot be written must not turn a tolerated corruption into a crash
+ * — and once per (store, line, content) per process, because scan
+ * loops (full and incremental alike) revisit a corrupt line many
+ * times over its lifetime.
+ */
+void quarantineStoreLine(const std::string &storePath,
+                         std::size_t lineNumber,
+                         const std::string &line,
+                         const std::string &reason);
+
 /** What a load pass saw. corrupt() is the lines that failed any
  * validation and were skipped (and, best-effort, quarantined). */
 struct StoreLoadStats

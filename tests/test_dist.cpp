@@ -568,6 +568,9 @@ TEST(WorkerDaemon, CrashedWorkersJobIsReclaimedFromItsCheckpoint)
     crash_options.sweepDir = dir.string();
     crash_options.workerId = "crasher";
     crash_options.leaseMs = 200;
+    // One claim at a time so exactly one (the crashed job's) is left;
+    // BatchedClaimCrashAbandonsTheWholeBatch covers claimBatch > 1.
+    crash_options.claimBatch = 1;
     crash_options.haltJobsAfterIterations = 6;
     const WorkerReport crashed =
         WorkerDaemon(crash_options).run(specs);
@@ -862,6 +865,145 @@ TEST(WorkerDaemon, PoisonBudgetIsFleetWideAcrossWorkers)
     ASSERT_EQ(merged.size(), specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i)
         expectJobsBitIdentical(merged[i], reference[i]);
+}
+
+TEST(WorkerDaemon, BatchedClaimCrashAbandonsTheWholeBatch)
+{
+    const auto dir = scratchDir("batch_crash");
+    const std::vector<ScenarioSpec> specs = tinySweep(4);
+    const std::vector<JobResult> reference =
+        referenceRun(specs, "batch_crash_ref");
+
+    // Worker A leases the whole sweep in one batch pass, then
+    // "crashes" on its first job: every claim in the batch — the
+    // running job's and the three queued ones — must be left on disk
+    // exactly as a SIGKILL would leave them.
+    WorkerOptions crash_options;
+    crash_options.sweepDir = dir.string();
+    crash_options.workerId = "crasher";
+    crash_options.leaseMs = 200;
+    crash_options.claimBatch = 8;
+    crash_options.haltJobsAfterIterations = 6;
+    const WorkerReport crashed =
+        WorkerDaemon(crash_options).run(specs);
+    EXPECT_TRUE(crashed.simulatedCrash);
+    EXPECT_EQ(crashed.completed, 0u);
+    for (const ScenarioSpec &spec : specs)
+        EXPECT_TRUE(WorkClaim::peek(sweepClaimDir(dir.string()),
+                                    scenarioFingerprint(spec))
+                        .has_value())
+            << spec.name;
+
+    // A survivor reaps all four stale leases once they expire and
+    // drains the sweep — the abandoned batch cost nothing but time.
+    WorkerOptions survivor_options;
+    survivor_options.sweepDir = dir.string();
+    survivor_options.workerId = "survivor";
+    survivor_options.leaseMs = 60000;
+    survivor_options.pollMs = 10;
+    const WorkerReport survived =
+        WorkerDaemon(survivor_options).run(specs);
+    EXPECT_EQ(survived.completed, specs.size());
+    EXPECT_GE(survived.reapedLeases, specs.size());
+    EXPECT_GE(survived.resumed, 1u);
+    EXPECT_TRUE(survived.drained);
+
+    const std::vector<JobResult> merged =
+        loadMergedRecords(dir.string());
+    ASSERT_EQ(merged.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectJobsBitIdentical(merged[i], reference[i]);
+    std::string summary;
+    ASSERT_TRUE(readTextFile(sweepSummaryPath(dir.string()), summary));
+    EXPECT_EQ(summary, sweepSummaryJson(reference).dump(2) + "\n");
+}
+
+TEST(WorkerDaemon, BatchedRollingWorkersStayBitIdentical)
+{
+    // The full PR-8 claim path at once: two concurrent workers,
+    // batched leasing, shard rolling at a tiny threshold (every
+    // record triggers a roll) and fanout-2 tier folding — the final
+    // compacted store and summary must still be byte-identical to the
+    // single-process reference, like every other schedule.
+    const auto dir = scratchDir("batch_roll");
+    const std::vector<ScenarioSpec> specs = tinySweep(6);
+    const std::vector<JobResult> reference =
+        referenceRun(specs, "batch_roll_ref");
+
+    const auto make_options = [&](const char *id) {
+        WorkerOptions options;
+        options.sweepDir = dir.string();
+        options.workerId = id;
+        options.leaseMs = 60000;
+        options.pollMs = 5;
+        options.claimBatch = 3;
+        options.shardRollBytes = 1; // roll after every append
+        options.tierFanout = 2;
+        return options;
+    };
+    WorkerDaemon wa(make_options("wa"));
+    WorkerDaemon wb(make_options("wb"));
+    WorkerReport ra, rb;
+    std::thread ta([&] { ra = wa.run(specs); });
+    std::thread tb([&] { rb = wb.run(specs); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(ra.completed + rb.completed, specs.size());
+    EXPECT_EQ(ra.lostClaims + rb.lostClaims, 0u);
+    EXPECT_GE(ra.shardRolls + rb.shardRolls, specs.size());
+    EXPECT_TRUE(ra.drained);
+    EXPECT_TRUE(rb.drained);
+
+    const std::vector<JobResult> merged =
+        loadMergedRecords(dir.string());
+    ASSERT_EQ(merged.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        expectJobsBitIdentical(merged[i], reference[i]);
+    std::string summary;
+    ASSERT_TRUE(readTextFile(sweepSummaryPath(dir.string()), summary));
+    EXPECT_EQ(summary, sweepSummaryJson(reference).dump(2) + "\n");
+    // Compaction retired every tier and shard.
+    std::error_code ec;
+    std::size_t leftovers = 0;
+    for (const auto *sub : {"tiers", "workers"}) {
+        for (const auto &entry : std::filesystem::directory_iterator(
+                 dir / sub, ec)) {
+            (void)entry;
+            ++leftovers;
+        }
+    }
+    EXPECT_EQ(leftovers, 0u);
+}
+
+TEST(WorkerDaemon, RescanBaselineReadsMoreThanIncrementalScan)
+{
+    // The claim-path optimization, asserted end to end: draining the
+    // same sweep with the incremental tail reader must read far fewer
+    // store bytes than the full-rescan baseline, and reach the same
+    // records.
+    const std::vector<ScenarioSpec> specs = tinySweep(4);
+    const auto run_mode = [&](const char *name, bool incremental) {
+        const auto dir = scratchDir(name);
+        WorkerOptions options;
+        options.sweepDir = dir.string();
+        options.workerId = "w";
+        options.leaseMs = 60000;
+        options.claimBatch = 1; // one scan per job: worst case
+        options.incrementalScan = incremental;
+        options.mergeOnDrain = false;
+        const WorkerReport report = WorkerDaemon(options).run(specs);
+        EXPECT_EQ(report.completed, specs.size());
+        EXPECT_EQ(loadMergedRecords(dir.string()).size(),
+                  specs.size());
+        return report;
+    };
+    const WorkerReport incremental = run_mode("scan_incr", true);
+    const WorkerReport rescan = run_mode("scan_full", false);
+    EXPECT_LT(incremental.storeBytesRead, rescan.storeBytesRead);
+    // Amortized claim traffic: no more than a few acquire round-trips
+    // per drained job even at batch size 1.
+    EXPECT_LE(incremental.claimAttempts, specs.size() * 3);
 }
 
 TEST(WorkerDaemon, GracefulStopSealsCheckpointAndResumesBitIdentical)

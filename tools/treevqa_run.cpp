@@ -40,7 +40,9 @@
  *   --summary-only
  *                 print only the deterministic summary JSON (no
  *                 table; what CI diffs between fresh and resumed
- *                 sweeps)
+ *                 sweeps); with --status, print only the totals line
+ *                 (counts stream off the record scalars — no job
+ *                 table, no record bodies, no checkpoint reads)
  *   --abort-after-checkpoints N
  *                 _Exit(75) after the Nth checkpoint write across all
  *                 jobs — a deterministic stand-in for SIGKILL used by
@@ -58,12 +60,14 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/file_util.h"
 #include "common/thread_pool.h"
 #include "dist/health.h"
 #include "dist/store_merge.h"
+#include "dist/store_tail.h"
 #include "dist/work_claim.h"
 #include "dist/worker_daemon.h"
 #include "svc/job_scheduler.h"
@@ -93,52 +97,97 @@ std::atomic<long> g_checkpointsUntilAbort{0};
 /**
  * --status: one line per job — recorded / claimed (owner, lease) /
  * stale claim / checkpointed / pending — assembled read-only from the
- * sweep directory's records, claim files and checkpoints. Safe to run
- * while a worker fleet is live.
+ * sweep directory. Safe to run while a worker fleet is live.
+ *
+ * Built to scale: the record stores stream through the tail reader
+ * (folded scalars only, never the trajectory/parameter bodies) and
+ * the claim/checkpoint states come from one directory listing each —
+ * not a peek-probe pair per job — so a 10^6-job status is O(jobs +
+ * store bytes) with a small constant, and `--summary-only` skips even
+ * the per-job table and checkpoint peeks, printing just the counts.
  */
 void
 printStatus(const std::vector<ScenarioSpec> &specs,
-            const std::string &dir)
+            const std::string &dir, bool summaryOnly)
 {
-    std::map<std::string, const JobResult *> recorded;
-    std::size_t quarantined_lines = 0;
-    const std::vector<JobResult> records =
-        loadMergedRecords(dir, &quarantined_lines);
-    for (const JobResult &record : records)
-        if (record.completed || record.failed)
-            recorded.emplace(record.fingerprint, &record);
+    StoreTailReader tail(dir);
+    tail.refresh();
+    const std::map<std::string, JobResolution> &resolutions =
+        tail.resolutions();
+
+    std::map<std::string, ClaimInfo> claims;
+    {
+        std::error_code ec;
+        std::filesystem::directory_iterator it(sweepClaimDir(dir), ec);
+        if (!ec)
+            for (const auto &entry : it) {
+                if (entry.path().extension() != ".lock")
+                    continue;
+                std::string text;
+                if (!readTextFile(entry.path().string(), text))
+                    continue;
+                try {
+                    ClaimInfo info =
+                        claimFromJson(JsonValue::parse(text));
+                    std::string fp = info.fingerprint;
+                    claims.emplace(std::move(fp), std::move(info));
+                } catch (const std::exception &) {
+                    // Torn claim mid-write: invisible this probe.
+                }
+            }
+    }
+    std::set<std::string> checkpointed;
+    {
+        std::error_code ec;
+        std::filesystem::directory_iterator it(sweepCheckpointDir(dir),
+                                               ec);
+        if (!ec)
+            for (const auto &entry : it)
+                if (entry.path().extension() == ".json")
+                    checkpointed.insert(entry.path().stem().string());
+    }
 
     const std::int64_t now = unixTimeMs();
     std::size_t done = 0, failed = 0, timed_out = 0, poisoned = 0,
                 running = 0, stale = 0, paused = 0, pending = 0;
-    std::printf("%-32s %-10s %s\n", "job", "state", "detail");
+    if (!summaryOnly)
+        std::printf("%-32s %-10s %s\n", "job", "state", "detail");
     for (const ScenarioSpec &spec : specs) {
         const std::string fp = scenarioFingerprint(spec);
         char detail[160] = {0};
         const char *state = "pending";
 
-        const auto it = recorded.find(fp);
-        const std::optional<ClaimInfo> claim =
-            WorkClaim::peek(sweepClaimDir(dir), fp);
-        const std::optional<CheckpointPeek> checkpoint =
-            peekCheckpoint(sweepCheckpointPath(dir, fp));
-        const int iteration =
-            checkpoint ? checkpoint->iteration : 0;
+        const auto res = resolutions.find(fp);
+        const bool recorded = res != resolutions.end()
+            && (res->second.completed || res->second.failed);
+        const auto claim = claims.find(fp);
+        const bool has_checkpoint = checkpointed.count(fp) > 0;
+        // The checkpoint body is only opened for the jobs whose
+        // detail line shows an iteration — never in summary mode.
+        const auto iteration = [&]() -> int {
+            if (!has_checkpoint)
+                return 0;
+            const std::optional<CheckpointPeek> peek =
+                peekCheckpoint(sweepCheckpointPath(dir, fp));
+            return peek ? peek->iteration : 0;
+        };
 
-        if (it != recorded.end() && it->second->completed) {
+        if (recorded && res->second.completed) {
             state = "done";
             ++done;
-            std::snprintf(detail, sizeof(detail),
-                          "energy=%.8f iters=%d", it->second->finalEnergy,
-                          it->second->iterations);
-        } else if (it != recorded.end()) {
-            // A failure record: "poisoned" once the cumulative
+            if (!summaryOnly)
+                std::snprintf(detail, sizeof(detail),
+                              "energy=%.8f iters=%d",
+                              res->second.finalEnergy,
+                              res->second.iterations);
+        } else if (recorded) {
+            // A failure verdict: "poisoned" once the cumulative
             // attempts reach the default fleet budget (attempts==0 is
             // a legacy budget-exhausted record) — a default fleet
             // skips the job durably; otherwise "timed-out" when the
             // hung-job watchdog wrote it, else plain "failed", both
             // still retryable.
-            const JobResult &r = *it->second;
+            const JobResolution &r = res->second;
             const int default_budget = WorkerOptions{}.maxJobAttempts;
             if (r.attempts == 0 || r.attempts >= default_budget) {
                 state = "poisoned";
@@ -150,47 +199,56 @@ printStatus(const std::vector<ScenarioSpec> &specs,
                 state = "failed";
                 ++failed;
             }
-            std::snprintf(detail, sizeof(detail),
-                          "attempts=%d error=%.100s", r.attempts,
-                          r.errorMessage.c_str());
-        } else if (claim && now <= claim->deadlineMs) {
+            if (!summaryOnly)
+                std::snprintf(detail, sizeof(detail),
+                              "attempts=%d error=%.100s", r.attempts,
+                              r.errorMessage.c_str());
+        } else if (claim != claims.end()
+                   && now <= claim->second.deadlineMs) {
             state = "running";
             ++running;
-            std::snprintf(detail, sizeof(detail),
-                          "worker=%s lease=%lldms iter=%d/%d "
-                          "progress=%lld",
-                          claim->owner.c_str(),
-                          static_cast<long long>(claim->deadlineMs
-                                                 - now),
-                          iteration, spec.maxIterations,
-                          static_cast<long long>(claim->progress));
-        } else if (claim) {
+            if (!summaryOnly)
+                std::snprintf(
+                    detail, sizeof(detail),
+                    "worker=%s lease=%lldms iter=%d/%d progress=%lld",
+                    claim->second.owner.c_str(),
+                    static_cast<long long>(claim->second.deadlineMs
+                                           - now),
+                    iteration(), spec.maxIterations,
+                    static_cast<long long>(claim->second.progress));
+        } else if (claim != claims.end()) {
             state = "stale";
             ++stale;
-            std::snprintf(detail, sizeof(detail),
-                          "worker=%s expired %lldms ago iter=%d/%d "
-                          "(reclaimable)",
-                          claim->owner.c_str(),
-                          static_cast<long long>(now
-                                                 - claim->deadlineMs),
-                          iteration, spec.maxIterations);
-        } else if (checkpoint) {
+            if (!summaryOnly)
+                std::snprintf(
+                    detail, sizeof(detail),
+                    "worker=%s expired %lldms ago iter=%d/%d "
+                    "(reclaimable)",
+                    claim->second.owner.c_str(),
+                    static_cast<long long>(now
+                                           - claim->second.deadlineMs),
+                    iteration(), spec.maxIterations);
+        } else if (has_checkpoint) {
             state = "paused";
             ++paused;
-            std::snprintf(detail, sizeof(detail),
-                          "checkpoint at iter %d/%d", iteration,
-                          spec.maxIterations);
+            if (!summaryOnly)
+                std::snprintf(detail, sizeof(detail),
+                              "checkpoint at iter %d/%d", iteration(),
+                              spec.maxIterations);
         } else {
             ++pending;
         }
-        std::printf("%-32s %-10s %s\n", spec.name.c_str(), state,
-                    detail);
+        if (!summaryOnly)
+            std::printf("%-32s %-10s %s\n", spec.name.c_str(), state,
+                        detail);
     }
     std::printf("%zu jobs: %zu done, %zu failed, %zu timed-out, "
                 "%zu poisoned, %zu running, %zu stale, %zu paused, "
                 "%zu pending; %zu quarantined line(s)\n",
                 specs.size(), done, failed, timed_out, poisoned,
-                running, stale, paused, pending, quarantined_lines);
+                running, stale, paused, pending,
+                static_cast<std::size_t>(
+                    tail.counters().quarantinedLines));
 }
 
 } // namespace
@@ -296,7 +354,7 @@ main(int argc, char **argv)
         }
 
         if (status) {
-            printStatus(specs, out_dir);
+            printStatus(specs, out_dir, summary_only);
             return 0;
         }
 

@@ -26,6 +26,18 @@
  *   --drain-and-exit exit once every job has a record (default: keep
  *                    polling sweep.json for new work)
  *   --poll-ms N      idle rescan interval (default 200)
+ *   --claim-batch N  jobs leased per scan pass (default 8); the batch
+ *                    shares one heartbeat thread and releases (or, on
+ *                    a crash, abandons) together
+ *   --full-rescan    disable the incremental tail reader and re-read
+ *                    the whole store every scan (the O(N·scans)
+ *                    baseline; for benchmarks and debugging)
+ *   --shard-roll-bytes N
+ *                    roll the private shard into DIR/tiers/ once it
+ *                    reaches N bytes and fold tiers as they pile up
+ *                    (default 0 = never roll; the drain-time
+ *                    compaction handles everything)
+ *   --tier-fanout N  sealed tier files per fold (default 8, min 2)
  *   --no-merge       skip the shard→store compaction after draining
  *   --merge-only     just run the merge/compaction pass and exit;
  *                    exits 1 when corrupt store lines were found (the
@@ -89,7 +101,9 @@ usage(const char *argv0, bool requested)
         requested ? stdout : stderr,
         "usage: %s --sweep-dir DIR [--spec FILE] [--worker-id ID]\n"
         "       [--lease-ms N] [--max-jobs N] [--drain-and-exit]\n"
-        "       [--poll-ms N] [--no-merge] [--merge-only]\n"
+        "       [--poll-ms N] [--claim-batch N] [--full-rescan]\n"
+        "       [--shard-roll-bytes N] [--tier-fanout N]\n"
+        "       [--no-merge] [--merge-only]\n"
         "       [--max-job-attempts N] [--retry-backoff-ms N]\n"
         "       [--job-timeout-ms N] [--sigkill-after-checkpoints N]\n"
         "       [--sigkill-storm N]\n",
@@ -146,6 +160,10 @@ main(int argc, char **argv)
     long max_job_attempts = 3;
     long retry_backoff_ms = 50;
     long job_timeout_ms = 0;
+    long claim_batch = 8;
+    long shard_roll_bytes = 0;
+    long tier_fanout = 8;
+    bool full_rescan = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -176,6 +194,14 @@ main(int argc, char **argv)
             next_positive(max_jobs);
         } else if (arg == "--poll-ms") {
             next_positive(poll_ms);
+        } else if (arg == "--claim-batch") {
+            next_positive(claim_batch);
+        } else if (arg == "--shard-roll-bytes") {
+            next_positive(shard_roll_bytes);
+        } else if (arg == "--tier-fanout") {
+            next_positive(tier_fanout);
+        } else if (arg == "--full-rescan") {
+            full_rescan = true;
         } else if (arg == "--drain-and-exit") {
             drain_and_exit = true;
         } else if (arg == "--no-merge") {
@@ -256,6 +282,10 @@ main(int argc, char **argv)
         options.maxJobAttempts = static_cast<int>(max_job_attempts);
         options.retryBackoffMs = retry_backoff_ms;
         options.jobTimeoutMs = job_timeout_ms;
+        options.claimBatch = static_cast<int>(claim_batch);
+        options.incrementalScan = !full_rescan;
+        options.shardRollBytes = shard_roll_bytes;
+        options.tierFanout = static_cast<int>(tier_fanout);
         if (sigkill_storm > 0) {
             g_stormDir = (std::filesystem::path(sweep_dir)
                           / "killstorm")
@@ -297,6 +327,16 @@ main(int argc, char **argv)
                     report.interrupted, report.drained ? "yes" : "no",
                     report.merged ? "yes" : "no",
                     report.simulatedCrash ? " (simulated crash)" : "");
+        std::printf("worker %s: scans=%zu claims=%zu store-bytes=%llu "
+                    "rescans=%llu expansions=%llu rolls=%zu folds=%zu\n",
+                    daemon.options().workerId.c_str(),
+                    report.scanRounds, report.claimAttempts,
+                    static_cast<unsigned long long>(
+                        report.storeBytesRead),
+                    static_cast<unsigned long long>(report.fullRescans),
+                    static_cast<unsigned long long>(
+                        report.specExpansions),
+                    report.shardRolls, report.tierFolds);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "treevqa_worker: %s\n", e.what());
