@@ -26,8 +26,10 @@
 #include "circuit/uccsd_min.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/objective.h"
 #include "dist/supervisor.h"
 #include "dist/work_claim.h"
@@ -734,10 +736,91 @@ benchFleetSupervision()
 }
 
 void
+benchObservability()
+{
+    // PR 9 observability series, same convention as the fault_points_*
+    // guards: a disarmed TRACE_SPAN must cost one relaxed atomic load
+    // (trace_overhead_off is the bare loop, so the disarmed row's delta
+    // over it is the span's whole disarmed price), the armed row prices
+    // the two clock reads + ring write, and metrics_counter_inc guards
+    // the sharded counter's uncontended fast path. ref of the disarmed
+    // and armed rows is the bare loop, so their speedup columns read
+    // "fraction of the loop the instrumentation costs" (~1.0x disarmed
+    // = within noise of no instrumentation at all).
+    constexpr int kCalls = 4096;
+    volatile std::uint64_t sink = 0;
+    const auto bare_loop = [&] {
+        for (int i = 0; i < kCalls; ++i)
+            sink = sink + 1;
+    };
+    const auto span_loop = [&] {
+        for (int i = 0; i < kCalls; ++i) {
+            TRACE_SPAN("bench.span");
+            sink = sink + 1;
+        }
+    };
+
+    TraceRecorder::instance().disarm();
+    const double off = timeNs(bare_loop) / kCalls;
+    const double disarmed = timeNs(span_loop) / kCalls;
+    TraceRecorder::instance().arm(kCalls);
+    const double armed = timeNs(span_loop) / kCalls;
+    TraceRecorder::instance().disarm();
+    TraceRecorder::instance().clear();
+    record("trace_overhead_off", 0, off, 0.0);
+    record("trace_overhead_disarmed", 0, disarmed, off);
+    record("trace_overhead_armed", 0, armed, off);
+
+    Counter &counter =
+        MetricsRegistry::instance().counter("bench.counter");
+    const double inc = timeNs([&] {
+                           for (int i = 0; i < kCalls; ++i)
+                               counter.inc();
+                       })
+        / kCalls;
+    record("metrics_counter_inc", 0, inc, 0.0);
+
+    Histogram &hist =
+        MetricsRegistry::instance().histogram("bench.hist_ns");
+    const double observe = timeNs([&] {
+                               for (int i = 0; i < kCalls; ++i)
+                                   hist.observe(
+                                       static_cast<std::uint64_t>(i));
+                           })
+        / kCalls;
+    record("metrics_histogram_observe", 0, observe, 0.0);
+}
+
+/** JSON string escaping for the provenance stamps (env-supplied). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out += c;
+    }
+    return out;
+}
+
+void
 writeJson(const std::string &path)
 {
+    // Provenance stamps come from the harness (CI passes the checkout
+    // SHA and the run date); a bare local run stamps "unknown" so the
+    // document stays schema-complete either way.
+    const char *sha = std::getenv("TREEVQA_BENCH_GIT_SHA");
+    const char *date = std::getenv("TREEVQA_BENCH_DATE");
     std::ofstream out(path);
-    out << "{\n  \"bench\": \"micro_kernels\",\n  \"unit\": \"ns_per_op\","
+    out << "{\n  \"bench\": \"micro_kernels\",\n"
+        << "  \"schemaVersion\": 2,\n"
+        << "  \"gitSha\": \""
+        << jsonEscape(sha && *sha ? sha : "unknown") << "\",\n"
+        << "  \"date\": \""
+        << jsonEscape(date && *date ? date : "unknown") << "\",\n"
+        << "  \"unit\": \"ns_per_op\","
         << "\n  \"results\": [\n";
     for (std::size_t i = 0; i < g_results.size(); ++i) {
         const BenchResult &r = g_results[i];
@@ -781,6 +864,7 @@ main()
     benchClaimPath();
     benchFaultPointsDisarmed();
     benchFleetSupervision();
+    benchObservability();
     writeJson("BENCH_micro_kernels.json");
     std::printf("wrote BENCH_micro_kernels.json (%zu entries)\n",
                 g_results.size());

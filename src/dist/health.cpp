@@ -34,6 +34,7 @@ healthToJson(const WorkerHealth &health)
     out.set("jobsFailed", JsonValue(health.jobsFailed));
     out.set("jobsTimedOut", JsonValue(health.jobsTimedOut));
     out.set("rssKb", JsonValue(health.rssKb));
+    out.set("flushIntervalMs", JsonValue(health.flushIntervalMs));
     return out;
 }
 
@@ -55,6 +56,11 @@ healthFromJson(const JsonValue &json)
     health.jobsFailed = json.at("jobsFailed").asInt();
     health.jobsTimedOut = json.at("jobsTimedOut").asInt();
     health.rssKb = json.at("rssKb").asInt();
+    // Added after the v0 snapshot schema: absent in snapshots written
+    // by older builds, so read leniently.
+    jsonMaybe(json, "flushIntervalMs", [&](const JsonValue &v) {
+        health.flushIntervalMs = v.asInt();
+    });
     return health;
 }
 
@@ -131,11 +137,23 @@ aggregateHealthJson(const std::vector<WorkerHealth> &snapshots,
     JsonValue rows = JsonValue::array();
     JsonValue states = JsonValue::object();
     std::int64_t completed = 0, failed = 0, timed_out = 0;
+    std::int64_t stale_workers = 0;
     for (const WorkerHealth &h : snapshots) {
+        const std::int64_t stale_ms =
+            std::max<std::int64_t>(0, nowMs - h.updatedMs);
+        // A snapshot older than 2× its writer's declared cadence
+        // means the writer missed at least one beat: crashed, wedged,
+        // or SIGKILLed. Legacy snapshots (no cadence) can't be
+        // judged and are never flagged.
+        const bool stale = h.flushIntervalMs > 0
+            && stale_ms > 2 * h.flushIntervalMs;
         JsonValue row = healthToJson(h);
-        row.set("staleMs",
-                JsonValue(std::max<std::int64_t>(
-                    0, nowMs - h.updatedMs)));
+        row.set("staleMs", JsonValue(stale_ms));
+        row.set("staleSeconds",
+                JsonValue(static_cast<double>(stale_ms) / 1000.0));
+        row.set("stale", JsonValue(stale));
+        if (stale)
+            ++stale_workers;
         rows.push_back(std::move(row));
         const std::int64_t prior = states.contains(h.state)
             ? states.at(h.state).asInt()
@@ -147,6 +165,7 @@ aggregateHealthJson(const std::vector<WorkerHealth> &snapshots,
     }
     out.set("processes",
             JsonValue(static_cast<std::uint64_t>(snapshots.size())));
+    out.set("staleWorkers", JsonValue(stale_workers));
     out.set("states", std::move(states));
     out.set("jobsCompleted", JsonValue(completed));
     out.set("jobsFailed", JsonValue(failed));

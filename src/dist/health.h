@@ -60,6 +60,11 @@ struct WorkerHealth
     /** Resident set size in KiB (/proc/self/statm); -1 when the
      * platform does not expose it. */
     std::int64_t rssKb = -1;
+    /** The writer's declared snapshot cadence in ms; lets the
+     * aggregator flag a snapshot older than 2× the cadence as stale
+     * (a crashed or wedged writer) instead of leaving staleness
+     * interpretation to the reader. 0 = unknown (legacy snapshot). */
+    std::int64_t flushIntervalMs = 0;
 };
 
 JsonValue healthToJson(const WorkerHealth &health);

@@ -6,11 +6,36 @@
 #include <map>
 
 #include "common/file_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "svc/sweep_dir.h"
 
 namespace treevqa {
 
 namespace {
+
+struct MergeMetrics
+{
+    Counter &compactions;
+    Counter &shardRolls;
+    Counter &tierFolds;
+    Counter &quarantines;
+    Histogram &compactNs;
+    Histogram &foldNs;
+};
+
+MergeMetrics &
+mergeMetrics()
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    static MergeMetrics m{reg.counter("merge.compactions"),
+                          reg.counter("merge.shard_rolls"),
+                          reg.counter("merge.tier_folds"),
+                          reg.counter("merge.quarantines"),
+                          reg.histogram("merge.compact_ns"),
+                          reg.histogram("merge.fold_ns")};
+    return m;
+}
 
 std::vector<std::string>
 sortedJsonlPaths(const std::string &dir)
@@ -196,6 +221,7 @@ quarantineShard(const std::string &shardPath)
     std::fprintf(stderr,
                  "treevqa: quarantined corrupt shard %s -> %s\n",
                  shardPath.c_str(), target.string().c_str());
+    mergeMetrics().quarantines.inc();
     return true;
 }
 
@@ -236,6 +262,8 @@ SweepMergeStats
 compactSweepStore(const std::string &sweepDir,
                   bool removeMergedShards)
 {
+    TRACE_SPAN_TIMED("merge.compact", mergeMetrics().compactNs);
+    mergeMetrics().compactions.inc();
     std::vector<StoreInput> shards;
     std::vector<StoreInput> tiers;
     SweepMergeStats stats;
@@ -294,6 +322,7 @@ rollShardToTier(const std::string &sweepDir,
     // the new records.
     fsyncDirectory(sweepShardDir(sweepDir));
     fsyncDirectory(tierDir);
+    mergeMetrics().shardRolls.inc();
     return true;
 }
 
@@ -317,6 +346,8 @@ maintainTiers(const std::string &sweepDir, int fanout)
         for (auto &[level, files] : by_level) {
             if (files.size() < static_cast<std::size_t>(fanout))
                 continue;
+            TraceSpan fold_span("merge.fold",
+                                &mergeMetrics().foldNs);
             // Output name: a pure function of the folded input set,
             // so a crash-then-retry (or a racing folder) regenerates
             // the same file instead of a divergent duplicate.
@@ -367,6 +398,7 @@ maintainTiers(const std::string &sweepDir, int fanout)
                 std::remove(path.c_str());
             fsyncDirectory(sweepTierDir(sweepDir));
             ++folds;
+            mergeMetrics().tierFolds.inc();
             progressed = true;
         }
     }

@@ -7,11 +7,40 @@
 
 #include <sys/stat.h>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "svc/sweep_dir.h"
 
 namespace treevqa {
 
 namespace {
+
+/** Registry mirror of TailCounters: the per-reader struct stays (so
+ * in-process readers can be compared in tests), while these feed the
+ * fleet-wide `--metrics` view and the worker report line. */
+struct TailMetrics
+{
+    Counter &refreshes;
+    Counter &bytesRead;
+    Counter &linesParsed;
+    Counter &quarantinedLines;
+    Counter &fullRescans;
+    Histogram &refreshNs;
+};
+
+TailMetrics &
+tailMetrics()
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    static TailMetrics m{
+        reg.counter("store.tail_refreshes"),
+        reg.counter("store.tail_bytes_read"),
+        reg.counter("store.tail_lines_parsed"),
+        reg.counter("store.tail_lines_quarantined"),
+        reg.counter("store.tail_full_rescans"),
+        reg.histogram("store.tail_refresh_ns")};
+    return m;
+}
 
 void
 collectJsonl(const std::string &dir, std::vector<std::string> &out)
@@ -134,6 +163,7 @@ StoreTailReader::consumeAppends(const std::string &path,
     chunk.resize(static_cast<std::size_t>(
         std::max<std::streamsize>(0, in.gcount())));
     counters_.bytesRead += chunk.size();
+    tailMetrics().bytesRead.inc(chunk.size());
 
     // Consume complete lines only: a chunk ending without '\n' is an
     // append in flight (or the torn tail of a killed writer, which
@@ -148,6 +178,7 @@ StoreTailReader::consumeAppends(const std::string &path,
         ++cursor.lines;
         if (!line.empty()) {
             ++counters_.linesParsed;
+            tailMetrics().linesParsed.inc();
             JobResult record;
             std::string reason;
             if (decodeStoredLine(line, record, &reason)
@@ -155,6 +186,7 @@ StoreTailReader::consumeAppends(const std::string &path,
                 resolutions_[record.fingerprint].fold(record);
             } else {
                 ++counters_.quarantinedLines;
+                tailMetrics().quarantinedLines.inc();
                 quarantineStoreLine(
                     path, static_cast<std::size_t>(cursor.lines),
                     line, reason);
@@ -170,6 +202,8 @@ void
 StoreTailReader::refresh()
 {
     ++counters_.refreshes;
+    tailMetrics().refreshes.inc();
+    TRACE_SPAN_TIMED("store.tail_refresh", tailMetrics().refreshNs);
     // A pass that loses a race with a concurrent roll/fold (a file
     // vanishing between enumeration and read) resets and retries;
     // a consistent snapshot always exists because every mutation
@@ -204,6 +238,7 @@ StoreTailReader::refresh()
             resolutions_.clear();
             forceRescan_ = false;
             ++counters_.fullRescans;
+            tailMetrics().fullRescans.inc();
         }
 
         bool collided = false;

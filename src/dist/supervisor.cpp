@@ -16,6 +16,8 @@
 
 #include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "dist/health.h"
 #include "dist/work_claim.h"
 #include "dist/worker_daemon.h"
@@ -26,6 +28,32 @@
 namespace treevqa {
 
 namespace {
+
+struct SupervisorMetrics
+{
+    Counter &spawns;
+    Counter &crashes;
+    Counter &restarts;
+    Counter &watchdogKills;
+    Counter &timeoutRecords;
+    Histogram &spawnNs;
+    Histogram &watchdogScanNs;
+};
+
+SupervisorMetrics &
+supervisorMetrics()
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    static SupervisorMetrics m{
+        reg.counter("supervisor.spawns"),
+        reg.counter("supervisor.crashes"),
+        reg.counter("supervisor.restarts"),
+        reg.counter("supervisor.watchdog_kills"),
+        reg.counter("supervisor.timeout_records"),
+        reg.histogram("supervisor.spawn_ns"),
+        reg.histogram("supervisor.watchdog_scan_ns")};
+    return m;
+}
 
 std::int64_t
 steadyMs()
@@ -89,6 +117,10 @@ Supervisor::Supervisor(SupervisorOptions options)
 bool
 Supervisor::spawnSlot(Slot &slot, std::int64_t nowMs)
 {
+    // The span closes in the parent; the child side of the fork execs
+    // (or _exits) without ever running the destructor.
+    TRACE_SPAN_TIMED("supervisor.spawn",
+                     supervisorMetrics().spawnNs);
     if (const FaultHit hit = FAULT_POINT("supervisor.spawn"))
         if (hit.action == FaultAction::FailErrno) {
             std::fprintf(stderr,
@@ -146,6 +178,7 @@ Supervisor::spawnSlot(Slot &slot, std::int64_t nowMs)
     }
     slot.pid = pid;
     ++report_.spawns;
+    supervisorMetrics().spawns.inc();
     return true;
 }
 
@@ -201,11 +234,13 @@ Supervisor::reapSlots(std::int64_t nowMs, bool /*drained*/)
                 + std::max<std::int64_t>(1, options_.restartBackoffMs);
             ++slot.restarts;
             ++report_.restarts;
+            supervisorMetrics().restarts.inc();
             continue;
         }
 
         ++slot.crashes;
         ++report_.crashes;
+        supervisorMetrics().crashes.inc();
         std::fprintf(stderr, "treevqa: supervisor: %s %s\n",
                      slot.id.c_str(), describeExit(status).c_str());
         slot.crashTimesMs.push_back(nowMs);
@@ -239,6 +274,7 @@ Supervisor::reapSlots(std::int64_t nowMs, bool /*drained*/)
         slot.notBeforeMs = nowMs + slot.backoffMs;
         ++slot.restarts;
         ++report_.restarts;
+        supervisorMetrics().restarts.inc();
     }
 }
 
@@ -247,6 +283,8 @@ Supervisor::watchdogScan(std::int64_t nowMs)
 {
     if (options_.jobTimeoutMs <= 0)
         return;
+    TRACE_SPAN_TIMED("supervisor.watchdog_scan",
+                     supervisorMetrics().watchdogScanNs);
     std::error_code ec;
     std::filesystem::directory_iterator it(
         sweepClaimDir(options_.sweepDir), ec);
@@ -308,6 +346,7 @@ Supervisor::watchdogScan(std::int64_t nowMs)
         ::waitpid(owner->pid, &status, 0);
         owner->pid = -1;
         ++report_.watchdogKills;
+        supervisorMetrics().watchdogKills.inc();
         // A watchdog kill is the job's fault, not the slot's: restart
         // with the base backoff, no crash-window entry.
         owner->backoffMs = 0;
@@ -339,6 +378,7 @@ Supervisor::watchdogScan(std::int64_t nowMs)
             try {
                 shard.append(timeout);
                 ++report_.timeoutRecords;
+                supervisorMetrics().timeoutRecords.inc();
             } catch (const std::exception &e) {
                 std::fprintf(stderr,
                              "treevqa: supervisor: cannot record "
@@ -480,6 +520,7 @@ Supervisor::publishSupervisorHealth(const std::string &state)
     h.jobsFailed = static_cast<std::int64_t>(report_.crashes);
     h.jobsTimedOut = static_cast<std::int64_t>(report_.watchdogKills);
     h.rssKb = currentRssKb();
+    h.flushIntervalMs = options_.healthIntervalMs;
     JsonValue out = healthToJson(h);
     out.set("slots", slotsJson());
     out.set("drained", JsonValue(report_.drained));
@@ -497,6 +538,10 @@ Supervisor::publishSupervisorHealth(const std::string &state)
             out.dump(2) + "\n");
     } catch (const std::exception &) {
     }
+    writeMetricsSnapshot(options_.sweepDir, "supervisor",
+                         "supervisor-p"
+                             + std::to_string(::getpid()));
+    TraceRecorder::instance().maybePeriodicFlush(2000);
 }
 
 SupervisorReport

@@ -15,6 +15,8 @@
 
 #include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "dist/store_merge.h"
 #include "svc/result_store.h"
 #include "svc/sweep_dir.h"
@@ -23,6 +25,59 @@
 namespace treevqa {
 
 namespace {
+
+/** Registry instruments behind the worker report line and the
+ * fleet-wide `--metrics` view; the per-run WorkerReport stays for
+ * in-process callers (tests, benches) that need per-daemon numbers. */
+struct WorkerMetrics
+{
+    Counter &scanRounds;
+    Counter &claimAttempts;
+    Counter &claimsAcquired;
+    Counter &leasesReaped;
+    Counter &claimsLost;
+    Counter &failedAttempts;
+    Counter &jobsCompleted;
+    Counter &jobsResumed;
+    Counter &jobsPoisoned;
+    Counter &jobsTimedOut;
+    Counter &jobsInterrupted;
+    Counter &heartbeatRenewals;
+    Counter &fullLoadBytes;
+    Gauge &specExpansions;
+    Histogram &scanNs;
+    Histogram &claimNs;
+    Histogram &jobNs;
+    Histogram &recordNs;
+    Histogram &renewNs;
+};
+
+WorkerMetrics &
+workerMetrics()
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    static WorkerMetrics m{
+        reg.counter("worker.scan_rounds"),
+        reg.counter("worker.claim_attempts"),
+        reg.counter("worker.claims_acquired"),
+        reg.counter("worker.leases_reaped"),
+        reg.counter("worker.claims_lost"),
+        reg.counter("worker.failed_attempts"),
+        reg.counter("worker.jobs_completed"),
+        reg.counter("worker.jobs_resumed"),
+        reg.counter("worker.jobs_poisoned"),
+        reg.counter("worker.jobs_timed_out"),
+        reg.counter("worker.jobs_interrupted"),
+        reg.counter("worker.heartbeat_renewals"),
+        reg.counter("worker.store_bytes_full_load"),
+        reg.gauge("worker.spec_expansions"),
+        reg.histogram("worker.scan_ns"),
+        reg.histogram("worker.claim_ns"),
+        reg.histogram("worker.job_ns"),
+        reg.histogram("worker.record_ns"),
+        reg.histogram("worker.heartbeat_renew_ns")};
+    return m;
+}
 
 /** FNV-1a of the worker id: a stable per-worker scan offset so a
  * fleet fans out over the pending jobs instead of stampeding the
@@ -158,6 +213,12 @@ WorkerDaemon::WorkerDaemon(WorkerOptions options)
     health_.role = "worker";
     health_.state = "starting";
     health_.startedMs = unixTimeMs();
+    // Declared snapshot cadence (--health staleness detection): the
+    // slower of the idle poll and the heartbeat interval, since both
+    // paths republish the snapshot.
+    health_.flushIntervalMs = std::max(
+        jitteredPollMs(options_.pollMs, options_.workerId),
+        std::clamp<std::int64_t>(options_.leaseMs / 3, 5, 5000));
 }
 
 void
@@ -166,9 +227,19 @@ WorkerDaemon::publishHealth(
 {
     if (!options_.healthSnapshots)
         return;
-    std::lock_guard<std::mutex> lock(healthMutex_);
-    fn(health_);
-    writeHealthSnapshot(options_.sweepDir, health_);
+    {
+        std::lock_guard<std::mutex> lock(healthMutex_);
+        fn(health_);
+        writeHealthSnapshot(options_.sweepDir, health_);
+    }
+    // Metrics ride the health cadence; the per-pid file token keeps a
+    // restarted slot from erasing its predecessor's totals.
+    writeMetricsSnapshot(options_.sweepDir, options_.workerId,
+                         options_.workerId + "-p"
+                             + std::to_string(::getpid()));
+    // Keep the flight recorder's on-disk dump recent enough that a
+    // SIGKILL mid-batch still leaves a useful tail behind.
+    TraceRecorder::instance().maybePeriodicFlush(2000);
 }
 
 std::vector<ScenarioSpec>
@@ -247,28 +318,37 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
             *jobs.fingerprints;
         report.specExpansions = jobs.expansions;
         ++report.scanRounds;
+        workerMetrics().scanRounds.inc();
+        workerMetrics().specExpansions.set(
+            static_cast<std::int64_t>(jobs.expansions));
 
         std::vector<std::size_t> pending;
-        if (options_.incrementalScan) {
-            tail.refresh();
-            const auto &resolutions = tail.resolutions();
-            for (std::size_t i = 0; i < specs.size(); ++i) {
-                if (poisoned_.count(fingerprints[i]))
-                    continue;
-                const auto it = resolutions.find(fingerprints[i]);
-                if (it != resolutions.end()
-                    && it->second.resolved(options_.maxJobAttempts))
-                    continue;
-                pending.push_back(i);
-            }
-        } else {
-            report.storeBytesRead += sweepStoreBytes(dir);
-            std::set<std::string> done = resolvedFingerprints(
-                loadMergedRecords(dir), options_.maxJobAttempts);
-            done.insert(poisoned_.begin(), poisoned_.end());
-            for (std::size_t i = 0; i < specs.size(); ++i)
-                if (done.count(fingerprints[i]) == 0)
+        {
+            TRACE_SPAN_TIMED("worker.scan", workerMetrics().scanNs);
+            if (options_.incrementalScan) {
+                tail.refresh();
+                const auto &resolutions = tail.resolutions();
+                for (std::size_t i = 0; i < specs.size(); ++i) {
+                    if (poisoned_.count(fingerprints[i]))
+                        continue;
+                    const auto it = resolutions.find(fingerprints[i]);
+                    if (it != resolutions.end()
+                        && it->second.resolved(
+                            options_.maxJobAttempts))
+                        continue;
                     pending.push_back(i);
+                }
+            } else {
+                const std::uint64_t full_bytes = sweepStoreBytes(dir);
+                report.storeBytesRead += full_bytes;
+                workerMetrics().fullLoadBytes.inc(full_bytes);
+                std::set<std::string> done = resolvedFingerprints(
+                    loadMergedRecords(dir), options_.maxJobAttempts);
+                done.insert(poisoned_.begin(), poisoned_.end());
+                for (std::size_t i = 0; i < specs.size(); ++i)
+                    if (done.count(fingerprints[i]) == 0)
+                        pending.push_back(i);
+            }
         }
 
         if (pending.empty() && options_.incrementalScan
@@ -278,7 +358,9 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
             // mismatch (the tail over-resolved through a transient
             // fold-overlap double count, or lost a race) rebuilds the
             // view and keeps scanning.
-            report.storeBytesRead += sweepStoreBytes(dir);
+            const std::uint64_t full_bytes = sweepStoreBytes(dir);
+            report.storeBytesRead += full_bytes;
+            workerMetrics().fullLoadBytes.inc(full_bytes);
             std::set<std::string> done = resolvedFingerprints(
                 loadMergedRecords(dir), options_.maxJobAttempts);
             done.insert(poisoned_.begin(), poisoned_.end());
@@ -316,6 +398,8 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
                                          : std::size_t{1});
         }
         std::vector<BatchSlot> batch;
+        TraceSpan claim_span("worker.claim",
+                             &workerMetrics().claimNs);
         const std::size_t offset = scan_salt % pending.size();
         for (std::size_t k = 0; k < pending.size() && !stop_.load();
              ++k) {
@@ -323,14 +407,18 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
                 pending[(k + offset) % pending.size()];
             bool reaped = false;
             ++report.claimAttempts;
+            workerMetrics().claimAttempts.inc();
             std::optional<WorkClaim> claim = WorkClaim::tryAcquire(
                 sweepClaimDir(dir), fingerprints[index],
                 options_.workerId, options_.leaseMs, &reaped,
                 options_.skewGraceMs);
             if (!claim)
                 continue; // live lease elsewhere, or takeover lost
-            if (reaped)
+            workerMetrics().claimsAcquired.inc();
+            if (reaped) {
                 ++report.reapedLeases;
+                workerMetrics().leasesReaped.inc();
+            }
             BatchSlot slot;
             slot.index = index;
             slot.claim = std::move(*claim);
@@ -338,6 +426,7 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
             if (batch.size() >= batch_target)
                 break;
         }
+        claim_span.end();
 
         if (batch.empty()) {
             // Nothing claimable this round: every pending job is
@@ -367,7 +456,9 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
                 tail.refresh();
                 resolutions = &tail.resolutions();
             } else {
-                report.storeBytesRead += sweepStoreBytes(dir);
+                const std::uint64_t full_bytes = sweepStoreBytes(dir);
+                report.storeBytesRead += full_bytes;
+                workerMetrics().fullLoadBytes.inc(full_bytes);
                 merged = loadMergedRecords(dir);
                 done = resolvedFingerprints(merged,
                                             options_.maxJobAttempts);
@@ -437,6 +528,7 @@ void
 WorkerDaemon::appendToShard(const JobResult &record,
                             WorkerReport &report)
 {
+    TRACE_SPAN_TIMED("worker.record", workerMetrics().recordNs);
     ResultStore shard(
         sweepShardPath(options_.sweepDir, options_.workerId));
     shard.append(record);
@@ -516,12 +608,15 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
             // thread and terminate the process.
             bool any_live = false;
             {
+                TraceSpan renew_span("worker.heartbeat_renew",
+                                     &workerMetrics().renewNs);
                 std::lock_guard<std::mutex> batch_lock(batch_mutex);
                 for (BatchSlot &slot : batch) {
                     if (slot.done || slot.lost)
                         continue;
                     try {
                         if (slot.claim.renew(batch_tick)) {
+                            workerMetrics().heartbeatRenewals.inc();
                             any_live = true;
                             continue;
                         }
@@ -570,6 +665,7 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
         }
         if (slot_lost(slot)) {
             ++report.lostClaims;
+            workerMetrics().claimsLost.inc();
             std::lock_guard<std::mutex> lock(batch_mutex);
             slot.claim.release();
             slot.done = true;
@@ -610,6 +706,7 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
         std::string last_error;
         bool job_ok = false;
         int attempts_made = 0;
+        TraceSpan job_span("worker.job", &workerMetrics().jobNs);
         for (int attempt = 1; attempt <= attempt_budget; ++attempt) {
             if (slot_lost(slot) || hb_timed_out.load())
                 break; // lease gone or watchdog fired: stop burning
@@ -633,6 +730,7 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
                 last_error = "unknown error";
             }
             ++report.failedAttempts;
+            workerMetrics().failedAttempts.inc();
             std::fprintf(stderr,
                          "treevqa: worker %s: job %s attempt %d/%d "
                          "failed: %s\n",
@@ -644,6 +742,7 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
                 std::this_thread::sleep_for(std::chrono::milliseconds(
                     options_.retryBackoffMs << (attempt - 1)));
         }
+        job_span.end();
 
         if (hb_timed_out.load())
             break; // common timeout unwind below
@@ -654,6 +753,7 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
                 // the current iteration; release every lease so the
                 // next claimant can resume immediately.
                 ++report.interrupted;
+                workerMetrics().jobsInterrupted.inc();
                 join_heartbeat();
                 release_undone();
                 return JobOutcome::Interrupted;
@@ -685,6 +785,7 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
         }
         if (!still_owner) {
             ++report.lostClaims;
+            workerMetrics().claimsLost.inc();
             std::lock_guard<std::mutex> lock(batch_mutex);
             slot.claim.release();
             slot.done = true;
@@ -706,6 +807,7 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
             appendToShard(poison, report);
             poisoned_.insert(fingerprint);
             ++report.poisoned;
+            workerMetrics().jobsPoisoned.inc();
             publishHealth([&](WorkerHealth &h) {
                 ++h.jobsFailed;
                 h.state = "idle";
@@ -724,8 +826,11 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
         } else {
             appendToShard(result, report);
             ++report.completed;
-            if (result.resumed)
+            workerMetrics().jobsCompleted.inc();
+            if (result.resumed) {
                 ++report.resumed;
+                workerMetrics().jobsResumed.inc();
+            }
             publishHealth([&](WorkerHealth &h) {
                 ++h.jobsCompleted;
                 h.state = "idle";
@@ -753,6 +858,7 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
         // belong to whoever reaps the expired claims (or to the
         // supervisor's SIGKILL, whichever lands first).
         ++report.timedOut;
+        workerMetrics().jobsTimedOut.inc();
         release_undone();
         publishHealth([&](WorkerHealth &h) {
             ++h.jobsTimedOut;

@@ -5,10 +5,34 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "svc/sweep_dir.h"
 
 namespace treevqa {
+
+namespace {
+
+struct SchedulerMetrics
+{
+    Counter &jobsExecuted;
+    Counter &jobsSkipped;
+    Histogram &jobNs;
+};
+
+SchedulerMetrics &
+schedulerMetrics()
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    static SchedulerMetrics m{
+        reg.counter("scheduler.jobs_executed"),
+        reg.counter("scheduler.jobs_skipped"),
+        reg.histogram("scheduler.job_ns")};
+    return m;
+}
+
+} // namespace
 
 JobScheduler::JobScheduler(SchedulerConfig config)
     : config_(std::move(config))
@@ -83,6 +107,8 @@ JobScheduler::run(const std::vector<ScenarioSpec> &specs)
         }
     }
     sweep.executed = pending.size();
+    schedulerMetrics().jobsExecuted.inc(pending.size());
+    schedulerMetrics().jobsSkipped.inc(sweep.skipped);
 
     // One pool run is the whole scheduling loop: lanes claim jobs
     // dynamically, inner probe batches evaluate inline on the same
@@ -90,6 +116,7 @@ JobScheduler::run(const std::vector<ScenarioSpec> &specs)
     // derive from its spec, so concurrency and completion order
     // cannot change any record.
     ThreadPool::global().run(pending.size(), [&](std::size_t p) {
+        TRACE_SPAN_TIMED("scheduler.job", schedulerMetrics().jobNs);
         const std::size_t index = pending[p];
         ScenarioRunOptions options;
         options.checkpointPath = checkpointPathFor(specs[index]);

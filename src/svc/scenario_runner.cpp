@@ -7,6 +7,8 @@
 
 #include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/metrics.h"
 #include "core/objective.h"
 
@@ -15,6 +17,31 @@ namespace treevqa {
 namespace {
 
 constexpr std::int64_t kCheckpointVersion = 1;
+
+/** Registry instruments for the per-job phases, looked up once. */
+struct RunnerMetrics
+{
+    Histogram &compileNs;
+    Histogram &prepNs;
+    Histogram &stepNs;
+    Histogram &checkpointNs;
+    Counter &jobs;
+    Counter &checkpointsWritten;
+};
+
+RunnerMetrics &
+runnerMetrics()
+{
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    static RunnerMetrics m{
+        reg.histogram("runner.compile_ns"),
+        reg.histogram("runner.prep_ns"),
+        reg.histogram("runner.step_ns"),
+        reg.histogram("runner.checkpoint_write_ns"),
+        reg.counter("runner.jobs"),
+        reg.counter("runner.checkpoints_written")};
+    return m;
+}
 
 /** Mutable loop state shared between fresh start, checkpoint save and
  * restore. */
@@ -70,6 +97,8 @@ checkpointPrevPath(const std::string &path)
 void
 writeCheckpoint(const std::string &path, const JsonValue &checkpoint)
 {
+    TRACE_SPAN_TIMED("runner.checkpoint_write",
+                     runnerMetrics().checkpointNs);
     JsonValue stamped = checkpoint;
     stamped.set("crc", JsonValue(crc32Hex(stamped.dump())));
     std::string body = stamped.dump(2) + "\n";
@@ -86,6 +115,7 @@ writeCheckpoint(const std::string &path, const JsonValue &checkpoint)
     // rotate (first write: no current file) is fine.
     std::rename(path.c_str(), checkpointPrevPath(path).c_str());
     writeTextFileAtomic(path, body);
+    runnerMetrics().checkpointsWritten.inc();
 }
 
 /** Restore loop state from one checkpoint file. Returns false (and
@@ -165,7 +195,10 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
     JobResult result;
     result.spec = spec;
     result.fingerprint = scenarioFingerprint(spec);
+    runnerMetrics().jobs.inc();
 
+    TraceSpan compile_span("runner.compile",
+                           &runnerMetrics().compileNs);
     const VqaTask task = buildScenarioTask(spec);
     const Ansatz ansatz =
         buildScenarioAnsatz(spec, task).withInitialBits(task.initialBits);
@@ -174,11 +207,13 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
     result.groundEnergy = task.groundEnergy;
 
     auto optimizer = makeScenarioOptimizer(spec);
+    compile_span.end();
     // The evaluation-noise stream: private to the job, derived from
     // the spec seed, so results are independent of scheduling.
     Rng eval_rng(deriveScenarioSeed(spec.seed, 0xe7a1));
 
     RunState state;
+    TraceSpan prep_span("runner.prep", &runnerMetrics().prepNs);
     if (!options.checkpointPath.empty()
         && tryRestore(options.checkpointPath, result.fingerprint, state,
                       *optimizer, eval_rng)) {
@@ -193,6 +228,7 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
         optimizer->reset(std::vector<double>(
             static_cast<std::size_t>(ansatz.numParams()), 0.0));
     }
+    prep_span.end();
 
     const BatchObjective batch =
         [&](const std::vector<std::vector<double>> &thetas) {
@@ -230,7 +266,9 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
         // hung-job watchdog kills on.
         if (const FaultHit hit = FAULT_POINT("worker.hang"))
             (void)hit; // delay already served inside evaluate()
+        TraceSpan step_span("runner.step", &runnerMetrics().stepNs);
         const double loss = optimizer->stepBatch(batch);
+        step_span.end();
         ++state.iteration;
         ++executed_this_call;
         if (options.progressCounter)

@@ -27,6 +27,15 @@
  *                                     supervisor
  *   <dir>/logs/<worker>.log           child stdout/stderr when spawned
  *                                     by the supervisor
+ *   <dir>/traces/<worker>.trace.json  Chrome trace_event dump of the
+ *                                     worker's flight recorder
+ *                                     (common/trace.h), written on
+ *                                     exit and throttled heartbeats
+ *   <dir>/metrics/<token>.json        per-process metrics-registry
+ *                                     dump (common/metrics.h); one
+ *                                     file per process incarnation,
+ *                                     summed by `treevqa_run
+ *                                     --metrics`
  */
 
 #ifndef TREEVQA_SVC_SWEEP_DIR_H
@@ -133,6 +142,38 @@ sweepLogPath(const std::string &dir, const std::string &workerId)
 {
     return (std::filesystem::path(dir) / "logs"
             / (workerId + ".log"))
+        .string();
+}
+
+inline std::string
+sweepTraceDir(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "traces").string();
+}
+
+inline std::string
+sweepTracePath(const std::string &dir, const std::string &workerId)
+{
+    return (std::filesystem::path(dir) / "traces"
+            / (workerId + ".trace.json"))
+        .string();
+}
+
+inline std::string
+sweepMetricsDir(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "metrics").string();
+}
+
+/** One per-process metrics dump. `fileToken` embeds the pid (e.g.
+ * "<worker>-p1234") so restarted slots add files instead of
+ * overwriting their predecessor's totals. */
+inline std::string
+sweepMetricsPath(const std::string &dir,
+                 const std::string &fileToken)
+{
+    return (std::filesystem::path(dir) / "metrics"
+            / (fileToken + ".json"))
         .string();
 }
 

@@ -11,6 +11,7 @@
  *               [--abort-after-checkpoints N]
  *   treevqa_run [SPEC.json] --status --out DIR
  *   treevqa_run --health --out DIR
+ *   treevqa_run --metrics --out DIR
  *
  *   --out DIR     persist DIR/results.jsonl, DIR/checkpoints/*.json,
  *                 DIR/summary.json and the request itself as
@@ -36,7 +37,13 @@
  *                 holds sweep.json
  *   --health      aggregate the fleet's health snapshots
  *                 (DIR/health/*.json — workers and supervisor) into
- *                 one JSON document on stdout
+ *                 one JSON document on stdout, flagging workers whose
+ *                 snapshot is older than 2x their declared flush
+ *                 cadence as stale
+ *   --metrics     merge the fleet's metrics dumps (DIR/metrics/*.json,
+ *                 one per process incarnation) into one fleet-wide
+ *                 view: summed counters, max'd gauges, and per-phase
+ *                 latency percentiles from the merged histograms
  *   --summary-only
  *                 print only the deterministic summary JSON (no
  *                 table; what CI diffs between fresh and resumed
@@ -64,6 +71,7 @@
 #include <string>
 
 #include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "dist/health.h"
 #include "dist/store_merge.h"
@@ -87,8 +95,9 @@ usage(const char *argv0, bool requested)
                  "       [--print-specs] [--validate] [--summary-only]\n"
                  "       [--abort-after-checkpoints N]\n"
                  "       %s [SPEC.json] --status --out DIR\n"
-                 "       %s --health --out DIR\n",
-                 argv0, argv0, argv0);
+                 "       %s --health --out DIR\n"
+                 "       %s --metrics --out DIR\n",
+                 argv0, argv0, argv0, argv0);
     return requested ? 0 : 2;
 }
 
@@ -264,6 +273,7 @@ main(int argc, char **argv)
     bool validate = false;
     bool status = false;
     bool health = false;
+    bool metrics = false;
     bool summary_only = false;
     long abort_after = 0;
 
@@ -294,6 +304,8 @@ main(int argc, char **argv)
             status = true;
         } else if (arg == "--health") {
             health = true;
+        } else if (arg == "--metrics") {
+            metrics = true;
         } else if (arg == "--summary-only") {
             summary_only = true;
         } else if (arg == "--abort-after-checkpoints") {
@@ -314,14 +326,25 @@ main(int argc, char **argv)
             return usage(argv[0], false);
         }
     }
-    if ((status || health) && out_dir.empty()) {
-        std::fprintf(stderr, "--status/--health need --out DIR\n");
+    if ((status || health || metrics) && out_dir.empty()) {
+        std::fprintf(stderr,
+                     "--status/--health/--metrics need --out DIR\n");
         return 2;
     }
     if (health) {
         // Pure read of DIR/health/*.json; needs no spec at all.
         const JsonValue doc = aggregateHealthJson(
             readHealthSnapshots(out_dir), unixTimeMs());
+        std::printf("%s\n", doc.dump(2).c_str());
+        return 0;
+    }
+    if (metrics) {
+        // Pure read of DIR/metrics/*.json. Every dump is one process
+        // incarnation's registry snapshot; merging sums counters and
+        // histograms across the whole fleet's lifetime, including
+        // incarnations that were later SIGKILLed and replaced.
+        const JsonValue doc =
+            aggregateMetricsJson(readMetricsDumps(out_dir));
         std::printf("%s\n", doc.dump(2).c_str());
         return 0;
     }

@@ -63,6 +63,7 @@
 #include <unistd.h>
 
 #include "common/file_util.h"
+#include "common/trace.h"
 #include "dist/supervisor.h"
 #include "svc/sweep_dir.h"
 
@@ -237,6 +238,14 @@ main(int argc, char **argv)
         g_supervisor = &supervisor;
         std::signal(SIGINT, handleStopSignal);
         std::signal(SIGTERM, handleStopSignal);
+
+        // Flight recorder: the supervisor's own spans (spawn, reap,
+        // watchdog scans) land beside the workers' traces.
+        if (TraceRecorder::armed()) {
+            TraceRecorder::instance().setExportPath(
+                sweepTracePath(sweep_dir, "supervisor"));
+            TraceRecorder::instance().installExitHandlers();
+        }
 
         const SupervisorReport report = supervisor.run();
         g_supervisor = nullptr;

@@ -84,6 +84,8 @@
 #include <string>
 
 #include "common/file_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "dist/store_merge.h"
 #include "dist/worker_daemon.h"
 #include "svc/sweep_dir.h"
@@ -315,28 +317,75 @@ main(int argc, char **argv)
         std::signal(SIGINT, handleStopSignal);
         std::signal(SIGTERM, handleStopSignal);
 
+        // Flight recorder: dump into the sweep's traces/ directory
+        // under this worker's identity, on normal exit, SIGTERM
+        // (clean drain path), and fatal signals alike.
+        if (TraceRecorder::armed()) {
+            TraceRecorder::instance().setExportPath(sweepTracePath(
+                sweep_dir, daemon.options().workerId));
+            TraceRecorder::instance().installExitHandlers();
+        }
+
         const WorkerReport report = daemon.run();
         g_daemon = nullptr;
-        std::printf("worker %s: completed=%zu resumed=%zu reaped=%zu "
-                    "lost=%zu poisoned=%zu timedout=%zu "
-                    "interrupted=%zu drained=%s merged=%s%s\n",
+
+        // Both report lines read the metrics registry (one daemon per
+        // process, so registry totals == this run's totals): the same
+        // instruments feed `treevqa_run --metrics`, keeping the two
+        // views impossible to skew. Booleans stay on the report.
+        const MetricsSnapshot metrics =
+            MetricsRegistry::instance().snapshot();
+        const auto counter = [&](const char *name) {
+            const auto it = metrics.counters.find(name);
+            return it == metrics.counters.end() ? std::uint64_t{0}
+                                                : it->second;
+        };
+        const auto gauge = [&](const char *name) {
+            const auto it = metrics.gauges.find(name);
+            return it == metrics.gauges.end() ? std::int64_t{0}
+                                              : it->second;
+        };
+        std::printf("worker %s: completed=%llu resumed=%llu "
+                    "reaped=%llu lost=%llu poisoned=%llu "
+                    "timedout=%llu interrupted=%llu drained=%s "
+                    "merged=%s%s\n",
                     daemon.options().workerId.c_str(),
-                    report.completed, report.resumed,
-                    report.reapedLeases, report.lostClaims,
-                    report.poisoned, report.timedOut,
-                    report.interrupted, report.drained ? "yes" : "no",
+                    static_cast<unsigned long long>(
+                        counter("worker.jobs_completed")),
+                    static_cast<unsigned long long>(
+                        counter("worker.jobs_resumed")),
+                    static_cast<unsigned long long>(
+                        counter("worker.leases_reaped")),
+                    static_cast<unsigned long long>(
+                        counter("worker.claims_lost")),
+                    static_cast<unsigned long long>(
+                        counter("worker.jobs_poisoned")),
+                    static_cast<unsigned long long>(
+                        counter("worker.jobs_timed_out")),
+                    static_cast<unsigned long long>(
+                        counter("worker.jobs_interrupted")),
+                    report.drained ? "yes" : "no",
                     report.merged ? "yes" : "no",
                     report.simulatedCrash ? " (simulated crash)" : "");
-        std::printf("worker %s: scans=%zu claims=%zu store-bytes=%llu "
-                    "rescans=%llu expansions=%llu rolls=%zu folds=%zu\n",
+        std::printf("worker %s: scans=%llu claims=%llu "
+                    "store-bytes=%llu rescans=%llu expansions=%llu "
+                    "rolls=%llu folds=%llu\n",
                     daemon.options().workerId.c_str(),
-                    report.scanRounds, report.claimAttempts,
                     static_cast<unsigned long long>(
-                        report.storeBytesRead),
-                    static_cast<unsigned long long>(report.fullRescans),
+                        counter("worker.scan_rounds")),
                     static_cast<unsigned long long>(
-                        report.specExpansions),
-                    report.shardRolls, report.tierFolds);
+                        counter("worker.claim_attempts")),
+                    static_cast<unsigned long long>(
+                        counter("worker.store_bytes_full_load")
+                        + counter("store.tail_bytes_read")),
+                    static_cast<unsigned long long>(
+                        counter("store.tail_full_rescans")),
+                    static_cast<unsigned long long>(
+                        gauge("worker.spec_expansions")),
+                    static_cast<unsigned long long>(
+                        counter("merge.shard_rolls")),
+                    static_cast<unsigned long long>(
+                        counter("merge.tier_folds")));
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "treevqa_worker: %s\n", e.what());
