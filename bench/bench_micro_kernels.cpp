@@ -24,6 +24,7 @@
 
 #include "circuit/hardware_efficient.h"
 #include "circuit/uccsd_min.h"
+#include "common/event_log.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/metrics.h"
@@ -791,6 +792,50 @@ benchObservability()
     record("metrics_histogram_observe", 0, observe, 0.0);
 }
 
+void
+benchEventLog()
+{
+    // PR 10 causal-journal series. hlc_tick guards the clock stamp
+    // every claim/heartbeat/event takes; event_append guards emit()
+    // — stamp + serialize + CRC + buffer, no I/O — which runs inside
+    // the worker's claim and record loops and must stay well under a
+    // microsecond (the durable append happens in the explicit,
+    // untimed flush). kEmits stays below kAutoFlushLines so the
+    // series never accidentally prices a disk write.
+    HlcClock clock("bench-p0");
+    constexpr int kCalls = 4096;
+    volatile std::int64_t sink = 0;
+    const double tick_ns = timeNs([&] {
+                               for (int i = 0; i < kCalls; ++i)
+                                   sink = sink
+                                       + clock.tick(1000000 + i)
+                                             .counter;
+                           })
+        / kCalls;
+    record("hlc_tick", 0, tick_ns, 0.0);
+
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path()
+        / ("treevqa_bench_evl_" + localWorkerId());
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    EventLog log;
+    log.open(dir.string(), "bench");
+    constexpr int kEmits = 512;
+    static_assert(kEmits < EventLog::kAutoFlushLines,
+                  "emit series must not hit the auto-flush");
+    const double emit_ns =
+        timeNs([&] {
+            for (int i = 0; i < kEmits; ++i)
+                log.emit(event_type::kLeaseRenewed, "benchfp");
+        })
+        / kEmits;
+    log.flush();
+    log.close();
+    record("event_append", 0, emit_ns, 0.0);
+    std::filesystem::remove_all(dir);
+}
+
 /** JSON string escaping for the provenance stamps (env-supplied). */
 std::string
 jsonEscape(const std::string &s)
@@ -865,6 +910,7 @@ main()
     benchFaultPointsDisarmed();
     benchFleetSupervision();
     benchObservability();
+    benchEventLog();
     writeJson("BENCH_micro_kernels.json");
     std::printf("wrote BENCH_micro_kernels.json (%zu entries)\n",
                 g_results.size());

@@ -253,6 +253,10 @@ writeMetricsSnapshot(const std::string &sweepDir,
         dump.set("id", JsonValue(id));
         dump.set("pid", JsonValue(static_cast<std::int64_t>(
                             ::getpid())));
+        // Wall stamp of the dump: the aggregate's asOfMs is the max
+        // over these, which is what `--metrics --since` divides
+        // counter deltas by to get per-second rates.
+        dump.set("writtenMs", JsonValue(unixTimeMs()));
         JsonValue snap =
             MetricsRegistry::instance().snapshot().toJson();
         for (auto &[key, value] : snap.asObject())
@@ -299,10 +303,14 @@ aggregateMetricsJson(
 {
     MetricsSnapshot merged;
     std::vector<std::string> sources;
+    std::int64_t as_of_ms = 0;
     for (const auto &[token, dump] : dumps) {
         try {
             merged.merge(MetricsSnapshot::fromJson(dump));
             sources.push_back(token);
+            jsonMaybe(dump, "writtenMs", [&](const JsonValue &v) {
+                as_of_ms = std::max(as_of_ms, v.asInt());
+            });
         } catch (const std::exception &) {
             // Skip malformed dumps; the view stays advisory.
         }
@@ -311,6 +319,9 @@ aggregateMetricsJson(
 
     JsonValue out = JsonValue::object();
     out.set("schemaVersion", JsonValue(std::int64_t{1}));
+    // Newest input dump's wall stamp (still a pure function of the
+    // dumps); 0 when every dump predates writtenMs stamping.
+    out.set("asOfMs", JsonValue(as_of_ms));
     out.set("processes", JsonValue(static_cast<std::uint64_t>(
                              sources.size())));
     JsonValue src = JsonValue::array();

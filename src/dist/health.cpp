@@ -35,6 +35,8 @@ healthToJson(const WorkerHealth &health)
     out.set("jobsTimedOut", JsonValue(health.jobsTimedOut));
     out.set("rssKb", JsonValue(health.rssKb));
     out.set("flushIntervalMs", JsonValue(health.flushIntervalMs));
+    if (!health.hlc.empty())
+        out.set("hlc", hlcToJson(health.hlc));
     return out;
 }
 
@@ -60,6 +62,9 @@ healthFromJson(const JsonValue &json)
     // by older builds, so read leniently.
     jsonMaybe(json, "flushIntervalMs", [&](const JsonValue &v) {
         health.flushIntervalMs = v.asInt();
+    });
+    jsonMaybe(json, "hlc", [&](const JsonValue &v) {
+        health.hlc = hlcFromJson(v);
     });
     return health;
 }
@@ -87,6 +92,7 @@ writeHealthSnapshot(const std::string &sweepDir, WorkerHealth health)
 {
     health.updatedMs = unixTimeMs();
     health.rssKb = currentRssKb();
+    health.hlc = HlcClock::instance().tick();
     try {
         if (const FaultHit hit = FAULT_POINT("health.write"))
             if (hit.action == FaultAction::FailErrno)
@@ -116,8 +122,11 @@ readHealthSnapshots(const std::string &sweepDir)
         if (!readTextFile(entry.path().string(), text))
             continue;
         try {
-            snapshots.push_back(
-                healthFromJson(JsonValue::parse(text)));
+            WorkerHealth health =
+                healthFromJson(JsonValue::parse(text));
+            if (!health.hlc.empty())
+                HlcClock::instance().observe(health.hlc);
+            snapshots.push_back(std::move(health));
         } catch (const std::exception &) {
             // Torn snapshot: its writer's next beat replaces it.
         }

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/event_log.h"
 #include "common/json.h"
 
 namespace treevqa {
@@ -65,6 +66,11 @@ struct WorkerHealth
      * (a crashed or wedged writer) instead of leaving staleness
      * interpretation to the reader. 0 = unknown (legacy snapshot). */
     std::int64_t flushIntervalMs = 0;
+    /** The writer's hybrid-logical-clock stamp at the write
+     * (common/event_log.h); readers observe() it so cross-process
+     * views order causally, not by skewed wall clocks. Empty on
+     * snapshots written before HLC stamping. */
+    Hlc hlc;
 };
 
 JsonValue healthToJson(const WorkerHealth &health);

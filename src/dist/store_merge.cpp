@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <map>
 
+#include "common/event_log.h"
 #include "common/file_util.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -292,6 +293,20 @@ compactSweepStore(const std::string &sweepDir,
     // waste.
     retireInputs(shards, removeMergedShards, stats);
     retireInputs(tiers, removeMergedShards, stats);
+    {
+        JsonValue detail = JsonValue::object();
+        detail.set("inputRecords",
+                   JsonValue(static_cast<std::uint64_t>(
+                       stats.inputRecords)));
+        detail.set("uniqueRecords",
+                   JsonValue(static_cast<std::uint64_t>(
+                       stats.uniqueRecords)));
+        detail.set("corruptLines",
+                   JsonValue(static_cast<std::uint64_t>(
+                       stats.corruptLines)));
+        EventLog::instance().emit(event_type::kStoreCompaction, "",
+                                  std::move(detail));
+    }
     return stats;
 }
 
@@ -323,6 +338,14 @@ rollShardToTier(const std::string &sweepDir,
     fsyncDirectory(sweepShardDir(sweepDir));
     fsyncDirectory(tierDir);
     mergeMetrics().shardRolls.inc();
+    {
+        JsonValue detail = JsonValue::object();
+        detail.set("shard", JsonValue(workerId));
+        detail.set("tier", JsonValue(
+                               fs::path(tier).filename().string()));
+        EventLog::instance().emit(event_type::kStoreShardRoll, "",
+                                  std::move(detail));
+    }
     return true;
 }
 
@@ -399,6 +422,17 @@ maintainTiers(const std::string &sweepDir, int fanout)
             fsyncDirectory(sweepTierDir(sweepDir));
             ++folds;
             mergeMetrics().tierFolds.inc();
+            {
+                JsonValue detail = JsonValue::object();
+                detail.set("level",
+                           JsonValue(static_cast<std::int64_t>(
+                               level)));
+                detail.set("out", JsonValue(
+                                      fs::path(out).filename()
+                                          .string()));
+                EventLog::instance().emit(event_type::kStoreTierFold,
+                                          "", std::move(detail));
+            }
             progressed = true;
         }
     }

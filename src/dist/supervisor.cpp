@@ -14,6 +14,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/event_log.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/metrics.h"
@@ -179,21 +180,31 @@ Supervisor::spawnSlot(Slot &slot, std::int64_t nowMs)
     slot.pid = pid;
     ++report_.spawns;
     supervisorMetrics().spawns.inc();
+    {
+        JsonValue detail = JsonValue::object();
+        detail.set("slot", JsonValue(slot.id));
+        detail.set("pid",
+                   JsonValue(static_cast<std::int64_t>(pid)));
+        slot.lastHlc = EventLog::instance().emit(
+            event_type::kFleetSpawn, "", std::move(detail));
+    }
     return true;
 }
 
-/** Delete claim files owned by `workerId`. Only called once the
+/** Delete claim files owned by `workerId`; returns the fingerprints
+ * freed so callers can journal the reap per job. Only called once the
  * owning process is provably dead (reaped or SIGKILLed + reaped), so
  * the lock has no live writer and waiting out the lease would only
  * delay the job's next claimant. */
-static void
+static std::vector<std::string>
 removeClaimsOwnedBy(const std::string &sweepDir,
                     const std::string &workerId)
 {
+    std::vector<std::string> freed;
     std::error_code ec;
     std::filesystem::directory_iterator it(sweepClaimDir(sweepDir), ec);
     if (ec)
-        return;
+        return freed;
     for (const auto &entry : it) {
         if (entry.path().extension() != ".lock")
             continue;
@@ -201,11 +212,33 @@ removeClaimsOwnedBy(const std::string &sweepDir,
         if (!readTextFile(entry.path().string(), text))
             continue;
         try {
-            if (claimFromJson(JsonValue::parse(text)).owner == workerId)
-                std::remove(entry.path().string().c_str());
+            const ClaimInfo info =
+                claimFromJson(JsonValue::parse(text));
+            if (info.owner != workerId)
+                continue;
+            // Merge the dead owner's last stamp before journaling the
+            // reap, so the reap orders after its final heartbeat.
+            if (!info.hlc.empty())
+                HlcClock::instance().observe(info.hlc);
+            if (std::remove(entry.path().string().c_str()) == 0)
+                freed.push_back(info.fingerprint);
         } catch (const std::exception &) {
             // Torn claim: leave it for the reap protocol.
         }
+    }
+    return freed;
+}
+
+/** Journal one lease.reaped per claim `removeClaimsOwnedBy` freed. */
+static void
+journalReapedClaims(const std::vector<std::string> &freed,
+                    const std::string &deadWorkerId)
+{
+    for (const std::string &fingerprint : freed) {
+        JsonValue detail = JsonValue::object();
+        detail.set("deadOwner", JsonValue(deadWorkerId));
+        EventLog::instance().emit(event_type::kLeaseReaped,
+                                  fingerprint, std::move(detail));
     }
 }
 
@@ -220,10 +253,26 @@ Supervisor::reapSlots(std::int64_t nowMs, bool /*drained*/)
         if (reaped != slot.pid)
             continue;
         slot.pid = -1;
-        removeClaimsOwnedBy(options_.sweepDir, slot.id);
+        const std::vector<std::string> freed =
+            removeClaimsOwnedBy(options_.sweepDir, slot.id);
 
         const bool clean =
             WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (!clean) {
+            // The crash is journaled once per interrupted job (so
+            // --timeline shows it under the job's fingerprint) plus
+            // once slot-wide when the child held nothing.
+            JsonValue detail = JsonValue::object();
+            detail.set("slot", JsonValue(slot.id));
+            detail.set("exit", JsonValue(describeExit(status)));
+            if (freed.empty())
+                slot.lastHlc = EventLog::instance().emit(
+                    event_type::kFleetCrash, "", detail);
+            for (const std::string &fingerprint : freed)
+                slot.lastHlc = EventLog::instance().emit(
+                    event_type::kFleetCrash, fingerprint, detail);
+        }
+        journalReapedClaims(freed, slot.id);
         if (clean) {
             // Benign: the worker finished its bounded work (or saw
             // the sweep drained). Restart promptly with the base
@@ -235,6 +284,14 @@ Supervisor::reapSlots(std::int64_t nowMs, bool /*drained*/)
             ++slot.restarts;
             ++report_.restarts;
             supervisorMetrics().restarts.inc();
+            {
+                JsonValue detail = JsonValue::object();
+                detail.set("slot", JsonValue(slot.id));
+                detail.set("exit", JsonValue(std::string("clean")));
+                slot.lastHlc = EventLog::instance().emit(
+                    event_type::kFleetRestart, "",
+                    std::move(detail));
+            }
             continue;
         }
 
@@ -265,6 +322,15 @@ Supervisor::reapSlots(std::int64_t nowMs, bool /*drained*/)
                          "treevqa: supervisor: retiring slot %s (%s); "
                          "fleet continues degraded\n",
                          slot.id.c_str(), slot.retireReason.c_str());
+            {
+                JsonValue detail = JsonValue::object();
+                detail.set("slot", JsonValue(slot.id));
+                detail.set("reason",
+                           JsonValue(slot.retireReason));
+                slot.lastHlc = EventLog::instance().emit(
+                    event_type::kFleetSlotRetired, "",
+                    std::move(detail));
+            }
             continue;
         }
         slot.backoffMs = slot.backoffMs == 0
@@ -275,6 +341,13 @@ Supervisor::reapSlots(std::int64_t nowMs, bool /*drained*/)
         ++slot.restarts;
         ++report_.restarts;
         supervisorMetrics().restarts.inc();
+        {
+            JsonValue detail = JsonValue::object();
+            detail.set("slot", JsonValue(slot.id));
+            detail.set("backoffMs", JsonValue(slot.backoffMs));
+            slot.lastHlc = EventLog::instance().emit(
+                event_type::kFleetRestart, "", std::move(detail));
+        }
     }
 }
 
@@ -303,6 +376,8 @@ Supervisor::watchdogScan(std::int64_t nowMs)
         } catch (const std::exception &) {
             continue; // torn claim, the reap protocol's problem
         }
+        if (!info.hlc.empty())
+            HlcClock::instance().observe(info.hlc);
         Slot *owner = nullptr;
         for (Slot &slot : slots_)
             if (slot.pid >= 0 && slot.id == info.owner)
@@ -347,6 +422,15 @@ Supervisor::watchdogScan(std::int64_t nowMs)
         owner->pid = -1;
         ++report_.watchdogKills;
         supervisorMetrics().watchdogKills.inc();
+        {
+            JsonValue detail = JsonValue::object();
+            detail.set("slot", JsonValue(owner->id));
+            detail.set("stalledMs",
+                       JsonValue(nowMs - watch->second.sinceMs));
+            owner->lastHlc = EventLog::instance().emit(
+                event_type::kFleetWatchdogKill, info.fingerprint,
+                std::move(detail));
+        }
         // A watchdog kill is the job's fault, not the slot's: restart
         // with the base backoff, no crash-window entry.
         owner->backoffMs = 0;
@@ -354,7 +438,9 @@ Supervisor::watchdogScan(std::int64_t nowMs)
             + std::max<std::int64_t>(1, options_.restartBackoffMs);
         ++owner->restarts;
         ++report_.restarts;
-        removeClaimsOwnedBy(options_.sweepDir, owner->id);
+        journalReapedClaims(
+            removeClaimsOwnedBy(options_.sweepDir, owner->id),
+            owner->id);
 
         const ScenarioSpec *spec =
             index_ ? index_->byFingerprint(info.fingerprint) : nullptr;
@@ -419,7 +505,9 @@ Supervisor::shutdownCascade()
                 continue;
             int status = 0;
             if (::waitpid(slot.pid, &status, WNOHANG) == slot.pid) {
-                removeClaimsOwnedBy(options_.sweepDir, slot.id);
+                journalReapedClaims(
+                    removeClaimsOwnedBy(options_.sweepDir, slot.id),
+                    slot.id);
                 slot.pid = -1;
             } else {
                 any = true;
@@ -440,7 +528,9 @@ Supervisor::shutdownCascade()
         ::kill(slot.pid, SIGKILL);
         int status = 0;
         ::waitpid(slot.pid, &status, 0);
-        removeClaimsOwnedBy(options_.sweepDir, slot.id);
+        journalReapedClaims(
+            removeClaimsOwnedBy(options_.sweepDir, slot.id),
+            slot.id);
         slot.pid = -1;
     }
 }
@@ -502,6 +592,8 @@ Supervisor::slotsJson() const
         s.set("crashes",
               JsonValue(static_cast<std::int64_t>(slot.crashes)));
         s.set("retireReason", JsonValue(slot.retireReason));
+        if (!slot.lastHlc.empty())
+            s.set("hlc", JsonValue(hlcKey(slot.lastHlc)));
         out.push_back(std::move(s));
     }
     return out;
@@ -521,6 +613,7 @@ Supervisor::publishSupervisorHealth(const std::string &state)
     h.jobsTimedOut = static_cast<std::int64_t>(report_.watchdogKills);
     h.rssKb = currentRssKb();
     h.flushIntervalMs = options_.healthIntervalMs;
+    h.hlc = HlcClock::instance().tick();
     JsonValue out = healthToJson(h);
     out.set("slots", slotsJson());
     out.set("drained", JsonValue(report_.drained));
@@ -542,6 +635,7 @@ Supervisor::publishSupervisorHealth(const std::string &state)
                          "supervisor-p"
                              + std::to_string(::getpid()));
     TraceRecorder::instance().maybePeriodicFlush(2000);
+    EventLog::instance().flush();
 }
 
 SupervisorReport
@@ -554,6 +648,7 @@ Supervisor::run()
     std::filesystem::create_directories(sweepHealthDir(dir));
     if (options_.redirectChildLogs)
         std::filesystem::create_directories(sweepLogDir(dir));
+    EventLog::instance().open(dir, "supervisor");
     startedUnixMs_ = unixTimeMs();
 
     std::int64_t last_health_ms = 0;
@@ -591,6 +686,7 @@ Supervisor::run()
         }
 
         watchdogScan(now);
+        EventLog::instance().flush(); // no-op when nothing happened
 
         if (now - last_health_ms >= options_.healthIntervalMs) {
             publishSupervisorHealth("supervising");

@@ -57,6 +57,7 @@
 
 #include <sys/types.h>
 
+#include "common/event_log.h"
 #include "common/json.h"
 #include "dist/store_tail.h"
 #include "svc/scenario_spec.h"
@@ -161,6 +162,10 @@ class Supervisor
         int crashes = 0;
         bool retired = false;
         std::string retireReason;
+        /** HLC stamp of the last supervision event recorded for this
+         * slot (spawn/crash/restart/kill); shown in supervisor.json so
+         * operators can line the slot state up against `--events`. */
+        Hlc lastHlc;
     };
 
     /** Per-claim watchdog bookkeeping. */

@@ -36,6 +36,8 @@ claimToJson(const ClaimInfo &info)
     out.set("leaseMs", JsonValue(info.leaseMs));
     out.set("renewals", JsonValue(info.renewals));
     out.set("progress", JsonValue(info.progress));
+    if (!info.hlc.empty())
+        out.set("hlc", hlcToJson(info.hlc));
     return out;
 }
 
@@ -53,6 +55,10 @@ claimFromJson(const JsonValue &json)
     // reads as "owner never reported progress".
     jsonMaybe(json, "progress", [&](const JsonValue &v) {
         info.progress = v.asInt();
+    });
+    // Absent on claims written before HLC stamping; empty() then.
+    jsonMaybe(json, "hlc", [&](const JsonValue &v) {
+        info.hlc = hlcFromJson(v);
     });
     return info;
 }
@@ -102,6 +108,7 @@ WorkClaim::tryAcquire(const std::string &claimDir,
     mine.acquiredMs = unixTimeMs();
     mine.deadlineMs = mine.acquiredMs + leaseMs;
     mine.leaseMs = leaseMs;
+    mine.hlc = HlcClock::instance().tick();
     const std::string content = claimToJson(mine).dump() + "\n";
 
     if (tryCreateExclusiveText(path, content))
@@ -114,8 +121,13 @@ WorkClaim::tryAcquire(const std::string &claimDir,
         return std::nullopt; // released between our create and read
     bool stale = false;
     try {
-        stale = claimIsStale(claimFromJson(JsonValue::parse(text)),
-                             unixTimeMs(), skewGraceMs);
+        const ClaimInfo held = claimFromJson(JsonValue::parse(text));
+        // Merge the owner's stamp: everything we write from here on
+        // (the takeover, the lease.reaped event) orders causally
+        // after the dead owner's last heartbeat.
+        if (!held.hlc.empty())
+            HlcClock::instance().observe(held.hlc);
+        stale = claimIsStale(held, unixTimeMs(), skewGraceMs);
     } catch (const std::exception &) {
         // Unparseable: the creator died mid-write (the window is one
         // write() call) or the file was corrupted — reapable either
@@ -138,6 +150,7 @@ WorkClaim::tryAcquire(const std::string &claimDir,
     std::remove(reaped.c_str());
     mine.acquiredMs = unixTimeMs();
     mine.deadlineMs = mine.acquiredMs + leaseMs;
+    mine.hlc = HlcClock::instance().tick();
     if (!tryCreateExclusiveText(path, claimToJson(mine).dump() + "\n"))
         return std::nullopt; // someone slid in after our rename
     if (reapedStale)
@@ -153,7 +166,10 @@ WorkClaim::peek(const std::string &claimDir,
     if (!readTextFile(claimPath(claimDir, fingerprint), text))
         return std::nullopt;
     try {
-        return claimFromJson(JsonValue::parse(text));
+        ClaimInfo info = claimFromJson(JsonValue::parse(text));
+        if (!info.hlc.empty())
+            HlcClock::instance().observe(info.hlc);
+        return info;
     } catch (const std::exception &) {
         return std::nullopt;
     }
@@ -192,6 +208,7 @@ WorkClaim::renew(std::int64_t progress)
     info_.deadlineMs = unixTimeMs() + info_.leaseMs;
     if (progress >= 0)
         info_.progress = progress;
+    info_.hlc = HlcClock::instance().tick();
     writeTextFileAtomic(path_, claimToJson(info_).dump() + "\n");
     return true;
 }

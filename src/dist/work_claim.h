@@ -50,6 +50,7 @@
 #include <optional>
 #include <string>
 
+#include "common/event_log.h"
 #include "common/json.h"
 
 namespace treevqa {
@@ -76,6 +77,14 @@ struct ClaimInfo
      * until the owner first reports progress.
      */
     std::int64_t progress = -1;
+    /**
+     * The writer's hybrid-logical-clock stamp at the write (acquire
+     * or latest renewal). Readers observe() it into their own clock,
+     * so events a reaper emits after reading a dead owner's claim are
+     * causally ordered after the owner's last heartbeat even under
+     * wall-clock skew. Empty on claims written before HLC stamping.
+     */
+    Hlc hlc;
 };
 
 JsonValue claimToJson(const ClaimInfo &info);

@@ -13,6 +13,7 @@
 
 #include <unistd.h>
 
+#include "common/event_log.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/metrics.h"
@@ -240,6 +241,9 @@ WorkerDaemon::publishHealth(
     // Keep the flight recorder's on-disk dump recent enough that a
     // SIGKILL mid-batch still leaves a useful tail behind.
     TraceRecorder::instance().maybePeriodicFlush(2000);
+    // Same contract for the event journal: ride the health cadence so
+    // an unflushed process loses at most one heartbeat's events.
+    EventLog::instance().flush();
 }
 
 std::vector<ScenarioSpec>
@@ -301,6 +305,7 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
     std::filesystem::create_directories(sweepClaimDir(dir));
     std::filesystem::create_directories(sweepCheckpointDir(dir));
     std::filesystem::create_directories(sweepShardDir(dir));
+    EventLog::instance().open(dir, options_.workerId);
 
     WorkerReport report;
     const std::size_t scan_salt = workerScanOffset(options_.workerId);
@@ -418,7 +423,13 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
             if (reaped) {
                 ++report.reapedLeases;
                 workerMetrics().leasesReaped.inc();
+                // The takeover observed the dead owner's claim stamp,
+                // so this event orders after its last heartbeat.
+                EventLog::instance().emit(event_type::kLeaseReaped,
+                                          fingerprints[index]);
             }
+            EventLog::instance().emit(event_type::kLeaseAcquired,
+                                      fingerprints[index]);
             BatchSlot slot;
             slot.index = index;
             slot.claim = std::move(*claim);
@@ -427,6 +438,7 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
                 break;
         }
         claim_span.end();
+        EventLog::instance().flush();
 
         if (batch.empty()) {
             // Nothing claimable this round: every pending job is
@@ -521,6 +533,7 @@ WorkerDaemon::scanLoop(const std::function<JobSet()> &source,
         tail.invalidate(); // canonical store was rewritten under us
     }
     publishHealth([](WorkerHealth &h) { h.state = "stopped"; });
+    EventLog::instance().flush();
     return report;
 }
 
@@ -614,15 +627,25 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
                 for (BatchSlot &slot : batch) {
                     if (slot.done || slot.lost)
                         continue;
+                    const std::string &fp =
+                        fingerprints[slot.index];
                     try {
                         if (slot.claim.renew(batch_tick)) {
                             workerMetrics().heartbeatRenewals.inc();
+                            JsonValue detail = JsonValue::object();
+                            detail.set("tick",
+                                       JsonValue(batch_tick));
+                            EventLog::instance().emit(
+                                event_type::kLeaseRenewed, fp,
+                                std::move(detail));
                             any_live = true;
                             continue;
                         }
                     } catch (const std::exception &) {
                     }
                     slot.lost = true;
+                    EventLog::instance().emit(
+                        event_type::kLeaseLost, fp);
                 }
             }
             if (!any_live)
@@ -690,6 +713,19 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
             h.jobProgress = -1;
             h.jobAttempt = 1;
         });
+        {
+            // Flushed before the job runs: a SIGKILL mid-job must
+            // still leave the claim on the record for --timeline.
+            JsonValue detail = JsonValue::object();
+            detail.set("name", JsonValue(spec.name));
+            detail.set("priorAttempts",
+                       JsonValue(static_cast<std::int64_t>(
+                           slot.priorAttempts)));
+            EventLog::instance().emit(event_type::kJobClaimed,
+                                      fingerprint,
+                                      std::move(detail));
+            EventLog::instance().flush();
+        }
         progress_counter.store(-1); // fresh stall window per job
 
         // Retry budget: a throwing job (defective spec, transient I/O
@@ -731,6 +767,16 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
             }
             ++report.failedAttempts;
             workerMetrics().failedAttempts.inc();
+            {
+                JsonValue detail = JsonValue::object();
+                detail.set("attempt",
+                           JsonValue(static_cast<std::int64_t>(
+                               slot.priorAttempts + attempt)));
+                detail.set("error", JsonValue(last_error));
+                EventLog::instance().emit(event_type::kJobFailed,
+                                          fingerprint,
+                                          std::move(detail));
+            }
             std::fprintf(stderr,
                          "treevqa: worker %s: job %s attempt %d/%d "
                          "failed: %s\n",
@@ -808,6 +854,17 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
             poisoned_.insert(fingerprint);
             ++report.poisoned;
             workerMetrics().jobsPoisoned.inc();
+            {
+                JsonValue detail = JsonValue::object();
+                detail.set("attempts",
+                           JsonValue(static_cast<std::int64_t>(
+                               slot.priorAttempts + attempts_made)));
+                detail.set("error", JsonValue(last_error));
+                EventLog::instance().emit(event_type::kJobPoisoned,
+                                          fingerprint,
+                                          std::move(detail));
+                EventLog::instance().flush();
+            }
             publishHealth([&](WorkerHealth &h) {
                 ++h.jobsFailed;
                 h.state = "idle";
@@ -830,6 +887,14 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
             if (result.resumed) {
                 ++report.resumed;
                 workerMetrics().jobsResumed.inc();
+            }
+            {
+                JsonValue detail = JsonValue::object();
+                detail.set("resumed", JsonValue(result.resumed));
+                EventLog::instance().emit(event_type::kJobCompleted,
+                                          fingerprint,
+                                          std::move(detail));
+                EventLog::instance().flush();
             }
             publishHealth([&](WorkerHealth &h) {
                 ++h.jobsCompleted;
@@ -859,6 +924,17 @@ WorkerDaemon::runClaimedBatch(const JobSet &jobs,
         // supervisor's SIGKILL, whichever lands first).
         ++report.timedOut;
         workerMetrics().jobsTimedOut.inc();
+        {
+            JsonValue detail = JsonValue::object();
+            detail.set("timeoutMs",
+                       JsonValue(options_.jobTimeoutMs));
+            for (const BatchSlot &slot : batch)
+                if (!slot.done)
+                    EventLog::instance().emit(
+                        event_type::kJobTimedOut,
+                        fingerprints[slot.index], detail);
+            EventLog::instance().flush();
+        }
         release_undone();
         publishHealth([&](WorkerHealth &h) {
             ++h.jobsTimedOut;

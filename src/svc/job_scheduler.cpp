@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/event_log.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -83,6 +84,7 @@ JobScheduler::run(const std::vector<ScenarioSpec> &specs)
     if (!config_.outDir.empty()) {
         std::filesystem::create_directories(
             sweepCheckpointDir(config_.outDir));
+        EventLog::instance().open(config_.outDir, "scheduler");
         store = std::make_unique<ResultStore>(resultStorePath());
         if (config_.resume)
             // A reused run directory may hold duplicate records for a
@@ -125,8 +127,17 @@ JobScheduler::run(const std::vector<ScenarioSpec> &specs)
         JobResult result = runScenario(specs[index], options);
         if (store && result.completed)
             store->append(result);
+        if (result.completed) {
+            JsonValue detail = JsonValue::object();
+            detail.set("name", JsonValue(specs[index].name));
+            detail.set("resumed", JsonValue(result.resumed));
+            EventLog::instance().emit(event_type::kJobCompleted,
+                                      fingerprints[index],
+                                      std::move(detail));
+        }
         sweep.jobs[index] = std::move(result);
     });
+    EventLog::instance().flush();
 
     return sweep;
 }

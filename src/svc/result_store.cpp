@@ -11,6 +11,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/event_log.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
 
@@ -72,6 +73,16 @@ quarantineStoreLine(const std::string &storePath,
                      "treevqa: quarantine of %s:%zu failed (%s)\n",
                      storePath.c_str(), lineNumber, e.what());
     }
+    JsonValue detail = JsonValue::object();
+    detail.set("source",
+               JsonValue(std::filesystem::path(storePath)
+                             .filename()
+                             .string()));
+    detail.set("line",
+               JsonValue(static_cast<std::int64_t>(lineNumber)));
+    detail.set("reason", JsonValue(reason));
+    EventLog::instance().emit(event_type::kStoreQuarantine, "",
+                              std::move(detail));
 }
 
 StoredLineStatus

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/event_log.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/metrics.h"
@@ -218,6 +219,14 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
         && tryRestore(options.checkpointPath, result.fingerprint, state,
                       *optimizer, eval_rng)) {
         result.resumed = true;
+        JsonValue detail = JsonValue::object();
+        detail.set("iteration",
+                   JsonValue(static_cast<std::int64_t>(
+                       state.iteration)));
+        EventLog::instance().emit(event_type::kJobResumed,
+                                  result.fingerprint,
+                                  std::move(detail));
+        EventLog::instance().flush();
     } else {
         // A failed restore may have partially applied loadState (e.g.
         // a corrupt evalRng block after a valid optimizer block), and
@@ -285,6 +294,20 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
             writeCheckpoint(options.checkpointPath,
                             checkpointToJson(result.fingerprint, state,
                                              *optimizer, eval_rng));
+            {
+                // Flushed before onCheckpoint: the crash drills kill
+                // the process inside that hook, and the journal must
+                // already show the checkpoint the next claimant will
+                // resume from.
+                JsonValue detail = JsonValue::object();
+                detail.set("iteration",
+                           JsonValue(static_cast<std::int64_t>(
+                               state.iteration)));
+                EventLog::instance().emit(
+                    event_type::kJobCheckpointed, result.fingerprint,
+                    std::move(detail));
+                EventLog::instance().flush();
+            }
             if (options.onCheckpoint)
                 options.onCheckpoint();
         }
@@ -300,11 +323,21 @@ runScenario(const ScenarioSpec &spec, const ScenarioRunOptions &options)
         // the job as interrupted (completed=false, nothing recorded).
         if (options.shouldStop && state.iteration < spec.maxIterations
             && options.shouldStop()) {
-            if (checkpoints_enabled)
+            if (checkpoints_enabled) {
                 writeCheckpoint(options.checkpointPath,
                                 checkpointToJson(result.fingerprint,
                                                  state, *optimizer,
                                                  eval_rng));
+                JsonValue detail = JsonValue::object();
+                detail.set("iteration",
+                           JsonValue(static_cast<std::int64_t>(
+                               state.iteration)));
+                detail.set("graceful", JsonValue(true));
+                EventLog::instance().emit(
+                    event_type::kJobCheckpointed, result.fingerprint,
+                    std::move(detail));
+                EventLog::instance().flush();
+            }
             halted = true;
             break;
         }

@@ -36,6 +36,11 @@
  *                                     file per process incarnation,
  *                                     summed by `treevqa_run
  *                                     --metrics`
+ *   <dir>/events/<token>.jsonl        per-incarnation causal event
+ *                                     journal (common/event_log.h),
+ *                                     HLC-stamped; merged by
+ *                                     `treevqa_run --timeline` and
+ *                                     `--events`
  */
 
 #ifndef TREEVQA_SVC_SWEEP_DIR_H
@@ -174,6 +179,23 @@ sweepMetricsPath(const std::string &dir,
 {
     return (std::filesystem::path(dir) / "metrics"
             / (fileToken + ".json"))
+        .string();
+}
+
+inline std::string
+sweepEventDir(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "events").string();
+}
+
+/** One per-incarnation event journal. `fileToken` embeds the pid
+ * (e.g. "<worker>-p1234") so every incarnation appends to its own
+ * journal and handoffs stay attributable. */
+inline std::string
+sweepEventPath(const std::string &dir, const std::string &fileToken)
+{
+    return (std::filesystem::path(dir) / "events"
+            / (fileToken + ".jsonl"))
         .string();
 }
 

@@ -25,6 +25,20 @@ parsePositive(const char *text, long &out)
     return true;
 }
 
+/** Like parsePositive but 0 is allowed (e.g. "--watch-rounds 0" =
+ * run forever). */
+inline bool
+parseNonNegative(const char *text, long &out)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0' || value < 0)
+        return false;
+    out = value;
+    return true;
+}
+
 } // namespace treevqa
 
 #endif // TREEVQA_TOOLS_CLI_UTIL_H

@@ -28,8 +28,10 @@
  * (arming happens in the child's static init; the parent stays
  * disarmed), then a fault-free recovery child to drain whatever the
  * faulted child left behind, then a byte compare of summary.json
- * against the fault-free reference. Results land in
- * `<out>/chaos_report.json`. Exit 0 iff every drill converged.
+ * against the fault-free reference, then a parse audit of every
+ * observability dump the drill left (events/, metrics/, traces/):
+ * a drill may lose dumps but a malformed one fails it. Results land
+ * in `<out>/chaos_report.json`. Exit 0 iff every drill converged.
  *
  * The matrix ends with four supervisor drills exercising the
  * self-healing fleet layer: an in-process Supervisor fork/execs real
@@ -56,6 +58,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -352,6 +355,88 @@ runRecoveryWorker(const std::string &workerBin,
     return WEXITSTATUS(status);
 }
 
+/**
+ * Post-drill observability audit. A fault schedule may legitimately
+ * lose dumps (dropped batches, failed snapshot writes) but must never
+ * leave a malformed one behind: metrics/trace snapshots are atomic
+ * renames (whole-document or absent) and event journals are appended
+ * a whole line batch at a time. The one tolerated exception is a torn
+ * *final* journal line — a mid-append kill — which the CRC check
+ * quarantines at read time by design. Returns a "; "-joined problem
+ * list, empty when every dump parses.
+ */
+std::string
+auditObservabilityDumps(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    std::string problems;
+    const auto complain = [&](const std::string &what) {
+        if (!problems.empty())
+            problems += "; ";
+        problems += what;
+    };
+
+    for (const char *sub : {"metrics", "traces"}) {
+        std::error_code ec;
+        fs::directory_iterator it(fs::path(dir) / sub, ec);
+        if (ec)
+            continue;
+        for (const auto &entry : it) {
+            if (!entry.is_regular_file()
+                || entry.path().extension() != ".json")
+                continue;
+            const std::string name =
+                entry.path().filename().string();
+            std::string text;
+            if (!readTextFile(entry.path().string(), text)) {
+                complain(std::string(sub) + "/" + name
+                         + ": unreadable");
+                continue;
+            }
+            try {
+                JsonValue::parse(text);
+            } catch (const std::exception &) {
+                complain(std::string(sub) + "/" + name
+                         + ": malformed JSON");
+            }
+        }
+    }
+
+    std::error_code ec;
+    fs::directory_iterator it(fs::path(dir) / "events", ec);
+    if (!ec)
+        for (const auto &entry : it) {
+            if (!entry.is_regular_file()
+                || entry.path().extension() != ".jsonl")
+                continue;
+            std::string text;
+            if (!readTextFile(entry.path().string(), text))
+                continue;
+            std::istringstream lines(text);
+            std::string line;
+            std::size_t lineno = 0, bad = 0, last_bad = 0;
+            while (std::getline(lines, line)) {
+                ++lineno;
+                if (line.empty())
+                    continue;
+                try {
+                    JsonValue::parse(line);
+                } catch (const std::exception &) {
+                    ++bad;
+                    last_bad = lineno;
+                }
+            }
+            const bool torn_tail_only = bad == 1
+                && last_bad == lineno && !text.empty()
+                && text.back() != '\n';
+            if (bad > 0 && !torn_tail_only)
+                complain("events/" + entry.path().filename().string()
+                         + ": " + std::to_string(bad)
+                         + " malformed line(s)");
+        }
+    return problems;
+}
+
 int
 runDrillChild(const std::string &sweepDir, int jobs)
 {
@@ -498,17 +583,22 @@ main(int argc, char **argv)
             std::string summary;
             const bool summary_read =
                 readTextFile(sweepSummaryPath(dir), summary);
+            const std::string obs_problems =
+                auditObservabilityDumps(dir);
             const bool converged = recovery_status == 0 && summary_read
-                && summary == reference;
+                && summary == reference && obs_problems.empty();
             if (!converged)
                 ++failures;
             std::printf("drill %-28s fault-child=%-3d recovery=%-3d "
-                        "summary=%s\n",
+                        "summary=%s%s%s\n",
                         drill.name.c_str(), faulted_status,
                         recovery_status,
-                        converged        ? "identical"
+                        summary_read && summary == reference
+                            ? "identical"
                             : summary_read ? "DIFFERENT"
-                                           : "MISSING");
+                                           : "MISSING",
+                        obs_problems.empty() ? "" : " DUMPS: ",
+                        obs_problems.c_str());
 
             JsonValue entry = JsonValue::object();
             entry.set("name", JsonValue(drill.name));
@@ -516,7 +606,11 @@ main(int argc, char **argv)
                                   drillPlanJson(drill.faults, seed, i)));
             entry.set("faultedChildStatus", JsonValue(faulted_status));
             entry.set("recoveryStatus", JsonValue(recovery_status));
-            entry.set("summaryIdentical", JsonValue(converged));
+            entry.set("summaryIdentical",
+                      JsonValue(summary_read && summary == reference));
+            entry.set("observabilityProblems",
+                      JsonValue(obs_problems));
+            entry.set("converged", JsonValue(converged));
             report_drills.push_back(std::move(entry));
         }
 
@@ -639,6 +733,10 @@ main(int argc, char **argv)
             std::string summary;
             const bool summary_read =
                 readTextFile(sweepSummaryPath(dir), summary);
+            const std::string obs_problems =
+                auditObservabilityDumps(dir);
+            expect(obs_problems.empty(),
+                   "observability dumps: " + obs_problems);
             const bool converged = problems.empty()
                 && recovery_status == 0 && summary_read
                 && summary == reference;

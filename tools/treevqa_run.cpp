@@ -9,9 +9,16 @@
  *   treevqa_run SPEC.json [--out DIR] [--jobs N] [--fresh]
  *               [--print-specs] [--validate] [--summary-only]
  *               [--abort-after-checkpoints N]
- *   treevqa_run [SPEC.json] --status --out DIR
+ *   treevqa_run [SPEC.json] --status --out DIR [--limit N]
+ *               [--after FINGERPRINT]
  *   treevqa_run --health --out DIR
- *   treevqa_run --metrics --out DIR
+ *   treevqa_run --metrics --out DIR [--since PRIOR.json]
+ *   treevqa_run --timeline FINGERPRINT --out DIR
+ *   treevqa_run --events --out DIR [--type T] [--worker W] [--job FP]
+ *               [--since-hlc KEY] [--until-hlc KEY] [--limit N]
+ *               [--after KEY]
+ *   treevqa_run --watch --out DIR [--watch-rounds N]
+ *               [--watch-interval-ms MS]
  *
  *   --out DIR     persist DIR/results.jsonl, DIR/checkpoints/*.json,
  *                 DIR/summary.json and the request itself as
@@ -43,7 +50,26 @@
  *   --metrics     merge the fleet's metrics dumps (DIR/metrics/*.json,
  *                 one per process incarnation) into one fleet-wide
  *                 view: summed counters, max'd gauges, and per-phase
- *                 latency percentiles from the merged histograms
+ *                 latency percentiles from the merged histograms;
+ *                 with --since PRIOR.json (a saved aggregate), emit
+ *                 per-counter deltas and per-second rates over the
+ *                 wall interval between the two aggregates instead
+ *   --timeline FP merge every event journal (DIR/events/*.jsonl) and
+ *                 print the causal biography of one job: every event
+ *                 whose subject is FP, in hybrid-logical-clock order.
+ *                 Byte-stable given the same journals, whatever order
+ *                 they are read in
+ *   --events      filtered, paged query over the merged journals: one
+ *                 line per event (`<hlc> <type> <worker> <job>
+ *                 <detail>`), filterable by --type/--worker/--job and
+ *                 an HLC window (--since-hlc/--until-hlc, inclusive);
+ *                 --after KEY resumes strictly after a printed cursor
+ *   --watch       live fleet dashboard: every interval, diff the
+ *                 current health+metrics snapshots against the
+ *                 previous round into rates (jobs/s, bytes/s, claim
+ *                 conflicts/s) and flag stragglers whose in-flight
+ *                 job is pacing slower than 8x the fleet's p90
+ *                 runner.step_ns
  *   --summary-only
  *                 print only the deterministic summary JSON (no
  *                 table; what CI diffs between fresh and resumed
@@ -55,12 +81,15 @@
  *                 jobs — a deterministic stand-in for SIGKILL used by
  *                 the kill-and-resume smoke test
  *
- * Exit codes: 0 success, 1 runtime error, 2 usage error, 75 aborted
- * by --abort-after-checkpoints.
+ * Exit codes: 0 success, 1 runtime error, 2 usage error, 3 a --status
+ * probe found poisoned jobs or quarantined store lines (the CI gate),
+ * 75 aborted by --abort-after-checkpoints.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,7 +98,10 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/event_log.h"
 #include "common/file_util.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -94,10 +126,18 @@ usage(const char *argv0, bool requested)
                  "usage: %s SPEC.json [--out DIR] [--jobs N] [--fresh]\n"
                  "       [--print-specs] [--validate] [--summary-only]\n"
                  "       [--abort-after-checkpoints N]\n"
-                 "       %s [SPEC.json] --status --out DIR\n"
+                 "       %s [SPEC.json] --status --out DIR [--limit N]"
+                 " [--after FP]\n"
                  "       %s --health --out DIR\n"
-                 "       %s --metrics --out DIR\n",
-                 argv0, argv0, argv0, argv0);
+                 "       %s --metrics --out DIR [--since PRIOR.json]\n"
+                 "       %s --timeline FINGERPRINT --out DIR\n"
+                 "       %s --events --out DIR [--type T] [--worker W]"
+                 " [--job FP]\n"
+                 "       [--since-hlc KEY] [--until-hlc KEY]"
+                 " [--limit N] [--after KEY]\n"
+                 "       %s --watch --out DIR [--watch-rounds N]\n"
+                 "       [--watch-interval-ms MS]\n",
+                 argv0, argv0, argv0, argv0, argv0, argv0, argv0);
     return requested ? 0 : 2;
 }
 
@@ -114,10 +154,18 @@ std::atomic<long> g_checkpointsUntilAbort{0};
  * not a peek-probe pair per job — so a 10^6-job status is O(jobs +
  * store bytes) with a small constant, and `--summary-only` skips even
  * the per-job table and checkpoint peeks, printing just the counts.
+ *
+ * Detail rows print in fingerprint order so `--after FP` (resume
+ * strictly past a fingerprint) + `--limit N` page a huge sweep in
+ * stable slices; the totals line always covers every job regardless
+ * of the page. Returns 3 when the sweep holds poisoned jobs or
+ * quarantined store lines — the machine-checkable "needs a human"
+ * verdict — else 0.
  */
-void
+int
 printStatus(const std::vector<ScenarioSpec> &specs,
-            const std::string &dir, bool summaryOnly)
+            const std::string &dir, bool summaryOnly,
+            const std::string &after, long limit)
 {
     StoreTailReader tail(dir);
     tail.refresh();
@@ -156,13 +204,32 @@ printStatus(const std::vector<ScenarioSpec> &specs,
                     checkpointed.insert(entry.path().stem().string());
     }
 
+    // Detail rows walk the jobs in fingerprint order: a stable total
+    // order the --after cursor can resume from, independent of the
+    // spec file's ordering.
+    std::vector<std::pair<std::string, const ScenarioSpec *>> ordered;
+    ordered.reserve(specs.size());
+    for (const ScenarioSpec &spec : specs)
+        ordered.emplace_back(scenarioFingerprint(spec), &spec);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
     const std::int64_t now = unixTimeMs();
     std::size_t done = 0, failed = 0, timed_out = 0, poisoned = 0,
                 running = 0, stale = 0, paused = 0, pending = 0;
+    std::size_t shown = 0;
     if (!summaryOnly)
-        std::printf("%-32s %-10s %s\n", "job", "state", "detail");
-    for (const ScenarioSpec &spec : specs) {
-        const std::string fp = scenarioFingerprint(spec);
+        std::printf("%-16s %-32s %-10s %s\n", "fingerprint", "job",
+                    "state", "detail");
+    for (const auto &[fp, spec_ptr] : ordered) {
+        const ScenarioSpec &spec = *spec_ptr;
+        // Counting covers every job; the detail row prints only
+        // inside the requested page.
+        const bool show = !summaryOnly && (after.empty() || fp > after)
+            && (limit <= 0
+                || shown < static_cast<std::size_t>(limit));
         char detail[160] = {0};
         const char *state = "pending";
 
@@ -184,7 +251,7 @@ printStatus(const std::vector<ScenarioSpec> &specs,
         if (recorded && res->second.completed) {
             state = "done";
             ++done;
-            if (!summaryOnly)
+            if (show)
                 std::snprintf(detail, sizeof(detail),
                               "energy=%.8f iters=%d",
                               res->second.finalEnergy,
@@ -208,7 +275,7 @@ printStatus(const std::vector<ScenarioSpec> &specs,
                 state = "failed";
                 ++failed;
             }
-            if (!summaryOnly)
+            if (show)
                 std::snprintf(detail, sizeof(detail),
                               "attempts=%d error=%.100s", r.attempts,
                               r.errorMessage.c_str());
@@ -216,7 +283,7 @@ printStatus(const std::vector<ScenarioSpec> &specs,
                    && now <= claim->second.deadlineMs) {
             state = "running";
             ++running;
-            if (!summaryOnly)
+            if (show)
                 std::snprintf(
                     detail, sizeof(detail),
                     "worker=%s lease=%lldms iter=%d/%d progress=%lld",
@@ -228,7 +295,7 @@ printStatus(const std::vector<ScenarioSpec> &specs,
         } else if (claim != claims.end()) {
             state = "stale";
             ++stale;
-            if (!summaryOnly)
+            if (show)
                 std::snprintf(
                     detail, sizeof(detail),
                     "worker=%s expired %lldms ago iter=%d/%d "
@@ -240,24 +307,280 @@ printStatus(const std::vector<ScenarioSpec> &specs,
         } else if (has_checkpoint) {
             state = "paused";
             ++paused;
-            if (!summaryOnly)
+            if (show)
                 std::snprintf(detail, sizeof(detail),
                               "checkpoint at iter %d/%d", iteration(),
                               spec.maxIterations);
         } else {
             ++pending;
         }
-        if (!summaryOnly)
-            std::printf("%-32s %-10s %s\n", spec.name.c_str(), state,
-                        detail);
+        if (show) {
+            std::printf("%-16s %-32s %-10s %s\n", fp.c_str(),
+                        spec.name.c_str(), state, detail);
+            ++shown;
+        }
     }
+    const std::size_t quarantined = static_cast<std::size_t>(
+        tail.counters().quarantinedLines);
     std::printf("%zu jobs: %zu done, %zu failed, %zu timed-out, "
                 "%zu poisoned, %zu running, %zu stale, %zu paused, "
                 "%zu pending; %zu quarantined line(s)\n",
                 specs.size(), done, failed, timed_out, poisoned,
-                running, stale, paused, pending,
-                static_cast<std::size_t>(
-                    tail.counters().quarantinedLines));
+                running, stale, paused, pending, quarantined);
+    return (poisoned > 0 || quarantined > 0) ? 3 : 0;
+}
+
+/**
+ * --events: the merged, causally ordered journal, filtered and paged.
+ * Rows go to stdout (`<hlc> <type> <worker> <job> <detail>`, one per
+ * event, "-" for a subject-less job column); the read summary goes to
+ * stderr so piped consumers see only rows. The HLC window is
+ * inclusive on both ends; --after resumes strictly past a previously
+ * printed cursor.
+ */
+int
+runEvents(const std::string &dir, const std::string &typeFilter,
+          const std::string &workerFilter,
+          const std::string &jobFilter, const std::string &sinceKey,
+          const std::string &untilKey, const std::string &afterKey,
+          long limit)
+{
+    Hlc since, until, after;
+    const bool has_since = !sinceKey.empty();
+    const bool has_until = !untilKey.empty();
+    const bool has_after = !afterKey.empty();
+    if ((has_since && !parseHlcKey(sinceKey, since))
+        || (has_until && !parseHlcKey(untilKey, until))
+        || (has_after && !parseHlcKey(afterKey, after))) {
+        std::fprintf(stderr,
+                     "--since-hlc/--until-hlc/--after want "
+                     "<wallMs>[.<counter>[@<origin>]]\n");
+        return 2;
+    }
+    EventReadStats stats;
+    const std::vector<SweepEvent> events =
+        readSweepEvents(dir, &stats);
+    std::size_t shown = 0;
+    for (const SweepEvent &e : events) {
+        if (!typeFilter.empty() && e.type != typeFilter)
+            continue;
+        if (!workerFilter.empty() && e.worker != workerFilter)
+            continue;
+        if (!jobFilter.empty() && e.job != jobFilter)
+            continue;
+        if (has_since && hlcLess(e.hlc, since))
+            continue;
+        if (has_until && hlcLess(until, e.hlc))
+            continue;
+        if (has_after && !hlcLess(after, e.hlc))
+            continue;
+        if (limit > 0 && shown >= static_cast<std::size_t>(limit))
+            break;
+        std::printf("%s %s %s %s %s\n", hlcKey(e.hlc).c_str(),
+                    e.type.c_str(), e.worker.c_str(),
+                    e.job.empty() ? "-" : e.job.c_str(),
+                    e.detail.dump().c_str());
+        ++shown;
+    }
+    std::fprintf(stderr,
+                 "%zu of %zu event(s) from %zu journal(s), "
+                 "%zu corrupt line(s)\n",
+                 shown, stats.events, stats.files, stats.corruptLines);
+    return 0;
+}
+
+/**
+ * --metrics --since: per-counter deltas and per-second rates between
+ * a saved aggregate (a prior `--metrics` stdout) and the current one.
+ * The wall interval is the difference of the two aggregates' asOfMs
+ * stamps (each the newest input dump's writtenMs), so the rates stay
+ * a pure function of the dump files on disk.
+ */
+JsonValue
+metricsDeltaJson(const JsonValue &prior, const JsonValue &current)
+{
+    std::int64_t prior_ms = 0, cur_ms = 0;
+    jsonMaybe(prior, "asOfMs",
+              [&](const JsonValue &v) { prior_ms = v.asInt(); });
+    jsonMaybe(current, "asOfMs",
+              [&](const JsonValue &v) { cur_ms = v.asInt(); });
+    const double interval_s = cur_ms > prior_ms
+        ? static_cast<double>(cur_ms - prior_ms) / 1e3
+        : 0.0;
+
+    std::map<std::string, std::uint64_t> before;
+    jsonMaybe(prior, "counters", [&](const JsonValue &cs) {
+        for (const auto &[name, v] : cs.asObject())
+            before[name] = v.asUint();
+    });
+
+    JsonValue out = JsonValue::object();
+    out.set("schemaVersion", JsonValue(std::int64_t{1}));
+    out.set("sinceMs", JsonValue(prior_ms));
+    out.set("asOfMs", JsonValue(cur_ms));
+    out.set("intervalSeconds", JsonValue(interval_s));
+    JsonValue counters = JsonValue::object();
+    jsonMaybe(current, "counters", [&](const JsonValue &cs) {
+        for (const auto &[name, v] : cs.asObject()) {
+            const std::uint64_t now_total = v.asUint();
+            const auto it = before.find(name);
+            const std::uint64_t was =
+                it == before.end() ? 0 : it->second;
+            // A counter only regresses when a dump file vanished
+            // between the two reads; clamp instead of wrapping.
+            const std::uint64_t delta =
+                now_total >= was ? now_total - was : 0;
+            JsonValue row = JsonValue::object();
+            row.set("total", JsonValue(now_total));
+            row.set("delta", JsonValue(delta));
+            row.set("perSec",
+                    JsonValue(interval_s > 0.0
+                                  ? static_cast<double>(delta)
+                                      / interval_s
+                                  : 0.0));
+            counters.set(name, std::move(row));
+        }
+    });
+    out.set("counters", std::move(counters));
+    return out;
+}
+
+/** A job pacing slower than this multiple of the fleet's p90
+ * runner.step_ns is flagged as a straggler by --watch. */
+constexpr double kStragglerFactor = 8.0;
+
+/** One --watch probe: the fleet counters a dashboard round diffs. */
+struct WatchSample
+{
+    std::int64_t wallMs = 0;
+    double jobsDone = 0;
+    double bytesRead = 0;
+    double conflicts = 0;
+    double p90StepMs = 0;
+};
+
+double
+aggCounter(const JsonValue &agg, const char *name)
+{
+    double value = 0;
+    jsonMaybe(agg, "counters", [&](const JsonValue &cs) {
+        jsonMaybe(cs, name, [&](const JsonValue &v) {
+            value = static_cast<double>(v.asUint());
+        });
+    });
+    return value;
+}
+
+WatchSample
+takeWatchSample(const std::string &dir)
+{
+    WatchSample s;
+    s.wallMs = unixTimeMs();
+    const JsonValue agg = aggregateMetricsJson(readMetricsDumps(dir));
+    s.jobsDone = aggCounter(agg, "worker.jobs_completed");
+    s.bytesRead = aggCounter(agg, "store.tail_bytes_read")
+        + aggCounter(agg, "worker.store_bytes_full_load");
+    // Attempts that did not acquire are exactly the claim conflicts
+    // (another worker won the create race or held the lease).
+    s.conflicts = aggCounter(agg, "worker.claim_attempts")
+        - aggCounter(agg, "worker.claims_acquired");
+    jsonMaybe(agg, "phases", [&](const JsonValue &phases) {
+        jsonMaybe(phases, "runner.step_ns", [&](const JsonValue &r) {
+            jsonMaybe(r, "p90Ms", [&](const JsonValue &v) {
+                s.p90StepMs = v.asDouble();
+            });
+        });
+    });
+    return s;
+}
+
+/** Live claims (unexpired leases) for the straggler check. */
+std::vector<ClaimInfo>
+liveClaims(const std::string &dir, std::int64_t now)
+{
+    std::vector<ClaimInfo> live;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(sweepClaimDir(dir), ec);
+    if (ec)
+        return live;
+    for (const auto &entry : it) {
+        if (entry.path().extension() != ".lock")
+            continue;
+        std::string text;
+        if (!readTextFile(entry.path().string(), text))
+            continue;
+        try {
+            ClaimInfo info = claimFromJson(JsonValue::parse(text));
+            if (now <= info.deadlineMs)
+                live.push_back(std::move(info));
+        } catch (const std::exception &) {
+            // Torn claim mid-write: invisible this probe.
+        }
+    }
+    return live;
+}
+
+/**
+ * --watch: a fixed-cadence dashboard over a live sweep directory.
+ * Round 1 prints the absolute fleet totals (no previous round to
+ * diff); every later round prints per-second rates — counter deltas
+ * over the measured wall interval between the two probes — plus any
+ * stragglers: jobs whose lease is live but whose per-iteration pace
+ * since acquiring the claim runs slower than kStragglerFactor times
+ * the fleet's p90 runner.step_ns. Pure reads throughout; safe to
+ * point at a sweep a fleet is actively running.
+ */
+int
+runWatch(const std::string &dir, long rounds, long intervalMs)
+{
+    WatchSample prev;
+    for (long round = 1; rounds <= 0 || round <= rounds; ++round) {
+        const WatchSample cur = takeWatchSample(dir);
+        const std::vector<ClaimInfo> live =
+            liveClaims(dir, cur.wallMs);
+        if (round == 1) {
+            std::printf("watch %ld: totals jobs=%.0f bytes=%.0f "
+                        "conflicts=%.0f running=%zu\n",
+                        round, cur.jobsDone, cur.bytesRead,
+                        cur.conflicts, live.size());
+        } else {
+            const double dt = static_cast<double>(cur.wallMs
+                                                  - prev.wallMs)
+                / 1e3;
+            const double safe_dt = dt > 0.0 ? dt : 1.0;
+            std::printf(
+                "watch %ld: jobs/s %.2f  bytes/s %.0f  "
+                "conflicts/s %.2f  running=%zu\n",
+                round, (cur.jobsDone - prev.jobsDone) / safe_dt,
+                (cur.bytesRead - prev.bytesRead) / safe_dt,
+                (cur.conflicts - prev.conflicts) / safe_dt,
+                live.size());
+        }
+        if (cur.p90StepMs > 0.0)
+            for (const ClaimInfo &claim : live) {
+                const double iters = static_cast<double>(
+                    std::max<std::int64_t>(claim.progress, 1));
+                const double pace =
+                    static_cast<double>(cur.wallMs
+                                        - claim.acquiredMs)
+                    / iters;
+                if (pace > kStragglerFactor * cur.p90StepMs)
+                    std::printf(
+                        "  straggler %s worker=%s progress=%lld "
+                        "pace=%.1fms/iter fleet-p90=%.3fms\n",
+                        claim.fingerprint.c_str(),
+                        claim.owner.c_str(),
+                        static_cast<long long>(claim.progress),
+                        pace, cur.p90StepMs);
+            }
+        std::fflush(stdout);
+        prev = cur;
+        if (rounds > 0 && round == rounds)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+    }
+    return 0;
 }
 
 } // namespace
@@ -276,6 +599,21 @@ main(int argc, char **argv)
     bool metrics = false;
     bool summary_only = false;
     long abort_after = 0;
+    std::string timeline_fp;
+    bool events = false;
+    bool watch = false;
+    std::string type_filter;
+    std::string worker_filter;
+    std::string job_filter;
+    std::string since_hlc;
+    std::string until_hlc;
+    // --after: a fingerprint cursor for --status, an HLC-key cursor
+    // for --events; both page "strictly past this".
+    std::string after_cursor;
+    long limit = 0;
+    std::string since_file;
+    long watch_rounds = 0; // 0 = run until interrupted
+    long watch_interval_ms = 2000;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -308,6 +646,46 @@ main(int argc, char **argv)
             metrics = true;
         } else if (arg == "--summary-only") {
             summary_only = true;
+        } else if (arg == "--timeline") {
+            timeline_fp = next_value();
+        } else if (arg == "--events") {
+            events = true;
+        } else if (arg == "--watch") {
+            watch = true;
+        } else if (arg == "--type") {
+            type_filter = next_value();
+        } else if (arg == "--worker") {
+            worker_filter = next_value();
+        } else if (arg == "--job") {
+            job_filter = next_value();
+        } else if (arg == "--since-hlc") {
+            since_hlc = next_value();
+        } else if (arg == "--until-hlc") {
+            until_hlc = next_value();
+        } else if (arg == "--after") {
+            after_cursor = next_value();
+        } else if (arg == "--limit") {
+            if (!parsePositive(next_value(), limit)) {
+                std::fprintf(stderr,
+                             "--limit must be an integer >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--since") {
+            since_file = next_value();
+        } else if (arg == "--watch-rounds") {
+            if (!parseNonNegative(next_value(), watch_rounds)) {
+                std::fprintf(stderr,
+                             "--watch-rounds must be an integer >= 0 "
+                             "(0 = forever)\n");
+                return 2;
+            }
+        } else if (arg == "--watch-interval-ms") {
+            if (!parsePositive(next_value(), watch_interval_ms)) {
+                std::fprintf(stderr,
+                             "--watch-interval-ms must be an integer "
+                             ">= 1\n");
+                return 2;
+            }
         } else if (arg == "--abort-after-checkpoints") {
             if (!parsePositive(next_value(), abort_after)) {
                 std::fprintf(stderr,
@@ -326,11 +704,30 @@ main(int argc, char **argv)
             return usage(argv[0], false);
         }
     }
-    if ((status || health || metrics) && out_dir.empty()) {
+    if ((status || health || metrics || events || watch
+         || !timeline_fp.empty())
+        && out_dir.empty()) {
         std::fprintf(stderr,
-                     "--status/--health/--metrics need --out DIR\n");
+                     "--status/--health/--metrics/--timeline/"
+                     "--events/--watch need --out DIR\n");
         return 2;
     }
+    if (!timeline_fp.empty()) {
+        // Pure read of DIR/events/*.jsonl. Byte-stable for a given
+        // set of journals whatever order they are read in — the
+        // property the timeline-smoke CI job asserts.
+        std::fputs(
+            formatTimeline(readSweepEvents(out_dir), timeline_fp)
+                .c_str(),
+            stdout);
+        return 0;
+    }
+    if (events)
+        return runEvents(out_dir, type_filter, worker_filter,
+                         job_filter, since_hlc, until_hlc,
+                         after_cursor, limit);
+    if (watch)
+        return runWatch(out_dir, watch_rounds, watch_interval_ms);
     if (health) {
         // Pure read of DIR/health/*.json; needs no spec at all.
         const JsonValue doc = aggregateHealthJson(
@@ -345,6 +742,27 @@ main(int argc, char **argv)
         // incarnations that were later SIGKILLed and replaced.
         const JsonValue doc =
             aggregateMetricsJson(readMetricsDumps(out_dir));
+        if (!since_file.empty()) {
+            // Delta view: rates since a saved aggregate.
+            std::string prior_text;
+            if (!readTextFile(since_file, prior_text)) {
+                std::fprintf(stderr, "cannot read %s\n",
+                             since_file.c_str());
+                return 1;
+            }
+            try {
+                const JsonValue prior =
+                    JsonValue::parse(prior_text);
+                std::printf(
+                    "%s\n",
+                    metricsDeltaJson(prior, doc).dump(2).c_str());
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "treevqa_run: --since: %s\n",
+                             e.what());
+                return 1;
+            }
+            return 0;
+        }
         std::printf("%s\n", doc.dump(2).c_str());
         return 0;
     }
@@ -376,10 +794,9 @@ main(int argc, char **argv)
             return 1;
         }
 
-        if (status) {
-            printStatus(specs, out_dir, summary_only);
-            return 0;
-        }
+        if (status)
+            return printStatus(specs, out_dir, summary_only,
+                               after_cursor, limit);
 
         if (validate) {
             // Dry run: report what would be scheduled, catching the
@@ -435,6 +852,19 @@ main(int argc, char **argv)
             // sweep without being handed the spec file separately.
             std::filesystem::create_directories(out_dir);
             writeTextFileAtomic(sweepSpecPath(out_dir), request_text);
+            // The sweep's birth certificate: one job.expanded per
+            // job, journaled before anything can claim them. The
+            // scheduler reopens the log under its own identity later;
+            // that retarget flushes this batch first.
+            EventLog::instance().open(out_dir, "run");
+            for (const ScenarioSpec &spec : specs) {
+                JsonValue detail = JsonValue::object();
+                detail.set("name", JsonValue(spec.name));
+                EventLog::instance().emit(
+                    event_type::kJobExpanded,
+                    scenarioFingerprint(spec), std::move(detail));
+            }
+            EventLog::instance().flush();
         }
         if (abort_after > 0) {
             g_checkpointsUntilAbort.store(abort_after);

@@ -82,7 +82,9 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
+#include "common/event_log.h"
 #include "common/file_util.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -240,9 +242,21 @@ main(int argc, char **argv)
                              spec_path.c_str());
                 return 1;
             }
-            expandScenarios(JsonValue::parse(text));
+            const std::vector<ScenarioSpec> seeded =
+                expandScenarios(JsonValue::parse(text));
             std::filesystem::create_directories(sweep_dir);
             writeTextFileAtomic(sweepSpecPath(sweep_dir), text);
+            // Journal the sweep's birth: one job.expanded per job,
+            // flushed before any worker can claim them.
+            EventLog::instance().open(sweep_dir, "seed");
+            for (const ScenarioSpec &spec : seeded) {
+                JsonValue detail = JsonValue::object();
+                detail.set("name", JsonValue(spec.name));
+                EventLog::instance().emit(
+                    event_type::kJobExpanded,
+                    scenarioFingerprint(spec), std::move(detail));
+            }
+            EventLog::instance().flush();
         }
 
         if (merge_only) {
